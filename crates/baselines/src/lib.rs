@@ -1,0 +1,34 @@
+//! # rock-baselines — the comparison systems of §6
+//!
+//! The paper compares Rock against five baselines; none are open-source in
+//! the configurations used, so each is reimplemented from its published
+//! description (DESIGN.md §1):
+//!
+//! * [`es`] — **ES** [72]: evidence-set rule discovery "in a purely mining
+//!   manner" with *no* sampling or effective pruning; precision-oriented
+//!   (exact rules only), which is why its recall lags (§6 Exp-2).
+//! * [`t5s`] — **T5s** [20]: a pretrained-LM cell model. Simulated as a
+//!   hashing-embedding classifier with a transformer-scale per-inference
+//!   cost; strong on text, intentionally weak on numeric attributes
+//!   ("when there are many numerical attributes … its F-Measure is 0.52").
+//! * [`rb`] — **RB** (Baran [65]): "holistic feature engineering + a
+//!   downstream random-forest model"; costly feature generation, good on
+//!   text, weak on numerics and unable to do ER/TD.
+//! * [`sqlengine`] — **SparkSQL** [14] / **Presto** [80]: generic SQL
+//!   engines evaluating Rock's REE++s translated to joins with ML UDFs —
+//!   no blocking, no memoization, no partial valuations ("they support no
+//!   designated strategy for accelerating ML models").
+//!
+//! Every baseline reports wall time *and* modeled ML cost through the
+//! shared `CostMeter`, so the figure harness can reproduce the paper's
+//! relative-runtime shapes without hours of transformer simulation.
+
+pub mod es;
+pub mod rb;
+pub mod sqlengine;
+pub mod t5s;
+
+pub use es::EsMiner;
+pub use rb::RbCleaner;
+pub use sqlengine::{SqlEngine, SqlEngineKind};
+pub use t5s::T5sModel;

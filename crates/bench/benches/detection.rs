@@ -1,0 +1,56 @@
+//! Error-detection benches (Fig 4(d)–(h) drivers): batch detection with
+//! and without ML blocking, incremental detection, and the SQL-engine
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rock_baselines::sqlengine::{SqlEngine, SqlEngineKind};
+use rock_core::variant::sorted_rules;
+use rock_data::{AttrId, Delta, RelId, TupleId, Update, Value};
+use rock_detect::blocking::precompute_ml;
+use rock_detect::Detector;
+use rock_workloads::workload::GenConfig;
+
+fn bench_detection(c: &mut Criterion) {
+    let w = rock_workloads::logistics::generate(&GenConfig {
+        rows: 200,
+        error_rate: 0.08,
+        seed: 31,
+        trusted_per_rel: 20,
+    });
+    let task = w.task("RClean").unwrap().clone();
+    let rules = sorted_rules(&w.rules_for(&task));
+    let noml = rules.without_ml();
+
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+    group.bench_function("rock/batch+blocking", |b| {
+        b.iter(|| {
+            w.registry.clear_memo();
+            precompute_ml(&w.dirty, &rules, &w.registry);
+            Detector::new(&rules, &w.registry).detect(&w.dirty)
+        })
+    });
+    group.bench_function("rock/batch-noml", |b| {
+        b.iter(|| Detector::new(&noml, &w.registry).detect(&w.dirty))
+    });
+    group.bench_function("rock/incremental-1-update", |b| {
+        let mut db = w.dirty.clone();
+        let delta = Delta::new(vec![Update::SetCell {
+            rel: RelId(0),
+            tid: TupleId(3),
+            attr: AttrId(4),
+            value: Value::str("East"),
+        }]);
+        let inserted = db.apply(&delta);
+        b.iter(|| {
+            Detector::new(&noml, &w.registry).detect_incremental(&db, &delta, &inserted)
+        })
+    });
+    group.bench_function("baseline/sparksql-udf", |b| {
+        b.iter(|| SqlEngine::new(SqlEngineKind::SparkSql, &w.registry).detect(&w.dirty, &noml))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benches over the hot kernels: CRC-32 / consistent-hash placement,
+//! MinHash LSH, string similarity, embeddings, the partial-order store and
+//! the fix store.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rock_chase::{FixStore, PartialOrderStore};
+use rock_crystal::ring::{ConsistentHashRing, NodeId};
+use rock_crystal::crc32;
+use rock_data::TupleId;
+use rock_ml::features::HashingEmbedder;
+use rock_ml::text::{edit_similarity, trigram_cosine};
+use rock_ml::MinHashLsh;
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("crc32/64B", |b| {
+        let data = vec![0xABu8; 64];
+        b.iter(|| crc32(black_box(&data)))
+    });
+
+    c.bench_function("ring/owner", |b| {
+        let mut ring = ConsistentHashRing::new(64);
+        for i in 0..20 {
+            ring.add_node(NodeId(i), &format!("10.0.0.{i}"));
+        }
+        b.iter(|| ring.owner(black_box(b"partition-1234")))
+    });
+
+    c.bench_function("lsh/insert+query", |b| {
+        b.iter(|| {
+            let mut lsh = MinHashLsh::new(16, 2);
+            for i in 0..50u32 {
+                lsh.insert(i, &format!("street number {i} beijing west road"));
+            }
+            lsh.candidates(black_box("street number 25 beijing west road"))
+        })
+    });
+
+    c.bench_function("text/edit_similarity", |b| {
+        b.iter(|| edit_similarity(black_box("5 Beijing West Road"), black_box("5 West Road")))
+    });
+
+    c.bench_function("text/trigram_cosine", |b| {
+        b.iter(|| trigram_cosine(black_box("IPhone 14 Discount ID 41"), black_box("IPhone 14 Discount Code 41")))
+    });
+
+    c.bench_function("ml/embed_str", |b| {
+        let e = HashingEmbedder::default();
+        b.iter(|| e.embed_str(black_box("Golden Dragon Trading Co Shanghai")))
+    });
+
+    c.bench_function("order/insert+holds", |b| {
+        b.iter(|| {
+            let mut p = PartialOrderStore::new();
+            for i in 0..30u32 {
+                p.insert(TupleId(i), TupleId(i + 1), i % 3 == 0);
+            }
+            p.holds(TupleId(0), TupleId(30), true)
+        })
+    });
+
+    c.bench_function("fixes/union-find", |b| {
+        use rock_chase::EntityKey;
+        use rock_data::{Eid, RelId};
+        b.iter(|| {
+            let mut f = FixStore::new();
+            for i in 0..100u32 {
+                f.merge(
+                    EntityKey::new(RelId(0), Eid(i)),
+                    EntityKey::new(RelId(0), Eid(i / 2)),
+                );
+            }
+            f.same_entity(
+                EntityKey::new(RelId(0), Eid(0)),
+                EntityKey::new(RelId(0), Eid(99)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

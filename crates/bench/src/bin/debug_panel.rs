@@ -1,0 +1,149 @@
+//! Developer scratch tool: print precision/recall breakdowns for one
+//! (app, task) detection/correction run. Not part of the figure set.
+
+use rock_bench::panels;
+use rock_bench::runners;
+use rock_core::Variant;
+use rock_workloads::metrics::detection_metrics;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("ec") {
+        let w = rock_workloads::logistics::generate(&rock_workloads::workload::GenConfig {
+            rows: 900, error_rate: 0.08, seed: 45, trusted_per_rel: 40,
+        });
+        let task = w.task("RClean").unwrap().clone();
+        let t0 = std::time::Instant::now();
+        let sys = rock_core::RockSystem::new(rock_core::RockConfig {
+            partitions_per_rule: 64,
+            ..rock_core::RockConfig::default()
+        });
+        let out = sys.correct(&w, &task);
+        let wall = t0.elapsed().as_secs_f64();
+        let unit_sum: f64 = out.unit_seconds.iter().sum();
+        println!(
+            "EC wall={wall:.2}s out.wall={:.2}s rounds={} units_sum={unit_sum:.3}s n_units={} changes={} conflicts={} ml_cost={:.0}",
+            out.wall_seconds, out.rounds, out.unit_seconds.len(), out.changes, out.conflicts,
+            w.registry.meter.cost()
+        );
+        return;
+    }
+    if args.first().map(|s| s.as_str()) == Some("corr") {
+        let appn = args.get(1).map(|s| s.as_str()).unwrap_or("Logistics");
+        let w = match appn {
+            "Bank" => panels::bank(),
+            "Logistics" => panels::logistics(),
+            _ => panels::sales(),
+        };
+        let task = w.tasks.last().unwrap().clone();
+        let (run, repaired) = runners::rock_correct(&w, &task, Variant::Rock, 1);
+        println!(
+            "{appn} EC: tp={} fp={} fn={} P={:.3} R={:.3} F1={:.3}",
+            run.metrics.tp, run.metrics.fp, run.metrics.fn_,
+            run.metrics.precision(), run.metrics.recall(), run.metrics.f1()
+        );
+        // per-class recall: error cells whose repaired value == clean value
+        for (name, map) in [
+            ("corrupted", &w.truth.corrupted),
+            ("nulled", &w.truth.nulled),
+            ("stale", &w.truth.stale),
+        ] {
+            let mut fixed = 0;
+            for (c, correct) in map {
+                if repaired.cell(c.rel, c.tid, c.attr) == Some(correct) {
+                    fixed += 1;
+                }
+            }
+            println!("  {name}: {fixed}/{} repaired correctly", map.len());
+        }
+        // fp breakdown by column
+        let mut fp_by: std::collections::BTreeMap<String, usize> = Default::default();
+        for (rid, rel) in repaired.iter() {
+            for t in rel.iter() {
+                for a in 0..rel.schema.arity() {
+                    let attr = rock_data::AttrId(a as u16);
+                    let cell = rock_data::CellRef::new(rid, t.tid, attr);
+                    let rep = t.get(attr);
+                    let dirty_v = w.dirty.cell(rid, t.tid, attr);
+                    let clean_v = w.clean.cell(rid, t.tid, attr);
+                    if Some(rep) != dirty_v && Some(rep) != clean_v {
+                        let reln = rel.schema.name.clone();
+                        let attrn = rel.schema.attr_name(attr).to_owned();
+                        *fp_by.entry(format!("{reln}.{attrn} cell={cell} {:?}->{rep:?}", dirty_v.map(|v| v.to_string()))).or_default() += 1;
+                    }
+                }
+            }
+        }
+        for (k, n) in fp_by.iter().take(12) {
+            println!("  FP {k} x{n}");
+        }
+        println!("  total fp kinds: {}", fp_by.len());
+        return;
+    }
+    let app = args.first().map(|s| s.as_str()).unwrap_or("Bank");
+    let task_name = args.get(1).map(|s| s.as_str()).unwrap_or("CIC");
+    let w = match app {
+        "Bank" => panels::bank(),
+        "Logistics" => panels::logistics(),
+        _ => panels::sales(),
+    };
+    let task = w.task(task_name).expect("task").clone();
+    let run = runners::rock_detect(&w, &task, Variant::Rock, 1);
+    println!(
+        "{app}/{task_name} detect: tp={} fp={} fn={} P={:.3} R={:.3} F1={:.3}",
+        run.metrics.tp,
+        run.metrics.fp,
+        run.metrics.fn_,
+        run.metrics.precision(),
+        run.metrics.recall(),
+        run.metrics.f1()
+    );
+    // per-error-class recall
+    let sys = rock_core::RockSystem::new(rock_core::RockConfig::default());
+    let out = sys.detect(&w, &task);
+    for (name, map) in [
+        ("corrupted", &w.truth.corrupted),
+        ("nulled", &w.truth.nulled),
+        ("stale", &w.truth.stale),
+    ] {
+        let scoped = task.scope.as_ref();
+        let in_scope = |c: &rock_data::CellRef| scoped.map(|s| s.contains(c)).unwrap_or(true);
+        let total = map.keys().filter(|c| in_scope(c)).count();
+        let hit = map
+            .keys()
+            .filter(|c| in_scope(c) && out.report.flagged_cells.contains(c))
+            .count();
+        println!("  {name}: {hit}/{total} recalled");
+    }
+    // false positives by (rel, attr)
+    let truth_cells = w.truth.error_cells();
+    let mut fp_by: std::collections::BTreeMap<String, usize> = Default::default();
+    for c in &out.report.flagged_cells {
+        let in_scope = task.scope.as_ref().map(|s| s.contains(c)).unwrap_or(true);
+        if in_scope && !truth_cells.contains(c) {
+            let rel = w.dirty.relation(c.rel).schema.name.clone();
+            let attr = w.dirty.relation(c.rel).schema.attr_name(c.attr).to_owned();
+            *fp_by.entry(format!("{rel}.{attr}")).or_default() += 1;
+        }
+    }
+    println!("  false positives by column: {fp_by:?}");
+    let m = detection_metrics(&out.report.flagged_cells, &w.truth, task.scope.as_ref());
+    println!("  recheck F1={:.3}", m.f1());
+    if let Some((rel, attr)) = task.polynomial_target {
+        if let Some(pipe) = rock_core::PolyPipeline::fit(&w.dirty, rel, attr, &w.trusted, 0.02) {
+            println!(
+                "  poly terms={:?} intercept={} resid={}",
+                pipe.expr.terms, pipe.expr.intercept, pipe.expr.mean_abs_residual
+            );
+            println!("  poly flags={}", pipe.detect(&w.dirty).len());
+        } else {
+            println!("  poly fit: None");
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn unused() {}
+
+// Extra mode: `debug_panel ec` — time the Logistics-EC chase pieces.
+

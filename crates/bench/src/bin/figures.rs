@@ -1,0 +1,122 @@
+//! The figure harness: regenerates every panel of the paper's Figure 4.
+//!
+//! ```text
+//! cargo run --release -p rock-bench --bin figures -- all
+//! cargo run --release -p rock-bench --bin figures -- f4a f4h
+//! ```
+//!
+//! Panels: f4a f4b f4c (RD time), f4d f4e f4f (ED F1), f4g (ED time),
+//! f4h (ED scaling), f4i (EC F1), f4j (Sales-EC per task), f4k (EC time),
+//! f4l (EC scaling). Output is printed and written to `results/`.
+
+use rock_bench::panels;
+use rock_bench::table::Table;
+use std::fs;
+use std::path::Path;
+
+/// The §6 "Summary" panel: the paper's headline claims recomputed from
+/// fresh runs (see EXPERIMENTS.md for the full record).
+fn summary() -> (Table, serde_json::Value) {
+    use rock_bench::runners;
+    use rock_core::Variant;
+    let mut table = Table::new(
+        "§6 Summary — paper claim vs measured",
+        &["claim", "paper", "measured"],
+    );
+    let w = panels::sales();
+    let task = w.tasks.last().unwrap().clone();
+    let rock = runners::rock_correct(&w, &task, Variant::Rock, 1).0;
+    let noml = runners::rock_correct(&w, &task, Variant::RockNoMl, 1).0;
+    let seq = runners::rock_correct(&w, &task, Variant::RockSeq, 1).0;
+    let noc = runners::rock_correct(&w, &task, Variant::RockNoC, 1).0;
+    table.row(vec![
+        "Sales EC F1 (Rock)".into(),
+        "~0.88–0.97".into(),
+        format!("{:.3}", rock.metrics.f1()),
+    ]);
+    table.row(vec![
+        "ML predicates lift (Rock vs RocknoML)".into(),
+        "+20.5% avg, up to +59.2%".into(),
+        format!("+{:.1}%", (rock.metrics.f1() - noml.metrics.f1()) * 100.0),
+    ]);
+    table.row(vec![
+        "Rockseq F1 == Rock F1".into(),
+        "equal".into(),
+        format!(
+            "{:.3} vs {:.3}",
+            seq.metrics.f1(),
+            rock.metrics.f1()
+        ),
+    ]);
+    table.row(vec![
+        "RocknoC (no interactions) trails Rock".into(),
+        "23.7% vs 88.5%".into(),
+        format!("{:.3} vs {:.3}", noc.metrics.f1(), rock.metrics.f1()),
+    ]);
+    table.row(vec![
+        "Rockseq slower than Rock".into(),
+        "32 vs 29 min".into(),
+        format!(
+            "{:.0}ms vs {:.0}ms",
+            seq.modeled_seconds * 1000.0,
+            rock.modeled_seconds * 1000.0
+        ),
+    ]);
+    let json = serde_json::json!({
+        "panel": "summary",
+        "rock_f1": rock.metrics.f1(),
+        "noml_f1": noml.metrics.f1(),
+        "seq_f1": seq.metrics.f1(),
+        "noc_f1": noc.metrics.f1(),
+    });
+    (table, json)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panels_requested: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ["f4a", "f4b", "f4c", "f4d", "f4e", "f4f", "f4g", "f4h", "f4i", "f4j", "f4k", "f4l", "summary"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    fs::create_dir_all("results").expect("create results/");
+
+    for p in &panels_requested {
+        let started = std::time::Instant::now();
+        let (table, json): (Table, serde_json::Value) = match p.as_str() {
+            "f4a" => panels::rd_time("Bank"),
+            "f4b" => panels::rd_time("Logistics"),
+            "f4c" => panels::rd_time("Sales"),
+            "f4d" => panels::ed_f1("Bank"),
+            "f4e" => panels::ed_f1("Logistics"),
+            "f4f" => panels::ed_f1("Sales"),
+            "f4g" => panels::ed_time(),
+            "f4h" => panels::ed_scaling(),
+            "f4i" => panels::ec_f1(),
+            "f4j" => panels::ec_per_task(),
+            "f4k" => panels::ec_time(),
+            "f4l" => panels::ec_scaling(),
+            "summary" => {
+                let (t, j) = summary();
+                (t, j)
+            }
+            other => {
+                eprintln!("unknown panel '{other}' — expected f4a..f4l, summary, or all");
+                std::process::exit(2);
+            }
+        };
+        let rendered = table.render();
+        println!("{rendered}");
+        println!("  [panel {p} regenerated in {:.1}s]\n", started.elapsed().as_secs_f64());
+        let txt_path = Path::new("results").join(format!("{p}.txt"));
+        fs::write(&txt_path, &rendered).expect("write panel text");
+        let json_path = Path::new("results").join(format!("{p}.json"));
+        fs::write(&json_path, serde_json::to_string_pretty(&json).unwrap())
+            .expect("write panel json");
+    }
+    println!("wrote {} panels to results/", panels_requested.len());
+}

@@ -1,0 +1,493 @@
+//! The Figure 4 panels (paper §6). Each function renders one panel as a
+//! [`crate::table::Table`] and returns it together with a machine-readable
+//! JSON value for `results/`.
+
+use crate::runners::{self, RunResult};
+use crate::table::{fmt_f1, fmt_secs, Table};
+use rock_baselines::sqlengine::SqlEngineKind;
+use rock_core::Variant;
+use rock_crystal::scheduler::makespan_lpt;
+use rock_data::CellRef;
+use rock_workloads::metrics::{correction_metrics, detection_metrics, er_pair_metrics, Metrics};
+use rock_workloads::workload::GenConfig;
+use rock_workloads::Workload;
+use rustc_hash::FxHashSet;
+use serde_json::json;
+
+/// Workload scales for the panels (laptop-size; shapes, not magnitudes).
+pub fn bank() -> Workload {
+    rock_workloads::bank::generate(&GenConfig { rows: 240, error_rate: 0.08, seed: 42, trusted_per_rel: 30 })
+}
+
+pub fn logistics() -> Workload {
+    rock_workloads::logistics::generate(&GenConfig { rows: 360, error_rate: 0.08, seed: 43, trusted_per_rel: 30 })
+}
+
+pub fn sales() -> Workload {
+    rock_workloads::sales::generate(&GenConfig { rows: 240, error_rate: 0.08, seed: 44, trusted_per_rel: 30 })
+}
+
+fn app(name: &str) -> Workload {
+    match name {
+        "Bank" => bank(),
+        "Logistics" => logistics(),
+        "Sales" => sales(),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Paper dataset sizes in tuples (§6): Bank 1.5B, Logistics 16M, Sales
+/// 0.62B.
+fn paper_tuples(app_name: &str) -> f64 {
+    match app_name {
+        "Bank" => 1.5e9,
+        "Logistics" => 16e6,
+        _ => 0.62e9,
+    }
+}
+
+/// Extrapolate a measured time to the paper's dataset size under a stated
+/// complexity exponent and hardware-parallelism divisor (the assumptions
+/// are recorded in EXPERIMENTS.md). Renders ">1 day" past the paper's cap.
+fn at_scale(measured: f64, ours: f64, paper: f64, exponent: f64, parallelism: f64) -> String {
+    let t = measured * (paper / ours).powf(exponent) / parallelism;
+    if t > 86_400.0 {
+        ">1 day".to_string()
+    } else {
+        fmt_secs(t)
+    }
+}
+
+/// Panels 4(a)/(b)/(c): rule-discovery time per task. Two numbers per
+/// system: measured at laptop scale, and modeled at the paper's dataset
+/// size — the paper's headline ("ES, T5s and RB cannot finish rule
+/// discovery or model training within one day") is a *scale* statement:
+/// ES's unsampled evidence pass is quadratic in N, while Rock mines on a
+/// 10% sample with parallel scalability.
+pub fn rd_time(app_name: &str) -> (Table, serde_json::Value) {
+    let w = app(app_name);
+    let n_ours = w.dirty.total_tuples() as f64;
+    let n_paper = paper_tuples(app_name);
+    let tasks: Vec<String> = w.tasks.iter().map(|t| t.name.clone()).collect();
+    let mut table = Table::new(
+        format!("Fig 4 RD time — {app_name} (measured | modeled @ {n_paper:.1e} tuples)"),
+        &["task", "Rock", "RocknoML", "ES", "T5s", "RB"],
+    );
+    let mut rows_json = Vec::new();
+    // Discovery/training is application-level (the paper re-runs per task;
+    // our curated tasks share the relations, so per-task numbers differ
+    // only via the task's relation subset — we report the app-level run on
+    // every task row, matching the paper's near-identical per-task bars).
+    let rock = runners::rock_discovery_time(&w, Variant::Rock);
+    let noml = runners::rock_discovery_time(&w, Variant::RockNoMl);
+    let (_, es) = runners::es_discovery(&w);
+    let (_, t5s) = runners::t5s_train(&w);
+    let (_, rb) = runners::rb_train(&w);
+    // exponents: Rock/RocknoML mine samples with index joins (~linear in
+    // N); ES materializes all-pairs evidence (quadratic); T5s/RB are
+    // linear with transformer / feature-engineering constants. Parallelism
+    // divisors: 672 = the paper's 21 nodes × 32 cores for the parallelly
+    // scalable systems, 100 ≈ a GPU pod for T5s, 10 ≈ one multicore node
+    // for RB.
+    let cell = |measured: f64, exp: f64, par: f64| -> String {
+        format!(
+            "{} | {}",
+            fmt_secs(measured),
+            at_scale(measured, n_ours, n_paper, exp, par)
+        )
+    };
+    for t in &tasks {
+        table.row(vec![
+            t.clone(),
+            cell(rock, 1.0, 672.0),
+            cell(noml, 1.0, 672.0),
+            cell(es, 2.0, 672.0),
+            cell(t5s, 1.0, 100.0),
+            cell(rb, 1.0, 10.0),
+        ]);
+        rows_json.push(json!({
+            "task": t, "Rock": rock, "RocknoML": noml, "ES": es, "T5s": t5s, "RB": rb,
+            "ours_tuples": n_ours, "paper_tuples": n_paper,
+        }));
+    }
+    (table, json!({ "panel": format!("rd-{app_name}"), "rows": rows_json }))
+}
+
+/// Panels 4(d)/(e)/(f): error-detection F1 per task.
+pub fn ed_f1(app_name: &str) -> (Table, serde_json::Value) {
+    let w = app(app_name);
+    let mut table = Table::new(
+        format!("Fig 4 ED F-measure — {app_name}"),
+        &["task", "Rock", "RocknoML", "ES", "T5s", "RB"],
+    );
+    let (es_rules, _) = runners::es_discovery(&w);
+    let (t5s, _) = runners::t5s_train(&w);
+    let (rbs, _) = runners::rb_train(&w);
+    let mut rows_json = Vec::new();
+    for task in &w.tasks {
+        let rock = runners::rock_detect(&w, task, Variant::Rock, 1);
+        let noml = runners::rock_detect(&w, task, Variant::RockNoMl, 1);
+        let es = runners::es_detect(&w, task, &es_rules);
+        let t5 = runners::t5s_detect(&w, task, &t5s);
+        let rb = runners::rb_detect(&w, task, &rbs);
+        table.row(vec![
+            task.name.clone(),
+            fmt_f1(rock.metrics.f1()),
+            fmt_f1(noml.metrics.f1()),
+            fmt_f1(es.metrics.f1()),
+            fmt_f1(t5.metrics.f1()),
+            fmt_f1(rb.metrics.f1()),
+        ]);
+        rows_json.push(json!({
+            "task": task.name,
+            "Rock": rock.metrics.f1(), "RocknoML": noml.metrics.f1(),
+            "ES": es.metrics.f1(), "T5s": t5.metrics.f1(), "RB": rb.metrics.f1(),
+        }));
+    }
+    (table, json!({ "panel": format!("ed-f1-{app_name}"), "rows": rows_json }))
+}
+
+/// Panel 4(g): error-detection time per application (whole-app task).
+pub fn ed_time() -> (Table, serde_json::Value) {
+    let mut table = Table::new(
+        "Fig 4(g) ED time (modeled seconds)",
+        &["app", "Rock", "RocknoML", "T5s", "SparkSQL", "Presto", "RB"],
+    );
+    let mut rows_json = Vec::new();
+    for name in ["Bank", "Logistics", "Sales"] {
+        let w = app(name);
+        let task = w.tasks.last().unwrap().clone(); // the *Clean task
+        let rock = runners::rock_detect(&w, &task, Variant::Rock, 1);
+        let noml = runners::rock_detect(&w, &task, Variant::RockNoMl, 1);
+        let (t5s_model, _) = runners::t5s_train(&w);
+        let t5 = runners::t5s_detect(&w, &task, &t5s_model);
+        let spark = runners::sql_detect(&w, &task, SqlEngineKind::SparkSql);
+        let presto = runners::sql_detect(&w, &task, SqlEngineKind::Presto);
+        let (rbs, _) = runners::rb_train(&w);
+        let rb = runners::rb_detect(&w, &task, &rbs);
+        table.row(vec![
+            name.into(),
+            fmt_secs(rock.modeled_seconds),
+            fmt_secs(noml.modeled_seconds),
+            fmt_secs(t5.modeled_seconds),
+            fmt_secs(spark.modeled_seconds),
+            fmt_secs(presto.modeled_seconds),
+            fmt_secs(rb.modeled_seconds),
+        ]);
+        rows_json.push(json!({
+            "app": name,
+            "Rock": rock.modeled_seconds, "RocknoML": noml.modeled_seconds,
+            "T5s": t5.modeled_seconds, "SparkSQL": spark.modeled_seconds,
+            "Presto": presto.modeled_seconds, "RB": rb.modeled_seconds,
+        }));
+    }
+    (table, json!({ "panel": "ed-time", "rows": rows_json }))
+}
+
+/// Larger Logistics instance for the scaling panels (more rows and finer
+/// work units so 20 modeled workers have work to balance).
+fn logistics_large() -> Workload {
+    rock_workloads::logistics::generate(&GenConfig {
+        rows: 900,
+        error_rate: 0.08,
+        seed: 45,
+        trusted_per_rel: 40,
+    })
+}
+
+/// Panel 4(h): Logistics-ED parallel scalability (modeled makespan).
+pub fn ed_scaling() -> (Table, serde_json::Value) {
+    let w = logistics_large();
+    let task = w.task("RClean").unwrap().clone();
+    // sample unit durations once on a single worker, then schedule
+    let run = runners::rock_detect_parts(&w, &task, Variant::Rock, 1, 64);
+    scaling_table("Fig 4(h) Logistics-ED scaling", "ed-scaling", &run)
+}
+
+/// Panel 4(l): Logistics-EC parallel scalability.
+pub fn ec_scaling() -> (Table, serde_json::Value) {
+    let w = logistics_large();
+    let task = w.task("RClean").unwrap().clone();
+    let (run, _) = runners::rock_correct_parts(&w, &task, Variant::Rock, 1, 64);
+    scaling_table("Fig 4(l) Logistics-EC scaling", "ec-scaling", &run)
+}
+
+fn scaling_table(title: &str, panel: &str, run: &RunResult) -> (Table, serde_json::Value) {
+    let mut table = Table::new(title, &["workers", "modeled time", "speedup vs 4"]);
+    // The serial residue — everything outside work-unit execution
+    // (activation, LSH/index building, proposal commits, result merging) —
+    // does not parallelize; it is measured as wall time minus the sum of
+    // unit durations. This is what bends the curve below linear, as in the
+    // paper's 3.36×/3.12× at 4→20 workers.
+    let parallel_work: f64 = run.unit_seconds.iter().sum();
+    let serial = (run.modeled_seconds - run.ml_cost_seconds - parallel_work).max(0.0);
+    // ML inference distributes evenly (blocking produces independent
+    // pair-inference work); rule-evaluation units go through LPT.
+    let time_at =
+        |n: usize| serial + makespan_lpt(&run.unit_seconds, n) + run.ml_cost_seconds / n as f64;
+    let base = time_at(4);
+    let mut rows_json = Vec::new();
+    for n in [4usize, 8, 12, 16, 20] {
+        let t = time_at(n);
+        let speedup = if t > 0.0 { base / t } else { 0.0 };
+        table.row(vec![n.to_string(), fmt_secs(t), format!("{speedup:.2}x")]);
+        rows_json.push(json!({ "workers": n, "seconds": t, "speedup_vs_4": speedup }));
+    }
+    (table, json!({ "panel": panel, "rows": rows_json }))
+}
+
+/// Panel 4(i): error-correction F1 per application.
+pub fn ec_f1() -> (Table, serde_json::Value) {
+    let mut table = Table::new(
+        "Fig 4(i) EC F-measure",
+        &["app", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB"],
+    );
+    let mut rows_json = Vec::new();
+    for name in ["Bank", "Logistics", "Sales"] {
+        let w = app(name);
+        let task = w.tasks.last().unwrap().clone();
+        let (rock, _) = runners::rock_correct(&w, &task, Variant::Rock, 1);
+        let (noml, _) = runners::rock_correct(&w, &task, Variant::RockNoMl, 1);
+        let (seq, _) = runners::rock_correct(&w, &task, Variant::RockSeq, 1);
+        let (noc, _) = runners::rock_correct(&w, &task, Variant::RockNoC, 1);
+        let (es_rules, _) = runners::es_discovery(&w);
+        let es = runners::es_correct_run(&w, &task, &es_rules);
+        let (t5s_model, _) = runners::t5s_train(&w);
+        let t5 = runners::t5s_correct(&w, &task, &t5s_model);
+        let (rbs, _) = runners::rb_train(&w);
+        let rb = runners::rb_correct(&w, &task, &rbs);
+        table.row(vec![
+            name.into(),
+            fmt_f1(rock.metrics.f1()),
+            fmt_f1(noml.metrics.f1()),
+            fmt_f1(seq.metrics.f1()),
+            fmt_f1(noc.metrics.f1()),
+            fmt_f1(es.metrics.f1()),
+            fmt_f1(t5.metrics.f1()),
+            fmt_f1(rb.metrics.f1()),
+        ]);
+        rows_json.push(json!({
+            "app": name,
+            "Rock": rock.metrics.f1(), "RocknoML": noml.metrics.f1(),
+            "Rockseq": seq.metrics.f1(), "RocknoC": noc.metrics.f1(),
+            "ES": es.metrics.f1(), "T5s": t5.metrics.f1(), "RB": rb.metrics.f1(),
+        }));
+    }
+    (table, json!({ "panel": "ec-f1", "rows": rows_json }))
+}
+
+/// Panel 4(k): error-correction time per application.
+pub fn ec_time() -> (Table, serde_json::Value) {
+    let mut table = Table::new(
+        "Fig 4(k) EC time (modeled seconds)",
+        &["app", "Rock", "RocknoML", "Rockseq", "RocknoC", "T5s", "RB", "SparkSQL", "Presto"],
+    );
+    let mut rows_json = Vec::new();
+    for name in ["Bank", "Logistics", "Sales"] {
+        let w = app(name);
+        let task = w.tasks.last().unwrap().clone();
+        let (rock, _) = runners::rock_correct(&w, &task, Variant::Rock, 1);
+        let (noml, _) = runners::rock_correct(&w, &task, Variant::RockNoMl, 1);
+        let (seq, _) = runners::rock_correct(&w, &task, Variant::RockSeq, 1);
+        let (noc, _) = runners::rock_correct(&w, &task, Variant::RockNoC, 1);
+        let (t5s_model, _) = runners::t5s_train(&w);
+        let t5 = runners::t5s_correct(&w, &task, &t5s_model);
+        let (rbs, _) = runners::rb_train(&w);
+        let rb = runners::rb_correct(&w, &task, &rbs);
+        let spark = runners::sql_correct(&w, &task, SqlEngineKind::SparkSql);
+        let presto = runners::sql_correct(&w, &task, SqlEngineKind::Presto);
+        table.row(vec![
+            name.into(),
+            fmt_secs(rock.modeled_seconds),
+            fmt_secs(noml.modeled_seconds),
+            fmt_secs(seq.modeled_seconds),
+            fmt_secs(noc.modeled_seconds),
+            fmt_secs(t5.modeled_seconds),
+            fmt_secs(rb.modeled_seconds),
+            fmt_secs(spark.modeled_seconds),
+            fmt_secs(presto.modeled_seconds),
+        ]);
+        rows_json.push(json!({
+            "app": name,
+            "Rock": rock.modeled_seconds, "RocknoML": noml.modeled_seconds,
+            "Rockseq": seq.modeled_seconds, "RocknoC": noc.modeled_seconds,
+            "T5s": t5.modeled_seconds, "RB": rb.modeled_seconds,
+            "SparkSQL": spark.modeled_seconds, "Presto": presto.modeled_seconds,
+        }));
+    }
+    (table, json!({ "panel": "ec-time", "rows": rows_json }))
+}
+
+/// Panel 4(j): Sales-EC F1 per task (ER / CR / MI / TD). The paper omits
+/// TD for ES and T5s and TD+ER for RB ("they do not support these
+/// operations"); those cells render as "-".
+pub fn ec_per_task() -> (Table, serde_json::Value) {
+    let w = sales();
+    let task = w.task("SClean").unwrap().clone();
+
+    // error-class scopes
+    let cr_scope: FxHashSet<CellRef> = w.truth.corrupted.keys().copied().collect();
+    let mi_scope: FxHashSet<CellRef> = w.truth.nulled.keys().copied().collect();
+    let td_scope: FxHashSet<CellRef> = {
+        // all cells of attributes that carry stale injections
+        let attrs: FxHashSet<(rock_data::RelId, rock_data::AttrId)> =
+            w.truth.stale.keys().map(|c| (c.rel, c.attr)).collect();
+        Workload::scope_of(&w.dirty, &attrs.into_iter().collect::<Vec<_>>())
+    };
+
+    struct PerTask {
+        er: Option<f64>,
+        cr: Option<f64>,
+        mi: Option<f64>,
+        td: Option<f64>,
+    }
+
+    let eval_repaired = |repaired: &rock_data::Database| -> (f64, f64) {
+        let cr = correction_metrics(&w.dirty, repaired, &w.clean, &w.truth, Some(&cr_scope)).f1();
+        let mi = correction_metrics(&w.dirty, repaired, &w.clean, &w.truth, Some(&mi_scope)).f1();
+        (cr, mi)
+    };
+
+    // TD score: detection of stale cells by TD rules only.
+    let td_f1 = |variant: Variant| -> f64 {
+        let td_rules = rock_core::variant::split_by_task(&rock_core::variant::effective_rules(
+            variant,
+            &w.rules_for(&task),
+        ))[3]
+        .clone();
+        if td_rules.is_empty() {
+            return 0.0;
+        }
+        let det = rock_detect::Detector::new(&td_rules, &w.registry);
+        let report = det.detect(&w.dirty);
+        let stale_truth = rock_workloads::inject::ErrorTruth {
+            stale: w.truth.stale.clone(),
+            ..Default::default()
+        };
+        detection_metrics(&report.flagged_cells, &stale_truth, Some(&td_scope)).f1()
+    };
+
+    let rock_like = |variant: Variant| -> PerTask {
+        let (_, repaired) = runners::rock_correct(&w, &task, variant, 1);
+        let (cr, mi) = eval_repaired(&repaired);
+        let pairs = if variant == Variant::Rock {
+            runners::rock_merged_pairs(&w, &task)
+        } else {
+            let rules = rock_core::variant::sorted_rules(&rock_core::variant::effective_rules(
+                variant,
+                &w.rules_for(&task),
+            ));
+            let engine = rock_chase::ChaseEngine::new(
+                &rules,
+                &w.registry,
+                rock_chase::ChaseConfig::default(),
+            );
+            engine.run(&w.dirty, &w.trusted).merged_pairs
+        };
+        let er = er_pair_metrics(&pairs, &w.truth.duplicate_pairs).f1();
+        PerTask { er: Some(er), cr: Some(cr), mi: Some(mi), td: Some(td_f1(variant)) }
+    };
+
+    let rock = rock_like(Variant::Rock);
+    let noml = rock_like(Variant::RockNoMl);
+    let seq = rock_like(Variant::RockSeq);
+    let noc = {
+        // RocknoC runs each class once without interaction — its repaired
+        // db comes from the single-pass schedule, and its ER pairs from a
+        // single-round run of the ER rule group alone.
+        let (_, repaired) = runners::rock_correct(&w, &task, Variant::RockNoC, 1);
+        let (cr, mi) = eval_repaired(&repaired);
+        let er_rules = rock_core::variant::split_by_task(&w.rules_for(&task))[0].clone();
+        let engine = rock_chase::ChaseEngine::new(
+            &er_rules,
+            &w.registry,
+            rock_chase::ChaseConfig { max_rounds: 1, ..rock_chase::ChaseConfig::default() },
+        );
+        let pairs = engine.run(&w.dirty, &w.trusted).merged_pairs;
+        PerTask {
+            er: Some(er_pair_metrics(&pairs, &w.truth.duplicate_pairs).f1()),
+            cr: Some(cr),
+            mi: Some(mi),
+            td: Some(td_f1(Variant::RockNoC)),
+        }
+    };
+
+    // baselines
+    let (es_rules, _) = runners::es_discovery(&w);
+    let es_repaired = rock_baselines::es::es_correct(&w.dirty, &es_rules, &w.registry);
+    let es_pairs: Vec<_> = {
+        let det = rock_detect::Detector::new(&es_rules, &w.registry);
+        det.detect(&w.dirty).duplicate_pairs
+    };
+    let es = {
+        let (cr, mi) = eval_repaired(&es_repaired);
+        PerTask {
+            er: Some(er_pair_metrics(&es_pairs, &w.truth.duplicate_pairs).f1()),
+            cr: Some(cr),
+            mi: Some(mi),
+            td: None,
+        }
+    };
+    let (t5s_model, _) = runners::t5s_train(&w);
+    let t5 = {
+        let (repaired, _) = t5s_model.correct(&w.dirty);
+        let (cr, mi) = eval_repaired(&repaired);
+        PerTask { er: None, cr: Some(cr), mi: Some(mi), td: None }
+    };
+    let (rbs, _) = runners::rb_train(&w);
+    let rb = {
+        let mut repaired = w.dirty.clone();
+        for r in &rbs {
+            repaired = r.correct(&repaired).0;
+        }
+        let (cr, mi) = eval_repaired(&repaired);
+        PerTask { er: None, cr: Some(cr), mi: Some(mi), td: None }
+    };
+
+    let fmt = |v: Option<f64>| v.map(fmt_f1).unwrap_or_else(|| "-".into());
+    let mut table = Table::new(
+        "Fig 4(j) Sales-EC per task",
+        &["task", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB"],
+    );
+    let systems: Vec<(&str, &PerTask)> = vec![
+        ("Rock", &rock),
+        ("RocknoML", &noml),
+        ("Rockseq", &seq),
+        ("RocknoC", &noc),
+        ("ES", &es),
+        ("T5s", &t5),
+        ("RB", &rb),
+    ];
+    let mut rows_json = Vec::new();
+    for (tname, pick) in [
+        ("ER", 0usize),
+        ("CR", 1),
+        ("MI", 2),
+        ("TD", 3),
+    ] {
+        let vals: Vec<Option<f64>> = systems
+            .iter()
+            .map(|(_, p)| match pick {
+                0 => p.er,
+                1 => p.cr,
+                2 => p.mi,
+                _ => p.td,
+            })
+            .collect();
+        let mut row = vec![tname.to_string()];
+        row.extend(vals.iter().map(|v| fmt(*v)));
+        table.row(row);
+        let obj: serde_json::Map<String, serde_json::Value> = systems
+            .iter()
+            .zip(&vals)
+            .map(|((n, _), v)| ((*n).to_string(), json!(v)))
+            .collect();
+        rows_json.push(json!({ "task": tname, "systems": obj }));
+    }
+    (table, json!({ "panel": "ec-per-task", "rows": rows_json }))
+}
+
+/// Metric convenience re-export for the summary.
+pub fn metrics_f1(m: &Metrics) -> f64 {
+    m.f1()
+}

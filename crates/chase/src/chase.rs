@@ -1,0 +1,1240 @@
+//! The round-based chase engine (paper §4.1 "Implementing the chase").
+//!
+//! Each round: (1) activated rules enumerate valuations whose precondition
+//! holds under the *resolved view* (the working database with all committed
+//! fixes materialized, validated temporal orders, and `[EID]=` classes);
+//! (2) valuations whose consequence is not yet satisfied emit *proposals*;
+//! (3) all proposals commit together with deterministic, learning-based
+//! conflict resolution. Round-atomic commits with deterministic resolution
+//! give the Church–Rosser property: the final `Chase(D, Σ, Γ)` does not
+//! depend on rule order (property-tested in the workspace `tests/`).
+//!
+//! Ground-truth gating: trusted tuples' raw cells are never overwritten
+//! (certain fixes respect Γ), and in [`GateMode::Strict`] a rule only fires
+//! when every precondition cell is trusted or already validated in `U` —
+//! the letter of §4.1's chase-step condition (1). The default
+//! [`GateMode::Resolved`] treats the current resolved view as validated,
+//! which is how the deployed system bootstraps beyond its 10k-tuple seed
+//! (DESIGN.md §3 discusses the interpretation).
+
+use crate::conflict::ConflictPolicy;
+use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
+use crate::order::OrderInsert;
+use rock_crystal::{Cluster, WorkUnit};
+use rock_crystal::work::{partition_range, Partition};
+use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Value};
+use rock_kg::Graph;
+use rock_ml::ModelRegistry;
+use rock_rees::eval::{
+    distinct_ok, enumerate_valuations_restricted, EntityOracle, EvalContext, Valuation,
+};
+use rock_rees::{Predicate, Rule, RuleSet};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// How strictly preconditions must be backed by ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Precondition cells must be trusted or validated in `U` (§4.1 chase
+    /// step condition (1), literally).
+    Strict,
+    /// The resolved view is treated as validated (bootstrap mode; default).
+    Resolved,
+}
+
+/// Chase configuration.
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Safety bound on rounds (the fix lattice is finite, but adversarial
+    /// rule sets can oscillate through conflict overrides).
+    pub max_rounds: usize,
+    /// Crystal workers evaluating rule × partition work units.
+    pub workers: usize,
+    /// Target partitions per rule for work-unit generation.
+    pub partitions_per_rule: u32,
+    pub policy: ConflictPolicy,
+    pub gate: GateMode,
+    /// Lazy REE++ activation (§4.1 Novelty (a)): re-evaluate only rules
+    /// whose precondition reads cells fixed in the previous round. `false`
+    /// re-activates every rule every round (the naive-re-scan ablation the
+    /// benches measure).
+    pub lazy_activation: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            max_rounds: 32,
+            workers: 1,
+            partitions_per_rule: 4,
+            policy: ConflictPolicy::default(),
+            gate: GateMode::Resolved,
+            lazy_activation: true,
+        }
+    }
+}
+
+/// A deduced fix proposal (one chase step's consequence).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proposal {
+    /// Validate `t[A] = value`.
+    SetCell { cell: CellRef, value: Value, rule: u32 },
+    /// Validate `a[A] = b[B]` without knowing which side is correct.
+    EquateCells { a: CellRef, b: CellRef, rule: u32 },
+    /// Validate `t.eid = s.eid`.
+    Merge { a: GlobalTid, b: GlobalTid, rule: u32 },
+    /// Validate `t.eid != s.eid`.
+    Distinct { a: GlobalTid, b: GlobalTid, rule: u32 },
+    /// Validate `t1 ⪯A t2` / `t1 ≺A t2`.
+    Order { rel: RelId, attr: AttrId, t1: TupleId, t2: TupleId, strict: bool, rule: u32 },
+}
+
+impl Proposal {
+    /// Canonical sort key for deterministic commit order.
+    fn key(&self) -> (u8, u64, u64, String) {
+        fn cell_key(c: &CellRef) -> u64 {
+            ((c.rel.0 as u64) << 48) | ((c.tid.0 as u64) << 16) | c.attr.0 as u64
+        }
+        fn tid_key(t: &GlobalTid) -> u64 {
+            ((t.rel.0 as u64) << 32) | t.tid.0 as u64
+        }
+        match self {
+            Proposal::Distinct { a, b, rule } => (0, tid_key(a), tid_key(b), rule.to_string()),
+            Proposal::Merge { a, b, rule } => (1, tid_key(a), tid_key(b), rule.to_string()),
+            Proposal::SetCell { cell, value, rule } => {
+                (2, cell_key(cell), 0, format!("{rule}/{value:?}"))
+            }
+            Proposal::EquateCells { a, b, rule } => (2, cell_key(a), cell_key(b), rule.to_string()),
+            Proposal::Order { rel, attr, t1, t2, strict, rule } => (
+                3,
+                ((rel.0 as u64) << 32) | attr.0 as u64,
+                ((t1.0 as u64) << 33) | ((t2.0 as u64) << 1) | u64::from(*strict),
+                rule.to_string(),
+            ),
+        }
+    }
+}
+
+/// Chase outcome.
+#[derive(Debug)]
+pub struct ChaseResult {
+    /// The corrected database (fixes materialized).
+    pub db: Database,
+    /// The final fix store `U`.
+    pub fixes: FixStore,
+    pub rounds: usize,
+    /// Cell changes materialized: (cell, old value, new value).
+    pub changes: Vec<(CellRef, Value, Value)>,
+    /// Entity merges committed: pairs of tuples identified.
+    pub merged_pairs: Vec<(GlobalTid, GlobalTid)>,
+    /// Conflicts encountered (CR value conflicts + TD order conflicts + ER
+    /// merge-vs-distinct conflicts).
+    pub conflicts: usize,
+    /// Total proposals applied (chase steps that extended `U`).
+    pub steps: usize,
+    /// Modeled per-round scheduler makespans (scaling experiments read the
+    /// sum; see `rock_crystal::SchedulerStats::modeled_makespan`).
+    pub round_makespans: Vec<Vec<f64>>,
+}
+
+impl ChaseResult {
+    /// Modeled parallel runtime over `workers` nodes (sum over rounds of
+    /// LPT makespans of per-unit durations).
+    pub fn modeled_parallel_seconds(&self, workers: usize) -> f64 {
+        self.round_makespans
+            .iter()
+            .map(|durs| rock_crystal::scheduler::makespan_lpt(durs, workers))
+            .sum()
+    }
+}
+
+struct EntityIdx {
+    members: FxHashMap<EntityKey, Vec<GlobalTid>>,
+}
+
+impl EntityIdx {
+    fn build(db: &Database) -> Self {
+        let mut members: FxHashMap<EntityKey, Vec<GlobalTid>> = FxHashMap::default();
+        for (rid, rel) in db.iter() {
+            for t in rel.iter() {
+                members
+                    .entry(EntityKey::new(rid, t.eid))
+                    .or_default()
+                    .push(GlobalTid::new(rid, t.tid));
+            }
+        }
+        EntityIdx { members }
+    }
+
+    /// One O(E) pass grouping every member by its current class root —
+    /// the commit phase does thousands of membership lookups per round,
+    /// and per-lookup scans ([`Self::members_of`]) are quadratic.
+    fn grouped(&self, fixes: &FixStore) -> FxHashMap<EntityKey, Vec<GlobalTid>> {
+        let mut out: FxHashMap<EntityKey, Vec<GlobalTid>> = FxHashMap::default();
+        for (k, v) in &self.members {
+            out.entry(fixes.find_ref(*k)).or_default().extend_from_slice(v);
+        }
+        for v in out.values_mut() {
+            v.sort();
+        }
+        out
+    }
+}
+
+struct FixEntityOracle<'a> {
+    fixes: &'a FixStore,
+}
+
+impl EntityOracle for FixEntityOracle<'_> {
+    fn same(&self, a: (RelId, rock_data::Eid), b: (RelId, rock_data::Eid)) -> bool {
+        self.fixes
+            .same_entity(EntityKey::new(a.0, a.1), EntityKey::new(b.0, b.1))
+    }
+}
+
+/// The chase engine. Borrows the rule set, model registry and optional
+/// knowledge graph; owns nothing but configuration.
+pub struct ChaseEngine<'a> {
+    pub rules: &'a RuleSet,
+    pub registry: &'a ModelRegistry,
+    pub graph: Option<&'a Graph>,
+    pub config: ChaseConfig,
+}
+
+impl<'a> ChaseEngine<'a> {
+    pub fn new(rules: &'a RuleSet, registry: &'a ModelRegistry, config: ChaseConfig) -> Self {
+        ChaseEngine { rules, registry, graph: None, config }
+    }
+
+    pub fn with_graph(mut self, g: &'a Graph) -> Self {
+        self.graph = Some(g);
+        self
+    }
+
+    /// Batch chase: `Chase(D, Σ, Γ)` with `trusted` seeding Γ=.
+    pub fn run(&self, db: &Database, trusted: &[GlobalTid]) -> ChaseResult {
+        self.run_inner(db.clone(), trusted, None, FixStore::new())
+    }
+
+    /// Batch chase continuing from an existing fix store — the Rockseq /
+    /// RocknoC schedules run the ER/CR/MI/TD groups one at a time and must
+    /// carry `[EID]=` classes and validated orders across the group runs.
+    pub fn run_seeded(&self, db: &Database, trusted: &[GlobalTid], fixes: FixStore) -> ChaseResult {
+        self.run_inner(db.clone(), trusted, None, fixes)
+    }
+
+    /// Incremental chase: apply ΔD, then chase activating only rules that
+    /// read the touched relations (paper §4.1 workflow, incremental mode).
+    pub fn run_incremental(
+        &self,
+        db: &Database,
+        trusted: &[GlobalTid],
+        delta: &Delta,
+    ) -> ChaseResult {
+        let mut work = db.clone();
+        work.apply(delta);
+        let touched: FxHashSet<RelId> = delta.touched_relations().into_iter().collect();
+        self.run_inner(work, trusted, Some(touched), FixStore::new())
+    }
+
+    fn rule_reads(&self, rule: &Rule) -> FxHashSet<(RelId, AttrId)> {
+        let mut reads = FxHashSet::default();
+        for p in &rule.precondition {
+            for v in p.tuple_vars() {
+                let rel = rule.rel_of(v);
+                for a in p.reads_of(v) {
+                    reads.insert((rel, a));
+                }
+            }
+        }
+        reads
+    }
+
+    fn run_inner(
+        &self,
+        mut work_db: Database,
+        trusted: &[GlobalTid],
+        delta_rels: Option<FxHashSet<RelId>>,
+        mut fixes: FixStore,
+    ) -> ChaseResult {
+        for t in trusted {
+            fixes.trust_tuple(*t);
+        }
+        // Γ⪯ is initialized "with the temporal orders in D with initial
+        // timestamps" (§4.1). Materializing that order is quadratic in the
+        // timestamped cells, so it stays *lazy*: the chase's temporal
+        // oracle ([`ChaseOrderOracle`]) answers `t1 ⪯A t2` from the
+        // explicit validated pairs OR from the timestamps directly.
+        // In Strict mode, Γ= additionally validates every trusted cell.
+        if self.config.gate == GateMode::Strict {
+            for t in trusted {
+                let rel = work_db.relation(t.rel);
+                if let Some(tu) = rel.get(t.tid) {
+                    for (i, v) in tu.values.iter().enumerate() {
+                        if !v.is_null() {
+                            fixes.set_value(
+                                EntityKey::new(t.rel, tu.eid),
+                                t.rel,
+                                AttrId(i as u16),
+                                v.clone(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let entity_idx = EntityIdx::build(&work_db);
+        let reads: Vec<FxHashSet<(RelId, AttrId)>> =
+            self.rules.rules.iter().map(|r| self.rule_reads(r)).collect();
+
+        // initial activation
+        let mut active: FxHashSet<usize> = match &delta_rels {
+            None => (0..self.rules.len()).collect(),
+            Some(rels) => (0..self.rules.len())
+                .filter(|&i| {
+                    self.rules.rules[i]
+                        .tuple_vars
+                        .iter()
+                        .any(|(_, r)| rels.contains(r))
+                })
+                .collect(),
+        };
+
+        let cluster = Cluster::new(self.config.workers);
+        let mut changes: Vec<(CellRef, Value, Value)> = Vec::new();
+        let mut merged_pairs: Vec<(GlobalTid, GlobalTid)> = Vec::new();
+        let mut conflicts = 0usize;
+        let mut steps = 0usize;
+        let mut rounds = 0usize;
+        let mut round_makespans: Vec<Vec<f64>> = Vec::new();
+
+        while rounds < self.config.max_rounds && !active.is_empty() {
+            rounds += 1;
+            // ---- evaluation phase ----
+            let proposals = {
+                let oracle = ChaseOrderOracle { fixes: &fixes, db: &work_db };
+                let entity_oracle = FixEntityOracle { fixes: &fixes };
+                let mut ctx = EvalContext::new(&work_db, self.registry)
+                    .with_temporal(&oracle)
+                    .with_entities(&entity_oracle);
+                if let Some(g) = self.graph {
+                    ctx = ctx.with_graph(g);
+                }
+                // build work units: rule × var0 partitions
+                let mut units = Vec::new();
+                let mut sorted_active: Vec<usize> = active.iter().copied().collect();
+                sorted_active.sort_unstable();
+                for &ri in &sorted_active {
+                    let rule = &self.rules.rules[ri];
+                    let rel0 = rule.rel_of(0);
+                    let rows = work_db.relation(rel0).capacity() as u32;
+                    for p in partition_range(rel0.0, rows, self.config.partitions_per_rule) {
+                        units.push(WorkUnit::new(ri as u32, vec![p]));
+                    }
+                    if rows == 0 {
+                        units.push(WorkUnit::new(ri as u32, vec![Partition::new(rel0.0, 0, 0)]));
+                    }
+                }
+                let gate = self.config.gate;
+                let fixes_ref = &fixes;
+                let rules = self.rules;
+                let (proposal_lists, stats) = cluster.execute(units, |unit| {
+                    let ri = unit.rule as usize;
+                    let rule = &rules.rules[ri];
+                    let range = unit.partitions[0].start..unit.partitions[0].end;
+                    let mut out: Vec<Proposal> = Vec::new();
+                    enumerate_valuations_restricted(rule, &ctx, Some((0, range)), |h| {
+                        if !distinct_ok(rule, h) {
+                            return true;
+                        }
+                        if gate == GateMode::Strict
+                            && !precondition_validated(rule, h, &ctx, fixes_ref)
+                        {
+                            return true;
+                        }
+                        if ctx.eval_predicate(rule, h, &rule.consequence) == Some(true) {
+                            // Already satisfied. In Strict mode the fix is
+                            // still recorded in U — satisfied consequences
+                            // are validated facts, and accumulation of
+                            // ground truth (§4.1) depends on them.
+                            if gate == GateMode::Strict {
+                                if let Some(p) = propose(rule, ri as u32, h, &ctx) {
+                                    out.push(p);
+                                }
+                            }
+                            return true;
+                        }
+                        if let Some(p) = propose(rule, ri as u32, h, &ctx) {
+                            out.push(p);
+                        }
+                        true
+                    });
+                    out
+                });
+                round_makespans.push(stats.unit_seconds.clone());
+                let mut all: Vec<Proposal> = proposal_lists.into_iter().flatten().collect();
+                all.sort_by_key(|p| p.key());
+                all.dedup();
+                all
+            };
+
+            if proposals.is_empty() {
+                break;
+            }
+
+            // ---- commit phase ----
+            let mut changed_cells: FxHashSet<(RelId, AttrId)> = FxHashSet::default();
+            let mut any_merge = false;
+            let mut groups_by_root = entity_idx.grouped(&fixes);
+
+            // Phase A: distinctness
+            for p in &proposals {
+                if let Proposal::Distinct { a, b, .. } = p {
+                    let (ka, kb) = (entity_key(&work_db, *a), entity_key(&work_db, *b));
+                    if let (Some(ka), Some(kb)) = (ka, kb) {
+                        if !fixes.set_distinct(ka, kb) {
+                            conflicts += 1; // already merged: ER conflict
+                        } else {
+                            steps += 1;
+                        }
+                    }
+                }
+            }
+
+            // Phase B: merges
+            for p in &proposals {
+                if let Proposal::Merge { a, b, .. } = p {
+                    let (Some(ka), Some(kb)) =
+                        (entity_key(&work_db, *a), entity_key(&work_db, *b))
+                    else {
+                        continue;
+                    };
+                    match fixes.merge(ka, kb) {
+                        MergeOutcome::Merged { conflicts: vcs } => {
+                            steps += 1;
+                            any_merge = true;
+                            merged_pairs.push((*a, *b));
+                            // membership changed: refresh the grouped view
+                            groups_by_root = entity_idx.grouped(&fixes);
+                            for (rel, attr, v1, v2) in vcs {
+                                conflicts += 1;
+                                self.resolve_and_commit(
+                                    &mut fixes,
+                                    &mut work_db,
+                                    &groups_by_root,
+                                    ka,
+                                    rel,
+                                    attr,
+                                    &[v1, v2],
+                                    &mut changes,
+                                    &mut changed_cells,
+                                );
+                            }
+                            // propagate the merged class's validated values
+                            self.materialize_class(
+                                &mut fixes,
+                                &mut work_db,
+                                &groups_by_root,
+                                ka,
+                                &mut changes,
+                                &mut changed_cells,
+                            );
+                        }
+                        MergeOutcome::Known => {}
+                        MergeOutcome::Distinct => conflicts += 1,
+                    }
+                }
+            }
+
+            // Phase C: value fixes. Cells connected by EquateCells form
+            // *clusters* (union–find over CellRef): the FD-repair semantics
+            // equate all connected cells, then one resolution picks the
+            // cluster's value (majority over the cluster's raw cells, Mc,
+            // ground truth — see ConflictPolicy). SetCell proposals pin an
+            // explicit candidate onto the cell's cluster.
+            let mut cluster = CellClusters::default();
+            for p in &proposals {
+                match p {
+                    Proposal::SetCell { cell, value, .. } => {
+                        cluster.propose(*cell, value.clone());
+                    }
+                    Proposal::EquateCells { a, b, .. } => cluster.union(*a, *b),
+                    _ => {}
+                }
+            }
+            for (members, mut cands) in cluster.into_groups() {
+                // candidates: proposed constants + current non-null member
+                // values + any already-validated value of a member entity.
+                // A *single-cell* cluster (a rule-asserted value with no
+                // equate group: extraction, prediction, constant) does NOT
+                // take its own current value as a candidate — the rule
+                // asserts what the cell should be and the current value is
+                // the suspect (trusted cells stay protected below).
+                let equate_group = members.len() > 1;
+                let mut raw_votes: Vec<Value> = Vec::new();
+                let mut trusted_val: Option<Value> = None;
+                let mut evidence: Vec<Value> = Vec::new();
+                for cell in &members {
+                    if let Some(v) = work_db.cell(cell.rel, cell.tid, cell.attr) {
+                        if !v.is_null() {
+                            raw_votes.push(v.clone());
+                            if equate_group {
+                                cands.push(v.clone());
+                            }
+                            if trusted_val.is_none() && fixes.is_trusted(cell.tuple()) {
+                                trusted_val = Some(v.clone());
+                            }
+                        }
+                    }
+                    if let Some(k) = entity_key(&work_db, cell.tuple()) {
+                        if let Some(v) = fixes.validated_value(k, cell.rel, cell.attr) {
+                            cands.push(v.clone());
+                            // Strict mode: validated facts ARE ground truth
+                            // (certain fixes may not contradict them).
+                            if self.config.gate == GateMode::Strict && trusted_val.is_none() {
+                                trusted_val = Some(v.clone());
+                            }
+                        }
+                    }
+                    if evidence.is_empty() {
+                        if let Some(t) = work_db.relation(cell.rel).get(cell.tid) {
+                            let mut ev = t.values.clone();
+                            ev[cell.attr.index()] = Value::Null;
+                            evidence = ev;
+                        }
+                    }
+                }
+                let distinct: FxHashSet<&Value> =
+                    cands.iter().filter(|v| !v.is_null()).collect();
+                if distinct.len() > 1 {
+                    conflicts += 1;
+                }
+                // single-cell clusters carry no majority signal — the
+                // only raw vote would be the suspect cell itself
+                let votes: &[Value] = if equate_group { &raw_votes } else { &[] };
+                let Some((winner, _)) = self.config.policy.resolve_value(
+                    self.registry,
+                    trusted_val.as_ref(),
+                    &evidence,
+                    &cands,
+                    votes,
+                ) else {
+                    continue;
+                };
+                steps += 1;
+                // validate on every member's entity and materialize onto
+                // every member tuple of that entity.
+                let mut roots_done: FxHashSet<(EntityKey, RelId, AttrId)> = FxHashSet::default();
+                for cell in &members {
+                    let Some(k) = entity_key(&work_db, cell.tuple()) else { continue };
+                    let root = fixes.find(k);
+                    if !roots_done.insert((root, cell.rel, cell.attr)) {
+                        continue;
+                    }
+                    fixes.override_value(root, cell.rel, cell.attr, winner.clone());
+                    for m in groups_by_root.get(&root).cloned().unwrap_or_default() {
+                        if m.rel != cell.rel {
+                            continue;
+                        }
+                        let old = work_db
+                            .cell(m.rel, m.tid, cell.attr)
+                            .cloned()
+                            .unwrap_or(Value::Null);
+                        // ground truth protects non-null trusted cells;
+                        // filling a trusted tuple's null is fine.
+                        if fixes.is_trusted(m) && !old.is_null() {
+                            continue;
+                        }
+                        if old != winner {
+                            work_db
+                                .relation_mut(m.rel)
+                                .set_cell(m.tid, cell.attr, winner.clone());
+                            changes.push((
+                                CellRef::new(m.rel, m.tid, cell.attr),
+                                old,
+                                winner.clone(),
+                            ));
+                            changed_cells.insert((cell.rel, cell.attr));
+                        }
+                    }
+                }
+            }
+
+            // Phase D: temporal orders
+            for p in &proposals {
+                if let Proposal::Order { rel, attr, t1, t2, strict, .. } = p {
+                    match fixes.add_order(*rel, *attr, *t1, *t2, *strict) {
+                        OrderInsert::Added => {
+                            steps += 1;
+                            changed_cells.insert((*rel, *attr));
+                        }
+                        OrderInsert::Known => {}
+                        OrderInsert::Conflict => {
+                            conflicts += 1;
+                            // TD conflict resolution (§4.2(2)): Mrank
+                            // confidences decide; the validated direction is
+                            // retained when it wins, otherwise the new pair
+                            // is dropped (the store cannot retract derived
+                            // closure edges, so a losing existing *direct*
+                            // edge simply stays — deterministic either way).
+                            let f1 = tuple_features(&work_db, *rel, *t1);
+                            let f2 = tuple_features(&work_db, *rel, *t2);
+                            let (_keep_new, _) =
+                                self.config.policy.resolve_order(self.registry, &f1, &f2);
+                        }
+                    }
+                }
+            }
+
+            // ---- next activation ----
+            active.clear();
+            if !self.config.lazy_activation {
+                // naive re-scan ablation: everything stays active as long
+                // as anything changed
+                if !changed_cells.is_empty() || any_merge {
+                    active.extend(0..self.rules.len());
+                }
+                continue;
+            }
+            if any_merge {
+                // merges may enable any rule with multi-variable predicates
+                active.extend(0..self.rules.len());
+            } else {
+                for (ri, rs) in reads.iter().enumerate() {
+                    if rs.iter().any(|ra| changed_cells.contains(ra)) {
+                        active.insert(ri);
+                    }
+                }
+            }
+            if changed_cells.is_empty() && !any_merge {
+                break;
+            }
+        }
+
+        // Materialize the ER outcome into the repaired database: within
+        // each validated entity class, all member tuples of a relation get
+        // the class's smallest eid in that relation (the repaired data then
+        // *carries* the deduplication, and re-chasing it is a no-op for
+        // same-relation ER rules).
+        for members in entity_idx.grouped(&fixes).values() {
+            let mut min_per_rel: FxHashMap<RelId, rock_data::Eid> = FxHashMap::default();
+            for m in members {
+                if let Some(t) = work_db.relation(m.rel).get(m.tid) {
+                    min_per_rel
+                        .entry(m.rel)
+                        .and_modify(|e| *e = (*e).min(t.eid))
+                        .or_insert(t.eid);
+                }
+            }
+            for m in members {
+                let target = min_per_rel[&m.rel];
+                if let Some(t) = work_db.relation_mut(m.rel).get_mut(m.tid) {
+                    t.eid = target;
+                }
+            }
+        }
+
+        ChaseResult {
+            db: work_db,
+            fixes,
+            rounds,
+            changes,
+            merged_pairs,
+            conflicts,
+            steps,
+            round_makespans,
+        }
+    }
+
+    /// Resolve a multi-candidate value for one entity attribute and commit
+    /// the winner to the fix store and the working database.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_and_commit(
+        &self,
+        fixes: &mut FixStore,
+        work_db: &mut Database,
+        groups_by_root: &FxHashMap<EntityKey, Vec<GlobalTid>>,
+        key: EntityKey,
+        rel: RelId,
+        attr: AttrId,
+        candidates: &[Value],
+        changes: &mut Vec<(CellRef, Value, Value)>,
+        changed_cells: &mut FxHashSet<(RelId, AttrId)>,
+    ) {
+        let root = fixes.find(key);
+        let members = groups_by_root.get(&root).cloned().unwrap_or_default();
+        // trusted value: a trusted member tuple's raw cell, if non-null
+        let mut trusted_val: Option<Value> = None;
+        let mut raw_votes: Vec<Value> = Vec::new();
+        let mut evidence: Vec<Value> = Vec::new();
+        for m in &members {
+            if m.rel != rel {
+                continue;
+            }
+            if let Some(t) = work_db.relation(m.rel).get(m.tid) {
+                let v = t.get(attr);
+                if !v.is_null() {
+                    raw_votes.push(v.clone());
+                    if fixes.is_trusted(*m) && trusted_val.is_none() {
+                        trusted_val = Some(v.clone());
+                    }
+                }
+                if evidence.is_empty() {
+                    let mut ev = t.values.clone();
+                    ev[attr.index()] = Value::Null;
+                    evidence = ev;
+                }
+            }
+        }
+        let Some((winner, _)) = self.config.policy.resolve_value(
+            self.registry,
+            trusted_val.as_ref(),
+            &evidence,
+            candidates,
+            &raw_votes,
+        ) else {
+            return;
+        };
+        fixes.override_value(key, rel, attr, winner.clone());
+        // materialize onto all member tuples of this relation
+        for m in members {
+            if m.rel != rel {
+                continue;
+            }
+            let old = work_db.cell(m.rel, m.tid, attr).cloned().unwrap_or(Value::Null);
+            if fixes.is_trusted(m) && !old.is_null() {
+                continue;
+            }
+            if old != winner {
+                work_db.relation_mut(m.rel).set_cell(m.tid, attr, winner.clone());
+                changes.push((CellRef::new(m.rel, m.tid, attr), old, winner.clone()));
+                changed_cells.insert((rel, attr));
+            }
+        }
+    }
+
+    /// After a merge, propagate every validated value of the class onto all
+    /// member tuples.
+    fn materialize_class(
+        &self,
+        fixes: &mut FixStore,
+        work_db: &mut Database,
+        groups_by_root: &FxHashMap<EntityKey, Vec<GlobalTid>>,
+        key: EntityKey,
+        changes: &mut Vec<(CellRef, Value, Value)>,
+        changed_cells: &mut FxHashSet<(RelId, AttrId)>,
+    ) {
+        let root = fixes.find(key);
+        let members = groups_by_root.get(&root).cloned().unwrap_or_default();
+        // snapshot the validated values of this class
+        let mut vals: Vec<(RelId, AttrId, Value)> = Vec::new();
+        for m in &members {
+            let rel = work_db.relation(m.rel);
+            for a in 0..rel.schema.arity() {
+                let attr = AttrId(a as u16);
+                if let Some(v) = fixes.validated_value(root, m.rel, attr) {
+                    vals.push((m.rel, attr, v.clone()));
+                }
+            }
+        }
+        vals.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| a.2.cmp(&b.2)));
+        vals.dedup();
+        for (rel, attr, v) in vals {
+            for m in &members {
+                if m.rel != rel {
+                    continue;
+                }
+                let old = work_db.cell(m.rel, m.tid, attr).cloned().unwrap_or(Value::Null);
+                if fixes.is_trusted(*m) && !old.is_null() {
+                    continue;
+                }
+                if old != v {
+                    work_db.relation_mut(m.rel).set_cell(m.tid, attr, v.clone());
+                    changes.push((CellRef::new(m.rel, m.tid, attr), old, v.clone()));
+                    changed_cells.insert((rel, attr));
+                }
+            }
+        }
+    }
+}
+
+/// A Phase C cluster: its member cells and the rule-proposed candidates.
+type CellGroup = (Vec<CellRef>, Vec<Value>);
+
+/// Union–find over cells for Phase C value clustering, with proposed
+/// constants attached to each cluster.
+#[derive(Default)]
+struct CellClusters {
+    parent: FxHashMap<CellRef, CellRef>,
+    proposed: FxHashMap<CellRef, Vec<Value>>,
+}
+
+impl CellClusters {
+    fn find(&mut self, c: CellRef) -> CellRef {
+        let mut root = c;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = c;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == root || p == cur {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        self.parent.entry(root).or_insert(root);
+        root
+    }
+
+    fn union(&mut self, a: CellRef, b: CellRef) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // deterministic: smaller root wins
+            let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(drop, keep);
+        }
+    }
+
+    fn propose(&mut self, c: CellRef, v: Value) {
+        self.find(c);
+        self.proposed.entry(c).or_default().push(v);
+    }
+
+    /// Consume into `(member cells, proposed candidates)` groups, sorted
+    /// deterministically by root cell.
+    fn into_groups(mut self) -> Vec<CellGroup> {
+        let cells: Vec<CellRef> = self.parent.keys().copied().collect();
+        let mut groups: FxHashMap<CellRef, CellGroup> = FxHashMap::default();
+        for c in cells {
+            let root = self.find(c);
+            groups.entry(root).or_default().0.push(c);
+        }
+        let proposed = std::mem::take(&mut self.proposed);
+        for (c, vs) in proposed {
+            let root = self.find(c);
+            groups.entry(root).or_default().1.extend(vs);
+        }
+        let mut out: Vec<(CellRef, CellGroup)> = groups.into_iter().collect();
+        out.sort_by_key(|(root, _)| *root);
+        out.into_iter()
+            .map(|(_, (mut members, mut cands))| {
+                members.sort();
+                members.dedup();
+                cands.sort();
+                cands.dedup();
+                (members, cands)
+            })
+            .collect()
+    }
+}
+
+fn entity_key(db: &Database, t: GlobalTid) -> Option<EntityKey> {
+    db.relation(t.rel).get(t.tid).map(|tu| EntityKey::new(t.rel, tu.eid))
+}
+
+fn tuple_features(db: &Database, rel: RelId, tid: TupleId) -> Vec<Value> {
+    db.relation(rel)
+        .get(tid)
+        .map(|t| t.values.clone())
+        .unwrap_or_default()
+}
+
+/// Strict-gate check: every precondition cell read by the rule must belong
+/// to a trusted tuple or be validated in `U`.
+fn precondition_validated(
+    rule: &Rule,
+    h: &Valuation,
+    ctx: &EvalContext<'_>,
+    fixes: &FixStore,
+) -> bool {
+    for p in &rule.precondition {
+        // `null(t.A)` is the MI trigger: a null cell has no value to
+        // validate — exempt (the rest of the precondition still gates).
+        if matches!(p, Predicate::IsNull { .. }) {
+            continue;
+        }
+        for v in p.tuple_vars() {
+            let gt = h.tuples[v];
+            if fixes.is_trusted(gt) {
+                continue;
+            }
+            let Some(tu) = ctx.db.relation(gt.rel).get(gt.tid) else {
+                return false;
+            };
+            let key = EntityKey::new(gt.rel, tu.eid);
+            for a in p.reads_of(v) {
+                if fixes.validated_value(key, gt.rel, a).is_none() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Turn a satisfied-precondition, unsatisfied-consequence valuation into a
+/// fix proposal. Returns `None` for consequences that cannot generate fixes
+/// (inequality comparisons, bare ML assertions) — those are detection-only.
+fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option<Proposal> {
+    use rock_rees::CmpOp;
+    match &rule.consequence {
+        Predicate::Const { var, attr, op: CmpOp::Eq, value } => {
+            let gt = h.tuples[*var];
+            Some(Proposal::SetCell {
+                cell: CellRef::new(gt.rel, gt.tid, *attr),
+                value: value.clone(),
+                rule: ri,
+            })
+        }
+        Predicate::Attr { lvar, lattr, op: CmpOp::Eq, rvar, rattr } => {
+            let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
+            Some(Proposal::EquateCells {
+                a: CellRef::new(l.rel, l.tid, *lattr),
+                b: CellRef::new(r.rel, r.tid, *rattr),
+                rule: ri,
+            })
+        }
+        Predicate::EidCmp { lvar, rvar, eq } => {
+            let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
+            if *eq {
+                Some(Proposal::Merge { a: l, b: r, rule: ri })
+            } else {
+                Some(Proposal::Distinct { a: l, b: r, rule: ri })
+            }
+        }
+        Predicate::Temporal { lvar, rvar, attr, strict } => {
+            let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
+            Some(Proposal::Order {
+                rel: l.rel,
+                attr: *attr,
+                t1: l.tid,
+                t2: r.tid,
+                strict: *strict,
+                rule: ri,
+            })
+        }
+        Predicate::ValExtract { tvar, attr, xvar, path } => {
+            let x = h.vertices[*xvar]?;
+            let value = path.val(ctx.graph?, x)?;
+            let gt = h.tuples[*tvar];
+            Some(Proposal::SetCell {
+                cell: CellRef::new(gt.rel, gt.tid, *attr),
+                value,
+                rule: ri,
+            })
+        }
+        Predicate::Predict { model, var, evidence, target } => {
+            let gt = h.tuples[*var];
+            let t = ctx.db.relation(gt.rel).get(gt.tid)?;
+            let ev = t.project(evidence);
+            let value = ctx.models.predict_value(model.resolved(), &ev)?;
+            Some(Proposal::SetCell {
+                cell: CellRef::new(gt.rel, gt.tid, *target),
+                value,
+                rule: ri,
+            })
+        }
+        // Inequalities and bare ML consequences assert properties but
+        // cannot be turned into a single certain fix.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, DatabaseSchema, Eid, RelationSchema};
+    use rock_rees::parse_rules;
+
+    fn trans_schema() -> DatabaseSchema {
+        DatabaseSchema::new(vec![RelationSchema::of(
+            "Trans",
+            &[
+                ("pid", AttrType::Str),
+                ("com", AttrType::Str),
+                ("mfg", AttrType::Str),
+                ("price", AttrType::Float),
+            ],
+        )])
+    }
+
+    fn trans_db() -> Database {
+        let mut db = Database::new(&trans_schema());
+        let r = db.relation_mut(RelId(0));
+        r.insert(Eid(0), vec![Value::str("p1"), Value::str("IPhone 14"), Value::str("Apple"), Value::Float(6500.0)]);
+        r.insert(Eid(1), vec![Value::str("p2"), Value::str("IPhone 14"), Value::str("Appel"), Value::Float(6500.0)]);
+        r.insert(Eid(2), vec![Value::str("p3"), Value::str("IPhone 14"), Value::str("Apple"), Value::Null]);
+        db
+    }
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new()
+    }
+
+    #[test]
+    fn cr_fix_majority() {
+        // φ2: same com → same mfg; majority (Apple ×2 vs Appel ×1) wins.
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let db = trans_db();
+        let res = engine.run(&db, &[]);
+        for tid in [0u32, 1, 2] {
+            assert_eq!(
+                res.db.cell(RelId(0), TupleId(tid), AttrId(2)),
+                Some(&Value::str("Apple")),
+                "tuple {tid}"
+            );
+        }
+        assert!(res.conflicts >= 1, "the Appel/Apple conflict must be counted");
+        assert!(res.changes.iter().any(|(c, old, new)| {
+            c.tid == TupleId(1) && old == &Value::str("Appel") && new == &Value::str("Apple")
+        }));
+    }
+
+    #[test]
+    fn trusted_tuple_wins_over_majority() {
+        // trust the Appel tuple: ground truth overrides majority.
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let db = trans_db();
+        let trusted = vec![GlobalTid::new(RelId(0), TupleId(1))];
+        let res = engine.run(&db, &trusted);
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(0), AttrId(2)),
+            Some(&Value::str("Appel"))
+        );
+        // the trusted tuple itself is untouched
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(1), AttrId(2)),
+            Some(&Value::str("Appel"))
+        );
+    }
+
+    #[test]
+    fn mi_constant_fix() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule fill: Trans(t) && t.com = 'IPhone 14' && null(t.price) -> t.price = 6500",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let res = engine.run(&trans_db(), &[]);
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(2), AttrId(3)),
+            Some(&Value::Float(6500.0))
+        );
+        assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn er_merge_and_interaction() {
+        // ER: same com+price → same entity; then CR propagates mfg within
+        // the merged entity via φ2' (eid-based).
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule er: Trans(t) && Trans(s) && t.com = s.com && t.price = s.price -> t.eid = s.eid\nrule cr: Trans(t) && Trans(s) && t.eid = s.eid -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let res = engine.run(&trans_db(), &[]);
+        assert!(!res.merged_pairs.is_empty());
+        assert!(res.fixes.same_entity(
+            EntityKey::new(RelId(0), Eid(0)),
+            EntityKey::new(RelId(0), Eid(1))
+        ));
+        // mfg reconciled within the merged entity
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(1), AttrId(2)),
+            res.db.cell(RelId(0), TupleId(0), AttrId(2))
+        );
+    }
+
+    #[test]
+    fn td_orders_deduced() {
+        let schema = DatabaseSchema::new(vec![RelationSchema::of(
+            "Person",
+            &[("pid", AttrType::Str), ("status", AttrType::Str)],
+        )]);
+        let mut db = Database::new(&schema);
+        let r = db.relation_mut(RelId(0));
+        r.insert(Eid(0), vec![Value::str("p1"), Value::str("single")]);
+        r.insert(Eid(1), vec![Value::str("p1"), Value::str("married")]);
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi4: Person(t) && Person(s) && t.status = 'single' && s.status = 'married' -> t <=[status] s",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let res = engine.run(&db, &[]);
+        assert!(res.fixes.order_holds(RelId(0), AttrId(1), TupleId(0), TupleId(1), false));
+        assert!(!res.fixes.order_holds(RelId(0), AttrId(1), TupleId(1), TupleId(0), false));
+    }
+
+    #[test]
+    fn incremental_only_activates_touched() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule fill: Trans(t) && t.com = 'IPhone 14' && null(t.price) -> t.price = 6500",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let db = trans_db();
+        let delta = Delta::new(vec![rock_data::Update::Insert {
+            rel: RelId(0),
+            eid: Eid(9),
+            values: vec![Value::str("p9"), Value::str("IPhone 14"), Value::str("Apple"), Value::Null],
+        }]);
+        let res = engine.run_incremental(&db, &[], &delta);
+        // both the old null and the new null get filled (rule is relation-wide)
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(3), AttrId(3)),
+            Some(&Value::Float(6500.0))
+        );
+    }
+
+    #[test]
+    fn fixpoint_reached_and_idempotent() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
+        let res1 = engine.run(&trans_db(), &[]);
+        // chasing the already-chased database changes nothing
+        let res2 = engine.run(&res1.db, &[]);
+        assert!(res2.changes.is_empty(), "{:?}", res2.changes);
+        assert!(res1.rounds < ChaseConfig::default().max_rounds);
+    }
+
+    #[test]
+    fn parallel_chase_same_result() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let seq = ChaseEngine::new(&rules, &reg, ChaseConfig::default()).run(&trans_db(), &[]);
+        let par = ChaseEngine::new(
+            &rules,
+            &reg,
+            ChaseConfig { workers: 4, partitions_per_rule: 8, ..ChaseConfig::default() },
+        )
+        .run(&trans_db(), &[]);
+        for tid in 0..3u32 {
+            assert_eq!(
+                seq.db.cell(RelId(0), TupleId(tid), AttrId(2)),
+                par.db.cell(RelId(0), TupleId(tid), AttrId(2))
+            );
+        }
+    }
+
+    #[test]
+    fn strict_gate_requires_validated_precondition() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule fill: Trans(t) && t.com = 'IPhone 14' && null(t.price) -> t.price = 6500",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let cfg = ChaseConfig { gate: GateMode::Strict, ..ChaseConfig::default() };
+        let engine = ChaseEngine::new(&rules, &reg, cfg);
+        // no trusted tuples: nothing may fire (t2.com is not validated)
+        let res = engine.run(&trans_db(), &[]);
+        assert!(res.changes.is_empty(), "{:?}", res.changes);
+        // trusting the null-price tuple validates its com; the MI rule fires
+        let trusted = vec![GlobalTid::new(RelId(0), TupleId(2))];
+        let res = engine.run(&trans_db(), &trusted);
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(2), AttrId(3)),
+            Some(&Value::Float(6500.0))
+        );
+    }
+
+    #[test]
+    fn strict_gate_accumulates_ground_truth() {
+        // Chained deduction across an entity: rule1 fires on the trusted
+        // tuple t0 and validates mfg='AppleInc' on its entity, which
+        // materializes onto the untrusted co-entity tuple t1; in a later
+        // round rule2 (reading the now-validated mfg) fills t1's price —
+        // the "accumulating ground truth" loop of §4.1.
+        let schema = trans_schema();
+        let mut db = Database::new(&schema);
+        let r = db.relation_mut(RelId(0));
+        r.insert(Eid(0), vec![Value::str("p1"), Value::str("IPhone 14"), Value::str("AppleInc"), Value::Float(1.0)]);
+        r.insert(Eid(0), vec![Value::str("p1"), Value::Null, Value::str("junk"), Value::Null]);
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule r1: Trans(t) && t.com = 'IPhone 14' -> t.mfg = 'AppleInc'\nrule r2: Trans(t) && t.mfg = 'AppleInc' && null(t.price) -> t.price = 6500",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let cfg = ChaseConfig { gate: GateMode::Strict, ..ChaseConfig::default() };
+        let engine = ChaseEngine::new(&rules, &reg, cfg);
+        let trusted = vec![GlobalTid::new(RelId(0), TupleId(0))];
+        let res = engine.run(&db, &trusted);
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(1), AttrId(2)),
+            Some(&Value::str("AppleInc")),
+            "rule1's validated value must materialize onto the co-entity tuple"
+        );
+        // t1 shares t0's entity, and t0's price=1.0 is trusted ground
+        // truth: the entity's validated price fills t1's null. Rule2's
+        // constant 6500 must NOT override a validated fact — that is the
+        // certain-fix guarantee.
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(1), AttrId(3)),
+            Some(&Value::Float(1.0)),
+            "validated entity value must beat rule2's constant"
+        );
+        assert!(res.rounds >= 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rock-chase — the unified chase engine (paper §4)
+//!
+//! Rock corrects errors by *chasing* the data with a set Σ of REE++s and a
+//! collection Γ of ground truth, conducting ER, CR, MI and TD **in the same
+//! process** so the four tasks feed each other (§4.2 "Interactions").
+//!
+//! Fixes are maintained in `U = (E=, E⪯)`:
+//! * `[EID]=` — entity classes validated to denote the same real-world
+//!   entity (a union–find over `(relation, eid)` keys);
+//! * `[EID.A]=` — the validated value of each entity attribute;
+//! * `[A]⪯` — validated temporal orders per attribute (a DAG with
+//!   conflict, i.e. antisymmetry-violation, detection).
+//!
+//! A chase step `U_i ⇒(φ,h) U_{i+1}` applies a rule to a valuation whose
+//! precondition is validated; the consequence extends `U`. Chasing runs in
+//! *rounds* (semi-naive): each round collects every proposal from every
+//! activated rule, then commits them with deterministic, learning-based
+//! conflict resolution (§4.2) — which is what makes the implementation
+//! Church–Rosser: the committed state after each round is independent of
+//! rule enumeration order (property-tested in `tests/`).
+//!
+//! Lazy activation (§4.1 "Novelty" (a)): rules are indexed by the
+//! `(relation, attribute)` cells their preconditions read; a round only
+//! re-evaluates rules whose read-set intersects the cells fixed in the
+//! previous round (plus EID-sensitive rules after merges). Batch mode seeds
+//! the worklist with every rule; incremental mode seeds it from ΔD.
+
+pub mod chase;
+pub mod conflict;
+pub mod fixes;
+pub mod order;
+pub mod quality;
+
+pub use chase::{ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal};
+pub use conflict::ConflictPolicy;
+pub use fixes::{EntityKey, FixStore};
+pub use order::PartialOrderStore;
+pub use quality::QualityReport;

@@ -1,0 +1,22 @@
+//! # rock-core — the Rock system facade
+//!
+//! Ties the substrates together into the end-to-end pipeline of §3:
+//! **rule discovery** (offline) → **error detection** → **error
+//! correction** (the chase), plus the data-quality assessment. Also
+//! implements the paper's three ablation variants (§6 "Baselines"):
+//!
+//! * `Rock` — the full system: unified chase over all REE++s.
+//! * `RockNoMl` — drops every rule with an ML predicate and the
+//!   polynomial-expression pipeline.
+//! * `RockSeq` — iterates ER → CR → MI → TD task-by-task until fixpoint
+//!   (same final answer as Rock, by Church–Rosser; slower).
+//! * `RockNoC` — runs ER, CR, MI, TD once each, sequentially, without the
+//!   chase loop (no interaction between the tasks).
+
+pub mod poly;
+pub mod system;
+pub mod variant;
+
+pub use poly::PolyPipeline;
+pub use system::{CorrectionOutcome, DetectionOutcome, DiscoveryOutcome, RockConfig, RockSystem};
+pub use variant::Variant;

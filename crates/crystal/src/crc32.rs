@@ -1,0 +1,89 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), implemented from
+//! scratch with a compile-time lookup table.
+//!
+//! Crystal hashes node IP addresses with "a standard hashing function
+//! CRC-32 [59]" to place nodes on the consistent hash ring (paper §5.1).
+
+/// 256-entry lookup table for the reflected polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Streaming CRC-32 (for block checksums).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"consistent hashing over CRC-32";
+        let mut s = Crc32::new();
+        s.update(&data[..10]);
+        s.update(&data[10..]);
+        assert_eq!(s.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_codes() {
+        assert_ne!(crc32(b"10.0.0.1"), crc32(b"10.0.0.2"));
+    }
+}

@@ -1,0 +1,146 @@
+//! ETCD-like metadata store (paper §5.1: "The mapping between hash codes
+//! and nodes are registered in ETCD, a distributed key-value store").
+//!
+//! In-process stand-in: a versioned, thread-safe KV store with prefix scans
+//! and compare-and-swap — the three ETCD features the registration and
+//! status-synchronization paths actually use.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// One stored entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub value: Bytes,
+    /// Monotone per-key modification version.
+    pub version: u64,
+}
+
+/// Versioned key-value store with prefix scan.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    inner: RwLock<BTreeMap<String, Entry>>,
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Put unconditionally; returns the new version.
+    pub fn put(&self, key: &str, value: impl Into<Bytes>) -> u64 {
+        let mut map = self.inner.write();
+        let version = map.get(key).map(|e| e.version + 1).unwrap_or(1);
+        map.insert(key.to_owned(), Entry { value: value.into(), version });
+        version
+    }
+
+    /// Get a value.
+    pub fn get(&self, key: &str) -> Option<Entry> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Compare-and-swap on the version; returns Ok(new version) or
+    /// Err(current version). `expected = 0` means "key must not exist".
+    pub fn cas(&self, key: &str, expected: u64, value: impl Into<Bytes>) -> Result<u64, u64> {
+        let mut map = self.inner.write();
+        let current = map.get(key).map(|e| e.version).unwrap_or(0);
+        if current != expected {
+            return Err(current);
+        }
+        let version = current + 1;
+        map.insert(key.to_owned(), Entry { value: value.into(), version });
+        Ok(version)
+    }
+
+    /// Delete; returns whether the key existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.inner.write().remove(key).is_some()
+    }
+
+    /// All `(key, entry)` pairs under a prefix, key-ordered.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Entry)> {
+        self.inner
+            .read()
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_versions() {
+        let kv = KvStore::new();
+        assert_eq!(kv.put("a", "1"), 1);
+        assert_eq!(kv.put("a", "2"), 2);
+        let e = kv.get("a").unwrap();
+        assert_eq!(e.value, Bytes::from("2"));
+        assert_eq!(e.version, 2);
+        assert!(kv.get("b").is_none());
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let kv = KvStore::new();
+        assert_eq!(kv.cas("k", 0, "init"), Ok(1));
+        assert_eq!(kv.cas("k", 0, "again"), Err(1));
+        assert_eq!(kv.cas("k", 1, "next"), Ok(2));
+        assert_eq!(kv.get("k").unwrap().value, Bytes::from("next"));
+    }
+
+    #[test]
+    fn prefix_scan_ordered() {
+        let kv = KvStore::new();
+        kv.put("nodes/2", "b");
+        kv.put("nodes/1", "a");
+        kv.put("units/1", "x");
+        let nodes = kv.scan_prefix("nodes/");
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].0, "nodes/1");
+        assert_eq!(nodes[1].0, "nodes/2");
+        assert_eq!(kv.scan_prefix("zzz").len(), 0);
+    }
+
+    #[test]
+    fn delete() {
+        let kv = KvStore::new();
+        kv.put("a", "1");
+        assert!(kv.delete("a"));
+        assert!(!kv.delete("a"));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn concurrent_cas_single_winner() {
+        use std::sync::Arc;
+        let kv = Arc::new(KvStore::new());
+        kv.put("leader", "none");
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let kv = Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                kv.cas("leader", 1, format!("node-{i}")).is_ok()
+            }));
+        }
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count();
+        assert_eq!(winners, 1);
+    }
+}

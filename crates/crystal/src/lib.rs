@@ -1,0 +1,36 @@
+//! # rock-crystal — the distributed substrate (paper §5.1–§5.2)
+//!
+//! Rock stores and schedules everything on **Crystal**, "a distributed file
+//! system to support internet-scale dynamic load across nodes". This crate
+//! reproduces Crystal's architecture as an in-process multi-worker
+//! simulation (DESIGN.md §1 explains why this preserves the scaling
+//! experiments):
+//!
+//! * [`crc32`] — the CRC-32 used to hash node addresses onto the ring
+//!   (implemented from scratch; standard reflected polynomial 0xEDB88320).
+//! * [`ring`] — the consistent hash ring assigning data objects and
+//!   computing nodes to positions on a virtual ring, minimizing remapped
+//!   keys under node churn.
+//! * [`kvstore`] — the ETCD-like key-value store registering the
+//!   hash-code → node mapping and cluster metadata.
+//! * [`blocks`] — the block store with the two-level addressing model
+//!   (first-level metadata resident in memory on every node).
+//! * [`work`] — work units `T = (φ, D_T)` with metadata-driven cost
+//!   estimation (§5.2 load balancing strategies 1–2).
+//! * [`scheduler`] — the non-centralized work manager: every node runs the
+//!   same engine, units are placed by the hash of `D_T`, idle nodes fetch
+//!   units from others (work stealing; §5.2 strategy 3).
+
+pub mod blocks;
+pub mod crc32;
+pub mod kvstore;
+pub mod ring;
+pub mod scheduler;
+pub mod work;
+
+pub use blocks::{BlockId, BlockStore};
+pub use crc32::crc32;
+pub use kvstore::KvStore;
+pub use ring::{ConsistentHashRing, NodeId};
+pub use scheduler::{Cluster, SchedulerStats};
+pub use work::{CostEstimator, WorkUnit};

@@ -1,0 +1,193 @@
+//! Minimal CSV reader/writer (RFC-4180-ish quoting), implemented in-tree so
+//! the workspace stays within the approved dependency set.
+//!
+//! Crystal "loads raw data … after ETL" (paper §5.1); this module is the ETL
+//! edge: it parses fields according to the relation schema, turns empty
+//! fields into `Null`, and interns strings through [`crate::database::Interner`].
+
+use crate::database::Interner;
+use crate::relation::Relation;
+use crate::schema::RelationSchema;
+use crate::value::Value;
+use std::io::{self, BufRead, Write};
+
+/// Split one CSV record into fields, honoring double quotes.
+pub fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quote a field if it needs it.
+pub fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Read a relation from CSV. The first record must be a header matching the
+/// schema's attribute names (order-sensitive). Returns the populated
+/// relation.
+pub fn read_relation<R: BufRead>(
+    schema: RelationSchema,
+    reader: R,
+    interner: &mut Interner,
+) -> io::Result<Relation> {
+    let mut rel = Relation::new(schema);
+    // Reuse one line buffer (perf-book: workhorse String in read loops).
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Ok(rel),
+    };
+    let header_fields = split_record(&header);
+    let expected: Vec<&str> = rel.schema.attrs.iter().map(|a| a.name.as_str()).collect();
+    if header_fields != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "CSV header mismatch for {}: got {header_fields:?}, expected {expected:?}",
+                rel.schema.name
+            ),
+        ));
+    }
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line);
+        if fields.len() != rel.schema.arity() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "CSV arity mismatch in {}: {} fields, expected {}",
+                    rel.schema.name,
+                    fields.len(),
+                    rel.schema.arity()
+                ),
+            ));
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .zip(rel.schema.attrs.clone())
+            .map(|(f, a)| interner.intern_value(Value::parse_as(f, a.ty)))
+            .collect();
+        rel.insert_row(values);
+    }
+    Ok(rel)
+}
+
+/// Write a relation as CSV (header + live tuples).
+pub fn write_relation<W: Write>(rel: &Relation, mut w: W) -> io::Result<()> {
+    let header: Vec<String> = rel
+        .schema
+        .attrs
+        .iter()
+        .map(|a| quote_field(&a.name))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for t in rel.iter() {
+        let row: Vec<String> = t.values.iter().map(|v| quote_field(&v.render())).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::of(
+            "T",
+            &[("name", AttrType::Str), ("n", AttrType::Int)],
+        )
+    }
+
+    #[test]
+    fn split_handles_quotes_and_commas() {
+        assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_record(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_record(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(split_record("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn quote_roundtrip() {
+        for s in ["plain", "with,comma", "with\"quote", "with\nnewline"] {
+            let quoted = quote_field(s);
+            assert_eq!(split_record(&quoted), vec![s.to_owned()]);
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let csv = "name,n\nApple,15\n\"Huawei, Inc\",11\nnobody,\n";
+        let mut interner = Interner::new();
+        let rel = read_relation(schema(), csv.as_bytes(), &mut interner).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(
+            rel.cell(crate::ids::TupleId(1), crate::ids::AttrId(0)),
+            Some(&Value::str("Huawei, Inc"))
+        );
+        assert_eq!(
+            rel.cell(crate::ids::TupleId(2), crate::ids::AttrId(1)),
+            Some(&Value::Null)
+        );
+        let mut out = Vec::new();
+        write_relation(&rel, &mut out).unwrap();
+        let rel2 = read_relation(schema(), out.as_slice(), &mut interner).unwrap();
+        assert_eq!(rel2.len(), 3);
+        assert_eq!(
+            rel2.cell(crate::ids::TupleId(1), crate::ids::AttrId(0)),
+            Some(&Value::str("Huawei, Inc"))
+        );
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let mut interner = Interner::new();
+        let err = read_relation(schema(), "x,y\n".as_bytes(), &mut interner).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut interner = Interner::new();
+        let err = read_relation(schema(), "name,n\na\n".as_bytes(), &mut interner).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rock-data — relational substrate for Rock
+//!
+//! This crate implements the data model that every other Rock crate builds
+//! on: typed [`Value`]s, relation and database [`schema`]s, [`Tuple`]s that
+//! carry an entity id (`EID`, following Codd's extended relational model as
+//! adopted by the paper §2), [`Relation`]s with optional *per-cell
+//! timestamps* (temporal relations, §2.2), whole [`Database`] instances,
+//! update batches (ΔD) for the incremental modes, column statistics used by
+//! the discovery/optimizer layers, and a small CSV reader/writer.
+//!
+//! Design notes (see DESIGN.md §3):
+//! * `Value` is a compact enum with a **total order** (floats compare via
+//!   `total_cmp`) so that values can live in sorted indexes and B-tree maps.
+//! * Strings are reference-counted (`Arc<str>`) and interned per database,
+//!   which keeps tuples cheap to clone — the chase clones tuples liberally.
+//! * Every tuple has a stable [`TupleId`] and an [`Eid`]; the fix store in
+//!   `rock-chase` keys its `[EID]=` / `[EID.A]=` structures by these ids.
+
+pub mod csvio;
+pub mod database;
+pub mod ids;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod temporal;
+pub mod tuple;
+pub mod update;
+pub mod value;
+
+pub use database::Database;
+pub use ids::{AttrId, CellRef, Eid, GlobalTid, RelId, TupleId};
+pub use relation::Relation;
+pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
+pub use stats::{ColumnStats, TableStats};
+pub use temporal::Timestamp;
+pub use tuple::Tuple;
+pub use update::{Delta, Update};
+pub use value::Value;

@@ -1,0 +1,210 @@
+//! Filter-and-verify pre-computation for ML predicates (paper §5.3/§5.4).
+//!
+//! "Given M(t[Ā], s[B̄]), Rock adopts the filter-and-verify paradigm such
+//! that (a) a blocking algorithm is first evoked to retrieve a candidate
+//! set of potentially matching tuple ID pairs, and then (b) it finds the
+//! true matching pairs in the candidate set."
+//!
+//! For every ML predicate of every rule, this module builds a MinHash LSH
+//! index over the left side's blocking text, queries it with the right
+//! side, runs the model only on candidate pairs, and memoizes everything —
+//! candidates with the model's real output, non-candidates with `false`.
+//! Rule evaluation afterwards never pays inference cost: every
+//! `predict_pair` call hits the memo.
+
+use rock_data::Database;
+use rock_ml::{MinHashLsh, ModelRegistry};
+use rock_rees::{Predicate, RuleSet};
+use rustc_hash::FxHashSet;
+
+/// Statistics of a pre-computation pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockingStats {
+    /// ML predicates processed.
+    pub predicates: usize,
+    /// Total possible pairs across predicates.
+    pub total_pairs: u64,
+    /// Pairs that survived blocking (model actually ran on these).
+    pub candidate_pairs: u64,
+    /// Of those, pairs the model accepted.
+    pub matches: u64,
+}
+
+impl BlockingStats {
+    /// Fraction of pairs pruned without inference.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            1.0 - self.candidate_pairs as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// Pre-compute all binary ML predicates of `rules` over `db`.
+pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -> BlockingStats {
+    let mut stats = BlockingStats::default();
+    let mut done: FxHashSet<String> = FxHashSet::default();
+    for rule in rules.iter() {
+        for p in rule.all_predicates() {
+            let Predicate::Ml { model, lvar, lattrs, rvar, rattrs } = p else {
+                continue;
+            };
+            // one pass per (model, relations, attrs) signature
+            let sig = format!(
+                "{}/{}/{:?}/{}/{:?}",
+                model.name,
+                rule.rel_of(*lvar).0,
+                lattrs,
+                rule.rel_of(*rvar).0,
+                rattrs
+            );
+            if !done.insert(sig) {
+                continue;
+            }
+            let id = model.resolved();
+            let Some(classifier) = registry.pair(id) else { continue };
+            stats.predicates += 1;
+
+            let lrel = db.relation(rule.rel_of(*lvar));
+            let rrel = db.relation(rule.rel_of(*rvar));
+            // index the left side
+            let mut lsh = MinHashLsh::new(16, 2);
+            let ltexts: Vec<(rock_data::TupleId, Vec<rock_data::Value>, String)> = lrel
+                .iter()
+                .map(|t| {
+                    let vals = t.project(lattrs);
+                    let text = classifier.blocking_text(&vals);
+                    (t.tid, vals, text)
+                })
+                .collect();
+            for (tid, _, text) in &ltexts {
+                lsh.insert(tid.0, text);
+            }
+            // query with the right side: run the model only on LSH
+            // candidates; everything else is excluded via a block filter
+            // (O(candidates) instead of O(n²) memo entries).
+            let by_tid: std::collections::HashMap<u32, usize> = ltexts
+                .iter()
+                .enumerate()
+                .map(|(i, (tid, _, _))| (tid.0, i))
+                .collect();
+            let mut filter: FxHashSet<(u64, u64)> = FxHashSet::default();
+            for s in rrel.iter() {
+                let svals = s.project(rattrs);
+                let stext = classifier.blocking_text(&svals);
+                stats.total_pairs += ltexts.len() as u64;
+                let skey = ModelRegistry::pair_key(&svals);
+                for cand in lsh.candidates(&stext) {
+                    let Some(&i) = by_tid.get(&cand) else { continue };
+                    let (_, lvals, _) = &ltexts[i];
+                    stats.candidate_pairs += 1;
+                    let out = classifier.predict(lvals, &svals);
+                    registry.meter.add(classifier.cost());
+                    if out {
+                        stats.matches += 1;
+                    }
+                    filter.insert((ModelRegistry::pair_key(lvals), skey));
+                    registry.memoize_pair(id, lvals, &svals, out);
+                }
+            }
+            registry.set_block_filter(id, filter);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, DatabaseSchema, RelId, RelationSchema, Value};
+    use rock_ml::pair::NgramPairModel;
+    use rock_rees::parse_rules;
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::of(
+            "Trans",
+            &[("pid", AttrType::Str), ("com", AttrType::Str)],
+        )]);
+        let mut db = Database::new(&schema);
+        let r = db.relation_mut(RelId(0));
+        for i in 0..6 {
+            r.insert_row(vec![
+                Value::str(format!("p{i}")),
+                Value::str(format!("IPhone 14 Discount Code {i} apple store bundle")),
+            ]);
+        }
+        for i in 0..6 {
+            r.insert_row(vec![
+                Value::str(format!("q{i}")),
+                Value::str(format!("fresh organic juice bottle crate {i}")),
+            ]);
+        }
+        db
+    }
+
+    fn rules(db: &Database) -> RuleSet {
+        let schema = db.schema();
+        RuleSet::new(
+            parse_rules(
+                "rule er: Trans(t) && Trans(s) && ml:MER(t[com], s[com]) -> t.pid = s.pid",
+                &schema,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn blocking_prunes_cross_cluster_pairs() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        reg.register_pair("MER", Arc::new(NgramPairModel::with_threshold(0.8)));
+        let mut rs = rules(&db);
+        rs.resolve(&reg).unwrap();
+        let stats = precompute_ml(&db, &rs, &reg);
+        assert_eq!(stats.predicates, 1);
+        assert_eq!(stats.total_pairs, 144);
+        assert!(stats.candidate_pairs < stats.total_pairs, "{stats:?}");
+        assert!(stats.pruned_fraction() > 0.3, "{stats:?}");
+        assert!(stats.matches >= 12, "self pairs at minimum: {stats:?}");
+    }
+
+    #[test]
+    fn evaluation_after_precompute_hits_memo_only() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        reg.register_pair("MER", Arc::new(NgramPairModel::with_threshold(0.8)));
+        let mut rs = rules(&db);
+        rs.resolve(&reg).unwrap();
+        precompute_ml(&db, &rs, &reg);
+        let inferences_before = reg.meter.inferences();
+        // evaluate the rule's violations: every predict_pair must hit memo
+        let ctx = rock_rees::eval::EvalContext::new(&db, &reg);
+        let _ = rock_rees::eval::find_violations(&rs.rules[0], &ctx);
+        assert_eq!(
+            reg.meter.inferences(),
+            inferences_before,
+            "no fresh inference after pre-computation"
+        );
+        assert!(reg.meter.memo_hits() > 0);
+    }
+
+    #[test]
+    fn duplicate_predicate_signatures_processed_once() {
+        let db = db();
+        let schema = db.schema();
+        let reg = ModelRegistry::new();
+        reg.register_pair("MER", Arc::new(NgramPairModel::with_threshold(0.8)));
+        let mut rs = RuleSet::new(
+            parse_rules(
+                "rule a: Trans(t) && Trans(s) && ml:MER(t[com], s[com]) -> t.pid = s.pid\nrule b: Trans(t) && Trans(s) && ml:MER(t[com], s[com]) && t.pid = s.pid -> t.eid = s.eid",
+                &schema,
+            )
+            .unwrap(),
+        );
+        rs.resolve(&reg).unwrap();
+        let stats = precompute_ml(&db, &rs, &reg);
+        assert_eq!(stats.predicates, 1, "same signature must be deduped");
+    }
+}

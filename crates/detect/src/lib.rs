@@ -1,0 +1,24 @@
+//! # rock-detect — error detection (paper §3, §5.3)
+//!
+//! Given a set Σ of REE++s and a dataset D, Rock detects errors in D as
+//! *violations* of rules in Σ: valuations `h` with `h ⊨ X` but `h ⊭ p0`.
+//! The errors include duplicates (violated ER consequences), semantic
+//! inconsistencies (violated CR consequences), obsolete values (violated
+//! temporal consequences) and missing values (null cells matched by MI
+//! rules).
+//!
+//! The module supports the two modes of §3:
+//! * **batch** — HyperCube-style partitioning into work units
+//!   `T = (φ, D_T)` executed on the Crystal work-stealing cluster;
+//! * **incremental** — in response to updates ΔD, only valuations binding
+//!   at least one touched tuple are (re-)checked, extending [41].
+//!
+//! The [`blocking`] module implements the filter-and-verify optimization
+//! of §5.3–5.4: LSH blocks candidate pairs for each ML predicate and
+//! pre-computes model results, so rule evaluation hits the memo instead of
+//! running inference per pair.
+
+pub mod blocking;
+pub mod detect;
+
+pub use detect::{DetectReport, Detector, ErrorKind};

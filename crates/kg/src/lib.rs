@@ -1,0 +1,22 @@
+//! # rock-kg — knowledge-graph substrate
+//!
+//! The paper's MI strategy "data extraction" (§2.3) pulls attribute values
+//! out of a knowledge graph `G = (V, E, L)`: vertices and edges carry labels
+//! via `L`, edge labels typify predicates, vertex labels carry values. The
+//! extraction predicates are:
+//!
+//! * `vertex(x, G)` — bind a vertex variable,
+//! * `HER(t, x)` — tuple `t` and vertex `x` refer to the same entity
+//!   (heterogeneous entity resolution; the classifier lives in `rock-ml`),
+//! * `match(t.A, x.ρ)` — a label path `ρ` from `x` encodes attribute `A`,
+//! * `t[A] = val(x.ρ)` — take the label of the last vertex on the match.
+//!
+//! This crate implements the graph, label paths and path matching; the
+//! synthetic-KG generator (standing in for Wikipedia) lives in
+//! `rock-workloads`, aligned with the generated entities.
+
+pub mod graph;
+pub mod path;
+
+pub use graph::{Graph, VertexId};
+pub use path::LabelPath;

@@ -1,0 +1,195 @@
+//! `HER(t, x)` — heterogeneous entity resolution across a relation and a
+//! knowledge graph (paper §2.3, implementing the role of [31]'s parametric
+//! simulation).
+//!
+//! Given a tuple `t` and a KG vertex `x`, decide whether they refer to the
+//! same entity. The paper's implementation uses parametric simulation over
+//! the graph neighbourhood; our stand-in compares (a) the tuple's key
+//! attributes against the vertex label and (b) the tuple's remaining
+//! attributes against the vertex's one-hop neighbourhood labels — which is
+//! the same signal a one-round parametric simulation consumes.
+
+use crate::text::{edit_similarity, token_jaccard};
+use rock_data::Value;
+use rock_kg::{Graph, VertexId};
+
+/// The HER classifier.
+#[derive(Debug, Clone)]
+pub struct HerModel {
+    /// Decision threshold on the combined score.
+    pub threshold: f64,
+    /// Required vertex kind, if any (e.g. only match `Store` vertices).
+    pub kind: Option<String>,
+}
+
+impl Default for HerModel {
+    fn default() -> Self {
+        HerModel { threshold: 0.62, kind: None }
+    }
+}
+
+impl HerModel {
+    pub fn for_kind(kind: impl Into<String>) -> Self {
+        HerModel { threshold: 0.62, kind: Some(kind.into()) }
+    }
+
+    /// Similarity between the tuple's name-ish projection and the vertex.
+    ///
+    /// `name_values` should be the tuple's identifying attributes (e.g.
+    /// Store.name); `context_values` the rest (location, type, …).
+    pub fn score(
+        &self,
+        g: &Graph,
+        x: VertexId,
+        name_values: &[Value],
+        context_values: &[Value],
+    ) -> f64 {
+        let v = g.vertex(x);
+        if let Some(kind) = &self.kind {
+            if &*v.kind != kind.as_str() {
+                return 0.0;
+            }
+        }
+        let name = join(name_values);
+        let vertex_name = v.label.render();
+        if name.is_empty() || vertex_name.is_empty() {
+            return 0.0;
+        }
+        let name_sim =
+            0.5 * edit_similarity(&name, &vertex_name) + 0.5 * token_jaccard(&name, &vertex_name);
+        // One-hop neighbourhood labels approximate the vertex's "attributes".
+        let mut hood = String::new();
+        let labels: Vec<_> = g.out_labels(x).cloned().collect();
+        for l in labels {
+            for n in g.neighbours(x, &l) {
+                hood.push_str(&g.vertex(*n).label.render());
+                hood.push(' ');
+            }
+        }
+        let ctx = join(context_values);
+        let ctx_sim = if ctx.is_empty() || hood.is_empty() {
+            // no context on either side: rely on the name alone
+            name_sim
+        } else {
+            token_jaccard(&ctx, &hood)
+        };
+        0.7 * name_sim + 0.3 * ctx_sim
+    }
+
+    /// Boolean `HER(t, x)`.
+    pub fn matches(
+        &self,
+        g: &Graph,
+        x: VertexId,
+        name_values: &[Value],
+        context_values: &[Value],
+    ) -> bool {
+        self.score(g, x, name_values, context_values) >= self.threshold
+    }
+
+    /// Best-matching vertex of the model's kind (or all vertices when
+    /// untyped), or `None` when nothing clears the threshold. This is the
+    /// entry point the extraction REE++s use: bind `x` to the match.
+    pub fn align(
+        &self,
+        g: &Graph,
+        name_values: &[Value],
+        context_values: &[Value],
+    ) -> Option<(VertexId, f64)> {
+        let pool: Vec<VertexId> = match &self.kind {
+            Some(k) => g.vertices_of_kind(k).collect(),
+            None => g.iter_vertices().map(|(id, _)| id).collect(),
+        };
+        pool.into_iter()
+            .map(|x| (x, self.score(g, x, name_values, context_values)))
+            .filter(|(_, s)| *s >= self.threshold)
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+    }
+
+    /// Synthetic cost per (tuple, vertex) inference — LSTM-class.
+    pub fn cost(&self) -> f64 {
+        5.0
+    }
+}
+
+fn join(vs: &[Value]) -> String {
+    let mut s = String::new();
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&v.render());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiki() -> (Graph, VertexId, VertexId) {
+        let mut g = Graph::new("Wiki");
+        let huawei = g.add_vertex(Value::str("Huawei Flagship"), "Store");
+        let nike = g.add_vertex(Value::str("Nike China"), "Store");
+        let beijing = g.add_vertex(Value::str("Beijing"), "City");
+        let shanghai = g.add_vertex(Value::str("Shanghai"), "City");
+        g.add_edge(huawei, "LocationAt", beijing);
+        g.add_edge(nike, "LocationAt", shanghai);
+        (g, huawei, nike)
+    }
+
+    #[test]
+    fn matches_same_entity() {
+        let (g, huawei, nike) = wiki();
+        let m = HerModel::for_kind("Store");
+        let name = vec![Value::str("Huawei Flagship")];
+        let ctx = vec![Value::str("Beijing"), Value::str("Electron.")];
+        assert!(m.matches(&g, huawei, &name, &ctx));
+        assert!(!m.matches(&g, nike, &name, &ctx));
+    }
+
+    #[test]
+    fn kind_filter_rejects() {
+        let (g, huawei, _) = wiki();
+        let m = HerModel::for_kind("City");
+        assert_eq!(
+            m.score(&g, huawei, &[Value::str("Huawei Flagship")], &[]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn align_picks_best_vertex() {
+        let (g, huawei, _) = wiki();
+        let m = HerModel::for_kind("Store");
+        let got = m.align(
+            &g,
+            &[Value::str("Huawei Flagship")],
+            &[Value::str("Beijing")],
+        );
+        assert_eq!(got.map(|(v, _)| v), Some(huawei));
+    }
+
+    #[test]
+    fn align_abstains_on_garbage() {
+        let (g, ..) = wiki();
+        let m = HerModel::for_kind("Store");
+        assert!(m
+            .align(&g, &[Value::str("zzzz qqqq")], &[Value::str("nowhere")])
+            .is_none());
+        assert!(m.align(&g, &[Value::Null], &[]).is_none());
+    }
+
+    #[test]
+    fn noisy_name_still_matches() {
+        let (g, huawei, _) = wiki();
+        let m = HerModel::for_kind("Store");
+        // typo'd name
+        assert!(m.matches(
+            &g,
+            huawei,
+            &[Value::str("Huawai Flagship")],
+            &[Value::str("Beijing")]
+        ));
+    }
+}

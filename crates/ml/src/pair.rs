@@ -1,0 +1,226 @@
+//! Pair classifiers — the `M(t[Ā], s[B̄])` predicates of §2.1(e).
+//!
+//! "Here M can be any existing ML model that returns a Boolean value, e.g.
+//! Mreg ≥ δ for the strength of a regression model and a predefined
+//! threshold δ." The trait below is exactly that contract: a score in
+//! [0, 1] plus a decision threshold, with a declared per-inference cost so
+//! the evaluation harness can account for expensive models (the paper's
+//! T5-class baselines lose on exactly this axis).
+
+use crate::features::{pair_features, HashingEmbedder};
+use crate::linear::{LogisticRegression, SgdParams};
+use rock_data::Value;
+
+/// A Boolean ML predicate over two value vectors.
+pub trait PairClassifier: Send + Sync {
+    /// Match strength in [0, 1].
+    fn score(&self, a: &[Value], b: &[Value]) -> f64;
+
+    /// Decision threshold δ.
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+
+    /// Boolean prediction `M(a, b)`.
+    fn predict(&self, a: &[Value], b: &[Value]) -> bool {
+        self.score(a, b) >= self.threshold()
+    }
+
+    /// Synthetic cost units per inference (see `registry::CostMeter`).
+    /// 1.0 ≈ one cheap feature-kernel evaluation; transformer-class models
+    /// declare costs orders of magnitude higher.
+    fn cost(&self) -> f64 {
+        1.0
+    }
+
+    /// Blocking key strings for LSH (filter-and-verify, §5.3): tokens of the
+    /// rendered values. Models may override to block on a designated field.
+    fn blocking_text(&self, a: &[Value]) -> String {
+        let mut s = String::new();
+        for v in a {
+            s.push_str(&v.render());
+            s.push(' ');
+        }
+        s
+    }
+}
+
+/// Untrained n-gram similarity model: score = mean of edit/Jaccard/trigram
+/// kernels. Good default `MER`-style matcher for noisy text.
+#[derive(Debug, Clone)]
+pub struct NgramPairModel {
+    pub threshold: f64,
+    pub cost: f64,
+}
+
+impl Default for NgramPairModel {
+    fn default() -> Self {
+        NgramPairModel { threshold: 0.7, cost: 1.0 }
+    }
+}
+
+impl NgramPairModel {
+    pub fn with_threshold(threshold: f64) -> Self {
+        NgramPairModel { threshold, cost: 1.0 }
+    }
+}
+
+impl PairClassifier for NgramPairModel {
+    fn score(&self, a: &[Value], b: &[Value]) -> f64 {
+        use crate::text::{edit_similarity, token_jaccard, trigram_cosine};
+        let join = |vs: &[Value]| {
+            let mut s = String::new();
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(&v.render());
+            }
+            s
+        };
+        let (sa, sb) = (join(a), join(b));
+        if sa.is_empty() || sb.is_empty() {
+            return 0.0;
+        }
+        (edit_similarity(&sa, &sb) + token_jaccard(&sa, &sb) + trigram_cosine(&sa, &sb)) / 3.0
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// Trained pair classifier: logistic regression over [`pair_features`].
+/// This is the reproduction's `MER`/`Mlimited`/`Mad`-style model — trained
+/// from labeled match/non-match pairs (the workloads generate labels).
+#[derive(Debug, Clone)]
+pub struct TrainedPairModel {
+    pub lr: LogisticRegression,
+    pub embedder: HashingEmbedder,
+    pub threshold: f64,
+    pub cost: f64,
+}
+
+impl TrainedPairModel {
+    /// Train from labeled pairs.
+    pub fn train(
+        pairs: &[(Vec<Value>, Vec<Value>, bool)],
+        params: SgdParams,
+        threshold: f64,
+    ) -> Self {
+        let embedder = HashingEmbedder::default();
+        let xs: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(a, b, _)| pair_features(a, b, &embedder))
+            .collect();
+        let ys: Vec<bool> = pairs.iter().map(|(_, _, y)| *y).collect();
+        let mut lr = LogisticRegression::zeros(xs.first().map(|x| x.len()).unwrap_or(6));
+        lr.train(&xs, &ys, params);
+        TrainedPairModel { lr, embedder, threshold, cost: 2.0 }
+    }
+}
+
+impl PairClassifier for TrainedPairModel {
+    fn score(&self, a: &[Value], b: &[Value]) -> f64 {
+        self.lr.prob(&pair_features(a, b, &self.embedder))
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// Exact-equality "model" — useful to express plain joins through the same
+/// machinery and in tests.
+#[derive(Debug, Clone, Default)]
+pub struct ExactMatchModel;
+
+impl PairClassifier for ExactMatchModel {
+    fn score(&self, a: &[Value], b: &[Value]) -> f64 {
+        let same = a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y));
+        if same {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngram_model_matches_discount_codes() {
+        // φ1's MER: "IPhone 14 (Discount ID 41)" vs "(Discount Code 41)"
+        let m = NgramPairModel::with_threshold(0.6);
+        let a = vec![Value::str("IPhone 14 (Discount ID 41)")];
+        let b = vec![Value::str("IPhone 14 (Discount Code 41)")];
+        let c = vec![Value::str("Mate X2 (Limited Sold)")];
+        assert!(m.predict(&a, &b));
+        assert!(!m.predict(&a, &c));
+    }
+
+    #[test]
+    fn ngram_model_null_scores_zero() {
+        let m = NgramPairModel::default();
+        assert_eq!(m.score(&[Value::Null], &[Value::str("x")]), 0.0);
+    }
+
+    #[test]
+    fn trained_model_learns_pairs() {
+        let mut pairs = Vec::new();
+        for i in 0..30 {
+            let s = format!("Product {i} deluxe");
+            pairs.push((
+                vec![Value::str(&s)],
+                vec![Value::str(format!("product {i} DELUXE"))],
+                true,
+            ));
+            pairs.push((
+                vec![Value::str(&s)],
+                vec![Value::str(format!("Gadget {} basic", (i + 13) % 30))],
+                false,
+            ));
+        }
+        let m = TrainedPairModel::train(&pairs, SgdParams::default(), 0.5);
+        assert!(m.predict(
+            &[Value::str("Product 99 deluxe")],
+            &[Value::str("product 99 Deluxe")]
+        ));
+        assert!(!m.predict(
+            &[Value::str("Product 99 deluxe")],
+            &[Value::str("Completely different thing")]
+        ));
+    }
+
+    #[test]
+    fn exact_match_model() {
+        let m = ExactMatchModel;
+        assert!(m.predict(&[Value::Int(1)], &[Value::Int(1)]));
+        assert!(!m.predict(&[Value::Int(1)], &[Value::Int(2)]));
+        assert!(!m.predict(&[Value::Null], &[Value::Null])); // sql_eq
+        assert!(!m.predict(&[Value::Int(1)], &[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn blocking_text_joins_values() {
+        let m = ExactMatchModel;
+        assert_eq!(
+            m.blocking_text(&[Value::str("a"), Value::Int(3)]),
+            "a 3 "
+        );
+    }
+}

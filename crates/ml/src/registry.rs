@@ -1,0 +1,410 @@
+//! The model registry and cost accounting.
+//!
+//! REE++ rules reference ML models *by name* (`MER`, `Maddr`, `Mrank`, …);
+//! the registry resolves names to model instances at evaluation time — the
+//! "ML library" Crystal maintains (paper §5.1: "Crystal maintains various
+//! pre-trained models for different tasks and domains").
+//!
+//! Two cross-cutting concerns live here:
+//! * **Memoization / pre-computation** (§5.4 "ML predication": "Rock
+//!   pre-computes the results in advance once the ML predicates are
+//!   ready") — inference results are cached keyed by input hashes, so the
+//!   chase never pays for the same inference twice.
+//! * **Cost metering** — every inference adds the model's declared cost to
+//!   a [`CostMeter`]. The benchmark harness reads it to reproduce the
+//!   paper's *relative* runtime shapes (e.g. a T5-class model is ~10⁴×
+//!   a similarity kernel) without actually running transformer inference.
+
+use crate::correlation::{CorrelationModel, ValuePredictor};
+use crate::features::fnv1a;
+use crate::her::HerModel;
+use crate::pair::PairClassifier;
+use crate::rank::RankModel;
+use parking_lot::{Mutex, RwLock};
+use rock_data::Value;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a registered model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub u32);
+
+/// Accumulates modeled inference cost (in abstract cost units) and
+/// inference counts. Thread-safe; cost is stored in milli-units.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    milli_cost: AtomicU64,
+    inferences: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl CostMeter {
+    pub fn add(&self, cost: f64) {
+        self.milli_cost
+            .fetch_add((cost * 1000.0) as u64, Ordering::Relaxed);
+        self.inferences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total modeled cost units.
+    pub fn cost(&self) -> f64 {
+        self.milli_cost.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Number of actual (non-memoized) inferences.
+    pub fn inferences(&self) -> u64 {
+        self.inferences.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized lookups.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.milli_cost.store(0, Ordering::Relaxed);
+        self.inferences.store(0, Ordering::Relaxed);
+        self.memo_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Model {
+    Pair(Arc<dyn PairClassifier>),
+    Rank(Arc<RankModel>),
+    Correlation(Arc<CorrelationModel>),
+    Predictor(Arc<ValuePredictor>),
+    Her(Arc<HerModel>),
+}
+
+/// Thread-safe registry of named models with memoized inference.
+pub struct ModelRegistry {
+    models: RwLock<Vec<(String, Model)>>,
+    by_name: RwLock<FxHashMap<String, ModelId>>,
+    memo_bool: Mutex<FxHashMap<(ModelId, u64, u64), bool>>,
+    memo_score: Mutex<FxHashMap<(ModelId, u64, u64), f64>>,
+    /// Blocking filters (§5.3 filter-and-verify): when a model has a
+    /// filter, pairs outside it short-circuit to `false` without inference
+    /// — LSH guarantees matches are in the filter with high probability.
+    block_filters: Mutex<FxHashMap<ModelId, rustc_hash::FxHashSet<(u64, u64)>>>,
+    pub meter: CostMeter,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.models.read().len())
+            .field("cost", &self.meter.cost())
+            .finish()
+    }
+}
+
+fn hash_values(vs: &[Value]) -> u64 {
+    let mut buf = String::new();
+    for v in vs {
+        buf.push_str(&format!("{v:?}\u{1}"));
+    }
+    fnv1a(buf.as_bytes())
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        ModelRegistry {
+            models: RwLock::new(Vec::new()),
+            by_name: RwLock::new(FxHashMap::default()),
+            memo_bool: Mutex::new(FxHashMap::default()),
+            memo_score: Mutex::new(FxHashMap::default()),
+            block_filters: Mutex::new(FxHashMap::default()),
+            meter: CostMeter::default(),
+        }
+    }
+
+    /// Hash key of a value vector — the blocking layer builds its filter
+    /// sets from these.
+    pub fn pair_key(vs: &[Value]) -> u64 {
+        hash_values(vs)
+    }
+
+    /// Install a blocking filter for a pair model: `predict_pair` returns
+    /// `false` without inference for pairs outside `candidates`.
+    pub fn set_block_filter(
+        &self,
+        id: ModelId,
+        candidates: rustc_hash::FxHashSet<(u64, u64)>,
+    ) {
+        self.block_filters.lock().insert(id, candidates);
+    }
+
+    /// Remove a model's blocking filter.
+    pub fn clear_block_filter(&self, id: ModelId) {
+        self.block_filters.lock().remove(&id);
+    }
+
+    fn register(&self, name: &str, model: Model) -> ModelId {
+        let mut models = self.models.write();
+        let id = ModelId(models.len() as u32);
+        models.push((name.to_owned(), model));
+        self.by_name.write().insert(name.to_owned(), id);
+        id
+    }
+
+    pub fn register_pair(&self, name: &str, m: Arc<dyn PairClassifier>) -> ModelId {
+        self.register(name, Model::Pair(m))
+    }
+
+    pub fn register_rank(&self, name: &str, m: Arc<RankModel>) -> ModelId {
+        self.register(name, Model::Rank(m))
+    }
+
+    pub fn register_correlation(&self, name: &str, m: Arc<CorrelationModel>) -> ModelId {
+        self.register(name, Model::Correlation(m))
+    }
+
+    pub fn register_predictor(&self, name: &str, m: Arc<ValuePredictor>) -> ModelId {
+        self.register(name, Model::Predictor(m))
+    }
+
+    pub fn register_her(&self, name: &str, m: Arc<HerModel>) -> ModelId {
+        self.register(name, Model::Her(m))
+    }
+
+    /// Resolve a model name (rule parsing uses this).
+    pub fn id(&self, name: &str) -> Option<ModelId> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// Name of a model id (pretty-printing rules).
+    pub fn name(&self, id: ModelId) -> Option<String> {
+        self.models.read().get(id.0 as usize).map(|(n, _)| n.clone())
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Boolean pair inference `M(a, b)`, memoized, block-filtered and
+    /// cost-metered.
+    pub fn predict_pair(&self, id: ModelId, a: &[Value], b: &[Value]) -> bool {
+        let key = (id, hash_values(a), hash_values(b));
+        {
+            let filters = self.block_filters.lock();
+            if let Some(f) = filters.get(&id) {
+                if !f.contains(&(key.1, key.2)) {
+                    self.meter.hit();
+                    return false;
+                }
+            }
+        }
+        if let Some(&v) = self.memo_bool.lock().get(&key) {
+            self.meter.hit();
+            return v;
+        }
+        let models = self.models.read();
+        let Some((_, Model::Pair(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a pair classifier");
+        };
+        self.meter.add(m.cost());
+        let v = m.predict(a, b);
+        drop(models);
+        self.memo_bool.lock().insert(key, v);
+        v
+    }
+
+    /// Pair score, memoized.
+    pub fn score_pair(&self, id: ModelId, a: &[Value], b: &[Value]) -> f64 {
+        let key = (id, hash_values(a), hash_values(b));
+        if let Some(&v) = self.memo_score.lock().get(&key) {
+            self.meter.hit();
+            return v;
+        }
+        let models = self.models.read();
+        let Some((_, Model::Pair(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a pair classifier");
+        };
+        self.meter.add(m.cost());
+        let v = m.score(a, b);
+        drop(models);
+        self.memo_score.lock().insert(key, v);
+        v
+    }
+
+    /// Access the pair classifier itself (for blocking).
+    pub fn pair(&self, id: ModelId) -> Option<Arc<dyn PairClassifier>> {
+        match self.models.read().get(id.0 as usize) {
+            Some((_, Model::Pair(m))) => Some(Arc::clone(m)),
+            _ => None,
+        }
+    }
+
+    /// `Mrank` confidence that `t1 ⪯ t2`, cost-metered (not memoized: the
+    /// caller — TD conflict resolution — usually wants both directions and
+    /// they derive from one subtraction anyway).
+    pub fn rank_confidence(&self, id: ModelId, t1: &[Value], t2: &[Value]) -> f64 {
+        let models = self.models.read();
+        let Some((_, Model::Rank(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a rank model");
+        };
+        self.meter.add(2.0);
+        m.confidence(t1, t2)
+    }
+
+    /// `Mc` strength, cost-metered.
+    pub fn correlation_strength(&self, id: ModelId, evidence: &[Value], c: &Value) -> f64 {
+        let models = self.models.read();
+        let Some((_, Model::Correlation(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a correlation model");
+        };
+        self.meter.add(m.cost());
+        m.strength(evidence, c)
+    }
+
+    /// `Md` prediction, cost-metered.
+    pub fn predict_value(&self, id: ModelId, evidence: &[Value]) -> Option<Value> {
+        let models = self.models.read();
+        let Some((_, Model::Predictor(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a value predictor");
+        };
+        self.meter.add(m.cost());
+        m.predict(evidence)
+    }
+
+    /// `Md` restricted to a candidate set (MI conflict resolution, §4.2(3)).
+    pub fn best_of(&self, id: ModelId, evidence: &[Value], cands: &[Value]) -> Option<Value> {
+        let models = self.models.read();
+        let Some((_, Model::Predictor(m))) = models.get(id.0 as usize) else {
+            panic!("model {id:?} is not a value predictor");
+        };
+        self.meter.add(m.cost());
+        m.best_of(evidence, cands)
+    }
+
+    /// HER model handle.
+    pub fn her(&self, id: ModelId) -> Option<Arc<HerModel>> {
+        match self.models.read().get(id.0 as usize) {
+            Some((_, Model::Her(m))) => {
+                self.meter.add(m.cost());
+                Some(Arc::clone(m))
+            }
+            _ => None,
+        }
+    }
+
+    /// Seed the memo with a known result without running inference — the
+    /// pre-computation path of §5.4 ("Rock pre-computes the results in
+    /// advance once the ML predicates are ready"): the blocking layer
+    /// memoizes `false` for all non-candidate pairs and the model's real
+    /// output for candidates.
+    pub fn memoize_pair(&self, id: ModelId, a: &[Value], b: &[Value], result: bool) {
+        let key = (id, hash_values(a), hash_values(b));
+        self.memo_bool.lock().insert(key, result);
+    }
+
+    /// Drop all memoized results (tests / repeated experiments).
+    pub fn clear_memo(&self) {
+        self.memo_bool.lock().clear();
+        self.memo_score.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::ExactMatchModel;
+
+    #[test]
+    fn register_and_resolve() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("MER", Arc::new(ExactMatchModel));
+        assert_eq!(reg.id("MER"), Some(id));
+        assert_eq!(reg.name(id).as_deref(), Some("MER"));
+        assert_eq!(reg.id("nope"), None);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn memoization_counts_one_inference() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        let a = [Value::Int(1)];
+        let b = [Value::Int(1)];
+        assert!(reg.predict_pair(id, &a, &b));
+        assert!(reg.predict_pair(id, &a, &b));
+        assert_eq!(reg.meter.inferences(), 1);
+        assert_eq!(reg.meter.memo_hits(), 1);
+        assert!(reg.meter.cost() > 0.0);
+    }
+
+    #[test]
+    fn clear_memo_forces_reinference() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        reg.predict_pair(id, &[Value::Int(1)], &[Value::Int(1)]);
+        reg.clear_memo();
+        reg.predict_pair(id, &[Value::Int(1)], &[Value::Int(1)]);
+        assert_eq!(reg.meter.inferences(), 2);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_memo_keys() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        assert!(reg.predict_pair(id, &[Value::Int(1)], &[Value::Int(1)]));
+        assert!(!reg.predict_pair(id, &[Value::Int(1)], &[Value::Int(2)]));
+        assert_eq!(reg.meter.inferences(), 2);
+    }
+
+    #[test]
+    fn meter_reset() {
+        let m = CostMeter::default();
+        m.add(1.5);
+        m.hit();
+        assert_eq!(m.inferences(), 1);
+        m.reset();
+        assert_eq!(m.cost(), 0.0);
+        assert_eq!(m.memo_hits(), 0);
+    }
+
+    #[test]
+    fn block_filter_short_circuits() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        let a = [Value::Int(1)];
+        let b = [Value::Int(1)];
+        let c = [Value::Int(2)];
+        // filter admits only (a, b)
+        let mut filter = rustc_hash::FxHashSet::default();
+        filter.insert((ModelRegistry::pair_key(&a), ModelRegistry::pair_key(&b)));
+        reg.set_block_filter(id, filter);
+        assert!(reg.predict_pair(id, &a, &b), "candidate pair runs the model");
+        assert!(!reg.predict_pair(id, &a, &c), "non-candidate short-circuits to false");
+        // only one real inference happened; the blocked pair was a hit
+        assert_eq!(reg.meter.inferences(), 1);
+        assert_eq!(reg.meter.memo_hits(), 1);
+        // removing the filter lets the blocked pair run for real
+        reg.clear_block_filter(id);
+        assert!(!reg.predict_pair(id, &a, &c));
+        assert_eq!(reg.meter.inferences(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a rank model")]
+    fn wrong_kind_panics() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        reg.rank_confidence(id, &[], &[]);
+    }
+}

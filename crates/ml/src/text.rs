@@ -1,0 +1,174 @@
+//! Text kernels: tokenization, character n-grams, and string similarity.
+//!
+//! These are the building blocks of the feature-based stand-ins for the
+//! paper's BERT/LSTM models: address normalization (`Maddr`), commodity SKU
+//! identification (`MSKU`), discount-code ER (`MER`), etc. all reduce to
+//! similarity/classification over token and n-gram features.
+
+/// Lowercase alphanumeric word tokens.
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Character n-grams (over the lowercased string with spaces collapsed).
+/// Strings shorter than `n` yield the whole string as a single gram.
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let norm: Vec<char> = s
+        .to_lowercase()
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    if norm.len() <= n {
+        return vec![norm.into_iter().collect()];
+    }
+    (0..=norm.len() - n)
+        .map(|i| norm[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Levenshtein edit distance (two-row DP; O(|a|·|b|) time, O(|b|) space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity in [0, 1].
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaccard similarity over token sets.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    use rustc_hash::FxHashSet;
+    let sa: FxHashSet<String> = tokenize(a).into_iter().collect();
+    let sb: FxHashSet<String> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity over character-trigram multisets.
+pub fn trigram_cosine(a: &str, b: &str) -> f64 {
+    use rustc_hash::FxHashMap;
+    let count = |s: &str| -> FxHashMap<String, f64> {
+        let mut m = FxHashMap::default();
+        for g in char_ngrams(s, 3) {
+            *m.entry(g).or_insert(0.0) += 1.0;
+        }
+        m
+    };
+    let ma = count(a);
+    let mb = count(b);
+    if ma.is_empty() && mb.is_empty() {
+        return 1.0;
+    }
+    let dot: f64 = ma
+        .iter()
+        .filter_map(|(g, x)| mb.get(g).map(|y| x * y))
+        .sum();
+    let na: f64 = ma.values().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = mb.values().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("IPhone 14 (Discount ID 41)"), vec![
+            "iphone", "14", "discount", "id", "41"
+        ]);
+        assert!(tokenize("  ,, ").is_empty());
+    }
+
+    #[test]
+    fn ngrams() {
+        assert_eq!(char_ngrams("abcd", 3), vec!["abc", "bcd"]);
+        assert_eq!(char_ngrams("ab", 3), vec!["ab"]);
+        assert!(char_ngrams("", 3).is_empty());
+        // whitespace collapsed
+        assert_eq!(char_ngrams("a b c", 3), vec!["abc"]);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("a", "a"), 1.0);
+        assert!(edit_similarity("abc", "xyz") <= 0.0 + 1e-12);
+        let s = edit_similarity("Beijing Road", "Beijing Rd");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn jaccard_and_cosine_agree_on_identity() {
+        assert_eq!(token_jaccard("a b c", "c b a"), 1.0);
+        assert!((trigram_cosine("hello world", "hello world") - 1.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("", ""), 1.0);
+    }
+
+    #[test]
+    fn similar_addresses_score_high() {
+        let a = "5 Beijing West Road";
+        let b = "5 West Road";
+        assert!(token_jaccard(a, b) >= 0.5);
+        assert!(trigram_cosine(a, b) > 0.5);
+        assert!(trigram_cosine(a, "Nike China Shanghai") < 0.35);
+    }
+}

@@ -1,0 +1,162 @@
+//! Support and confidence of REE++s (paper §3 "Rule discovery": top-k
+//! ranking uses "objective measures (confidence, support)"; §6 sets "the
+//! support (resp. confidence) threshold as 1e-8 (resp. 0.9)").
+//!
+//! * `support(φ, D)` — the number of valuations satisfying `X ∧ p0`,
+//!   normalized by the number of possible valuations (the product of bound
+//!   relation sizes). The paper's 1e-8 threshold is on this normalized
+//!   scale.
+//! * `confidence(φ, D)` — `|{h ⊨ X ∧ p0}| / |{h ⊨ X}|`.
+
+use crate::eval::{distinct_ok, enumerate_valuations, EvalContext};
+use crate::rule::Rule;
+use serde::{Deserialize, Serialize};
+
+/// Measured support/confidence of one rule over one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measures {
+    /// Count of valuations with `h ⊨ X`.
+    pub precondition_count: u64,
+    /// Count of valuations with `h ⊨ X ∧ p0`.
+    pub satisfying_count: u64,
+    /// Number of possible valuations (product of relation sizes).
+    pub possible: u64,
+}
+
+impl Measures {
+    /// Normalized support.
+    pub fn support(&self) -> f64 {
+        if self.possible == 0 {
+            0.0
+        } else {
+            self.satisfying_count as f64 / self.possible as f64
+        }
+    }
+
+    /// Confidence; 0 when the precondition never holds (a rule that never
+    /// fires carries no evidence).
+    pub fn confidence(&self) -> f64 {
+        if self.precondition_count == 0 {
+            0.0
+        } else {
+            self.satisfying_count as f64 / self.precondition_count as f64
+        }
+    }
+}
+
+/// Measure a rule over a database.
+pub fn measure(rule: &Rule, ctx: &EvalContext<'_>) -> Measures {
+    let mut pre = 0u64;
+    let mut sat = 0u64;
+    enumerate_valuations(rule, ctx, |h| {
+        if !distinct_ok(rule, h) {
+            return true;
+        }
+        pre += 1;
+        if ctx.eval_predicate(rule, h, &rule.consequence) == Some(true) {
+            sat += 1;
+        }
+        true
+    });
+    let possible: u64 = rule
+        .tuple_vars
+        .iter()
+        .map(|(_, rel)| ctx.db.relation(*rel).len() as u64)
+        .product();
+    Measures { precondition_count: pre, satisfying_count: sat, possible }
+}
+
+/// Measure and record onto the rule (discovery uses this).
+pub fn measure_into(rule: &mut Rule, ctx: &EvalContext<'_>) -> Measures {
+    let m = measure(rule, ctx);
+    rule.support = m.support();
+    rule.confidence = m.confidence();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::CmpOp;
+    use crate::predicate::Predicate;
+    use rock_data::{AttrId, AttrType, Database, DatabaseSchema, RelId, RelationSchema, Value};
+    use rock_ml::ModelRegistry;
+
+    fn db() -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::of(
+            "T",
+            &[("a", AttrType::Str), ("b", AttrType::Str)],
+        )]);
+        let mut db = Database::new(&schema);
+        let r = db.relation_mut(RelId(0));
+        // 3 tuples with a=x sharing b=1; 1 tuple with a=x but b=2
+        r.insert_row(vec![Value::str("x"), Value::str("1")]);
+        r.insert_row(vec![Value::str("x"), Value::str("1")]);
+        r.insert_row(vec![Value::str("x"), Value::str("1")]);
+        r.insert_row(vec![Value::str("x"), Value::str("2")]);
+        db
+    }
+
+    fn fd_rule() -> Rule {
+        // T(t) ∧ T(s) ∧ t.a = s.a → t.b = s.b
+        Rule::new(
+            "fd",
+            vec![("t".into(), RelId(0)), ("s".into(), RelId(0))],
+            vec![],
+            vec![Predicate::Attr {
+                lvar: 0,
+                lattr: AttrId(0),
+                op: CmpOp::Eq,
+                rvar: 1,
+                rattr: AttrId(0),
+            }],
+            Predicate::Attr {
+                lvar: 0,
+                lattr: AttrId(1),
+                op: CmpOp::Eq,
+                rvar: 1,
+                rattr: AttrId(1),
+            },
+        )
+    }
+
+    #[test]
+    fn support_and_confidence() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        let ctx = EvalContext::new(&db, &reg);
+        let m = measure(&fd_rule(), &ctx);
+        // precondition: all ordered distinct pairs (4·3 = 12)
+        assert_eq!(m.precondition_count, 12);
+        // satisfying: ordered pairs among the three b=1 tuples (3·2 = 6)
+        assert_eq!(m.satisfying_count, 6);
+        assert_eq!(m.possible, 16);
+        assert!((m.support() - 6.0 / 16.0).abs() < 1e-12);
+        assert!((m.confidence() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_into_records() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        let ctx = EvalContext::new(&db, &reg);
+        let mut r = fd_rule();
+        measure_into(&mut r, &ctx);
+        assert!(r.support > 0.0);
+        assert!((r.confidence - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_db_zero_measures() {
+        let schema = DatabaseSchema::new(vec![RelationSchema::of(
+            "T",
+            &[("a", AttrType::Str), ("b", AttrType::Str)],
+        )]);
+        let db = Database::new(&schema);
+        let reg = ModelRegistry::new();
+        let ctx = EvalContext::new(&db, &reg);
+        let m = measure(&fd_rule(), &ctx);
+        assert_eq!(m.support(), 0.0);
+        assert_eq!(m.confidence(), 0.0);
+    }
+}

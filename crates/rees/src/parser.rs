@@ -1,0 +1,700 @@
+//! Text DSL for REE++s, round-tripping with [`crate::rule::RuleDisplay`].
+//!
+//! ```text
+//! rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg
+//! rule phi1: Trans(t) && Trans(s) && ml:MER(t[com], s[com])
+//!            && t.date = s.date && t.sid = s.sid -> t.pid = s.pid
+//! rule phi4: Person(t) && Person(s) && t.status = 'single'
+//!            && s.status = 'married' -> t <=[status] s
+//! rule phi7: Store(t) && vertex(x) && her:HER(t, x)
+//!            && match(t.location, x.LocationAt)
+//!            -> t.location = val(x.LocationAt)
+//! rule phi8: Trans(t) && null(t.price) -> t.price = predict:Mprice(t[com,mfg])
+//! rule corr: Store(t) && corr:Mc(t[location], t.area_code='010') >= 0.8
+//!            -> t.area_code = '010'
+//! rule phi11: Person(t) && Person(s) && rank:Mrank(t, s, <=[LN]) -> t <=[LN] s
+//! ```
+//!
+//! Atom kinds are dispatched syntactically; see the match arms in
+//! [`parse_atom`]. Whitespace is insignificant; `&&` separates conjuncts;
+//! the single `->` separates precondition from consequence.
+
+use crate::op::CmpOp;
+use crate::predicate::{ModelRef, Predicate};
+use crate::rule::Rule;
+use rock_data::{AttrId, DatabaseSchema, RelId, Value};
+use rock_kg::LabelPath;
+use std::fmt;
+
+/// Parse failure with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error in rule '{}': {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Ctx<'a> {
+    schema: &'a DatabaseSchema,
+    name: String,
+    tuple_vars: Vec<(String, RelId)>,
+    vertex_vars: Vec<String>,
+}
+
+impl Ctx<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { rule: self.name.clone(), message: msg.into() }
+    }
+
+    fn var(&self, name: &str) -> Result<usize, ParseError> {
+        self.tuple_vars
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| self.err(format!("unknown tuple variable '{name}'")))
+    }
+
+    fn vertex(&self, name: &str) -> Result<usize, ParseError> {
+        self.vertex_vars
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| self.err(format!("unknown vertex variable '{name}'")))
+    }
+
+    fn attr(&self, var: usize, name: &str) -> Result<AttrId, ParseError> {
+        let rel = self.schema.relation(self.tuple_vars[var].1);
+        rel.attr_id(name)
+            .ok_or_else(|| self.err(format!("relation {} has no attribute '{name}'", rel.name)))
+    }
+
+    /// Parse `t.attr`, rejecting the pseudo-attribute `eid`.
+    fn var_attr(&self, s: &str) -> Result<(usize, AttrId), ParseError> {
+        let (v, a) = s
+            .split_once('.')
+            .ok_or_else(|| self.err(format!("expected var.attr, got '{s}'")))?;
+        let var = self.var(v.trim())?;
+        Ok((var, self.attr(var, a.trim())?))
+    }
+
+    /// Parse `t[a,b,c]` into (var, attrs).
+    fn var_attr_list(&self, s: &str) -> Result<(usize, Vec<AttrId>), ParseError> {
+        let s = s.trim();
+        let open = s
+            .find('[')
+            .ok_or_else(|| self.err(format!("expected var[attrs], got '{s}'")))?;
+        if !s.ends_with(']') {
+            return Err(self.err(format!("expected var[attrs], got '{s}'")));
+        }
+        let var = self.var(s[..open].trim())?;
+        let inner = &s[open + 1..s.len() - 1];
+        let attrs = inner
+            .split(',')
+            .filter(|a| !a.trim().is_empty())
+            .map(|a| self.attr(var, a.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((var, attrs))
+    }
+
+    /// Parse a constant literal against an attribute's type.
+    fn constant(&self, var: usize, attr: AttrId, raw: &str) -> Result<Value, ParseError> {
+        let raw = raw.trim();
+        let unquoted = if raw.len() >= 2 && raw.starts_with('\'') && raw.ends_with('\'') {
+            &raw[1..raw.len() - 1]
+        } else {
+            raw
+        };
+        let ty = self
+            .schema
+            .relation(self.tuple_vars[var].1)
+            .attr(attr)
+            .ty;
+        Ok(Value::parse_as(unquoted, ty))
+    }
+}
+
+/// Parse one rule from its DSL line.
+///
+/// ```
+/// use rock_rees::parse_rule;
+/// use rock_data::{AttrType, DatabaseSchema, RelationSchema};
+///
+/// let schema = DatabaseSchema::new(vec![RelationSchema::of(
+///     "Trans",
+///     &[("com", AttrType::Str), ("mfg", AttrType::Str)],
+/// )]);
+/// let rule = parse_rule(
+///     "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+///     &schema,
+/// )
+/// .unwrap();
+/// assert_eq!(rule.name, "phi2");
+/// assert_eq!(rule.precondition.len(), 1);
+/// // the pretty-printer round-trips
+/// assert_eq!(
+///     rule.display(&schema).to_string(),
+///     "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg"
+/// );
+/// ```
+pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseError> {
+    let input = input.trim();
+    let fail = |m: &str| ParseError { rule: String::new(), message: m.into() };
+    let rest = input
+        .strip_prefix("rule")
+        .ok_or_else(|| fail("rule must start with 'rule'"))?
+        .trim_start();
+    let (name, body) = rest
+        .split_once(':')
+        .ok_or_else(|| fail("missing ':' after rule name"))?;
+    let name = name.trim().to_owned();
+    let (pre_text, cons_text) = body
+        .rsplit_once("->")
+        .ok_or_else(|| ParseError { rule: name.clone(), message: "missing '->'".into() })?;
+
+    let mut ctx = Ctx {
+        schema,
+        name: name.clone(),
+        tuple_vars: Vec::new(),
+        vertex_vars: Vec::new(),
+    };
+
+    // First pass: collect relation atoms and vertex atoms; stash the rest.
+    let mut pred_atoms: Vec<&str> = Vec::new();
+    for atom in pre_text.split("&&") {
+        let atom = atom.trim();
+        if atom.is_empty() {
+            continue;
+        }
+        if let Some(inner) = atom.strip_prefix("vertex(").and_then(|a| a.strip_suffix(')')) {
+            ctx.vertex_vars.push(inner.trim().to_owned());
+            continue;
+        }
+        // `Rel(v)` — a bare identifier followed by a parenthesized bare
+        // identifier, and the identifier is a known relation.
+        if let Some((rel_name, rest)) = atom.split_once('(') {
+            let rel_name = rel_name.trim();
+            if let Some(rid) = schema.rel_id(rel_name) {
+                if let Some(v) = rest.strip_suffix(')') {
+                    let v = v.trim();
+                    if !v.is_empty() && v.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                        ctx.tuple_vars.push((v.to_owned(), rid));
+                        continue;
+                    }
+                }
+            }
+        }
+        pred_atoms.push(atom);
+    }
+    if ctx.tuple_vars.is_empty() {
+        return Err(ctx.err("rule binds no tuple variables"));
+    }
+
+    let precondition = pred_atoms
+        .iter()
+        .map(|a| parse_atom(a, &ctx))
+        .collect::<Result<Vec<_>, _>>()?;
+    let consequence = parse_atom(cons_text.trim(), &ctx)?;
+
+    let rule = Rule::new(name, ctx.tuple_vars, ctx.vertex_vars, precondition, consequence);
+    rule.validate(schema)
+        .map_err(|m| ParseError { rule: rule.name.clone(), message: m })?;
+    Ok(rule)
+}
+
+/// Parse many rules: one per non-empty, non-`#`-comment line.
+pub fn parse_rules(input: &str, schema: &DatabaseSchema) -> Result<Vec<Rule>, ParseError> {
+    input
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| parse_rule(l, schema))
+        .collect()
+}
+
+fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
+    let atom = atom.trim();
+
+    // null(t.attr)
+    if let Some(inner) = atom.strip_prefix("null(").and_then(|a| a.strip_suffix(')')) {
+        let (var, attr) = ctx.var_attr(inner)?;
+        return Ok(Predicate::IsNull { var, attr });
+    }
+
+    // ml:Model(t[...], s[...])
+    if let Some(rest) = atom.strip_prefix("ml:") {
+        let (model, args) = split_call(rest).ok_or_else(|| ctx.err(format!("bad ml atom '{atom}'")))?;
+        let parts = split_args(args);
+        if parts.len() != 2 {
+            return Err(ctx.err(format!("ml predicate needs 2 args: '{atom}'")));
+        }
+        let (lvar, lattrs) = ctx.var_attr_list(&parts[0])?;
+        let (rvar, rattrs) = ctx.var_attr_list(&parts[1])?;
+        return Ok(Predicate::Ml { model: ModelRef::named(model), lvar, lattrs, rvar, rattrs });
+    }
+
+    // rank:Model(t, s, <=[attr]) / <[attr]
+    if let Some(rest) = atom.strip_prefix("rank:") {
+        let (model, args) =
+            split_call(rest).ok_or_else(|| ctx.err(format!("bad rank atom '{atom}'")))?;
+        let parts = split_args(args);
+        if parts.len() != 3 {
+            return Err(ctx.err(format!("rank predicate needs 3 args: '{atom}'")));
+        }
+        let lvar = ctx.var(parts[0].trim())?;
+        let rvar = ctx.var(parts[1].trim())?;
+        let (strict, attr_name) = parse_order_spec(parts[2].trim())
+            .ok_or_else(|| ctx.err(format!("bad order spec '{}'", parts[2])))?;
+        let attr = ctx.attr(lvar, attr_name)?;
+        return Ok(Predicate::MlRank { model: ModelRef::named(model), lvar, rvar, attr, strict });
+    }
+
+    // her:Model(t, x)
+    if let Some(rest) = atom.strip_prefix("her:") {
+        let (model, args) =
+            split_call(rest).ok_or_else(|| ctx.err(format!("bad her atom '{atom}'")))?;
+        let parts = split_args(args);
+        if parts.len() != 2 {
+            return Err(ctx.err(format!("her predicate needs 2 args: '{atom}'")));
+        }
+        let tvar = ctx.var(parts[0].trim())?;
+        let xvar = ctx.vertex(parts[1].trim())?;
+        return Ok(Predicate::Her { model: ModelRef::named(model), tvar, xvar });
+    }
+
+    // match(t.attr, x.path)
+    if let Some(inner) = atom.strip_prefix("match(").and_then(|a| a.strip_suffix(')')) {
+        let parts = split_args(inner);
+        if parts.len() != 2 {
+            return Err(ctx.err(format!("match needs 2 args: '{atom}'")));
+        }
+        let (tvar, attr) = ctx.var_attr(parts[0].trim())?;
+        let (xvar, path) = parse_vertex_path(parts[1].trim(), ctx)?;
+        return Ok(Predicate::PathMatch { tvar, attr, xvar, path });
+    }
+
+    // corr:Mc(t[..], t.B='c') >= d   |   corr:Mc(t[..], t.B) >= d
+    if let Some(rest) = atom.strip_prefix("corr:") {
+        let ge = rest
+            .rfind(">=")
+            .ok_or_else(|| ctx.err(format!("corr predicate missing '>= δ': '{atom}'")))?;
+        let delta: f64 = rest[ge + 2..]
+            .trim()
+            .parse()
+            .map_err(|_| ctx.err(format!("bad δ in '{atom}'")))?;
+        let call = rest[..ge].trim();
+        let (model, args) =
+            split_call(call).ok_or_else(|| ctx.err(format!("bad corr atom '{atom}'")))?;
+        let parts = split_args(args);
+        if parts.len() != 2 {
+            return Err(ctx.err(format!("corr predicate needs 2 args: '{atom}'")));
+        }
+        let (var, evidence) = ctx.var_attr_list(&parts[0])?;
+        let second = parts[1].trim();
+        if let Some((ta, val)) = second.split_once('=') {
+            let (v2, target) = ctx.var_attr(ta.trim())?;
+            if v2 != var {
+                return Err(ctx.err("corr evidence and target must share a variable"));
+            }
+            let value = ctx.constant(var, target, val)?;
+            return Ok(Predicate::CorrConst {
+                model: ModelRef::named(model),
+                var,
+                evidence,
+                target,
+                value,
+                delta,
+            });
+        }
+        let (v2, target) = ctx.var_attr(second)?;
+        if v2 != var {
+            return Err(ctx.err("corr evidence and target must share a variable"));
+        }
+        return Ok(Predicate::CorrAttr { model: ModelRef::named(model), var, evidence, target, delta });
+    }
+
+    // t <=[attr] s   |   t <[attr] s   (temporal)
+    if let Some(p) = try_parse_temporal(atom, ctx)? {
+        return Ok(p);
+    }
+
+    // comparison family: find the operator at top level.
+    if let Some((lhs, op, rhs)) = split_comparison(atom) {
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+
+        // t.eid = s.eid
+        if lhs.ends_with(".eid") && rhs.ends_with(".eid") {
+            let lvar = ctx.var(&lhs[..lhs.len() - 4])?;
+            let rvar = ctx.var(&rhs[..rhs.len() - 4])?;
+            let eq = match op {
+                CmpOp::Eq => true,
+                CmpOp::Neq => false,
+                _ => return Err(ctx.err("eid comparison must be = or !=")),
+            };
+            return Ok(Predicate::EidCmp { lvar, rvar, eq });
+        }
+
+        // t.attr = val(x.path)
+        if op == CmpOp::Eq {
+            if let Some(inner) = rhs.strip_prefix("val(").and_then(|r| r.strip_suffix(')')) {
+                let (tvar, attr) = ctx.var_attr(lhs)?;
+                let (xvar, path) = parse_vertex_path(inner.trim(), ctx)?;
+                return Ok(Predicate::ValExtract { tvar, attr, xvar, path });
+            }
+            // t.attr = predict:Md(t[...])
+            if let Some(rest) = rhs.strip_prefix("predict:") {
+                let (model, args) =
+                    split_call(rest).ok_or_else(|| ctx.err(format!("bad predict atom '{atom}'")))?;
+                let (var2, evidence) = ctx.var_attr_list(args)?;
+                let (var, target) = ctx.var_attr(lhs)?;
+                if var != var2 {
+                    return Err(ctx.err("predict target and evidence must share a variable"));
+                }
+                return Ok(Predicate::Predict { model: ModelRef::named(model), var, evidence, target });
+            }
+        }
+
+        // t.attr OP s.attr  — rhs looks like var.attr with a known variable
+        if let Some((v, _)) = rhs.split_once('.') {
+            if ctx.var(v.trim()).is_ok() && !rhs.starts_with('\'') {
+                let (lvar, lattr) = ctx.var_attr(lhs)?;
+                let (rvar, rattr) = ctx.var_attr(rhs)?;
+                return Ok(Predicate::Attr { lvar, lattr, op, rvar, rattr });
+            }
+        }
+
+        // t.attr OP constant
+        let (var, attr) = ctx.var_attr(lhs)?;
+        let value = ctx.constant(var, attr, rhs)?;
+        return Ok(Predicate::Const { var, attr, op, value });
+    }
+
+    Err(ctx.err(format!("unrecognized atom '{atom}'")))
+}
+
+/// `t <=[attr] s` / `t <[attr] s`
+fn try_parse_temporal(atom: &str, ctx: &Ctx<'_>) -> Result<Option<Predicate>, ParseError> {
+    for (tok, strict) in [("<=[", false), ("<[", true)] {
+        if let Some(pos) = atom.find(tok) {
+            let lhs = atom[..pos].trim();
+            let rest = &atom[pos + tok.len()..];
+            let close = rest
+                .find(']')
+                .ok_or_else(|| ctx.err(format!("missing ']' in '{atom}'")))?;
+            let attr_name = rest[..close].trim();
+            let rhs = rest[close + 1..].trim();
+            // Distinguish from rank:...(… <=[attr]) — those are handled
+            // earlier; here lhs/rhs must be bare variables.
+            if lhs.contains('(') || rhs.contains(')') {
+                return Ok(None);
+            }
+            let lvar = ctx.var(lhs)?;
+            let rvar = ctx.var(rhs)?;
+            let attr = ctx.attr(lvar, attr_name)?;
+            return Ok(Some(Predicate::Temporal { lvar, rvar, attr, strict }));
+        }
+    }
+    Ok(None)
+}
+
+/// `<=[attr]` / `<[attr]` inside rank calls → (strict, attr name).
+fn parse_order_spec(s: &str) -> Option<(bool, &str)> {
+    let (strict, rest) = if let Some(r) = s.strip_prefix("<=[") {
+        (false, r)
+    } else if let Some(r) = s.strip_prefix("<[") {
+        (true, r)
+    } else {
+        return None;
+    };
+    rest.strip_suffix(']').map(|a| (strict, a.trim()))
+}
+
+/// `x.Path/Seg` → (vertex var, label path)
+fn parse_vertex_path(s: &str, ctx: &Ctx<'_>) -> Result<(usize, LabelPath), ParseError> {
+    let (x, path) = s
+        .split_once('.')
+        .ok_or_else(|| ctx.err(format!("expected x.path, got '{s}'")))?;
+    Ok((ctx.vertex(x.trim())?, LabelPath::parse(path.trim())))
+}
+
+/// `Name(args)` → (name, args-without-parens). The args span to the final
+/// `)` of the string.
+fn split_call(s: &str) -> Option<(&str, &str)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    Some((s[..open].trim(), &s[open + 1..close]))
+}
+
+/// Split call arguments at top-level commas (not inside brackets).
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' | '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Find the top-level comparison operator, longest-match-first, skipping
+/// quoted strings and the `<=[`/`<[` temporal forms.
+fn split_comparison(s: &str) -> Option<(&str, CmpOp, &str)> {
+    let bytes = s.as_bytes();
+    let mut in_quote = false;
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\'' => in_quote = !in_quote,
+            '(' | '[' if !in_quote => depth += 1,
+            ')' | ']' if !in_quote => depth -= 1,
+            _ if in_quote || depth > 0 => {}
+            '!' | '<' | '>' | '=' => {
+                // skip temporal forms `<=[`, `<[`
+                if c == '<' {
+                    let two = s.get(i..i + 2).unwrap_or("");
+                    let three = s.get(i..i + 3).unwrap_or("");
+                    if three == "<=[" || two == "<[" {
+                        i += 1;
+                        continue;
+                    }
+                }
+                // two-char ops first
+                for (tok, op) in [
+                    ("<=", CmpOp::Le),
+                    (">=", CmpOp::Ge),
+                    ("!=", CmpOp::Neq),
+                    ("<>", CmpOp::Neq),
+                    ("==", CmpOp::Eq),
+                ] {
+                    if s[i..].starts_with(tok) {
+                        return Some((&s[..i], op, &s[i + tok.len()..]));
+                    }
+                }
+                for (tok, op) in [("=", CmpOp::Eq), ("<", CmpOp::Lt), (">", CmpOp::Gt)] {
+                    if s[i..].starts_with(tok) {
+                        return Some((&s[..i], op, &s[i + tok.len()..]));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, RelationSchema};
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new(vec![
+            RelationSchema::of(
+                "Person",
+                &[
+                    ("pid", AttrType::Str),
+                    ("LN", AttrType::Str),
+                    ("FN", AttrType::Str),
+                    ("gender", AttrType::Str),
+                    ("home", AttrType::Str),
+                    ("status", AttrType::Str),
+                    ("spouse", AttrType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "Store",
+                &[
+                    ("sid", AttrType::Str),
+                    ("name", AttrType::Str),
+                    ("type", AttrType::Str),
+                    ("location", AttrType::Str),
+                    ("accu_sales", AttrType::Float),
+                    ("area_code", AttrType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "Trans",
+                &[
+                    ("pid", AttrType::Str),
+                    ("sid", AttrType::Str),
+                    ("com", AttrType::Str),
+                    ("mfg", AttrType::Str),
+                    ("price", AttrType::Float),
+                    ("date", AttrType::Date),
+                ],
+            ),
+        ])
+    }
+
+    fn roundtrip(line: &str) {
+        let s = schema();
+        let r = parse_rule(line, &s).unwrap_or_else(|e| panic!("{e}"));
+        let printed = r.display(&s).to_string();
+        let r2 = parse_rule(&printed, &s).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+        assert_eq!(r, r2, "round-trip mismatch:\n  {line}\n  {printed}");
+    }
+
+    #[test]
+    fn phi2_plain_fd() {
+        roundtrip("rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg");
+    }
+
+    #[test]
+    fn phi1_ml_predicate() {
+        roundtrip(
+            "rule phi1: Trans(t) && Trans(s) && ml:MER(t[com], s[com]) && t.date = s.date && t.sid = s.sid -> t.pid = s.pid",
+        );
+    }
+
+    #[test]
+    fn phi4_temporal_consequence() {
+        roundtrip(
+            "rule phi4: Person(t) && Person(s) && t.status = 'single' && s.status = 'married' -> t <=[status] s",
+        );
+    }
+
+    #[test]
+    fn phi5_temporal_both_sides() {
+        roundtrip(
+            "rule phi5: Person(t) && Person(s) && t <=[status] s -> t <=[home] s",
+        );
+    }
+
+    #[test]
+    fn phi6_correlated_ordering() {
+        roundtrip(
+            "rule phi6: Store(t) && Store(s) && t.location = 'Shanghai' && s.location = 'Beijing' && t.accu_sales <= s.accu_sales -> t <=[location] s",
+        );
+    }
+
+    #[test]
+    fn phi7_extraction() {
+        roundtrip(
+            "rule phi7: Store(t) && vertex(x) && her:HER(t, x) && match(t.location, x.LocationAt) -> t.location = val(x.LocationAt)",
+        );
+    }
+
+    #[test]
+    fn phi8_prediction() {
+        roundtrip(
+            "rule phi8: Trans(t) && null(t.price) -> t.price = predict:Mprice(t[com,mfg])",
+        );
+    }
+
+    #[test]
+    fn phi11_rank() {
+        roundtrip(
+            "rule phi11: Person(t) && Person(s) && rank:Mrank(t, s, <=[LN]) -> t <=[LN] s",
+        );
+    }
+
+    #[test]
+    fn phi12_constant_consequence() {
+        roundtrip(
+            "rule phi12: Store(t) && t.location = 'Beijing' -> t.area_code = '010'",
+        );
+    }
+
+    #[test]
+    fn corr_const_predicate() {
+        roundtrip(
+            "rule mc: Store(t) && corr:Mc(t[location,name], t.area_code='010') >= 0.8 -> t.area_code = '010'",
+        );
+    }
+
+    #[test]
+    fn corr_attr_predicate() {
+        roundtrip(
+            "rule mca: Store(t) && corr:Mc(t[location], t.area_code) >= 0.7 -> t.area_code = t.area_code",
+        );
+    }
+
+    #[test]
+    fn eid_consequence() {
+        roundtrip(
+            "rule er: Person(t) && Person(s) && t.LN = s.LN && t.FN = s.FN && t.home = s.home -> t.eid = s.eid",
+        );
+        roundtrip(
+            "rule ner: Person(t) && Person(s) && t.gender != s.gender -> t.eid != s.eid",
+        );
+    }
+
+    #[test]
+    fn strict_temporal() {
+        roundtrip("rule st: Person(t) && Person(s) && t <[home] s -> t <=[status] s");
+    }
+
+    #[test]
+    fn numeric_constants_typed() {
+        let s = schema();
+        let r = parse_rule(
+            "rule n: Trans(t) && t.price >= 5000 -> t.mfg = 'Apple'",
+            &s,
+        )
+        .unwrap();
+        match &r.precondition[0] {
+            Predicate::Const { value, .. } => assert_eq!(value, &Value::Float(5000.0)),
+            p => panic!("unexpected {p:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rules_skips_comments() {
+        let text = "\n# comment\nrule a: Trans(t) && t.price >= 1 -> t.mfg = 'Apple'\n\nrule b: Trans(t) && null(t.price) -> t.mfg = 'Apple'\n";
+        let rules = parse_rules(text, &schema()).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].name, "b");
+    }
+
+    #[test]
+    fn error_messages_are_helpful() {
+        let s = schema();
+        let e = parse_rule("rule x: Trans(t) -> t.nope = 'a'", &s).unwrap_err();
+        assert!(e.message.contains("no attribute"), "{e}");
+        let e = parse_rule("rule x: Trans(t) -> q.price = 1", &s).unwrap_err();
+        assert!(e.message.contains("unknown tuple variable"), "{e}");
+        let e = parse_rule("Trans(t) -> t.price = 1", &s).unwrap_err();
+        assert!(e.message.contains("start with 'rule'"), "{e}");
+        let e = parse_rule("rule x: Trans(t) t.price = 1", &s).unwrap_err();
+        assert!(e.message.contains("missing '->'"), "{e}");
+    }
+
+    #[test]
+    fn quoted_string_with_operator_chars() {
+        let s = schema();
+        let r = parse_rule(
+            "rule q: Store(t) && t.name = 'A <= B' -> t.area_code = '010'",
+            &s,
+        )
+        .unwrap();
+        match &r.precondition[0] {
+            Predicate::Const { value, .. } => assert_eq!(value, &Value::str("A <= B")),
+            p => panic!("unexpected {p:?}"),
+        }
+    }
+}

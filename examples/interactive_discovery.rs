@@ -1,0 +1,87 @@
+//! Interactive top-k rule discovery (paper §5.2 "Prior knowledge learning"
+//! and the anytime algorithm of [37]): Rock shows batches of discovered
+//! REE++s, a (simulated) data-quality expert labels them useful or not,
+//! and the learned preference model re-ranks what comes next.
+//!
+//! ```text
+//! cargo run --release --example interactive_discovery
+//! ```
+
+use rock::core::{RockConfig, RockSystem};
+use rock::discovery::levelwise::DiscoveryConfig;
+use rock::discovery::topk::AnytimeMiner;
+use rock::workloads::workload::GenConfig;
+
+fn main() {
+    let w = rock::workloads::logistics::generate(&GenConfig {
+        rows: 240,
+        error_rate: 0.08,
+        seed: 17,
+        trusted_per_rel: 24,
+    });
+    let sys = RockSystem::new(RockConfig {
+        discovery: DiscoveryConfig {
+            min_support: 1e-4,
+            min_confidence: 0.9,
+            max_preconditions: 2,
+            ..Default::default()
+        },
+        sample_ratio: 0.4,
+        ..RockConfig::default()
+    });
+    let schema = w.dirty.schema();
+
+    // mine the candidate pool once (offline)
+    let pool = sys.discover(&w).rules;
+    println!("candidate pool: {} REE++s\n", pool.len());
+
+    // the simulated expert: likes rules about the `region` attribute,
+    // dislikes constant-heavy rules (a stand-in for domain preference)
+    let expert_likes = |rule: &rock::rees::Rule| -> bool {
+        rule.display(&schema).to_string().contains("region")
+    };
+
+    let mut miner = AnytimeMiner::new(pool.rules.clone());
+    let mut liked_total = 0usize;
+    for round in 0..3 {
+        let batch = miner.next_k(4);
+        if batch.is_empty() {
+            break;
+        }
+        println!("— round {round}: Rock proposes {} rules —", batch.len());
+        let mut liked_in_round = 0usize;
+        for idx in batch {
+            let rule = miner.rule(idx).clone();
+            let useful = expert_likes(&rule);
+            println!(
+                "  [{}] {}",
+                if useful { "keep" } else { "skip" },
+                rule.display(&schema)
+            );
+            if useful {
+                liked_in_round += 1;
+            }
+            miner.feedback(idx, useful);
+        }
+        liked_total += liked_in_round;
+        println!("  expert kept {liked_in_round}/4; preference model retrained\n");
+    }
+    println!(
+        "{} rules remain un-reviewed; expert kept {} so far",
+        miner.remaining(),
+        liked_total
+    );
+
+    // one-shot diversified top-k with the accumulated feedback
+    let labeled: Vec<(String, bool)> = pool
+        .rules
+        .iter()
+        .map(|r| (r.name.clone(), expert_likes(r)))
+        .collect();
+    let top = sys.discover_top_k(&w, 5, &labeled[..labeled.len().min(8)]);
+    println!("\ndiversified top-5 under the learned preferences:");
+    for r in top.iter() {
+        println!("  {}", r.display(&schema));
+    }
+    println!("\ninteractive_discovery OK");
+}

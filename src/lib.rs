@@ -1,0 +1,32 @@
+//! # Rock — cleaning data by embedding ML in logic rules
+//!
+//! Facade crate re-exporting the whole Rock workspace. See the README for a
+//! quickstart and `DESIGN.md` for the crate map. The sub-crates:
+//!
+//! * [`data`] — relational substrate (values, schemas, temporal relations).
+//! * [`kg`] — knowledge graphs for the extraction predicates.
+//! * [`ml`] — embedded-ML substrate (pair classifiers, `Mrank`, `Mc`/`Md`,
+//!   HER, LSH blocking, model registry).
+//! * [`rees`] — the REE++ rule language.
+//! * [`chase`] — the unified ER+CR+MI+TD chase engine with certain fixes.
+//! * [`discovery`] — rule discovery (levelwise, sampling, top-k, anytime).
+//! * [`detect`] — batch and incremental error detection.
+//! * [`crystal`] — the distributed substrate (consistent hashing, block
+//!   store, work-stealing scheduler).
+//! * [`core`] — the end-to-end Rock system facade and its ablation
+//!   variants.
+//! * [`baselines`] — ES, T5s, RB, SparkSQL-sim, Presto-sim.
+//! * [`workloads`] — synthetic Bank / Logistics / Sales generators with
+//!   seeded error injection.
+
+pub use rock_baselines as baselines;
+pub use rock_chase as chase;
+pub use rock_core as core;
+pub use rock_crystal as crystal;
+pub use rock_data as data;
+pub use rock_detect as detect;
+pub use rock_discovery as discovery;
+pub use rock_kg as kg;
+pub use rock_ml as ml;
+pub use rock_rees as rees;
+pub use rock_workloads as workloads;

@@ -1,0 +1,122 @@
+//! End-to-end integration over the three synthetic applications (paper
+//! §6): generate → detect → correct, asserting the evaluation's headline
+//! shapes hold — Rock beats its ablations where the paper says it should
+//! and cleans most injected errors.
+
+use rock::core::{RockConfig, RockSystem, Variant};
+use rock::workloads::workload::GenConfig;
+use rock::workloads::Workload;
+
+fn cfg(seed: u64) -> GenConfig {
+    GenConfig { rows: 180, error_rate: 0.08, seed, trusted_per_rel: 20 }
+}
+
+fn apps() -> Vec<Workload> {
+    vec![
+        rock::workloads::bank::generate(&cfg(1)),
+        rock::workloads::logistics::generate(&cfg(2)),
+        rock::workloads::sales::generate(&cfg(3)),
+    ]
+}
+
+#[test]
+fn detection_f1_above_bar_on_all_apps() {
+    for w in apps() {
+        let sys = RockSystem::new(RockConfig::default());
+        let task = w.tasks.last().unwrap().clone();
+        let out = sys.detect(&w, &task);
+        assert!(
+            out.metrics.f1() > 0.6,
+            "{} detection F1 {:.3} too low",
+            w.name,
+            out.metrics.f1()
+        );
+    }
+}
+
+#[test]
+fn correction_f1_above_bar_on_all_apps() {
+    for w in apps() {
+        let sys = RockSystem::new(RockConfig::default());
+        let task = w.tasks.last().unwrap().clone();
+        let out = sys.correct(&w, &task);
+        assert!(
+            out.metrics.f1() > 0.6,
+            "{} correction F1 {:.3} too low",
+            w.name,
+            out.metrics.f1()
+        );
+    }
+}
+
+#[test]
+fn rockseq_matches_rock_and_dominates_noc() {
+    // Paper §6 Exp-3: "Rock has the same F-Measure as Rockseq because both
+    // adopt the chasing procedure"; RocknoC loses the interactions.
+    let w = rock::workloads::sales::generate(&cfg(9));
+    let task = w.tasks.last().unwrap().clone();
+    let f1 = |variant| {
+        RockSystem::new(RockConfig { variant, ..RockConfig::default() })
+            .correct(&w, &task)
+            .metrics
+            .f1()
+    };
+    let rock = f1(Variant::Rock);
+    let seq = f1(Variant::RockSeq);
+    let noc = f1(Variant::RockNoC);
+    assert!((rock - seq).abs() < 0.02, "rock {rock:.3} vs seq {seq:.3}");
+    assert!(noc < rock - 0.01, "noc {noc:.3} must trail rock {rock:.3}");
+}
+
+#[test]
+fn ml_predicates_lift_sales_accuracy() {
+    // Paper §6 Exp-2/3: dropping ML predicates costs accuracy, most
+    // visibly on Sales (numeric TPWT + ML-dependent imputations).
+    let w = rock::workloads::sales::generate(&cfg(11));
+    let task = w.tasks.last().unwrap().clone();
+    let rock = RockSystem::new(RockConfig::default()).correct(&w, &task);
+    let noml = RockSystem::new(RockConfig {
+        variant: Variant::RockNoMl,
+        ..RockConfig::default()
+    })
+    .correct(&w, &task);
+    assert!(
+        rock.metrics.f1() > noml.metrics.f1() + 0.1,
+        "rock {:.3} vs noml {:.3}",
+        rock.metrics.f1(),
+        noml.metrics.f1()
+    );
+}
+
+#[test]
+fn repaired_database_has_fewer_violations() {
+    for w in apps() {
+        let sys = RockSystem::new(RockConfig::default());
+        let task = w.tasks.last().unwrap().clone();
+        let before = sys.detect(&w, &task).report.count();
+        let out = sys.correct(&w, &task);
+        // re-detect on the repaired data
+        let rules = w.rules_for(&task);
+        let det = rock::detect::Detector::new(&rules, &w.registry);
+        let after = det.detect(&out.repaired).count();
+        assert!(
+            after < before / 2,
+            "{}: violations {before} -> {after}, expected a big drop",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn workloads_are_deterministic_across_generations() {
+    let a = rock::workloads::bank::generate(&cfg(5));
+    let b = rock::workloads::bank::generate(&cfg(5));
+    assert_eq!(a.truth.total(), b.truth.total());
+    assert_eq!(a.dirty.total_tuples(), b.dirty.total_tuples());
+    let sys = RockSystem::new(RockConfig::default());
+    let task_a = a.tasks.last().unwrap().clone();
+    let task_b = b.tasks.last().unwrap().clone();
+    let fa = sys.correct(&a, &task_a).metrics;
+    let fb = sys.correct(&b, &task_b).metrics;
+    assert_eq!((fa.tp, fa.fp, fa.fn_), (fb.tp, fb.fp, fb.fn_));
+}

@@ -1,0 +1,134 @@
+//! Property test: the rule pretty-printer and parser round-trip — every
+//! generated REE++ renders to DSL text that parses back to an equal rule.
+
+use proptest::prelude::*;
+use rock::data::{AttrId, AttrType, DatabaseSchema, RelId, RelationSchema, Value};
+use rock::rees::{parse_rule, CmpOp, ModelRef, Predicate, Rule};
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::new(vec![
+        RelationSchema::of(
+            "Person",
+            &[
+                ("pid", AttrType::Str),
+                ("name", AttrType::Str),
+                ("home", AttrType::Str),
+                ("age", AttrType::Int),
+            ],
+        ),
+        RelationSchema::of(
+            "Store",
+            &[
+                ("sid", AttrType::Str),
+                ("city", AttrType::Str),
+                ("sales", AttrType::Float),
+            ],
+        ),
+    ])
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Constant values that survive rendering (no quotes/newlines — the DSL's
+/// documented literal limitation).
+fn str_value() -> impl Strategy<Value = Value> {
+    "[a-zA-Z0-9 _.-]{1,12}".prop_map(Value::str)
+}
+
+/// Generate predicates over a fixed two-variable Person template.
+fn person_predicate() -> impl Strategy<Value = Predicate> {
+    let attr = 0u16..4;
+    prop_oneof![
+        // t.A op 'c' — string attrs only so the constant round-trips
+        (0usize..2, 1u16..3, cmp_op(), str_value()).prop_map(|(var, a, op, value)| {
+            Predicate::Const { var, attr: AttrId(a), op, value }
+        }),
+        // t.A op s.B over same-typed string attrs
+        (1u16..3, cmp_op(), 1u16..3).prop_map(|(la, op, ra)| Predicate::Attr {
+            lvar: 0,
+            lattr: AttrId(la),
+            op,
+            rvar: 1,
+            rattr: AttrId(ra),
+        }),
+        // null(t.A)
+        (0usize..2, attr.clone()).prop_map(|(var, a)| Predicate::IsNull { var, attr: AttrId(a) }),
+        // temporal
+        (attr.clone(), any::<bool>()).prop_map(|(a, strict)| Predicate::Temporal {
+            lvar: 0,
+            rvar: 1,
+            attr: AttrId(a),
+            strict,
+        }),
+        // ML pair predicate
+        (prop::collection::vec(0u16..4, 1..3)).prop_map(|attrs| {
+            let attrs: Vec<AttrId> = {
+                let mut a: Vec<u16> = attrs;
+                a.sort_unstable();
+                a.dedup();
+                a.into_iter().map(AttrId).collect()
+            };
+            Predicate::Ml {
+                model: ModelRef::named("M"),
+                lvar: 0,
+                lattrs: attrs.clone(),
+                rvar: 1,
+                rattrs: attrs,
+            }
+        }),
+        // eid comparison
+        any::<bool>().prop_map(|eq| Predicate::EidCmp { lvar: 0, rvar: 1, eq }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_then_parse_is_identity(
+        mut pre in prop::collection::vec(person_predicate(), 1..4),
+        cons in person_predicate(),
+    ) {
+        let schema = schema();
+        // consequence must not duplicate a precondition textually for the
+        // equality check to be meaningful; duplicates are fine for the
+        // parser, so keep them.
+        let rule = Rule::new(
+            "p",
+            vec![("t".into(), RelId(0)), ("s".into(), RelId(0))],
+            vec![],
+            std::mem::take(&mut pre),
+            cons,
+        );
+        prop_assume!(rule.validate(&schema).is_ok());
+        let text = rule.display(&schema).to_string();
+        let reparsed = parse_rule(&text, &schema)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n  text: {text}"));
+        prop_assert_eq!(rule, reparsed, "text: {}", text);
+    }
+
+    /// Parsing is total on printable garbage: never panics, returns Err.
+    #[test]
+    fn parser_never_panics(junk in "[ -~]{0,80}") {
+        let schema = schema();
+        let _ = parse_rule(&junk, &schema);
+    }
+}
+
+/// Cross-relation rules round-trip too.
+#[test]
+fn cross_relation_roundtrip() {
+    let schema = schema();
+    let text = "rule x: Person(t) && Store(s) && t.home = s.city -> t.name = s.sid";
+    let rule = parse_rule(text, &schema).unwrap();
+    assert_eq!(rule.display(&schema).to_string(), text);
+}
