@@ -41,7 +41,11 @@ pub struct EsMiner<'a> {
 
 impl<'a> EsMiner<'a> {
     pub fn new(registry: &'a ModelRegistry) -> Self {
-        EsMiner { registry, max_preconditions: 2, min_confidence: 0.94 }
+        EsMiner {
+            registry,
+            max_preconditions: 2,
+            min_confidence: 0.94,
+        }
     }
 
     /// Mine exact rules over one relation's two-variable template, from
@@ -66,7 +70,11 @@ impl<'a> EsMiner<'a> {
             vec![],
             Vec::new(),
             // consequence is irrelevant for enumeration; use a tautology-ish
-            Predicate::EidCmp { lvar: 0, rvar: 1, eq: true },
+            Predicate::EidCmp {
+                lvar: 0,
+                rvar: 1,
+                eq: true,
+            },
         );
         let ctx = EvalContext::new(db, self.registry);
 
@@ -120,8 +128,11 @@ impl<'a> EsMiner<'a> {
                                 }
                             }
                         }
-                        let confidence =
-                            if support == 0 { 0.0 } else { holds as f64 / support as f64 };
+                        let confidence = if support == 0 {
+                            0.0
+                        } else {
+                            holds as f64 / support as f64
+                        };
                         if support > 0 && confidence >= self.min_confidence {
                             counter += 1;
                             let mut rule = Rule::new(
@@ -131,8 +142,8 @@ impl<'a> EsMiner<'a> {
                                 cand.iter().map(|&i| pre[i].clone()).collect(),
                                 c.clone(),
                             );
-                            rule.support = support as f64
-                                / (db.relation(rel).len() as f64).powi(2).max(1.0);
+                            rule.support =
+                                support as f64 / (db.relation(rel).len() as f64).powi(2).max(1.0);
                             rule.confidence = confidence;
                             if rule.resolve(self.registry).is_ok() {
                                 rules.push(rule);
@@ -173,8 +184,13 @@ pub fn es_correct(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -> D
     let mut votes: FxHashMap<rock_data::CellRef, Vec<rock_data::Value>> = FxHashMap::default();
     for rule in rules.iter() {
         for h in find_violations(rule, &ctx) {
-            if let Predicate::Attr { lvar, lattr, rvar, rattr, op: rock_rees::CmpOp::Eq } =
-                &rule.consequence
+            if let Predicate::Attr {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+                op: rock_rees::CmpOp::Eq,
+            } = &rule.consequence
             {
                 let l = h.tuples[*lvar];
                 let r = h.tuples[*rvar];
@@ -201,10 +217,11 @@ pub fn es_correct(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -> D
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         // strict majority among partners required
         if (ranked.len() == 1 || (ranked.len() > 1 && ranked[0].1 > ranked[1].1))
-            && ranked[0].1 * 2 > vs.len() {
-                out.relation_mut(cell.rel)
-                    .set_cell(cell.tid, cell.attr, ranked[0].0.clone());
-            }
+            && ranked[0].1 * 2 > vs.len()
+        {
+            out.relation_mut(cell.rel)
+                .set_cell(cell.tid, cell.attr, ranked[0].0.clone());
+        }
     }
     out
 }
@@ -223,7 +240,11 @@ mod tests {
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
         for i in 0..10 {
-            let (c, a) = if i % 2 == 0 { ("Beijing", "010") } else { ("Shanghai", "021") };
+            let (c, a) = if i % 2 == 0 {
+                ("Beijing", "010")
+            } else {
+                ("Shanghai", "021")
+            };
             r.insert_row(vec![Value::str(c), Value::str(a)]);
         }
         db
@@ -247,7 +268,7 @@ mod tests {
         let (pre, cons) = pools();
         let report = EsMiner::new(&reg).mine(&db, RelId(0), &pre, &cons);
         assert_eq!(report.evidence_rows, 90); // all ordered pairs
-        // both directions of the city ↔ area_code FD are exact here
+                                              // both directions of the city ↔ area_code FD are exact here
         assert!(report.rules.len() >= 2, "{}", report.rules.len());
         for r in report.rules.iter() {
             assert!(r.confidence >= 0.94);
@@ -259,7 +280,8 @@ mod tests {
         let mut d = db();
         // one dirty cell breaks the exact FD — ES (exact-only) drops it;
         // this is precisely its recall problem on real data
-        d.relation_mut(RelId(0)).set_cell(rock_data::TupleId(0), AttrId(1), Value::str("999"));
+        d.relation_mut(RelId(0))
+            .set_cell(rock_data::TupleId(0), AttrId(1), Value::str("999"));
         let reg = ModelRegistry::new();
         let (pre, cons) = pools();
         let mut miner = EsMiner::new(&reg);
@@ -275,7 +297,8 @@ mod tests {
     #[test]
     fn es_correction_is_naive() {
         let mut d = db();
-        d.relation_mut(RelId(0)).set_cell(rock_data::TupleId(0), AttrId(1), Value::str("999"));
+        d.relation_mut(RelId(0))
+            .set_cell(rock_data::TupleId(0), AttrId(1), Value::str("999"));
         let reg = ModelRegistry::new();
         let schema = d.schema();
         let rules = RuleSet::new(

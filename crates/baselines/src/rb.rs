@@ -125,7 +125,11 @@ impl RbCleaner {
                 *value_freq.entry(v.clone()).or_insert(0) += 1;
                 *pattern_freq.entry(format_pattern(&v.render())).or_insert(0) += 1;
             }
-            stats.push(ColStats { value_freq, pattern_freq, rows: r.len() as u32 });
+            stats.push(ColStats {
+                value_freq,
+                pattern_freq,
+                rows: r.len() as u32,
+            });
         }
         let mut cooc: Cooc = FxHashMap::default();
         for t in r.iter() {
@@ -146,11 +150,17 @@ impl RbCleaner {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for t in r.iter() {
-            let Some(ct) = clean_sample.relation(rel).get(t.tid) else { continue };
+            let Some(ct) = clean_sample.relation(rel).get(t.tid) else {
+                continue;
+            };
             for a in 0..t.values.len() {
                 let attr = AttrId(a as u16);
                 xs.push(Self::features(&stats, &cooc, &meter, &t.values, attr));
-                ys.push(if t.get(attr) != ct.get(attr) { 1.0 } else { 0.0 });
+                ys.push(if t.get(attr) != ct.get(attr) {
+                    1.0
+                } else {
+                    0.0
+                });
             }
         }
         let detector = GradientBoosting::fit(&xs, &ys, 40, 0.3);
@@ -186,7 +196,9 @@ impl RbCleaner {
         let (flagged, _) = self.detect(db);
         let mut out = db.clone();
         for cell in flagged {
-            let Some(t) = db.relation(self.rel).get(cell.tid) else { continue };
+            let Some(t) = db.relation(self.rel).get(cell.tid) else {
+                continue;
+            };
             let mut votes: FxHashMap<Value, f64> = FxHashMap::default();
             for (i, cv) in t.values.iter().enumerate() {
                 let cattr = AttrId(i as u16);
@@ -214,9 +226,8 @@ impl RbCleaner {
                             .value_freq
                             .keys()
                             .filter_map(|v| {
-                                v.as_str().map(|vs| {
-                                    (v, rock_ml::text::edit_similarity(s, vs))
-                                })
+                                v.as_str()
+                                    .map(|vs| (v, rock_ml::text::edit_similarity(s, vs)))
                             })
                             .filter(|(_, sim)| *sim >= 0.75)
                             .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(a.0)))
@@ -247,7 +258,11 @@ mod tests {
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
         for i in 0..40 {
-            let (c, a) = if i % 2 == 0 { ("Beijing", "010") } else { ("Shanghai", "021") };
+            let (c, a) = if i % 2 == 0 {
+                ("Beijing", "010")
+            } else {
+                ("Shanghai", "021")
+            };
             r.insert_row(vec![Value::str(c), Value::str(a)]);
         }
         db
@@ -256,8 +271,10 @@ mod tests {
     fn dirtied() -> (Database, Database) {
         let c = clean();
         let mut d = c.clone();
-        d.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(1), Value::str("0999"));
-        d.relation_mut(RelId(0)).set_cell(TupleId(3), AttrId(0), Value::str("Shangha!"));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(1), Value::str("0999"));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(3), AttrId(0), Value::str("Shangha!"));
         (c, d)
     }
 
@@ -273,7 +290,10 @@ mod tests {
         let (c, d) = dirtied();
         let rb = RbCleaner::train(&c, &d, RelId(0));
         let (flagged, _) = rb.detect(&d);
-        assert!(flagged.contains(&CellRef::new(RelId(0), TupleId(0), AttrId(1))), "{flagged:?}");
+        assert!(
+            flagged.contains(&CellRef::new(RelId(0), TupleId(0), AttrId(1))),
+            "{flagged:?}"
+        );
         assert!(flagged.contains(&CellRef::new(RelId(0), TupleId(3), AttrId(0))));
         // precision: not everything flagged
         assert!(flagged.len() < 10, "{}", flagged.len());

@@ -61,7 +61,11 @@ pub struct SqlEngine<'a> {
 
 impl<'a> SqlEngine<'a> {
     pub fn new(kind: SqlEngineKind, registry: &'a ModelRegistry) -> Self {
-        SqlEngine { kind, registry, meter: CostMeter::default() }
+        SqlEngine {
+            kind,
+            registry,
+            meter: CostMeter::default(),
+        }
     }
 
     /// Evaluate one predicate the UDF way: straight computation, no memo.
@@ -77,10 +81,19 @@ impl<'a> SqlEngine<'a> {
                 .unwrap_or(Value::Null)
         };
         match p {
-            Predicate::Const { var, attr, op, value } => op.eval(&cell(*var, *attr), value),
-            Predicate::Attr { lvar, lattr, op, rvar, rattr } => {
-                op.eval(&cell(*lvar, *lattr), &cell(*rvar, *rattr))
-            }
+            Predicate::Const {
+                var,
+                attr,
+                op,
+                value,
+            } => op.eval(&cell(*var, *attr), value),
+            Predicate::Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } => op.eval(&cell(*lvar, *lattr), &cell(*rvar, *rattr)),
             Predicate::IsNull { var, attr } => cell(*var, *attr).is_null(),
             Predicate::EidCmp { lvar, rvar, eq } => {
                 let (l, r) = (tuples[*lvar], tuples[*rvar]);
@@ -93,7 +106,13 @@ impl<'a> SqlEngine<'a> {
                     !same
                 }
             }
-            Predicate::Ml { model, lvar, lattrs, rvar, rattrs } => {
+            Predicate::Ml {
+                model,
+                lvar,
+                lattrs,
+                rvar,
+                rattrs,
+            } => {
                 // UDF call: full inference, every single time
                 let a: Vec<Value> = lattrs.iter().map(|x| cell(*lvar, *x)).collect();
                 let b: Vec<Value> = rattrs.iter().map(|x| cell(*rvar, *x)).collect();
@@ -132,7 +151,13 @@ impl<'a> SqlEngine<'a> {
                     return;
                 }
                 match &rule.consequence {
-                    Predicate::Attr { lvar, lattr, rvar, rattr, .. } => {
+                    Predicate::Attr {
+                        lvar,
+                        lattr,
+                        rvar,
+                        rattr,
+                        ..
+                    } => {
                         let (l, r) = (tuples[*lvar], tuples[*rvar]);
                         flagged.insert(CellRef::new(l.rel, l.tid, *lattr));
                         flagged.insert(CellRef::new(r.rel, r.tid, *rattr));
@@ -141,7 +166,11 @@ impl<'a> SqlEngine<'a> {
                         let gt = tuples[*var];
                         flagged.insert(CellRef::new(gt.rel, gt.tid, *attr));
                     }
-                    Predicate::EidCmp { lvar, rvar, eq: true } => {
+                    Predicate::EidCmp {
+                        lvar,
+                        rvar,
+                        eq: true,
+                    } => {
                         dups.push((tuples[*lvar], tuples[*rvar]));
                     }
                     _ => {}
@@ -167,7 +196,12 @@ impl<'a> SqlEngine<'a> {
     /// SQL in SparkSQL and Presto … until no more fixes can be
     /// generated"). Violating Attr-consequences copy the partner's value;
     /// no conflict resolution, no entity classes.
-    pub fn correct(&self, db: &Database, rules: &RuleSet, max_iters: usize) -> (Database, SqlReport) {
+    pub fn correct(
+        &self,
+        db: &Database,
+        rules: &RuleSet,
+        max_iters: usize,
+    ) -> (Database, SqlReport) {
         let start = Instant::now();
         let mut out = db.clone();
         let mut total_rows = 0u64;
@@ -185,22 +219,38 @@ impl<'a> SqlEngine<'a> {
                     if !pre_ok || self.eval_pred(&out, rule, tuples, &rule.consequence) {
                         return;
                     }
-                    if let Predicate::Attr { lvar, lattr, rvar, rattr, op: CmpOp::Eq } =
-                        &rule.consequence
+                    if let Predicate::Attr {
+                        lvar,
+                        lattr,
+                        rvar,
+                        rattr,
+                        op: CmpOp::Eq,
+                    } = &rule.consequence
                     {
                         // the UPDATE's SET expression is an aggregate over
                         // the group (MAX), so repeated executions converge
                         // instead of swapping two values forever
                         let (l, r) = (tuples[*lvar], tuples[*rvar]);
-                        let lv = out.cell(l.rel, l.tid, *lattr).cloned().unwrap_or(Value::Null);
+                        let lv = out
+                            .cell(l.rel, l.tid, *lattr)
+                            .cloned()
+                            .unwrap_or(Value::Null);
                         if let Some(rv) = out.cell(r.rel, r.tid, *rattr) {
-                            let winner = if lv.is_null() || rv > &lv { rv.clone() } else { lv };
+                            let winner = if lv.is_null() || rv > &lv {
+                                rv.clone()
+                            } else {
+                                lv
+                            };
                             if !winner.is_null() {
                                 fixes.push((CellRef::new(l.rel, l.tid, *lattr), winner));
                             }
                         }
-                    } else if let Predicate::Const { var, attr, op: CmpOp::Eq, value } =
-                        &rule.consequence
+                    } else if let Predicate::Const {
+                        var,
+                        attr,
+                        op: CmpOp::Eq,
+                        value,
+                    } = &rule.consequence
                     {
                         let gt = tuples[*var];
                         fixes.push((CellRef::new(gt.rel, gt.tid, *attr), value.clone()));

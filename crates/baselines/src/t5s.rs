@@ -89,7 +89,12 @@ impl T5sModel {
                 };
                 profiles.insert(
                     (rid, attr),
-                    ColumnProfile { values, mean, std, numeric: meta.ty.is_numeric() },
+                    ColumnProfile {
+                        values,
+                        mean,
+                        std,
+                        numeric: meta.ty.is_numeric(),
+                    },
                 );
             }
         }
@@ -117,9 +122,13 @@ impl T5sModel {
     /// suspicious).
     pub fn suspicion(&self, db: &Database, cell: CellRef) -> f64 {
         self.meter.add(COST_PER_CELL);
-        let Some(t) = db.relation(cell.rel).get(cell.tid) else { return 0.0 };
+        let Some(t) = db.relation(cell.rel).get(cell.tid) else {
+            return 0.0;
+        };
         let v = t.get(cell.attr);
-        let Some(profile) = self.profiles.get(&(cell.rel, cell.attr)) else { return 0.0 };
+        let Some(profile) = self.profiles.get(&(cell.rel, cell.attr)) else {
+            return 0.0;
+        };
         if v.is_null() {
             return 1.0; // missing — always flagged
         }
@@ -180,16 +189,17 @@ impl T5sModel {
             return Some(Value::Float((profile.mean * 100.0).round() / 100.0));
         }
         let cur = t.get(cell.attr);
-        let cur_emb = if cur.is_null() { None } else { Some(self.embedder.embed_value(cur)) };
+        let cur_emb = if cur.is_null() {
+            None
+        } else {
+            Some(self.embedder.embed_value(cur))
+        };
         let ctx = self.context(&t.values, cell.attr.index());
         profile
             .values
             .iter()
             .map(|(v, (count, emb))| {
-                let surface = cur_emb
-                    .as_ref()
-                    .map(|ce| cosine(ce, emb))
-                    .unwrap_or(0.0);
+                let surface = cur_emb.as_ref().map(|ce| cosine(ce, emb)).unwrap_or(0.0);
                 let score = 2.0 * surface + cosine(&ctx, emb) + (*count as f64).ln_1p() * 0.05;
                 (v, score)
             })
@@ -225,7 +235,10 @@ mod tests {
         let r = db.relation_mut(RelId(0));
         for i in 0..30 {
             let c = if i % 2 == 0 { "Beijing" } else { "Shanghai" };
-            r.insert_row(vec![Value::str(c), Value::Float(100.0 + ((i % 7) * 10) as f64)]);
+            r.insert_row(vec![
+                Value::str(c),
+                Value::Float(100.0 + ((i % 7) * 10) as f64),
+            ]);
         }
         db
     }
@@ -234,8 +247,10 @@ mod tests {
     fn flags_typos_and_nulls_not_clean_text() {
         let model = T5sModel::train(&train_db(), 2);
         let mut d = train_db();
-        d.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(0), Value::str("BejX@ng"));
-        d.relation_mut(RelId(0)).set_cell(TupleId(1), AttrId(0), Value::Null);
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(0), Value::str("BejX@ng"));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(1), AttrId(0), Value::Null);
         let (flagged, _) = model.detect(&d);
         assert!(flagged.contains(&CellRef::new(RelId(0), TupleId(0), AttrId(0))));
         assert!(flagged.contains(&CellRef::new(RelId(0), TupleId(1), AttrId(0))));
@@ -248,11 +263,13 @@ mod tests {
         let model = T5sModel::train(&train_db(), 2);
         let mut d = train_db();
         // a ~1.2× price error stays within 4σ — T5s misses it
-        d.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(1), Value::Float(155.0));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(1), Value::Float(155.0));
         let (flagged, _) = model.detect(&d);
         assert!(!flagged.contains(&CellRef::new(RelId(0), TupleId(0), AttrId(1))));
         // an extreme outlier is caught
-        d.relation_mut(RelId(0)).set_cell(TupleId(1), AttrId(1), Value::Float(9e9));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(1), AttrId(1), Value::Float(9e9));
         let (flagged, _) = model.detect(&d);
         assert!(flagged.contains(&CellRef::new(RelId(0), TupleId(1), AttrId(1))));
     }
@@ -261,11 +278,14 @@ mod tests {
     fn repairs_text_reasonably_numerics_poorly() {
         let model = T5sModel::train(&train_db(), 2);
         let mut d = train_db();
-        d.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(0), Value::Null);
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(0), Value::Null);
         let rep = model.repair(&d, CellRef::new(RelId(0), TupleId(0), AttrId(0)));
         assert!(matches!(rep, Some(Value::Str(_))));
         // numeric repair = column mean, almost never the right value
-        let rep = model.repair(&d, CellRef::new(RelId(0), TupleId(0), AttrId(1))).unwrap();
+        let rep = model
+            .repair(&d, CellRef::new(RelId(0), TupleId(0), AttrId(1)))
+            .unwrap();
         assert!(matches!(rep, Value::Float(_)));
     }
 

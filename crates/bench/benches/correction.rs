@@ -20,11 +20,19 @@ fn bench_correction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("correction");
     group.sample_size(10);
-    for variant in [Variant::Rock, Variant::RockSeq, Variant::RockNoC, Variant::RockNoMl] {
+    for variant in [
+        Variant::Rock,
+        Variant::RockSeq,
+        Variant::RockNoC,
+        Variant::RockNoMl,
+    ] {
         group.bench_function(format!("variant/{}", variant.name()), |b| {
             b.iter(|| {
-                RockSystem::new(RockConfig { variant, ..RockConfig::default() })
-                    .correct(&w, &task)
+                RockSystem::new(RockConfig {
+                    variant,
+                    ..RockConfig::default()
+                })
+                .correct(&w, &task)
             })
         });
     }
@@ -36,7 +44,10 @@ fn bench_correction(c: &mut Criterion) {
                 let engine = ChaseEngine::new(
                     &rules,
                     &w.registry,
-                    ChaseConfig { lazy_activation: lazy, ..ChaseConfig::default() },
+                    ChaseConfig {
+                        lazy_activation: lazy,
+                        ..ChaseConfig::default()
+                    },
                 );
                 engine.run(&w.dirty, &w.trusted)
             })
@@ -49,7 +60,10 @@ fn bench_correction(c: &mut Criterion) {
                 let engine = ChaseEngine::new(
                     &rules,
                     &w.registry,
-                    ChaseConfig { partitions_per_rule: parts, ..ChaseConfig::default() },
+                    ChaseConfig {
+                        partitions_per_rule: parts,
+                        ..ChaseConfig::default()
+                    },
                 );
                 engine.run(&w.dirty, &w.trusted)
             })

@@ -42,9 +42,7 @@ fn bench_detection(c: &mut Criterion) {
             value: Value::str("East"),
         }]);
         let inserted = db.apply(&delta);
-        b.iter(|| {
-            Detector::new(&noml, &w.registry).detect_incremental(&db, &delta, &inserted)
-        })
+        b.iter(|| Detector::new(&noml, &w.registry).detect_incremental(&db, &delta, &inserted))
     });
     group.bench_function("baseline/sparksql-udf", |b| {
         b.iter(|| SqlEngine::new(SqlEngineKind::SparkSql, &w.registry).detect(&w.dirty, &noml))

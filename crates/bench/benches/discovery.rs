@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rock_baselines::EsMiner;
+use rock_data::RelId;
 use rock_discovery::levelwise::{Discoverer, DiscoveryConfig};
 use rock_discovery::sampling::mine_with_sampling;
 use rock_discovery::space::{PredicateSpace, SpaceConfig};
-use rock_data::RelId;
 use rock_workloads::workload::GenConfig;
 
 fn bench_discovery(c: &mut Criterion) {
@@ -27,9 +27,18 @@ fn bench_discovery(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("discovery");
     group.sample_size(10);
-    group.bench_function("rock/levelwise", |b| {
+    group.bench_function("rock/levelwise-bitset", |b| {
         b.iter(|| {
             Discoverer::new(&w.registry, cfg.clone()).mine_relation(&w.dirty, RelId(0), &space)
+        })
+    });
+    group.bench_function("rock/levelwise-scan", |b| {
+        let scan_cfg = DiscoveryConfig {
+            use_bitset_cache: false,
+            ..cfg.clone()
+        };
+        b.iter(|| {
+            Discoverer::new(&w.registry, scan_cfg.clone()).mine_relation(&w.dirty, RelId(0), &space)
         })
     });
     group.bench_function("rock/sampled-10pct", |b| {

@@ -1,12 +1,12 @@
 //! Micro-benches over the hot kernels: CRC-32 / consistent-hash placement,
-//! MinHash LSH, string similarity, embeddings, the partial-order store and
-//! the fix store.
+//! MinHash LSH, string similarity, embeddings, the partial-order store, the
+//! fix store, and the bitset popcount kernels behind the discovery cache.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rock_chase::{FixStore, PartialOrderStore};
-use rock_crystal::ring::{ConsistentHashRing, NodeId};
 use rock_crystal::crc32;
-use rock_data::TupleId;
+use rock_crystal::ring::{ConsistentHashRing, NodeId};
+use rock_data::{Bitset, TupleId};
 use rock_ml::features::HashingEmbedder;
 use rock_ml::text::{edit_similarity, trigram_cosine};
 use rock_ml::MinHashLsh;
@@ -40,7 +40,12 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     c.bench_function("text/trigram_cosine", |b| {
-        b.iter(|| trigram_cosine(black_box("IPhone 14 Discount ID 41"), black_box("IPhone 14 Discount Code 41")))
+        b.iter(|| {
+            trigram_cosine(
+                black_box("IPhone 14 Discount ID 41"),
+                black_box("IPhone 14 Discount Code 41"),
+            )
+        })
     });
 
     c.bench_function("ml/embed_str", |b| {
@@ -56,6 +61,48 @@ fn bench_kernels(c: &mut Criterion) {
             }
             p.holds(TupleId(0), TupleId(30), true)
         })
+    });
+
+    // pair-domain sized bitsets (n = 512 tuples → 512² bits = 32 KiB)
+    let pair_bits = 512usize * 512;
+    let (x, y, z) = {
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut mk = |density: u64| {
+            let mut b = Bitset::new(pair_bits);
+            for i in 0..pair_bits {
+                if next() % 100 < density {
+                    b.set(i);
+                }
+            }
+            b
+        };
+        (mk(50), mk(20), mk(80))
+    };
+
+    c.bench_function("bitset/and_popcount-256k", |b| {
+        b.iter(|| black_box(&x).and_popcount(black_box(&y)))
+    });
+
+    c.bench_function("bitset/and3_popcount-256k", |b| {
+        b.iter(|| black_box(&x).and3_popcount(black_box(&y), black_box(&z)))
+    });
+
+    c.bench_function("bitset/intersect_with-256k", |b| {
+        b.iter(|| {
+            let mut w = x.clone();
+            w.intersect_with(black_box(&y));
+            w
+        })
+    });
+
+    c.bench_function("bitset/ones-iterate-20pct", |b| {
+        b.iter(|| black_box(&y).ones().sum::<usize>())
     });
 
     c.bench_function("fixes/union-find", |b| {

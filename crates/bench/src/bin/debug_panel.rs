@@ -10,7 +10,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("ec") {
         let w = rock_workloads::logistics::generate(&rock_workloads::workload::GenConfig {
-            rows: 900, error_rate: 0.08, seed: 45, trusted_per_rel: 40,
+            rows: 900,
+            error_rate: 0.08,
+            seed: 45,
+            trusted_per_rel: 40,
         });
         let task = w.task("RClean").unwrap().clone();
         let t0 = std::time::Instant::now();
@@ -39,8 +42,12 @@ fn main() {
         let (run, repaired) = runners::rock_correct(&w, &task, Variant::Rock, 1);
         println!(
             "{appn} EC: tp={} fp={} fn={} P={:.3} R={:.3} F1={:.3}",
-            run.metrics.tp, run.metrics.fp, run.metrics.fn_,
-            run.metrics.precision(), run.metrics.recall(), run.metrics.f1()
+            run.metrics.tp,
+            run.metrics.fp,
+            run.metrics.fn_,
+            run.metrics.precision(),
+            run.metrics.recall(),
+            run.metrics.f1()
         );
         // per-class recall: error cells whose repaired value == clean value
         for (name, map) in [
@@ -69,7 +76,12 @@ fn main() {
                     if Some(rep) != dirty_v && Some(rep) != clean_v {
                         let reln = rel.schema.name.clone();
                         let attrn = rel.schema.attr_name(attr).to_owned();
-                        *fp_by.entry(format!("{reln}.{attrn} cell={cell} {:?}->{rep:?}", dirty_v.map(|v| v.to_string()))).or_default() += 1;
+                        *fp_by
+                            .entry(format!(
+                                "{reln}.{attrn} cell={cell} {:?}->{rep:?}",
+                                dirty_v.map(|v| v.to_string())
+                            ))
+                            .or_default() += 1;
                     }
                 }
             }
@@ -146,4 +158,3 @@ fn main() {
 fn unused() {}
 
 // Extra mode: `debug_panel ec` — time the Logistics-EC chase pieces.
-

@@ -7,7 +7,8 @@
 //!
 //! Panels: f4a f4b f4c (RD time), f4d f4e f4f (ED F1), f4g (ED time),
 //! f4h (ED scaling), f4i (EC F1), f4j (Sales-EC per task), f4k (EC time),
-//! f4l (EC scaling). Output is printed and written to `results/`.
+//! f4l (EC scaling), rdcache (bitset-cache vs scan discovery throughput).
+//! Output is printed and written to `results/`.
 
 use rock_bench::panels;
 use rock_bench::table::Table;
@@ -42,11 +43,7 @@ fn summary() -> (Table, serde_json::Value) {
     table.row(vec![
         "Rockseq F1 == Rock F1".into(),
         "equal".into(),
-        format!(
-            "{:.3} vs {:.3}",
-            seq.metrics.f1(),
-            rock.metrics.f1()
-        ),
+        format!("{:.3} vs {:.3}", seq.metrics.f1(), rock.metrics.f1()),
     ]);
     table.row(vec![
         "RocknoC (no interactions) trails Rock".into(),
@@ -75,10 +72,13 @@ fn summary() -> (Table, serde_json::Value) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let panels_requested: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ["f4a", "f4b", "f4c", "f4d", "f4e", "f4f", "f4g", "f4h", "f4i", "f4j", "f4k", "f4l", "summary"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "f4a", "f4b", "f4c", "f4d", "f4e", "f4f", "f4g", "f4h", "f4i", "f4j", "f4k", "f4l",
+            "rdcache", "summary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         args
     };
@@ -100,18 +100,22 @@ fn main() {
             "f4j" => panels::ec_per_task(),
             "f4k" => panels::ec_time(),
             "f4l" => panels::ec_scaling(),
+            "rdcache" => panels::rd_cache(),
             "summary" => {
                 let (t, j) = summary();
                 (t, j)
             }
             other => {
-                eprintln!("unknown panel '{other}' — expected f4a..f4l, summary, or all");
+                eprintln!("unknown panel '{other}' — expected f4a..f4l, rdcache, summary, or all");
                 std::process::exit(2);
             }
         };
         let rendered = table.render();
         println!("{rendered}");
-        println!("  [panel {p} regenerated in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "  [panel {p} regenerated in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         let txt_path = Path::new("results").join(format!("{p}.txt"));
         fs::write(&txt_path, &rendered).expect("write panel text");
         let json_path = Path::new("results").join(format!("{p}.json"));

@@ -16,15 +16,30 @@ use serde_json::json;
 
 /// Workload scales for the panels (laptop-size; shapes, not magnitudes).
 pub fn bank() -> Workload {
-    rock_workloads::bank::generate(&GenConfig { rows: 240, error_rate: 0.08, seed: 42, trusted_per_rel: 30 })
+    rock_workloads::bank::generate(&GenConfig {
+        rows: 240,
+        error_rate: 0.08,
+        seed: 42,
+        trusted_per_rel: 30,
+    })
 }
 
 pub fn logistics() -> Workload {
-    rock_workloads::logistics::generate(&GenConfig { rows: 360, error_rate: 0.08, seed: 43, trusted_per_rel: 30 })
+    rock_workloads::logistics::generate(&GenConfig {
+        rows: 360,
+        error_rate: 0.08,
+        seed: 43,
+        trusted_per_rel: 30,
+    })
 }
 
 pub fn sales() -> Workload {
-    rock_workloads::sales::generate(&GenConfig { rows: 240, error_rate: 0.08, seed: 44, trusted_per_rel: 30 })
+    rock_workloads::sales::generate(&GenConfig {
+        rows: 240,
+        error_rate: 0.08,
+        seed: 44,
+        trusted_per_rel: 30,
+    })
 }
 
 fn app(name: &str) -> Workload {
@@ -110,7 +125,119 @@ pub fn rd_time(app_name: &str) -> (Table, serde_json::Value) {
             "ours_tuples": n_ours, "paper_tuples": n_paper,
         }));
     }
-    (table, json!({ "panel": format!("rd-{app_name}"), "rows": rows_json }))
+    (
+        table,
+        json!({ "panel": format!("rd-{app_name}"), "rows": rows_json }),
+    )
+}
+
+/// Extra panel: candidate-evaluation throughput of the levelwise miner
+/// with the predicate satisfaction-bitset cache (default) vs the tuple
+/// re-scan path, on the Logistics app with ML predicates in the space.
+/// Both paths mine the identical rule set (asserted here), so the speedup
+/// column is a like-for-like kernel comparison; a tight-budget row shows
+/// the LRU spill behaviour trading time for memory.
+pub fn rd_cache() -> (Table, serde_json::Value) {
+    use rock_data::RelId;
+    use rock_discovery::levelwise::{Discoverer, DiscoveryConfig};
+    use rock_discovery::space::{MlSignature, PredicateSpace, SpaceConfig};
+
+    let w = logistics();
+    let schema = w.dirty.schema();
+    let sigs: Vec<MlSignature> = w
+        .ml_hints
+        .iter()
+        .filter_map(|h| {
+            let rel = schema.rel_id(&h.rel)?;
+            let attrs = h
+                .attrs
+                .iter()
+                .filter_map(|a| schema.relation(rel).attr_id(a))
+                .collect();
+            Some(MlSignature {
+                model: h.model.clone(),
+                rel,
+                attrs,
+            })
+        })
+        .collect();
+    let space = PredicateSpace::build(&w.dirty, RelId(0), &sigs, &SpaceConfig::default());
+    let base_cfg = DiscoveryConfig {
+        min_support: 1e-4,
+        min_confidence: 0.9,
+        max_preconditions: 2,
+        ..Default::default()
+    };
+
+    let run = |cfg: DiscoveryConfig| {
+        Discoverer::new(&w.registry, cfg).mine_relation(&w.dirty, RelId(0), &space)
+    };
+    let scan = run(DiscoveryConfig {
+        use_bitset_cache: false,
+        ..base_cfg.clone()
+    });
+    let cached = run(base_cfg.clone());
+    let tight = run(DiscoveryConfig {
+        cache_budget_bytes: 8 << 10,
+        ..base_cfg
+    });
+    assert_eq!(
+        serde_json::to_string(&cached.rules).unwrap(),
+        serde_json::to_string(&scan.rules).unwrap(),
+        "bitset and scan paths must mine identical rules"
+    );
+
+    let mut table = Table::new(
+        "RD cache — bitset kernels vs tuple re-scan (Logistics)",
+        &[
+            "path",
+            "wall",
+            "candidates",
+            "cand/s",
+            "speedup",
+            "cache (hit% ev sp peakKiB)",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut row = |name: &str, r: &rock_discovery::levelwise::DiscoveryReport| {
+        let throughput = r.candidates_evaluated as f64 / r.wall_seconds.max(1e-9);
+        let speedup = scan.wall_seconds / r.wall_seconds.max(1e-9);
+        let cache_cell = match &r.cache {
+            Some(s) => format!(
+                "{:.0}% {} {} {:.0}",
+                s.hit_rate() * 100.0,
+                s.evictions,
+                s.spills,
+                s.bytes_peak as f64 / 1024.0
+            ),
+            None => "-".into(),
+        };
+        table.row(vec![
+            name.into(),
+            fmt_secs(r.wall_seconds),
+            r.candidates_evaluated.to_string(),
+            format!("{throughput:.0}"),
+            format!("{speedup:.2}x"),
+            cache_cell,
+        ]);
+        rows_json.push(json!({
+            "path": name,
+            "wall_seconds": r.wall_seconds,
+            "candidates_evaluated": r.candidates_evaluated,
+            "candidates_per_second": throughput,
+            "speedup_vs_scan": speedup,
+            "rules": r.rules.len(),
+            "cache": r.cache.as_ref().map(|s| json!({
+                "hits": s.hits, "misses": s.misses, "hit_rate": s.hit_rate(),
+                "evictions": s.evictions, "spills": s.spills,
+                "bytes_peak": s.bytes_peak, "budget_bytes": s.budget_bytes,
+            })),
+        }));
+    };
+    row("scan", &scan);
+    row("bitset (64 MiB budget)", &cached);
+    row("bitset (8 KiB budget)", &tight);
+    (table, json!({ "panel": "rdcache", "rows": rows_json }))
 }
 
 /// Panels 4(d)/(e)/(f): error-detection F1 per task.
@@ -144,7 +271,10 @@ pub fn ed_f1(app_name: &str) -> (Table, serde_json::Value) {
             "ES": es.metrics.f1(), "T5s": t5.metrics.f1(), "RB": rb.metrics.f1(),
         }));
     }
-    (table, json!({ "panel": format!("ed-f1-{app_name}"), "rows": rows_json }))
+    (
+        table,
+        json!({ "panel": format!("ed-f1-{app_name}"), "rows": rows_json }),
+    )
 }
 
 /// Panel 4(g): error-detection time per application (whole-app task).
@@ -240,7 +370,9 @@ fn scaling_table(title: &str, panel: &str, run: &RunResult) -> (Table, serde_jso
 pub fn ec_f1() -> (Table, serde_json::Value) {
     let mut table = Table::new(
         "Fig 4(i) EC F-measure",
-        &["app", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB"],
+        &[
+            "app", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB",
+        ],
     );
     let mut rows_json = Vec::new();
     for name in ["Bank", "Logistics", "Sales"] {
@@ -280,7 +412,9 @@ pub fn ec_f1() -> (Table, serde_json::Value) {
 pub fn ec_time() -> (Table, serde_json::Value) {
     let mut table = Table::new(
         "Fig 4(k) EC time (modeled seconds)",
-        &["app", "Rock", "RocknoML", "Rockseq", "RocknoC", "T5s", "RB", "SparkSQL", "Presto"],
+        &[
+            "app", "Rock", "RocknoML", "Rockseq", "RocknoC", "T5s", "RB", "SparkSQL", "Presto",
+        ],
     );
     let mut rows_json = Vec::new();
     for name in ["Bank", "Logistics", "Sales"] {
@@ -354,7 +488,7 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
             variant,
             &w.rules_for(&task),
         ))[3]
-        .clone();
+            .clone();
         if td_rules.is_empty() {
             return 0.0;
         }
@@ -385,7 +519,12 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
             engine.run(&w.dirty, &w.trusted).merged_pairs
         };
         let er = er_pair_metrics(&pairs, &w.truth.duplicate_pairs).f1();
-        PerTask { er: Some(er), cr: Some(cr), mi: Some(mi), td: Some(td_f1(variant)) }
+        PerTask {
+            er: Some(er),
+            cr: Some(cr),
+            mi: Some(mi),
+            td: Some(td_f1(variant)),
+        }
     };
 
     let rock = rock_like(Variant::Rock);
@@ -401,7 +540,10 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
         let engine = rock_chase::ChaseEngine::new(
             &er_rules,
             &w.registry,
-            rock_chase::ChaseConfig { max_rounds: 1, ..rock_chase::ChaseConfig::default() },
+            rock_chase::ChaseConfig {
+                max_rounds: 1,
+                ..rock_chase::ChaseConfig::default()
+            },
         );
         let pairs = engine.run(&w.dirty, &w.trusted).merged_pairs;
         PerTask {
@@ -432,7 +574,12 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
     let t5 = {
         let (repaired, _) = t5s_model.correct(&w.dirty);
         let (cr, mi) = eval_repaired(&repaired);
-        PerTask { er: None, cr: Some(cr), mi: Some(mi), td: None }
+        PerTask {
+            er: None,
+            cr: Some(cr),
+            mi: Some(mi),
+            td: None,
+        }
     };
     let (rbs, _) = runners::rb_train(&w);
     let rb = {
@@ -441,13 +588,20 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
             repaired = r.correct(&repaired).0;
         }
         let (cr, mi) = eval_repaired(&repaired);
-        PerTask { er: None, cr: Some(cr), mi: Some(mi), td: None }
+        PerTask {
+            er: None,
+            cr: Some(cr),
+            mi: Some(mi),
+            td: None,
+        }
     };
 
     let fmt = |v: Option<f64>| v.map(fmt_f1).unwrap_or_else(|| "-".into());
     let mut table = Table::new(
         "Fig 4(j) Sales-EC per task",
-        &["task", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB"],
+        &[
+            "task", "Rock", "RocknoML", "Rockseq", "RocknoC", "ES", "T5s", "RB",
+        ],
     );
     let systems: Vec<(&str, &PerTask)> = vec![
         ("Rock", &rock),
@@ -459,12 +613,7 @@ pub fn ec_per_task() -> (Table, serde_json::Value) {
         ("RB", &rb),
     ];
     let mut rows_json = Vec::new();
-    for (tname, pick) in [
-        ("ER", 0usize),
-        ("CR", 1),
-        ("MI", 2),
-        ("TD", 3),
-    ] {
+    for (tname, pick) in [("ER", 0usize), ("CR", 1), ("MI", 2), ("TD", 3)] {
         let vals: Vec<Option<f64>> = systems
             .iter()
             .map(|(_, p)| match pick {

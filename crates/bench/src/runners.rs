@@ -72,7 +72,10 @@ pub fn es_discovery(w: &Workload) -> (RuleSet, f64) {
             rules.push(r);
         }
     }
-    (rules, modeled_seconds(wall, w.registry.meter.cost() - cost0))
+    (
+        rules,
+        modeled_seconds(wall, w.registry.meter.cost() - cost0),
+    )
 }
 
 /// T5s — "fine-tune" on a 10% sample of the dirty data.
@@ -167,7 +170,10 @@ fn project(db: &Database, rel: RelId) -> Database {
             }
             None => {
                 let arity = sub.schema.arity();
-                let placeholder = sub.insert(rock_data::Eid(u32::MAX), vec![rock_data::Value::Null; arity]);
+                let placeholder = sub.insert(
+                    rock_data::Eid(u32::MAX),
+                    vec![rock_data::Value::Null; arity],
+                );
                 sub.delete(placeholder);
             }
         }
@@ -444,7 +450,10 @@ mod tests {
     fn rb_projection_preserves_tuple_ids() {
         let w = wl();
         let view = project(&w.dirty, RelId(0));
-        assert_eq!(view.relation(RelId(0)).len(), w.dirty.relation(RelId(0)).len());
+        assert_eq!(
+            view.relation(RelId(0)).len(),
+            w.dirty.relation(RelId(0)).len()
+        );
         for t in w.dirty.relation(RelId(0)).iter().take(5) {
             assert_eq!(
                 view.relation(RelId(0)).get(t.tid).map(|u| u.values.clone()),

@@ -20,8 +20,8 @@
 use crate::conflict::ConflictPolicy;
 use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
 use crate::order::OrderInsert;
-use rock_crystal::{Cluster, WorkUnit};
 use rock_crystal::work::{partition_range, Partition};
+use rock_crystal::{Cluster, WorkUnit};
 use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Value};
 use rock_kg::Graph;
 use rock_ml::ModelRegistry;
@@ -77,15 +77,34 @@ impl Default for ChaseConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Proposal {
     /// Validate `t[A] = value`.
-    SetCell { cell: CellRef, value: Value, rule: u32 },
+    SetCell {
+        cell: CellRef,
+        value: Value,
+        rule: u32,
+    },
     /// Validate `a[A] = b[B]` without knowing which side is correct.
     EquateCells { a: CellRef, b: CellRef, rule: u32 },
     /// Validate `t.eid = s.eid`.
-    Merge { a: GlobalTid, b: GlobalTid, rule: u32 },
+    Merge {
+        a: GlobalTid,
+        b: GlobalTid,
+        rule: u32,
+    },
     /// Validate `t.eid != s.eid`.
-    Distinct { a: GlobalTid, b: GlobalTid, rule: u32 },
+    Distinct {
+        a: GlobalTid,
+        b: GlobalTid,
+        rule: u32,
+    },
     /// Validate `t1 ⪯A t2` / `t1 ≺A t2`.
-    Order { rel: RelId, attr: AttrId, t1: TupleId, t2: TupleId, strict: bool, rule: u32 },
+    Order {
+        rel: RelId,
+        attr: AttrId,
+        t1: TupleId,
+        t2: TupleId,
+        strict: bool,
+        rule: u32,
+    },
 }
 
 impl Proposal {
@@ -104,7 +123,14 @@ impl Proposal {
                 (2, cell_key(cell), 0, format!("{rule}/{value:?}"))
             }
             Proposal::EquateCells { a, b, rule } => (2, cell_key(a), cell_key(b), rule.to_string()),
-            Proposal::Order { rel, attr, t1, t2, strict, rule } => (
+            Proposal::Order {
+                rel,
+                attr,
+                t1,
+                t2,
+                strict,
+                rule,
+            } => (
                 3,
                 ((rel.0 as u64) << 32) | attr.0 as u64,
                 ((t1.0 as u64) << 33) | ((t2.0 as u64) << 1) | u64::from(*strict),
@@ -171,7 +197,9 @@ impl EntityIdx {
     fn grouped(&self, fixes: &FixStore) -> FxHashMap<EntityKey, Vec<GlobalTid>> {
         let mut out: FxHashMap<EntityKey, Vec<GlobalTid>> = FxHashMap::default();
         for (k, v) in &self.members {
-            out.entry(fixes.find_ref(*k)).or_default().extend_from_slice(v);
+            out.entry(fixes.find_ref(*k))
+                .or_default()
+                .extend_from_slice(v);
         }
         for v in out.values_mut() {
             v.sort();
@@ -202,7 +230,12 @@ pub struct ChaseEngine<'a> {
 
 impl<'a> ChaseEngine<'a> {
     pub fn new(rules: &'a RuleSet, registry: &'a ModelRegistry, config: ChaseConfig) -> Self {
-        ChaseEngine { rules, registry, graph: None, config }
+        ChaseEngine {
+            rules,
+            registry,
+            graph: None,
+            config,
+        }
     }
 
     pub fn with_graph(mut self, g: &'a Graph) -> Self {
@@ -284,8 +317,12 @@ impl<'a> ChaseEngine<'a> {
         }
 
         let entity_idx = EntityIdx::build(&work_db);
-        let reads: Vec<FxHashSet<(RelId, AttrId)>> =
-            self.rules.rules.iter().map(|r| self.rule_reads(r)).collect();
+        let reads: Vec<FxHashSet<(RelId, AttrId)>> = self
+            .rules
+            .rules
+            .iter()
+            .map(|r| self.rule_reads(r))
+            .collect();
 
         // initial activation
         let mut active: FxHashSet<usize> = match &delta_rels {
@@ -312,7 +349,10 @@ impl<'a> ChaseEngine<'a> {
             rounds += 1;
             // ---- evaluation phase ----
             let proposals = {
-                let oracle = ChaseOrderOracle { fixes: &fixes, db: &work_db };
+                let oracle = ChaseOrderOracle {
+                    fixes: &fixes,
+                    db: &work_db,
+                };
                 let entity_oracle = FixEntityOracle { fixes: &fixes };
                 let mut ctx = EvalContext::new(&work_db, self.registry)
                     .with_temporal(&oracle)
@@ -404,8 +444,7 @@ impl<'a> ChaseEngine<'a> {
             // Phase B: merges
             for p in &proposals {
                 if let Proposal::Merge { a, b, .. } = p {
-                    let (Some(ka), Some(kb)) =
-                        (entity_key(&work_db, *a), entity_key(&work_db, *b))
+                    let (Some(ka), Some(kb)) = (entity_key(&work_db, *a), entity_key(&work_db, *b))
                     else {
                         continue;
                     };
@@ -504,8 +543,7 @@ impl<'a> ChaseEngine<'a> {
                         }
                     }
                 }
-                let distinct: FxHashSet<&Value> =
-                    cands.iter().filter(|v| !v.is_null()).collect();
+                let distinct: FxHashSet<&Value> = cands.iter().filter(|v| !v.is_null()).collect();
                 if distinct.len() > 1 {
                     conflicts += 1;
                 }
@@ -526,7 +564,9 @@ impl<'a> ChaseEngine<'a> {
                 // every member tuple of that entity.
                 let mut roots_done: FxHashSet<(EntityKey, RelId, AttrId)> = FxHashSet::default();
                 for cell in &members {
-                    let Some(k) = entity_key(&work_db, cell.tuple()) else { continue };
+                    let Some(k) = entity_key(&work_db, cell.tuple()) else {
+                        continue;
+                    };
                     let root = fixes.find(k);
                     if !roots_done.insert((root, cell.rel, cell.attr)) {
                         continue;
@@ -562,7 +602,15 @@ impl<'a> ChaseEngine<'a> {
 
             // Phase D: temporal orders
             for p in &proposals {
-                if let Proposal::Order { rel, attr, t1, t2, strict, .. } = p {
+                if let Proposal::Order {
+                    rel,
+                    attr,
+                    t1,
+                    t2,
+                    strict,
+                    ..
+                } = p
+                {
                     match fixes.add_order(*rel, *attr, *t1, *t2, *strict) {
                         OrderInsert::Added => {
                             steps += 1;
@@ -701,12 +749,17 @@ impl<'a> ChaseEngine<'a> {
             if m.rel != rel {
                 continue;
             }
-            let old = work_db.cell(m.rel, m.tid, attr).cloned().unwrap_or(Value::Null);
+            let old = work_db
+                .cell(m.rel, m.tid, attr)
+                .cloned()
+                .unwrap_or(Value::Null);
             if fixes.is_trusted(m) && !old.is_null() {
                 continue;
             }
             if old != winner {
-                work_db.relation_mut(m.rel).set_cell(m.tid, attr, winner.clone());
+                work_db
+                    .relation_mut(m.rel)
+                    .set_cell(m.tid, attr, winner.clone());
                 changes.push((CellRef::new(m.rel, m.tid, attr), old, winner.clone()));
                 changed_cells.insert((rel, attr));
             }
@@ -744,7 +797,10 @@ impl<'a> ChaseEngine<'a> {
                 if m.rel != rel {
                     continue;
                 }
-                let old = work_db.cell(m.rel, m.tid, attr).cloned().unwrap_or(Value::Null);
+                let old = work_db
+                    .cell(m.rel, m.tid, attr)
+                    .cloned()
+                    .unwrap_or(Value::Null);
                 if fixes.is_trusted(*m) && !old.is_null() {
                     continue;
                 }
@@ -833,7 +889,9 @@ impl CellClusters {
 }
 
 fn entity_key(db: &Database, t: GlobalTid) -> Option<EntityKey> {
-    db.relation(t.rel).get(t.tid).map(|tu| EntityKey::new(t.rel, tu.eid))
+    db.relation(t.rel)
+        .get(t.tid)
+        .map(|tu| EntityKey::new(t.rel, tu.eid))
 }
 
 fn tuple_features(db: &Database, rel: RelId, tid: TupleId) -> Vec<Value> {
@@ -882,7 +940,12 @@ fn precondition_validated(
 fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option<Proposal> {
     use rock_rees::CmpOp;
     match &rule.consequence {
-        Predicate::Const { var, attr, op: CmpOp::Eq, value } => {
+        Predicate::Const {
+            var,
+            attr,
+            op: CmpOp::Eq,
+            value,
+        } => {
             let gt = h.tuples[*var];
             Some(Proposal::SetCell {
                 cell: CellRef::new(gt.rel, gt.tid, *attr),
@@ -890,7 +953,13 @@ fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option
                 rule: ri,
             })
         }
-        Predicate::Attr { lvar, lattr, op: CmpOp::Eq, rvar, rattr } => {
+        Predicate::Attr {
+            lvar,
+            lattr,
+            op: CmpOp::Eq,
+            rvar,
+            rattr,
+        } => {
             let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
             Some(Proposal::EquateCells {
                 a: CellRef::new(l.rel, l.tid, *lattr),
@@ -901,12 +970,25 @@ fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option
         Predicate::EidCmp { lvar, rvar, eq } => {
             let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
             if *eq {
-                Some(Proposal::Merge { a: l, b: r, rule: ri })
+                Some(Proposal::Merge {
+                    a: l,
+                    b: r,
+                    rule: ri,
+                })
             } else {
-                Some(Proposal::Distinct { a: l, b: r, rule: ri })
+                Some(Proposal::Distinct {
+                    a: l,
+                    b: r,
+                    rule: ri,
+                })
             }
         }
-        Predicate::Temporal { lvar, rvar, attr, strict } => {
+        Predicate::Temporal {
+            lvar,
+            rvar,
+            attr,
+            strict,
+        } => {
             let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
             Some(Proposal::Order {
                 rel: l.rel,
@@ -917,7 +999,12 @@ fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option
                 rule: ri,
             })
         }
-        Predicate::ValExtract { tvar, attr, xvar, path } => {
+        Predicate::ValExtract {
+            tvar,
+            attr,
+            xvar,
+            path,
+        } => {
             let x = h.vertices[*xvar]?;
             let value = path.val(ctx.graph?, x)?;
             let gt = h.tuples[*tvar];
@@ -927,7 +1014,12 @@ fn propose(rule: &Rule, ri: u32, h: &Valuation, ctx: &EvalContext<'_>) -> Option
                 rule: ri,
             })
         }
-        Predicate::Predict { model, var, evidence, target } => {
+        Predicate::Predict {
+            model,
+            var,
+            evidence,
+            target,
+        } => {
             let gt = h.tuples[*var];
             let t = ctx.db.relation(gt.rel).get(gt.tid)?;
             let ev = t.project(evidence);
@@ -965,9 +1057,33 @@ mod tests {
     fn trans_db() -> Database {
         let mut db = Database::new(&trans_schema());
         let r = db.relation_mut(RelId(0));
-        r.insert(Eid(0), vec![Value::str("p1"), Value::str("IPhone 14"), Value::str("Apple"), Value::Float(6500.0)]);
-        r.insert(Eid(1), vec![Value::str("p2"), Value::str("IPhone 14"), Value::str("Appel"), Value::Float(6500.0)]);
-        r.insert(Eid(2), vec![Value::str("p3"), Value::str("IPhone 14"), Value::str("Apple"), Value::Null]);
+        r.insert(
+            Eid(0),
+            vec![
+                Value::str("p1"),
+                Value::str("IPhone 14"),
+                Value::str("Apple"),
+                Value::Float(6500.0),
+            ],
+        );
+        r.insert(
+            Eid(1),
+            vec![
+                Value::str("p2"),
+                Value::str("IPhone 14"),
+                Value::str("Appel"),
+                Value::Float(6500.0),
+            ],
+        );
+        r.insert(
+            Eid(2),
+            vec![
+                Value::str("p3"),
+                Value::str("IPhone 14"),
+                Value::str("Apple"),
+                Value::Null,
+            ],
+        );
         db
     }
 
@@ -997,7 +1113,10 @@ mod tests {
                 "tuple {tid}"
             );
         }
-        assert!(res.conflicts >= 1, "the Appel/Apple conflict must be counted");
+        assert!(
+            res.conflicts >= 1,
+            "the Appel/Apple conflict must be counted"
+        );
         assert!(res.changes.iter().any(|(c, old, new)| {
             c.tid == TupleId(1) && old == &Value::str("Appel") && new == &Value::str("Apple")
         }));
@@ -1097,8 +1216,12 @@ mod tests {
         let reg = registry();
         let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
         let res = engine.run(&db, &[]);
-        assert!(res.fixes.order_holds(RelId(0), AttrId(1), TupleId(0), TupleId(1), false));
-        assert!(!res.fixes.order_holds(RelId(0), AttrId(1), TupleId(1), TupleId(0), false));
+        assert!(res
+            .fixes
+            .order_holds(RelId(0), AttrId(1), TupleId(0), TupleId(1), false));
+        assert!(!res
+            .fixes
+            .order_holds(RelId(0), AttrId(1), TupleId(1), TupleId(0), false));
     }
 
     #[test]
@@ -1117,7 +1240,12 @@ mod tests {
         let delta = Delta::new(vec![rock_data::Update::Insert {
             rel: RelId(0),
             eid: Eid(9),
-            values: vec![Value::str("p9"), Value::str("IPhone 14"), Value::str("Apple"), Value::Null],
+            values: vec![
+                Value::str("p9"),
+                Value::str("IPhone 14"),
+                Value::str("Apple"),
+                Value::Null,
+            ],
         }]);
         let res = engine.run_incremental(&db, &[], &delta);
         // both the old null and the new null get filled (rule is relation-wide)
@@ -1161,7 +1289,11 @@ mod tests {
         let par = ChaseEngine::new(
             &rules,
             &reg,
-            ChaseConfig { workers: 4, partitions_per_rule: 8, ..ChaseConfig::default() },
+            ChaseConfig {
+                workers: 4,
+                partitions_per_rule: 8,
+                ..ChaseConfig::default()
+            },
         )
         .run(&trans_db(), &[]);
         for tid in 0..3u32 {
@@ -1183,7 +1315,10 @@ mod tests {
             .unwrap(),
         );
         let reg = registry();
-        let cfg = ChaseConfig { gate: GateMode::Strict, ..ChaseConfig::default() };
+        let cfg = ChaseConfig {
+            gate: GateMode::Strict,
+            ..ChaseConfig::default()
+        };
         let engine = ChaseEngine::new(&rules, &reg, cfg);
         // no trusted tuples: nothing may fire (t2.com is not validated)
         let res = engine.run(&trans_db(), &[]);
@@ -1207,8 +1342,24 @@ mod tests {
         let schema = trans_schema();
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
-        r.insert(Eid(0), vec![Value::str("p1"), Value::str("IPhone 14"), Value::str("AppleInc"), Value::Float(1.0)]);
-        r.insert(Eid(0), vec![Value::str("p1"), Value::Null, Value::str("junk"), Value::Null]);
+        r.insert(
+            Eid(0),
+            vec![
+                Value::str("p1"),
+                Value::str("IPhone 14"),
+                Value::str("AppleInc"),
+                Value::Float(1.0),
+            ],
+        );
+        r.insert(
+            Eid(0),
+            vec![
+                Value::str("p1"),
+                Value::Null,
+                Value::str("junk"),
+                Value::Null,
+            ],
+        );
         let rules = RuleSet::new(
             parse_rules(
                 "rule r1: Trans(t) && t.com = 'IPhone 14' -> t.mfg = 'AppleInc'\nrule r2: Trans(t) && t.mfg = 'AppleInc' && null(t.price) -> t.price = 6500",
@@ -1217,7 +1368,10 @@ mod tests {
             .unwrap(),
         );
         let reg = registry();
-        let cfg = ChaseConfig { gate: GateMode::Strict, ..ChaseConfig::default() };
+        let cfg = ChaseConfig {
+            gate: GateMode::Strict,
+            ..ChaseConfig::default()
+        };
         let engine = ChaseEngine::new(&rules, &reg, cfg);
         let trusted = vec![GlobalTid::new(RelId(0), TupleId(0))];
         let res = engine.run(&db, &trusted);

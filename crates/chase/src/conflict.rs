@@ -28,15 +28,13 @@ pub enum Resolution {
 }
 
 /// Conflict-resolution policy.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ConflictPolicy {
     /// Correlation model used for CR/MI arbitration, when available.
     pub mc: Option<ModelId>,
     /// Ranking model used for TD arbitration, when available.
     pub mrank: Option<ModelId>,
 }
-
 
 impl ConflictPolicy {
     /// Pick the winning value among candidates for a CR/MI conflict.
@@ -101,7 +99,11 @@ impl ConflictPolicy {
                     .map(|c| raw_votes.iter().filter(|r| r.sql_eq(c)).count())
                     .max()
                     .unwrap_or(0);
-                let res = if n > runner_up { Resolution::Majority } else { Resolution::TieBreak };
+                let res = if n > runner_up {
+                    Resolution::Majority
+                } else {
+                    Resolution::TieBreak
+                };
                 Some((v.clone(), res))
             }
             _ => {
@@ -178,7 +180,10 @@ mod tests {
             (vec![Value::str("Shanghai")], Value::str("021")),
         ];
         let mc = reg.register_correlation("Mc", Arc::new(CorrelationModel::train(&rows)));
-        let p = ConflictPolicy { mc: Some(mc), mrank: None };
+        let p = ConflictPolicy {
+            mc: Some(mc),
+            mrank: None,
+        };
         let (v, r) = p
             .resolve_value(
                 &reg,
@@ -207,7 +212,9 @@ mod tests {
     fn null_candidates_filtered() {
         let reg = ModelRegistry::new();
         let p = ConflictPolicy::default();
-        assert!(p.resolve_value(&reg, None, &[], &[Value::Null], &[]).is_none());
+        assert!(p
+            .resolve_value(&reg, None, &[], &[Value::Null], &[])
+            .is_none());
         let (v, _) = p
             .resolve_value(&reg, None, &[], &[Value::Null, Value::str("x")], &[])
             .unwrap();
@@ -232,7 +239,10 @@ mod tests {
         }];
         let model = RankModel::train_creator_critic(2, &pairs, &constraints, 2, 5);
         let mrank = reg.register_rank("Mrank", Arc::new(model));
-        let p = ConflictPolicy { mc: None, mrank: Some(mrank) };
+        let p = ConflictPolicy {
+            mc: None,
+            mrank: Some(mrank),
+        };
         let early = vec![Value::str("single"), Value::Int(150)];
         let late = vec![Value::str("married"), Value::Int(5500)];
         let (keep_fwd, r) = p.resolve_order(&reg, &early, &late);

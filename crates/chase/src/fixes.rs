@@ -136,7 +136,13 @@ impl FixStore {
     }
 
     /// Validate `[EID.A]= c`.
-    pub fn set_value(&mut self, key: EntityKey, rel: RelId, attr: AttrId, value: Value) -> ValueInsert {
+    pub fn set_value(
+        &mut self,
+        key: EntityKey,
+        rel: RelId,
+        attr: AttrId,
+        value: Value,
+    ) -> ValueInsert {
         let root = self.find(key);
         let map = self.values.entry(root).or_default();
         match map.get(&(rel, attr)) {
@@ -154,7 +160,10 @@ impl FixStore {
     /// its chosen winner through this).
     pub fn override_value(&mut self, key: EntityKey, rel: RelId, attr: AttrId, value: Value) {
         let root = self.find(key);
-        self.values.entry(root).or_default().insert((rel, attr), value);
+        self.values
+            .entry(root)
+            .or_default()
+            .insert((rel, attr), value);
     }
 
     /// Validate that two entities are distinct (`t.eid != s.eid`).
@@ -247,7 +256,14 @@ impl FixStore {
     }
 
     /// Does `t1 ⪯A t2` / `t1 ≺A t2` hold in the validated orders?
-    pub fn order_holds(&self, rel: RelId, attr: AttrId, t1: TupleId, t2: TupleId, strict: bool) -> bool {
+    pub fn order_holds(
+        &self,
+        rel: RelId,
+        attr: AttrId,
+        t1: TupleId,
+        t2: TupleId,
+        strict: bool,
+    ) -> bool {
         match self.orders.get(&(rel, attr)) {
             Some(p) => p.holds(t1, t2, strict),
             None => t1 == t2 && !strict,

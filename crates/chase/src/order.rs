@@ -71,7 +71,11 @@ impl PartialOrderStore {
     /// Try to validate `a ⪯ b` / `a ≺ b`.
     pub fn insert(&mut self, a: TupleId, b: TupleId, strict: bool) -> OrderInsert {
         if a == b {
-            return if strict { OrderInsert::Conflict } else { OrderInsert::Known };
+            return if strict {
+                OrderInsert::Conflict
+            } else {
+                OrderInsert::Known
+            };
         }
         // Conflict when the reverse direction holds with strictness on
         // either side: (a ≺ b) ∧ (b ⪯ a), or (a ⪯ b) ∧ (b ≺ a).
@@ -103,11 +107,7 @@ impl PartialOrderStore {
         candidates
             .iter()
             .copied()
-            .filter(|&t| {
-                !candidates
-                    .iter()
-                    .any(|&u| u != t && self.holds(t, u, true))
-            })
+            .filter(|&t| !candidates.iter().any(|&u| u != t && self.holds(t, u, true)))
             .collect()
     }
 }

@@ -51,9 +51,17 @@ impl QualityReport {
                 *seen.entry(v.clone()).or_insert(0) += 1;
                 total += 1;
             }
-            dup += seen.values().filter(|&&c| c > 1).map(|c| c - 1).sum::<usize>();
+            dup += seen
+                .values()
+                .filter(|&&c| c > 1)
+                .map(|c| c - 1)
+                .sum::<usize>();
         }
-        let uniqueness = if total == 0 { 1.0 } else { 1.0 - dup as f64 / total as f64 };
+        let uniqueness = if total == 0 {
+            1.0
+        } else {
+            1.0 - dup as f64 / total as f64
+        };
 
         // consistency: violations of the rules
         let ctx = EvalContext::new(db, registry);
@@ -74,9 +82,19 @@ impl QualityReport {
             stamped += rel.timestamps.len();
             cells += rel.len() * rel.schema.arity();
         }
-        let timeliness_coverage = if cells == 0 { 0.0 } else { stamped as f64 / cells as f64 };
+        let timeliness_coverage = if cells == 0 {
+            0.0
+        } else {
+            stamped as f64 / cells as f64
+        };
 
-        QualityReport { completeness, uniqueness, consistency, timeliness_coverage, violations }
+        QualityReport {
+            completeness,
+            uniqueness,
+            consistency,
+            timeliness_coverage,
+            violations,
+        }
     }
 
     /// Scalar summary in [0, 1] (equal-weight mean of the dimensions,
@@ -130,7 +148,8 @@ mod tests {
             &[("k", AttrType::Str), ("v", AttrType::Str)],
         )]);
         let mut d = Database::new(&schema);
-        d.relation_mut(RelId(0)).insert_row(vec![Value::str("a"), Value::str("1")]);
+        d.relation_mut(RelId(0))
+            .insert_row(vec![Value::str("a"), Value::str("1")]);
         let rules = RuleSet::default();
         let reg = ModelRegistry::new();
         let q = QualityReport::assess(&d, &[(RelId(0), AttrId(0))], &rules, &reg);

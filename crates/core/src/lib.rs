@@ -17,6 +17,12 @@ pub mod poly;
 pub mod system;
 pub mod variant;
 
+/// Dense bitset kernels behind discovery's predicate satisfaction cache.
+/// The implementation lives in `rock-data` (the one crate below both
+/// `rock-rees` and `rock-discovery` in the dependency order) and is
+/// re-exported here as the system-level API surface.
+pub use rock_data::bitset;
+
 pub use poly::PolyPipeline;
 pub use system::{CorrectionOutcome, DetectionOutcome, DiscoveryOutcome, RockConfig, RockSystem};
 pub use variant::Variant;

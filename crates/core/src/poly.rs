@@ -35,24 +35,25 @@ impl PolyPipeline {
             .filter(|g| g.rel == rel)
             .map(|g| g.tid)
             .collect();
-        let fit_on = |tids: Option<&FxHashSet<rock_data::TupleId>>| -> Option<PolynomialExpression> {
-            match tids {
-                Some(set) => {
-                    let mut sub = rock_data::Relation::new(db.relation(rel).schema.clone());
-                    for tid in set {
-                        if let Some(t) = db.relation(rel).get(*tid) {
-                            sub.insert(t.eid, t.values.clone());
+        let fit_on =
+            |tids: Option<&FxHashSet<rock_data::TupleId>>| -> Option<PolynomialExpression> {
+                match tids {
+                    Some(set) => {
+                        let mut sub = rock_data::Relation::new(db.relation(rel).schema.clone());
+                        for tid in set {
+                            if let Some(t) = db.relation(rel).get(*tid) {
+                                sub.insert(t.eid, t.values.clone());
+                            }
                         }
+                        let tmp = Database::from_relations(vec![sub]);
+                        discover_polynomial(&tmp, RelId(0), target, 0.05).map(|mut e| {
+                            e.rel = rel;
+                            e
+                        })
                     }
-                    let tmp = Database::from_relations(vec![sub]);
-                    discover_polynomial(&tmp, RelId(0), target, 0.05).map(|mut e| {
-                        e.rel = rel;
-                        e
-                    })
+                    None => discover_polynomial(db, rel, target, 0.05),
                 }
-                None => discover_polynomial(db, rel, target, 0.05),
-            }
-        };
+            };
         let mut expr = if trusted_here.len() >= 8 {
             fit_on(Some(&trusted_here))?
         } else {
@@ -76,8 +77,7 @@ impl PolyPipeline {
                     break;
                 }
                 residuals.sort_by(|a, b| a.1.total_cmp(&b.1));
-                let keep: FxHashSet<rock_data::TupleId> = residuals
-                    [..residuals.len() * 3 / 4]
+                let keep: FxHashSet<rock_data::TupleId> = residuals[..residuals.len() * 3 / 4]
                     .iter()
                     .map(|(t, _)| *t)
                     .collect();
@@ -97,7 +97,11 @@ impl PolyPipeline {
                 n += 1;
             }
         }
-        expr.mean_abs_residual = if n == 0 { f64::INFINITY } else { resid / n as f64 };
+        expr.mean_abs_residual = if n == 0 {
+            f64::INFINITY
+        } else {
+            resid / n as f64
+        };
         if expr.mean_abs_residual.is_infinite() {
             return None;
         }
@@ -131,11 +135,16 @@ impl PolyPipeline {
         let flagged = self.detect(db);
         let mut changes = Vec::new();
         for cell in flagged {
-            let Some(t) = db.relation(rel).get(cell.tid) else { continue };
-            let Some(pred) = self.expr.eval(&t.values) else { continue };
+            let Some(t) = db.relation(rel).get(cell.tid) else {
+                continue;
+            };
+            let Some(pred) = self.expr.eval(&t.values) else {
+                continue;
+            };
             let rounded = (pred * 100.0).round() / 100.0;
             let new = Value::Float(rounded);
-            db.relation_mut(rel).set_cell(cell.tid, self.expr.target, new.clone());
+            db.relation_mut(rel)
+                .set_cell(cell.tid, self.expr.target, new.clone());
             changes.push((cell, new));
         }
         changes
@@ -174,17 +183,26 @@ mod tests {
     fn detects_and_corrects_corrupted_totals() {
         let mut d = db();
         // corrupt two totals, null one
-        d.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(2), Value::Float(999.0));
-        d.relation_mut(RelId(0)).set_cell(TupleId(5), AttrId(2), Value::Float(-3.0));
-        d.relation_mut(RelId(0)).set_cell(TupleId(9), AttrId(2), Value::Null);
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(2), Value::Float(999.0));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(5), AttrId(2), Value::Float(-3.0));
+        d.relation_mut(RelId(0))
+            .set_cell(TupleId(9), AttrId(2), Value::Null);
         let pipe = PolyPipeline::fit(&d, RelId(0), AttrId(2), &[], 0.02).expect("fit");
         let flagged = pipe.detect(&d);
         assert_eq!(flagged.len(), 3, "{flagged:?}");
         let changes = pipe.correct(&mut d);
         assert_eq!(changes.len(), 3);
         // corrected values match amount + fee
-        assert_eq!(d.cell(RelId(0), TupleId(0), AttrId(2)), Some(&Value::Float(11.0)));
-        assert_eq!(d.cell(RelId(0), TupleId(9), AttrId(2)), Some(&Value::Float(110.0)));
+        assert_eq!(
+            d.cell(RelId(0), TupleId(0), AttrId(2)),
+            Some(&Value::Float(11.0))
+        );
+        assert_eq!(
+            d.cell(RelId(0), TupleId(9), AttrId(2)),
+            Some(&Value::Float(110.0))
+        );
         // nothing left to flag
         assert!(pipe.detect(&d).is_empty());
     }
@@ -194,7 +212,8 @@ mod tests {
         let mut d = db();
         // corrupt a third of totals — enough to disturb a naive full fit
         for i in (0..39).step_by(3) {
-            d.relation_mut(RelId(0)).set_cell(TupleId(i), AttrId(2), Value::Float(1e6));
+            d.relation_mut(RelId(0))
+                .set_cell(TupleId(i), AttrId(2), Value::Float(1e6));
         }
         let trusted: Vec<GlobalTid> = (1..39)
             .filter(|i| i % 3 != 0)
@@ -204,7 +223,12 @@ mod tests {
         let pipe = PolyPipeline::fit(&d, RelId(0), AttrId(2), &trusted, 0.02).expect("fit");
         // the trusted fit still recovers total = amount + fee
         let flagged = pipe.detect(&d);
-        assert_eq!(flagged.len(), 13, "all corrupted rows flagged: {}", flagged.len());
+        assert_eq!(
+            flagged.len(),
+            13,
+            "all corrupted rows flagged: {}",
+            flagged.len()
+        );
     }
 
     #[test]

@@ -115,7 +115,11 @@ impl RockSystem {
                         .iter()
                         .filter_map(|a| schema.relation(rel).attr_id(a))
                         .collect();
-                    Some(MlSignature { model: h.model.clone(), rel, attrs })
+                    Some(MlSignature {
+                        model: h.model.clone(),
+                        rel,
+                        attrs,
+                    })
                 })
                 .collect()
         } else {
@@ -130,7 +134,15 @@ impl RockSystem {
             }
             let space = PredicateSpace::build(&w.dirty, rid, &sigs, &SpaceConfig::default());
             let report = if rel.len() > 200 && self.config.sample_ratio < 1.0 {
-                mine_with_sampling(&disc, &w.dirty, rid, &space, self.config.sample_ratio, 0.05, 17)
+                mine_with_sampling(
+                    &disc,
+                    &w.dirty,
+                    rid,
+                    &space,
+                    self.config.sample_ratio,
+                    0.05,
+                    17,
+                )
             } else {
                 disc.mine_relation(&w.dirty, rid, &space)
             };
@@ -311,12 +323,7 @@ impl RockSystem {
     /// then greedily select `k` rules maximizing *data coverage*
     /// diversification (each rule's coverage = the tuples its precondition
     /// touches).
-    pub fn discover_top_k(
-        &self,
-        w: &Workload,
-        k: usize,
-        labeled: &[(String, bool)],
-    ) -> RuleSet {
+    pub fn discover_top_k(&self, w: &Workload, k: usize, labeled: &[(String, bool)]) -> RuleSet {
         let pool = self.discover(w).rules;
         let mut miner = AnytimeMiner::new(pool.rules.clone());
         for (name, useful) in labeled {
@@ -493,11 +500,19 @@ mod tests {
         .correct(&w, &task);
         // Rockseq converges to the same quality as Rock (both chase to
         // fixpoint; paper: "Rock has the same F-Measure as Rockseq")
-        assert!((rock.metrics.f1() - seq.metrics.f1()).abs() < 0.05,
-            "rock {:.3} seq {:.3}", rock.metrics.f1(), seq.metrics.f1());
+        assert!(
+            (rock.metrics.f1() - seq.metrics.f1()).abs() < 0.05,
+            "rock {:.3} seq {:.3}",
+            rock.metrics.f1(),
+            seq.metrics.f1()
+        );
         // RocknoC (single pass, no interaction) is no better
-        assert!(noc.metrics.f1() <= rock.metrics.f1() + 1e-9,
-            "noc {:.3} rock {:.3}", noc.metrics.f1(), rock.metrics.f1());
+        assert!(
+            noc.metrics.f1() <= rock.metrics.f1() + 1e-9,
+            "noc {:.3} rock {:.3}",
+            noc.metrics.f1(),
+            rock.metrics.f1()
+        );
     }
 
     #[test]
@@ -510,7 +525,10 @@ mod tests {
         let out = sys.correct(&w, &task);
         let after = sys.assess(&w, &out.repaired, &keys);
         assert!(after.completeness >= before.completeness, "nulls filled");
-        assert!(after.consistency >= before.consistency, "violations resolved");
+        assert!(
+            after.consistency >= before.consistency,
+            "violations resolved"
+        );
         assert!(after.overall() > before.overall());
     }
 

@@ -19,7 +19,12 @@ pub enum Variant {
 
 impl Variant {
     pub fn all() -> [Variant; 4] {
-        [Variant::Rock, Variant::RockNoMl, Variant::RockSeq, Variant::RockNoC]
+        [
+            Variant::Rock,
+            Variant::RockNoMl,
+            Variant::RockSeq,
+            Variant::RockNoC,
+        ]
     }
 
     pub fn name(&self) -> &'static str {
@@ -45,7 +50,12 @@ impl Variant {
 /// Partition a rule set by task kind (the ER/CR/MI/TD split RockSeq and
 /// RockNoC schedule by).
 pub fn split_by_task(rules: &RuleSet) -> [RuleSet; 4] {
-    let mut out = [RuleSet::default(), RuleSet::default(), RuleSet::default(), RuleSet::default()];
+    let mut out = [
+        RuleSet::default(),
+        RuleSet::default(),
+        RuleSet::default(),
+        RuleSet::default(),
+    ];
     for r in rules.iter() {
         let idx = match consequence_kind(r) {
             ErrorKind::Er => 0,

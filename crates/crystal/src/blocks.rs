@@ -74,7 +74,11 @@ impl BlockStore {
             let id = BlockId(self.next_id.fetch_add(1, Ordering::Relaxed));
             blocks.insert(
                 id,
-                Block { data: Bytes::copy_from_slice(chunk), node, next: None },
+                Block {
+                    data: Bytes::copy_from_slice(chunk),
+                    node,
+                    next: None,
+                },
             );
             if let Some(prev) = last_on_node.insert(node, id) {
                 if let Some(b) = blocks.get_mut(&prev) {
@@ -84,9 +88,12 @@ impl BlockStore {
             ids.push(id);
         }
         drop(blocks);
-        self.objects
-            .write()
-            .insert(name.to_owned(), ObjectMeta { blocks: ids.clone() });
+        self.objects.write().insert(
+            name.to_owned(),
+            ObjectMeta {
+                blocks: ids.clone(),
+            },
+        );
         ids
     }
 

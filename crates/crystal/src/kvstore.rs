@@ -32,7 +32,13 @@ impl KvStore {
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> u64 {
         let mut map = self.inner.write();
         let version = map.get(key).map(|e| e.version + 1).unwrap_or(1);
-        map.insert(key.to_owned(), Entry { value: value.into(), version });
+        map.insert(
+            key.to_owned(),
+            Entry {
+                value: value.into(),
+                version,
+            },
+        );
         version
     }
 
@@ -50,7 +56,13 @@ impl KvStore {
             return Err(current);
         }
         let version = current + 1;
-        map.insert(key.to_owned(), Entry { value: value.into(), version });
+        map.insert(
+            key.to_owned(),
+            Entry {
+                value: value.into(),
+                version,
+            },
+        );
         Ok(version)
     }
 

@@ -33,7 +33,11 @@ impl ConsistentHashRing {
     /// 100–200; the default constructor uses 64 which is plenty for ≤32
     /// workers).
     pub fn new(vnodes: usize) -> Self {
-        ConsistentHashRing { ring: BTreeMap::new(), vnodes: vnodes.max(1), nodes: Vec::new() }
+        ConsistentHashRing {
+            ring: BTreeMap::new(),
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+        }
     }
 
     /// Add a node identified by an address string (the paper hashes IP

@@ -114,7 +114,10 @@ impl Cluster {
         for i in 0..workers {
             ring.add_node(NodeId(i as u32), &format!("10.42.0.{i}"));
         }
-        Cluster { workers, ring: ClusterRing { ring } }
+        Cluster {
+            workers,
+            ring: ClusterRing { ring },
+        }
     }
 
     pub fn workers(&self) -> usize {

@@ -54,11 +54,27 @@ pub struct WorkUnit {
     pub partitions: Vec<Partition>,
     /// Estimated cost (abstract units; drives initial placement order).
     pub est_cost: f64,
+    /// Opaque producer tag carried through scheduling untouched. Discovery
+    /// uses it to name the parent frontier entry whose satisfaction bitset
+    /// the worker extends, so siblings share one read-only parent.
+    #[serde(default)]
+    pub payload: u64,
 }
 
 impl WorkUnit {
     pub fn new(rule: u32, partitions: Vec<Partition>) -> Self {
-        WorkUnit { rule, partitions, est_cost: 1.0 }
+        WorkUnit {
+            rule,
+            partitions,
+            est_cost: 1.0,
+            payload: 0,
+        }
+    }
+
+    /// Attach a producer tag (builder-style).
+    pub fn with_payload(mut self, payload: u64) -> Self {
+        self.payload = payload;
+        self
     }
 
     /// Placement hash combines all partitions.
@@ -86,7 +102,11 @@ pub struct CostEstimator {
 
 impl CostEstimator {
     pub fn new(selectivity: f64, ml_predicates: usize, ml_unit_cost: f64) -> Self {
-        CostEstimator { selectivity: selectivity.clamp(0.0, 1.0), ml_predicates, ml_unit_cost }
+        CostEstimator {
+            selectivity: selectivity.clamp(0.0, 1.0),
+            ml_predicates,
+            ml_unit_cost,
+        }
     }
 
     /// Estimate the cost of one unit.
@@ -159,7 +179,10 @@ mod tests {
     fn cost_scales_with_partition_product_and_ml() {
         let est_cheap = CostEstimator::new(0.01, 0, 0.0);
         let est_ml = CostEstimator::new(0.01, 1, 100.0);
-        let unit = WorkUnit::new(0, vec![Partition::new(0, 0, 100), Partition::new(0, 0, 100)]);
+        let unit = WorkUnit::new(
+            0,
+            vec![Partition::new(0, 0, 100), Partition::new(0, 0, 100)],
+        );
         let c0 = est_cheap.estimate(&unit);
         let c1 = est_ml.estimate(&unit);
         assert!(c1 > c0);
@@ -174,6 +197,19 @@ mod tests {
         let b = WorkUnit::new(0, vec![Partition::new(0, 10, 20)]);
         assert_eq!(a.placement_hash(), a.placement_hash());
         assert_ne!(a.placement_hash(), b.placement_hash());
+    }
+
+    #[test]
+    fn payload_roundtrips_and_defaults_to_zero() {
+        let unit = WorkUnit::new(3, vec![Partition::new(0, 0, 5)]).with_payload(42);
+        assert_eq!(unit.payload, 42);
+        let json = serde_json::to_string(&unit).unwrap();
+        let back: WorkUnit = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, unit);
+        // pre-payload serializations still deserialize (field defaults)
+        let legacy = r#"{"rule":1,"partitions":[],"est_cost":1.0}"#;
+        let old: WorkUnit = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.payload, 0);
     }
 
     #[test]

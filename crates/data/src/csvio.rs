@@ -131,17 +131,17 @@ mod tests {
     use crate::schema::AttrType;
 
     fn schema() -> RelationSchema {
-        RelationSchema::of(
-            "T",
-            &[("name", AttrType::Str), ("n", AttrType::Int)],
-        )
+        RelationSchema::of("T", &[("name", AttrType::Str), ("n", AttrType::Int)])
     }
 
     #[test]
     fn split_handles_quotes_and_commas() {
         assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_record(r#""a,b",c"#), vec!["a,b", "c"]);
-        assert_eq!(split_record(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            split_record(r#""he said ""hi""",x"#),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(split_record("a,,c"), vec!["a", "", "c"]);
     }
 

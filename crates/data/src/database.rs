@@ -19,7 +19,12 @@ impl Database {
     /// Create an empty instance of the given schema.
     pub fn new(schema: &DatabaseSchema) -> Self {
         Database {
-            relations: schema.relations.iter().cloned().map(Relation::new).collect(),
+            relations: schema
+                .relations
+                .iter()
+                .cloned()
+                .map(Relation::new)
+                .collect(),
         }
     }
 
@@ -95,7 +100,12 @@ impl Database {
                 Update::Delete { rel, tid } => {
                     self.relation_mut(*rel).delete(*tid);
                 }
-                Update::SetCell { rel, tid, attr, value } => {
+                Update::SetCell {
+                    rel,
+                    tid,
+                    attr,
+                    value,
+                } => {
                     self.relation_mut(*rel).set_cell(*tid, *attr, value.clone());
                 }
             }
@@ -172,7 +182,9 @@ pub struct RelationBuilder {
 
 impl RelationBuilder {
     pub fn new(schema: RelationSchema) -> Self {
-        RelationBuilder { rel: Relation::new(schema) }
+        RelationBuilder {
+            rel: Relation::new(schema),
+        }
     }
 
     pub fn row(mut self, values: Vec<Value>) -> Self {
@@ -214,8 +226,17 @@ mod tests {
         let rel_a = d.rel_id("A").unwrap();
         let t = d.relation_mut(rel_a).insert_row(vec![Value::Int(1)]);
         let delta = Delta::new(vec![
-            Update::Insert { rel: rel_a, eid: Eid(9), values: vec![Value::Int(2)] },
-            Update::SetCell { rel: rel_a, tid: t, attr: AttrId(0), value: Value::Int(7) },
+            Update::Insert {
+                rel: rel_a,
+                eid: Eid(9),
+                values: vec![Value::Int(2)],
+            },
+            Update::SetCell {
+                rel: rel_a,
+                tid: t,
+                attr: AttrId(0),
+                value: Value::Int(7),
+            },
         ]);
         let ins = d.apply(&delta);
         assert_eq!(ins.len(), 1);

@@ -16,6 +16,7 @@
 //! * Every tuple has a stable [`TupleId`] and an [`Eid`]; the fix store in
 //!   `rock-chase` keys its `[EID]=` / `[EID.A]=` structures by these ids.
 
+pub mod bitset;
 pub mod csvio;
 pub mod database;
 pub mod ids;
@@ -27,6 +28,7 @@ pub mod tuple;
 pub mod update;
 pub mod value;
 
+pub use bitset::Bitset;
 pub use database::Database;
 pub use ids::{AttrId, CellRef, Eid, GlobalTid, RelId, TupleId};
 pub use relation::Relation;

@@ -142,10 +142,7 @@ impl Relation {
 
     /// Distinct non-null values of an attribute, sorted.
     pub fn active_domain(&self, attr: AttrId) -> Vec<Value> {
-        let mut dom: Vec<Value> = self
-            .index_on(attr)
-            .into_keys()
-            .collect();
+        let mut dom: Vec<Value> = self.index_on(attr).into_keys().collect();
         dom.sort();
         dom
     }

@@ -63,7 +63,10 @@ pub struct Attribute {
 
 impl Attribute {
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -83,7 +86,11 @@ impl RelationSchema {
             .enumerate()
             .map(|(i, a)| (a.name.clone(), AttrId(i as u16)))
             .collect();
-        RelationSchema { name: name.into(), attrs, by_name }
+        RelationSchema {
+            name: name.into(),
+            attrs,
+            by_name,
+        }
     }
 
     /// Convenience constructor from `(name, type)` pairs.

@@ -97,7 +97,11 @@ impl ColumnStats {
             distinct,
             top_values,
             numeric,
-            mean_len: if non_null == 0 { 0.0 } else { len_sum as f64 / non_null as f64 },
+            mean_len: if non_null == 0 {
+                0.0
+            } else {
+                len_sum as f64 / non_null as f64
+            },
         }
     }
 

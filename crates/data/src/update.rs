@@ -9,20 +9,29 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Update {
     /// Insert a new tuple.
-    Insert { rel: RelId, eid: Eid, values: Vec<Value> },
+    Insert {
+        rel: RelId,
+        eid: Eid,
+        values: Vec<Value>,
+    },
     /// Delete an existing tuple.
     Delete { rel: RelId, tid: TupleId },
     /// Overwrite one cell.
-    SetCell { rel: RelId, tid: TupleId, attr: AttrId, value: Value },
+    SetCell {
+        rel: RelId,
+        tid: TupleId,
+        attr: AttrId,
+        value: Value,
+    },
 }
 
 impl Update {
     /// Relation this update touches.
     pub fn rel(&self) -> RelId {
         match self {
-            Update::Insert { rel, .. } | Update::Delete { rel, .. } | Update::SetCell { rel, .. } => {
-                *rel
-            }
+            Update::Insert { rel, .. }
+            | Update::Delete { rel, .. }
+            | Update::SetCell { rel, .. } => *rel,
         }
     }
 }
@@ -81,9 +90,18 @@ mod tests {
     #[test]
     fn touched_relations_dedup_sorted() {
         let d = Delta::new(vec![
-            Update::Delete { rel: RelId(2), tid: TupleId(0) },
-            Update::Delete { rel: RelId(0), tid: TupleId(1) },
-            Update::Delete { rel: RelId(2), tid: TupleId(3) },
+            Update::Delete {
+                rel: RelId(2),
+                tid: TupleId(0),
+            },
+            Update::Delete {
+                rel: RelId(0),
+                tid: TupleId(1),
+            },
+            Update::Delete {
+                rel: RelId(2),
+                tid: TupleId(3),
+            },
         ]);
         assert_eq!(d.touched_relations(), vec![RelId(0), RelId(2)]);
     }
@@ -91,8 +109,17 @@ mod tests {
     #[test]
     fn touched_cells_only_setcell() {
         let d = Delta::new(vec![
-            Update::Insert { rel: RelId(0), eid: Eid(0), values: vec![] },
-            Update::SetCell { rel: RelId(1), tid: TupleId(4), attr: AttrId(2), value: Value::Null },
+            Update::Insert {
+                rel: RelId(0),
+                eid: Eid(0),
+                values: vec![],
+            },
+            Update::SetCell {
+                rel: RelId(1),
+                tid: TupleId(4),
+                attr: AttrId(2),
+                value: Value::Null,
+            },
         ]);
         assert_eq!(d.touched_cells(), vec![(RelId(1), TupleId(4), AttrId(2))]);
     }
@@ -101,7 +128,10 @@ mod tests {
     fn push_and_len() {
         let mut d = Delta::default();
         assert!(d.is_empty());
-        d.push(Update::Delete { rel: RelId(0), tid: TupleId(0) });
+        d.push(Update::Delete {
+            rel: RelId(0),
+            tid: TupleId(0),
+        });
         assert_eq!(d.len(), 1);
     }
 }

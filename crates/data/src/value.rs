@@ -315,7 +315,13 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for s in ["2020-12-18", "2021-11-11", "2023-08-12", "1970-01-01", "1969-12-31"] {
+        for s in [
+            "2020-12-18",
+            "2021-11-11",
+            "2023-08-12",
+            "1970-01-01",
+            "1969-12-31",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(Value::Date(d).to_string(), s);
         }

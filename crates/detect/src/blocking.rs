@@ -47,7 +47,14 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
     let mut done: FxHashSet<String> = FxHashSet::default();
     for rule in rules.iter() {
         for p in rule.all_predicates() {
-            let Predicate::Ml { model, lvar, lattrs, rvar, rattrs } = p else {
+            let Predicate::Ml {
+                model,
+                lvar,
+                lattrs,
+                rvar,
+                rattrs,
+            } = p
+            else {
                 continue;
             };
             // one pass per (model, relations, attrs) signature
@@ -63,7 +70,9 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
                 continue;
             }
             let id = model.resolved();
-            let Some(classifier) = registry.pair(id) else { continue };
+            let Some(classifier) = registry.pair(id) else {
+                continue;
+            };
             stats.predicates += 1;
 
             let lrel = db.relation(rule.rel_of(*lvar));
@@ -96,7 +105,9 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
                 stats.total_pairs += ltexts.len() as u64;
                 let skey = ModelRegistry::pair_key(&svals);
                 for cand in lsh.candidates(&stext) {
-                    let Some(&i) = by_tid.get(&cand) else { continue };
+                    let Some(&i) = by_tid.get(&cand) else {
+                        continue;
+                    };
                     let (_, lvals, _) = &ltexts[i];
                     stats.candidate_pairs += 1;
                     let out = classifier.predict(lvals, &svals);

@@ -145,7 +145,14 @@ fn attribute_blame(
     let mut pairs: Vec<(usize, CellRef, CellRef)> = Vec::new();
     for v in violations {
         let rule = &rules.rules[v.rule];
-        if let Predicate::Attr { lvar, lattr, rvar, rattr, .. } = &rule.consequence {
+        if let Predicate::Attr {
+            lvar,
+            lattr,
+            rvar,
+            rattr,
+            ..
+        } = &rule.consequence
+        {
             let l = v.valuation.tuples[*lvar];
             let r = v.valuation.tuples[*rvar];
             let lc = CellRef::new(l.rel, l.tid, *lattr);
@@ -183,7 +190,14 @@ fn record_satisfied(
     h: &Valuation,
     satisfied: &mut FxHashMap<(usize, CellRef), u32>,
 ) {
-    if let Predicate::Attr { lvar, lattr, rvar, rattr, .. } = &rule.consequence {
+    if let Predicate::Attr {
+        lvar,
+        lattr,
+        rvar,
+        rattr,
+        ..
+    } = &rule.consequence
+    {
         let l = h.tuples[*lvar];
         let r = h.tuples[*rvar];
         *satisfied
@@ -206,7 +220,13 @@ pub struct Detector<'a> {
 
 impl<'a> Detector<'a> {
     pub fn new(rules: &'a RuleSet, registry: &'a ModelRegistry) -> Self {
-        Detector { rules, registry, graph: None, workers: 1, partitions_per_rule: 4 }
+        Detector {
+            rules,
+            registry,
+            graph: None,
+            workers: 1,
+            partitions_per_rule: 4,
+        }
     }
 
     pub fn with_graph(mut self, g: &'a Graph) -> Self {
@@ -324,7 +344,9 @@ impl<'a> Detector<'a> {
                     let mut seen: FxHashSet<Vec<GlobalTid>> = FxHashSet::default();
                     for var in 0..rule.tuple_vars.len() {
                         let rel = rule.rel_of(var);
-                        let Some(set) = touched.get(&rel) else { continue };
+                        let Some(set) = touched.get(&rel) else {
+                            continue;
+                        };
                         if set.is_empty() {
                             continue;
                         }
@@ -343,19 +365,33 @@ impl<'a> Detector<'a> {
                 }
             }
         }
-        attribute_blame(self.rules, &report.violations, &satisfied, &mut report.flagged_cells);
+        attribute_blame(
+            self.rules,
+            &report.violations,
+            &satisfied,
+            &mut report.flagged_cells,
+        );
         report
     }
 }
 
 fn record(rule: &Rule, ri: usize, kind: ErrorKind, h: &Valuation, report: &mut DetectReport) {
     implicated_cells(rule, h, &mut report.flagged_cells);
-    if let Predicate::EidCmp { lvar, rvar, eq: true } = &rule.consequence {
+    if let Predicate::EidCmp {
+        lvar,
+        rvar,
+        eq: true,
+    } = &rule.consequence
+    {
         report
             .duplicate_pairs
             .push((h.tuples[*lvar], h.tuples[*rvar]));
     }
-    report.violations.push(Violation { rule: ri, kind, valuation: h.clone() });
+    report.violations.push(Violation {
+        rule: ri,
+        kind,
+        valuation: h.clone(),
+    });
 }
 
 #[cfg(test)]
@@ -379,9 +415,24 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new(&schema());
         let r = db.relation_mut(RelId(0));
-        r.insert_row(vec![Value::str("p1"), Value::str("IPhone"), Value::str("Apple"), Value::Float(1.0)]);
-        r.insert_row(vec![Value::str("p2"), Value::str("IPhone"), Value::str("Huawei"), Value::Float(2.0)]);
-        r.insert_row(vec![Value::str("p3"), Value::str("Mate"), Value::str("Huawei"), Value::Null]);
+        r.insert_row(vec![
+            Value::str("p1"),
+            Value::str("IPhone"),
+            Value::str("Apple"),
+            Value::Float(1.0),
+        ]);
+        r.insert_row(vec![
+            Value::str("p2"),
+            Value::str("IPhone"),
+            Value::str("Huawei"),
+            Value::Float(2.0),
+        ]);
+        r.insert_row(vec![
+            Value::str("p3"),
+            Value::str("Mate"),
+            Value::str("Huawei"),
+            Value::Null,
+        ]);
         db
     }
 
@@ -407,9 +458,15 @@ mod tests {
         let per = rep.per_rule();
         assert_eq!(per[&0], 2);
         assert_eq!(per[&1], 1);
-        assert!(rep.flagged_cells.contains(&CellRef::new(RelId(0), TupleId(0), AttrId(2))));
-        assert!(rep.flagged_cells.contains(&CellRef::new(RelId(0), TupleId(1), AttrId(2))));
-        assert!(rep.flagged_cells.contains(&CellRef::new(RelId(0), TupleId(2), AttrId(3))));
+        assert!(rep
+            .flagged_cells
+            .contains(&CellRef::new(RelId(0), TupleId(0), AttrId(2))));
+        assert!(rep
+            .flagged_cells
+            .contains(&CellRef::new(RelId(0), TupleId(1), AttrId(2))));
+        assert!(rep
+            .flagged_cells
+            .contains(&CellRef::new(RelId(0), TupleId(2), AttrId(3))));
         assert!(rep.wall_seconds >= 0.0);
     }
 
@@ -435,8 +492,12 @@ mod tests {
     #[test]
     fn duplicate_pairs_from_er_rules() {
         let mut db = db();
-        db.relation_mut(RelId(0))
-            .insert_row(vec![Value::str("p1"), Value::str("Mate"), Value::str("Huawei"), Value::Float(5.0)]);
+        db.relation_mut(RelId(0)).insert_row(vec![
+            Value::str("p1"),
+            Value::str("Mate"),
+            Value::str("Huawei"),
+            Value::Float(5.0),
+        ]);
         let rules = RuleSet::new(
             parse_rules(
                 "rule er: Trans(t) && Trans(s) && t.pid = s.pid -> t.eid = s.eid",
@@ -467,9 +528,19 @@ mod tests {
             Update::Insert {
                 rel: RelId(0),
                 eid: rock_data::Eid(9),
-                values: vec![Value::str("p9"), Value::str("IPhone"), Value::str("Sony"), Value::Float(4.0)],
+                values: vec![
+                    Value::str("p9"),
+                    Value::str("IPhone"),
+                    Value::str("Sony"),
+                    Value::Float(4.0),
+                ],
             },
-            Update::SetCell { rel: RelId(0), tid: TupleId(2), attr: AttrId(3), value: Value::Null },
+            Update::SetCell {
+                rel: RelId(0),
+                tid: TupleId(2),
+                attr: AttrId(3),
+                value: Value::Null,
+            },
         ]);
         let inserted = db.apply(&delta);
         let reg = ModelRegistry::new();
@@ -489,7 +560,10 @@ mod tests {
             .filter(|v| v.valuation.tuples.iter().any(|g| touched.contains(&g.tid)))
             .count();
         assert_eq!(inc.count(), batch_touched);
-        assert!(inc.count() >= 3, "new Sony tuple conflicts with t0/t1 + null price");
+        assert!(
+            inc.count() >= 3,
+            "new Sony tuple conflicts with t0/t1 + null price"
+        );
     }
 
     #[test]
@@ -497,7 +571,8 @@ mod tests {
         let db = db();
         let reg = ModelRegistry::new();
         let rules = ruleset();
-        let rep = Detector::new(&rules, &reg).detect_incremental(&db, &rock_data::Delta::default(), &[]);
+        let rep =
+            Detector::new(&rules, &reg).detect_incremental(&db, &rock_data::Delta::default(), &[]);
         assert_eq!(rep.count(), 0);
     }
 

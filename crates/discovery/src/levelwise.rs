@@ -13,15 +13,29 @@
 //! Support/confidence are the normalized measures of
 //! [`rock_rees::measures`], and the thresholds default to the paper's
 //! values (§6: support 1e-8, confidence 0.9).
+//!
+//! Two evaluation strategies produce identical rule sets:
+//!
+//! * **bitset path** (default) — predicates are materialized once into
+//!   satisfaction bitsets via [`crate::cache::PredicateBitsets`]; each
+//!   level-k candidate intersects its level-(k−1) parent's running bitset
+//!   with one predicate bitset and measures by AND+popcount. Workers share
+//!   the parent bitsets read-only (`Arc`), addressed through the Crystal
+//!   work unit's `payload`.
+//! * **scan path** (`use_bitset_cache: false`) — the original per-candidate
+//!   tuple re-scan via [`measure`], kept as the equivalence baseline and
+//!   the uncached arm of the benchmark panel.
 
+use crate::cache::{CacheStats, PredicateBitsets};
 use crate::space::PredicateSpace;
-use rock_crystal::{Cluster, WorkUnit};
 use rock_crystal::work::Partition;
+use rock_crystal::{Cluster, WorkUnit};
 use rock_data::{Database, RelId};
 use rock_kg::Graph;
 use rock_ml::ModelRegistry;
-use rock_rees::measures::measure;
+use rock_rees::measures::{measure, SatBits};
 use rock_rees::{EvalContext, Predicate, Rule, RuleSet};
+use std::sync::Arc;
 
 /// Discovery configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +51,12 @@ pub struct DiscoveryConfig {
     /// Skip consequences whose own support is below this (a consequence
     /// that almost never holds cannot anchor a high-confidence rule).
     pub min_consequence_support: f64,
+    /// Byte budget for the predicate satisfaction-bitset cache; entries
+    /// beyond it are LRU-evicted and re-materialized on demand.
+    pub cache_budget_bytes: usize,
+    /// Evaluate candidates with bitset kernels (default). `false` selects
+    /// the tuple re-scan path — same mined rules, no cache.
+    pub use_bitset_cache: bool,
 }
 
 impl Default for DiscoveryConfig {
@@ -47,6 +67,8 @@ impl Default for DiscoveryConfig {
             max_preconditions: 3,
             workers: 1,
             min_consequence_support: 1e-9,
+            cache_budget_bytes: 64 << 20,
+            use_bitset_cache: true,
         }
     }
 }
@@ -62,6 +84,8 @@ pub struct DiscoveryReport {
     pub wall_seconds: f64,
     /// Per-candidate evaluation durations (for modeled parallel time).
     pub unit_seconds: Vec<f64>,
+    /// Predicate-bitset cache counters (`None` on the scan path).
+    pub cache: Option<CacheStats>,
 }
 
 impl DiscoveryReport {
@@ -79,11 +103,31 @@ pub struct Discoverer<'a> {
 
 impl<'a> Discoverer<'a> {
     pub fn new(registry: &'a ModelRegistry, config: DiscoveryConfig) -> Self {
-        Discoverer { registry, graph: None, config }
+        Discoverer {
+            registry,
+            graph: None,
+            config,
+        }
     }
 
     /// Mine rules over one relation's two-variable template.
     pub fn mine_relation(
+        &self,
+        db: &Database,
+        rel: RelId,
+        space: &PredicateSpace,
+    ) -> DiscoveryReport {
+        if self.config.use_bitset_cache {
+            self.mine_relation_cached(db, rel, space)
+        } else {
+            self.mine_relation_scan(db, rel, space)
+        }
+    }
+
+    /// Bitset-kernel mining: identical candidate generation, ordering and
+    /// naming as the scan path, with measures computed by AND+popcount
+    /// over cached satisfaction bitsets.
+    fn mine_relation_cached(
         &self,
         db: &Database,
         rel: RelId,
@@ -98,6 +142,163 @@ impl<'a> Discoverer<'a> {
             pruned: 0,
             wall_seconds: 0.0,
             unit_seconds: Vec::new(),
+            cache: None,
+        };
+
+        let ctx = self.ctx(db);
+        let bits = PredicateBitsets::new(
+            &ctx,
+            db,
+            rel,
+            &preconditions,
+            &space.consequences,
+            self.registry,
+            self.config.cache_budget_bytes,
+        );
+        let n = bits.n();
+        let cluster = Cluster::new(self.config.workers);
+        let mut counter = 0usize;
+
+        for (ci, consequence) in space.consequences.iter().enumerate() {
+            // level 0: the consequence alone must clear the support floor.
+            // An unknown-model consequence yields no measure and is skipped
+            // exactly like the scan path's failed `make_rule`.
+            let root = bits.root();
+            let Some(base) = bits.measure(ci, &root) else {
+                continue;
+            };
+            report.candidates_evaluated += 1;
+            if base.support() < self.config.min_consequence_support {
+                report.pruned += 1;
+                continue;
+            }
+
+            // frontier: precondition index-vectors (sorted, no dups), each
+            // carrying the running satisfaction bitset of its conjunction —
+            // shared read-only with every worker expanding it at level k.
+            let mut frontier: Vec<(Vec<usize>, Arc<SatBits>)> = vec![(Vec::new(), root)];
+            let mut accepted_for_consequence: Vec<Vec<usize>> = Vec::new();
+
+            for level in 1..=self.config.max_preconditions {
+                // expand frontier (same order as the scan path)
+                let mut candidates: Vec<Vec<usize>> = Vec::new();
+                let mut parents: Vec<usize> = Vec::new();
+                for (fi, (x, _)) in frontier.iter().enumerate() {
+                    let startp = x.last().map(|&i| i + 1).unwrap_or(0);
+                    #[allow(clippy::needless_range_loop)] // pi is also data
+                    for pi in startp..preconditions.len() {
+                        if &preconditions[pi] == consequence {
+                            continue;
+                        }
+                        // minimality: skip supersets of accepted rules
+                        let mut next = x.clone();
+                        next.push(pi);
+                        if accepted_for_consequence
+                            .iter()
+                            .any(|acc| acc.iter().all(|i| next.contains(i)))
+                        {
+                            continue;
+                        }
+                        candidates.push(next);
+                        parents.push(fi);
+                    }
+                }
+                if candidates.is_empty() {
+                    break;
+                }
+                let rules: Vec<Option<Rule>> = candidates
+                    .iter()
+                    .map(|idxs| {
+                        counter += 1;
+                        self.make_rule(
+                            format!("{rel_name}-r{counter}"),
+                            rel,
+                            consequence,
+                            idxs.iter().map(|&i| preconditions[i].clone()).collect(),
+                        )
+                    })
+                    .collect();
+                // prefetch each distinct new conjunct's bitset serially so
+                // workers hit the cache instead of racing to materialize
+                let mut fresh: Vec<usize> = candidates
+                    .iter()
+                    .map(|idxs| *idxs.last().unwrap())
+                    .collect();
+                fresh.sort_unstable();
+                fresh.dedup();
+                for &pi in &fresh {
+                    let _ = bits.precondition(pi);
+                }
+                // measure candidates in parallel; the unit payload names
+                // the parent frontier entry whose bitset the worker reuses
+                let units: Vec<WorkUnit> = (0..candidates.len())
+                    .map(|i| {
+                        WorkUnit::new(i as u32, vec![Partition::new(rel.0, 0, n as u32)])
+                            .with_payload(parents[i] as u64)
+                    })
+                    .collect();
+                let frontier_ref = &frontier;
+                let (outs, stats) = cluster.execute(units, |u| {
+                    let i = u.rule as usize;
+                    rules[i].as_ref()?;
+                    let pi = *candidates[i].last().expect("level ≥ 1 candidate");
+                    let parent = &frontier_ref[u.payload as usize].1;
+                    let child = parent.and(&bits.precondition(pi)?, n);
+                    let m = bits.measure(ci, &child)?;
+                    Some((m, Arc::new(child)))
+                });
+                report.unit_seconds.extend(stats.unit_seconds);
+
+                let mut next_frontier: Vec<(Vec<usize>, Arc<SatBits>)> = Vec::new();
+                for ((idxs, rule), out) in candidates.into_iter().zip(rules).zip(outs) {
+                    let (Some(mut rule), Some((m, child))) = (rule, out) else {
+                        continue;
+                    };
+                    report.candidates_evaluated += 1;
+                    if m.support() < self.config.min_support {
+                        report.pruned += 1;
+                        continue; // anti-monotone: no supersets either
+                    }
+                    if m.confidence() >= self.config.min_confidence && m.precondition_count > 0 {
+                        rule.support = m.support();
+                        rule.confidence = m.confidence();
+                        accepted_for_consequence.push(idxs);
+                        report.rules.push(rule);
+                    } else if level < self.config.max_preconditions {
+                        next_frontier.push((idxs, child));
+                    }
+                }
+                frontier = next_frontier;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+        }
+        report.cache = Some(bits.stats());
+        report.wall_seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Tuple re-scan mining (the pre-cache implementation): measures every
+    /// candidate by enumerating valuations. Selected by
+    /// `use_bitset_cache: false`; mines the same rule set as the bitset
+    /// path, which the discovery equivalence tests assert.
+    fn mine_relation_scan(
+        &self,
+        db: &Database,
+        rel: RelId,
+        space: &PredicateSpace,
+    ) -> DiscoveryReport {
+        let start = std::time::Instant::now();
+        let rel_name = db.relation(rel).schema.name.clone();
+        let preconditions = space.preconditions();
+        let mut report = DiscoveryReport {
+            rules: RuleSet::default(),
+            candidates_evaluated: 0,
+            pruned: 0,
+            wall_seconds: 0.0,
+            unit_seconds: Vec::new(),
+            cache: None,
         };
 
         // Parallel evaluation of candidates happens per level: build the
@@ -108,12 +309,8 @@ impl<'a> Discoverer<'a> {
 
         for (ci, consequence) in space.consequences.iter().enumerate() {
             // level 0: the consequence alone must clear the support floor
-            let base_rule = self.make_rule(
-                format!("{rel_name}-c{ci}"),
-                rel,
-                consequence,
-                Vec::new(),
-            );
+            let base_rule =
+                self.make_rule(format!("{rel_name}-c{ci}"), rel, consequence, Vec::new());
             let Some(base_rule) = base_rule else { continue };
             let ctx = self.ctx(db);
             let base = measure(&base_rule, &ctx);
@@ -177,15 +374,15 @@ impl<'a> Discoverer<'a> {
 
                 let mut next_frontier = Vec::new();
                 for ((idxs, rule), m) in candidates.into_iter().zip(rules).zip(measures) {
-                    let (Some(mut rule), Some(m)) = (rule, m) else { continue };
+                    let (Some(mut rule), Some(m)) = (rule, m) else {
+                        continue;
+                    };
                     report.candidates_evaluated += 1;
                     if m.support() < self.config.min_support {
                         report.pruned += 1;
                         continue; // anti-monotone: no supersets either
                     }
-                    if m.confidence() >= self.config.min_confidence
-                        && m.precondition_count > 0
-                    {
+                    if m.confidence() >= self.config.min_confidence && m.precondition_count > 0 {
                         rule.support = m.support();
                         rule.confidence = m.confidence();
                         accepted_for_consequence.push(idxs);
@@ -248,10 +445,7 @@ mod tests {
     fn db() -> Database {
         let schema = DatabaseSchema::new(vec![RelationSchema::of(
             "Store",
-            &[
-                ("city", AttrType::Str),
-                ("area_code", AttrType::Str),
-            ],
+            &[("city", AttrType::Str), ("area_code", AttrType::Str)],
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
@@ -273,7 +467,12 @@ mod tests {
         let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
         let miner = Discoverer::new(
             &reg,
-            DiscoveryConfig { min_support: 0.01, min_confidence: 0.95, max_preconditions: 2, ..Default::default() },
+            DiscoveryConfig {
+                min_support: 0.01,
+                min_confidence: 0.95,
+                max_preconditions: 2,
+                ..Default::default()
+            },
         );
         let report = miner.mine_relation(&db, RelId(0), &space);
         assert!(report.candidates_evaluated > 0);
@@ -291,13 +490,20 @@ mod tests {
         assert!(
             found,
             "rules: {:?}",
-            report.rules.iter().map(|r| r.display(&schema).to_string()).collect::<Vec<_>>()
+            report
+                .rules
+                .iter()
+                .map(|r| r.display(&schema).to_string())
+                .collect::<Vec<_>>()
         );
         // every accepted rule clears both thresholds
         for r in report.rules.iter() {
             assert!(r.support >= 0.01);
             assert!(r.confidence >= 0.95);
         }
+        // the default path populates cache statistics
+        let stats = report.cache.expect("bitset path reports cache stats");
+        assert!(stats.hits + stats.misses > 0);
     }
 
     #[test]
@@ -307,7 +513,12 @@ mod tests {
         let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
         let miner = Discoverer::new(
             &reg,
-            DiscoveryConfig { min_support: 0.01, min_confidence: 0.95, max_preconditions: 1, ..Default::default() },
+            DiscoveryConfig {
+                min_support: 0.01,
+                min_confidence: 0.95,
+                max_preconditions: 1,
+                ..Default::default()
+            },
         );
         let report = miner.mine_relation(&db, RelId(0), &space);
         // φ12-style: t.city='Beijing' → t.area_code='010'
@@ -331,7 +542,12 @@ mod tests {
         let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
         let miner = Discoverer::new(
             &reg,
-            DiscoveryConfig { min_support: 0.01, min_confidence: 0.95, max_preconditions: 3, ..Default::default() },
+            DiscoveryConfig {
+                min_support: 0.01,
+                min_confidence: 0.95,
+                max_preconditions: 3,
+                ..Default::default()
+            },
         );
         let report = miner.mine_relation(&db, RelId(0), &space);
         // For a fixed consequence, no accepted precondition set is a
@@ -357,10 +573,18 @@ mod tests {
         let db = db();
         let reg = ModelRegistry::new();
         let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
-        let cfg = DiscoveryConfig { min_support: 0.01, min_confidence: 0.9, max_preconditions: 2, ..Default::default() };
+        let cfg = DiscoveryConfig {
+            min_support: 0.01,
+            min_confidence: 0.9,
+            max_preconditions: 2,
+            ..Default::default()
+        };
         let seq = Discoverer::new(&reg, cfg.clone()).mine_relation(&db, RelId(0), &space);
-        let par = Discoverer::new(&reg, DiscoveryConfig { workers: 4, ..cfg })
-            .mine_relation(&db, RelId(0), &space);
+        let par = Discoverer::new(&reg, DiscoveryConfig { workers: 4, ..cfg }).mine_relation(
+            &db,
+            RelId(0),
+            &space,
+        );
         assert_eq!(seq.rules.len(), par.rules.len());
         let names = |r: &DiscoveryReport| -> Vec<(Vec<Predicate>, Predicate)> {
             r.rules
@@ -378,10 +602,50 @@ mod tests {
         let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
         let miner = Discoverer::new(
             &reg,
-            DiscoveryConfig { min_support: 0.9, min_confidence: 0.99, max_preconditions: 2, ..Default::default() },
+            DiscoveryConfig {
+                min_support: 0.9,
+                min_confidence: 0.99,
+                max_preconditions: 2,
+                ..Default::default()
+            },
         );
         let report = miner.mine_relation(&db, RelId(0), &space);
         assert!(report.pruned > 0);
         assert!(report.rules.is_empty() || report.rules.iter().all(|r| r.support >= 0.9));
+    }
+
+    /// The acceptance bar of the bitset rewrite: both strategies mine
+    /// byte-identical rule sets (names, measures and all), with identical
+    /// search-space accounting.
+    #[test]
+    fn cached_and_scan_paths_mine_identical_rules() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        let space = PredicateSpace::build(&db, RelId(0), &[], &SpaceConfig::default());
+        for max_preconditions in 1..=3 {
+            let cfg = DiscoveryConfig {
+                min_support: 0.01,
+                min_confidence: 0.9,
+                max_preconditions,
+                ..Default::default()
+            };
+            let cached = Discoverer::new(&reg, cfg.clone()).mine_relation(&db, RelId(0), &space);
+            let scan = Discoverer::new(
+                &reg,
+                DiscoveryConfig {
+                    use_bitset_cache: false,
+                    ..cfg
+                },
+            )
+            .mine_relation(&db, RelId(0), &space);
+            assert_eq!(
+                serde_json::to_string(&cached.rules).unwrap(),
+                serde_json::to_string(&scan.rules).unwrap(),
+                "rule sets diverge at max_preconditions={max_preconditions}"
+            );
+            assert_eq!(cached.candidates_evaluated, scan.candidates_evaluated);
+            assert_eq!(cached.pruned, scan.pruned);
+            assert!(cached.cache.is_some() && scan.cache.is_none());
+        }
     }
 }

@@ -6,6 +6,10 @@
 //! * [`space`] — predicate-space construction from the schema, column
 //!   statistics and the registered ML models ("predicates, to construct
 //!   predicates and corresponding auxiliary structures", §5.3 Fig. 3).
+//! * [`cache`] — the predicate satisfaction-bitset cache: each predicate is
+//!   evaluated once per instance set (ML inference included), materialized
+//!   as a dense bitset, and candidate measures reduce to AND+popcount. A
+//!   byte budget with LRU spill bounds residency.
 //! * [`levelwise`] — the core miner: levelwise search over precondition
 //!   conjunctions with support/confidence thresholds and anti-monotone
 //!   pruning, parallelized over Crystal work units.
@@ -19,12 +23,14 @@
 //!   the polynomial-expression learner (XGBoost-style feature ranking +
 //!   LASSO) of §5.4.
 
+pub mod cache;
 pub mod levelwise;
 pub mod prune;
 pub mod sampling;
 pub mod space;
 pub mod topk;
 
-pub use levelwise::{DiscoveryConfig, Discoverer};
+pub use cache::{BitsetCache, CacheStats, PredicateBitsets};
+pub use levelwise::{Discoverer, DiscoveryConfig};
 pub use space::PredicateSpace;
 pub use topk::{AnytimeMiner, PreferenceModel, RuleScore};

@@ -76,7 +76,11 @@ fn ols(xs: &[Vec<f64>], ys: &[f64], support: &[usize]) -> (Vec<f64>, f64) {
         for c in (row + 1)..k {
             acc -= m[row][c] * w[c];
         }
-        w[row] = if m[row][row].abs() < 1e-12 { 0.0 } else { acc / m[row][row] };
+        w[row] = if m[row][row].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / m[row][row]
+        };
     }
     let intercept = w.pop().unwrap_or(0.0);
     (w, intercept)
@@ -224,7 +228,9 @@ pub fn discover_polynomial(
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     for t in r.iter() {
-        let Some(y) = t.get(target).as_f64() else { continue };
+        let Some(y) = t.get(target).as_f64() else {
+            continue;
+        };
         let feats: Option<Vec<f64>> = numeric.iter().map(|a| t.get(*a).as_f64()).collect();
         if let Some(f) = feats {
             xs.push(f);
@@ -332,7 +338,11 @@ pub fn discover_polynomial(
         }
     }
     Some(PolynomialExpression {
-        mean_abs_residual: if n == 0 { f64::INFINITY } else { resid / n as f64 },
+        mean_abs_residual: if n == 0 {
+            f64::INFINITY
+        } else {
+            resid / n as f64
+        },
         ..expr
     })
 }
@@ -364,7 +374,11 @@ mod tests {
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
         for i in 0..40i64 {
-            let (c, a) = if i % 2 == 0 { ("Beijing", "010") } else { ("Shanghai", "021") };
+            let (c, a) = if i % 2 == 0 {
+                ("Beijing", "010")
+            } else {
+                ("Shanghai", "021")
+            };
             r.insert_row(vec![Value::Int(i), Value::str(c), Value::str(a)]);
         }
         db
@@ -428,11 +442,24 @@ mod tests {
             .sum();
         assert!((product_w - 1.0).abs() < 0.2, "terms {:?}", expr.terms);
         // a consistent row checks out; a corrupted one does not
-        let good = vec![Value::Float(20.0), Value::Float(3.0), Value::Float(1.0), Value::Float(60.0)];
-        let bad = vec![Value::Float(20.0), Value::Float(3.0), Value::Float(1.0), Value::Float(999.0)];
+        let good = vec![
+            Value::Float(20.0),
+            Value::Float(3.0),
+            Value::Float(1.0),
+            Value::Float(60.0),
+        ];
+        let bad = vec![
+            Value::Float(20.0),
+            Value::Float(3.0),
+            Value::Float(1.0),
+            Value::Float(999.0),
+        ];
         assert_eq!(expr.check(&good, 0.05), Some(true));
         assert_eq!(expr.check(&bad, 0.05), Some(false));
-        assert_eq!(expr.check(&[Value::Null, Value::Null, Value::Null, Value::Null], 0.05), None);
+        assert_eq!(
+            expr.check(&[Value::Null, Value::Null, Value::Null, Value::Null], 0.05),
+            None
+        );
     }
 
     #[test]
@@ -456,17 +483,28 @@ mod debug_tests {
         // the rock-core poly.rs scenario: total = amount + fee, fee = amount/10
         let schema = DatabaseSchema::new(vec![RelationSchema::of(
             "Payment",
-            &[("amount", AttrType::Float), ("fee", AttrType::Float), ("total", AttrType::Float)],
+            &[
+                ("amount", AttrType::Float),
+                ("fee", AttrType::Float),
+                ("total", AttrType::Float),
+            ],
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
         for i in 1..40 {
             let amount = i as f64 * 10.0;
             let fee = i as f64;
-            r.insert_row(vec![Value::Float(amount), Value::Float(fee), Value::Float(amount + fee)]);
+            r.insert_row(vec![
+                Value::Float(amount),
+                Value::Float(fee),
+                Value::Float(amount + fee),
+            ]);
         }
         let e = discover_polynomial(&db, RelId(0), AttrId(2), 0.05).unwrap();
-        eprintln!("terms={:?} intercept={} resid={}", e.terms, e.intercept, e.mean_abs_residual);
+        eprintln!(
+            "terms={:?} intercept={} resid={}",
+            e.terms, e.intercept, e.mean_abs_residual
+        );
         // residual must be tiny relative to smallest total (11)
         assert!(e.mean_abs_residual < 0.05, "resid {}", e.mean_abs_residual);
         // and small rows must check out at 2% tolerance

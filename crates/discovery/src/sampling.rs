@@ -16,7 +16,7 @@ use crate::space::PredicateSpace;
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
-use rock_data::{Database, Relation, RelId};
+use rock_data::{Database, RelId, Relation};
 use rock_rees::measures::measure_into;
 use rock_rees::EvalContext;
 
@@ -68,6 +68,11 @@ pub fn sample_database(db: &Database, ratio: f64, seed: u64) -> Database {
 /// The sample-phase thresholds are relaxed by the Hoeffding deviation at
 /// the sample's valuation count so that true positives survive the sample
 /// round with probability ≥ 1 − δ each.
+///
+/// The sample-phase miner inherits the caller's full `DiscoveryConfig`
+/// (struct-update below), so it runs the bitset-cache path with the same
+/// budget by default; the verification round re-measures the few surviving
+/// rules by direct scan, where a cache would not pay for itself.
 pub fn mine_with_sampling(
     discoverer: &Discoverer<'_>,
     db: &Database,
@@ -165,7 +170,12 @@ mod tests {
         let space = PredicateSpace::build(&d, RelId(0), &[], &SpaceConfig::default());
         let disc = Discoverer::new(
             &reg,
-            DiscoveryConfig { min_support: 0.02, min_confidence: 0.95, max_preconditions: 1, ..Default::default() },
+            DiscoveryConfig {
+                min_support: 0.02,
+                min_confidence: 0.95,
+                max_preconditions: 1,
+                ..Default::default()
+            },
         );
         let report = mine_with_sampling(&disc, &d, RelId(0), &space, 0.3, 0.05, 3);
         // the FD city → area_code must survive verification, with exact

@@ -41,7 +41,11 @@ pub struct SpaceConfig {
 
 impl Default for SpaceConfig {
     fn default() -> Self {
-        SpaceConfig { max_categorical: 24, max_constants: 8, min_constant_count: 2 }
+        SpaceConfig {
+            max_categorical: 24,
+            max_constants: 8,
+            min_constant_count: 2,
+        }
     }
 }
 
@@ -123,7 +127,12 @@ impl PredicateSpace {
                 rattr: attr,
             });
             // TD consequences
-            consequences.push(Predicate::Temporal { lvar: 0, rvar: 1, attr, strict: false });
+            consequences.push(Predicate::Temporal {
+                lvar: 0,
+                rvar: 1,
+                attr,
+                strict: false,
+            });
         }
         // ML predicates from declared signatures
         for sig in ml.iter().filter(|s| s.rel == rel) {
@@ -136,16 +145,33 @@ impl PredicateSpace {
             });
         }
         // ER consequence
-        consequences.push(Predicate::EidCmp { lvar: 0, rvar: 1, eq: true });
+        consequences.push(Predicate::EidCmp {
+            lvar: 0,
+            rvar: 1,
+            eq: true,
+        });
 
-        PredicateSpace { unary, binary, consequences }
+        PredicateSpace {
+            unary,
+            binary,
+            consequences,
+        }
     }
 
-    /// All precondition candidates (unary + binary).
+    /// All precondition candidates (unary + binary). The order — unary
+    /// first, then binary, each in construction order — is a stable
+    /// contract: the bitset cache keys predicates by their index in this
+    /// vector (see [`crate::cache::PredKey`]).
     pub fn preconditions(&self) -> Vec<Predicate> {
         let mut out = self.unary.clone();
         out.extend(self.binary.iter().cloned());
         out
+    }
+
+    /// Number of precondition candidates (`preconditions().len()` without
+    /// cloning) — an upper bound on the cache's `Precondition` entries.
+    pub fn n_preconditions(&self) -> usize {
+        self.unary.len() + self.binary.len()
     }
 
     /// Total size of the space.
@@ -179,7 +205,11 @@ mod tests {
             r.insert_row(vec![
                 Value::str(format!("store-{i}")),
                 Value::str(city),
-                if i == 3 { Value::Null } else { Value::Float(i as f64) },
+                if i == 3 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64)
+                },
             ]);
         }
         db
@@ -249,14 +279,22 @@ mod tests {
     #[test]
     fn ml_signatures_injected() {
         let db = db();
-        let sigs = vec![MlSignature { model: "Mname".into(), rel: RelId(0), attrs: vec![AttrId(0)] }];
+        let sigs = vec![MlSignature {
+            model: "Mname".into(),
+            rel: RelId(0),
+            attrs: vec![AttrId(0)],
+        }];
         let space = PredicateSpace::build(&db, RelId(0), &sigs, &SpaceConfig::default());
         assert!(space
             .binary
             .iter()
             .any(|p| matches!(p, Predicate::Ml { model, .. } if model.name == "Mname")));
         // signatures for other relations ignored
-        let other = vec![MlSignature { model: "M2".into(), rel: RelId(7), attrs: vec![] }];
+        let other = vec![MlSignature {
+            model: "M2".into(),
+            rel: RelId(7),
+            attrs: vec![],
+        }];
         let space2 = PredicateSpace::build(&db, RelId(0), &other, &SpaceConfig::default());
         assert!(!space2.binary.iter().any(|p| p.is_ml()));
     }

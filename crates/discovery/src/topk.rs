@@ -73,7 +73,10 @@ impl Default for PreferenceModel {
 
 impl PreferenceModel {
     pub fn new() -> Self {
-        PreferenceModel { lr: LogisticRegression::zeros(9), trained: false }
+        PreferenceModel {
+            lr: LogisticRegression::zeros(9),
+            trained: false,
+        }
     }
 
     /// Train from labeled rules (true = useful).
@@ -259,7 +262,13 @@ mod tests {
             vec![("t".into(), RelId(0)), ("s".into(), RelId(0))],
             vec![],
             pre,
-            Predicate::Attr { lvar: 0, lattr: AttrId(1), op: CmpOp::Eq, rvar: 1, rattr: AttrId(1) },
+            Predicate::Attr {
+                lvar: 0,
+                lattr: AttrId(1),
+                op: CmpOp::Eq,
+                rvar: 1,
+                rattr: AttrId(1),
+            },
         );
         r.support = supp;
         r.confidence = conf;
@@ -268,7 +277,10 @@ mod tests {
 
     #[test]
     fn objective_scores_order_by_measures() {
-        let rules = vec![rule("good", 1e-2, 0.99, false), rule("weak", 1e-7, 0.9, false)];
+        let rules = vec![
+            rule("good", 1e-2, 0.99, false),
+            rule("weak", 1e-7, 0.9, false),
+        ];
         let pref = PreferenceModel::new();
         let scores = score_rules(&rules, &pref, 1.0, 0.0);
         assert!(scores[0].total > scores[1].total);
@@ -278,15 +290,21 @@ mod tests {
     #[test]
     fn preference_model_learns_ml_bias() {
         // user likes ML rules
-        let ml_rules: Vec<Rule> = (0..10).map(|i| rule(&format!("m{i}"), 1e-3, 0.95, true)).collect();
-        let plain: Vec<Rule> = (0..10).map(|i| rule(&format!("p{i}"), 1e-3, 0.95, false)).collect();
+        let ml_rules: Vec<Rule> = (0..10)
+            .map(|i| rule(&format!("m{i}"), 1e-3, 0.95, true))
+            .collect();
+        let plain: Vec<Rule> = (0..10)
+            .map(|i| rule(&format!("p{i}"), 1e-3, 0.95, false))
+            .collect();
         let mut labeled: Vec<(&Rule, bool)> = Vec::new();
         labeled.extend(ml_rules.iter().map(|r| (r, true)));
         labeled.extend(plain.iter().map(|r| (r, false)));
         let mut pref = PreferenceModel::new();
         pref.train(&labeled);
         assert!(pref.is_trained());
-        assert!(pref.score(&rule("x", 1e-3, 0.95, true)) > pref.score(&rule("y", 1e-3, 0.95, false)));
+        assert!(
+            pref.score(&rule("x", 1e-3, 0.95, true)) > pref.score(&rule("y", 1e-3, 0.95, false))
+        );
     }
 
     #[test]
@@ -307,13 +325,23 @@ mod tests {
         let picked = diversified_top_k(&scores, &coverage, 2);
         assert_eq!(picked.len(), 2);
         assert!(picked.contains(&0));
-        assert!(picked.contains(&2), "diversification must pick c over b: {picked:?}");
+        assert!(
+            picked.contains(&2),
+            "diversification must pick c over b: {picked:?}"
+        );
     }
 
     #[test]
     fn anytime_yields_disjoint_batches_and_learns() {
         let pool: Vec<Rule> = (0..6)
-            .map(|i| rule(&format!("r{i}"), 1e-3 * (i + 1) as f64, 0.9 + 0.01 * i as f64, i % 2 == 0))
+            .map(|i| {
+                rule(
+                    &format!("r{i}"),
+                    1e-3 * (i + 1) as f64,
+                    0.9 + 0.01 * i as f64,
+                    i % 2 == 0,
+                )
+            })
             .collect();
         let mut miner = AnytimeMiner::new(pool);
         let first = miner.next_k(2);

@@ -48,13 +48,19 @@ pub struct Graph {
 
 impl Graph {
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), ..Default::default() }
+        Graph {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a vertex, returning its id.
     pub fn add_vertex(&mut self, label: Value, kind: impl AsRef<str>) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
-        self.vertices.push(Vertex { label, kind: Arc::from(kind.as_ref()) });
+        self.vertices.push(Vertex {
+            label,
+            kind: Arc::from(kind.as_ref()),
+        });
         self.adj.push(FxHashMap::default());
         id
     }

@@ -195,15 +195,23 @@ mod tests {
     fn strength_separates_correlated_values() {
         let mc = CorrelationModel::train(&area_code_rows());
         let beijing = vec![Value::str("Beijing")];
-        assert!(mc.strength(&beijing, &Value::str("010")) > mc.strength(&beijing, &Value::str("021")));
+        assert!(
+            mc.strength(&beijing, &Value::str("010")) > mc.strength(&beijing, &Value::str("021"))
+        );
         assert_eq!(mc.strength(&beijing, &Value::Null), 0.0);
     }
 
     #[test]
     fn predictor_fills_area_code() {
         let md = ValuePredictor::train(&area_code_rows(), 0.3);
-        assert_eq!(md.predict(&[Value::str("Beijing")]), Some(Value::str("010")));
-        assert_eq!(md.predict(&[Value::str("Shanghai")]), Some(Value::str("021")));
+        assert_eq!(
+            md.predict(&[Value::str("Beijing")]),
+            Some(Value::str("010"))
+        );
+        assert_eq!(
+            md.predict(&[Value::str("Shanghai")]),
+            Some(Value::str("021"))
+        );
     }
 
     #[test]
@@ -243,7 +251,10 @@ mod tests {
             ));
         }
         let mc = CorrelationModel::train(&rows);
-        let s = mc.strength(&[Value::str("Beijing"), Value::Int(999)], &Value::str("010"));
+        let s = mc.strength(
+            &[Value::str("Beijing"), Value::Int(999)],
+            &Value::str("010"),
+        );
         assert!(s > 0.4, "strength {s}");
     }
 }

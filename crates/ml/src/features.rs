@@ -77,7 +77,11 @@ impl HashingEmbedder {
                 let mut out = vec![0.0; self.dim];
                 if let Some(x) = other.as_f64() {
                     // log-scale magnitude buckets + exact-value feature
-                    let mag = if x == 0.0 { 0 } else { x.abs().log10().floor() as i64 };
+                    let mag = if x == 0.0 {
+                        0
+                    } else {
+                        x.abs().log10().floor() as i64
+                    };
                     self.add_feature(&mut out, &format!("mag:{mag}:{}", x < 0.0), 1.0);
                     self.add_feature(&mut out, &format!("val:{other}"), 1.0);
                 }

@@ -24,13 +24,19 @@ pub struct HerModel {
 
 impl Default for HerModel {
     fn default() -> Self {
-        HerModel { threshold: 0.62, kind: None }
+        HerModel {
+            threshold: 0.62,
+            kind: None,
+        }
     }
 }
 
 impl HerModel {
     pub fn for_kind(kind: impl Into<String>) -> Self {
-        HerModel { threshold: 0.62, kind: Some(kind.into()) }
+        HerModel {
+            threshold: 0.62,
+            kind: Some(kind.into()),
+        }
     }
 
     /// Similarity between the tuple's name-ish projection and the vertex.

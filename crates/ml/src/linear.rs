@@ -43,13 +43,21 @@ pub struct SgdParams {
 
 impl Default for SgdParams {
     fn default() -> Self {
-        SgdParams { epochs: 60, lr: 0.2, l2: 1e-4, seed: 7 }
+        SgdParams {
+            epochs: 60,
+            lr: 0.2,
+            l2: 1e-4,
+            seed: 7,
+        }
     }
 }
 
 impl LogisticRegression {
     pub fn zeros(dim: usize) -> Self {
-        LogisticRegression { weights: vec![0.0; dim], bias: 0.0 }
+        LogisticRegression {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
     }
 
     /// Train from `(features, label)` pairs with mini-SGD. Deterministic for
@@ -126,7 +134,11 @@ impl Lasso {
         assert_eq!(xs.len(), ys.len());
         let n = xs.len();
         if n == 0 {
-            return Lasso { weights: Vec::new(), intercept: 0.0, lambda };
+            return Lasso {
+                weights: Vec::new(),
+                intercept: 0.0,
+                lambda,
+            };
         }
         let dim = xs[0].len();
         let mut w = vec![0.0; dim];
@@ -168,7 +180,11 @@ impl Lasso {
                 }
             }
         }
-        Lasso { weights: w, intercept: b, lambda }
+        Lasso {
+            weights: w,
+            intercept: b,
+            lambda,
+        }
     }
 
     pub fn predict(&self, x: &[f64]) -> f64 {
@@ -235,7 +251,12 @@ mod tests {
 
     #[test]
     fn lr_training_deterministic() {
-        let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]];
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ];
         let ys = vec![true, false, true, false];
         let mut a = LogisticRegression::zeros(2);
         let mut b = LogisticRegression::zeros(2);

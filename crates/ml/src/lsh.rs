@@ -54,10 +54,7 @@ impl MinHashLsh {
 
     /// Shingle a string into hashed features (tokens + char 4-grams).
     fn shingles(text: &str) -> Vec<u64> {
-        let mut out: Vec<u64> = tokenize(text)
-            .iter()
-            .map(|t| fnv1a(t.as_bytes()))
-            .collect();
+        let mut out: Vec<u64> = tokenize(text).iter().map(|t| fnv1a(t.as_bytes())).collect();
         out.extend(char_ngrams(text, 4).iter().map(|g| fnv1a(g.as_bytes())));
         out.sort_unstable();
         out.dedup();
@@ -198,10 +195,7 @@ mod tests {
             lsh.insert(i, &format!("fresh organic apple fruit juice bottle {i}"));
         }
         let pairs = lsh.candidate_pairs();
-        let cross = pairs
-            .iter()
-            .filter(|(a, b)| (*a < 5) != (*b < 5))
-            .count();
+        let cross = pairs.iter().filter(|(a, b)| (*a < 5) != (*b < 5)).count();
         assert_eq!(cross, 0, "no cross-cluster candidates expected");
         assert!(pairs.len() <= 20);
     }

@@ -55,13 +55,19 @@ pub struct NgramPairModel {
 
 impl Default for NgramPairModel {
     fn default() -> Self {
-        NgramPairModel { threshold: 0.7, cost: 1.0 }
+        NgramPairModel {
+            threshold: 0.7,
+            cost: 1.0,
+        }
     }
 }
 
 impl NgramPairModel {
     pub fn with_threshold(threshold: f64) -> Self {
-        NgramPairModel { threshold, cost: 1.0 }
+        NgramPairModel {
+            threshold,
+            cost: 1.0,
+        }
     }
 }
 
@@ -120,7 +126,12 @@ impl TrainedPairModel {
         let ys: Vec<bool> = pairs.iter().map(|(_, _, y)| *y).collect();
         let mut lr = LogisticRegression::zeros(xs.first().map(|x| x.len()).unwrap_or(6));
         lr.train(&xs, &ys, params);
-        TrainedPairModel { lr, embedder, threshold, cost: 2.0 }
+        TrainedPairModel {
+            lr,
+            embedder,
+            threshold,
+            cost: 2.0,
+        }
     }
 }
 
@@ -218,9 +229,6 @@ mod tests {
     #[test]
     fn blocking_text_joins_values() {
         let m = ExactMatchModel;
-        assert_eq!(
-            m.blocking_text(&[Value::str("a"), Value::Int(3)]),
-            "a 3 "
-        );
+        assert_eq!(m.blocking_text(&[Value::str("a"), Value::Int(3)]), "a 3 ");
     }
 }

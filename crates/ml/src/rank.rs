@@ -85,7 +85,11 @@ impl RankModel {
     ) -> Self {
         let embedder = HashingEmbedder::default();
         let dim = Self::feature_dim(&embedder, width);
-        let mut model = RankModel { weights: vec![0.0; dim], embedder, width };
+        let mut model = RankModel {
+            weights: vec![0.0; dim],
+            embedder,
+            width,
+        };
         let mut training: Vec<(Vec<Value>, Vec<Value>)> = pairs.to_vec();
         for round in 0..rounds.max(1) {
             // Creator: fit g on current training pairs (pairwise logistic).
@@ -102,10 +106,7 @@ impl RankModel {
                 }
             }
             // Deduce fresh pairs: any two tuples related by a constraint.
-            let pool: Vec<&Vec<Value>> = training
-                .iter()
-                .flat_map(|(a, b)| [a, b])
-                .collect();
+            let pool: Vec<&Vec<Value>> = training.iter().flat_map(|(a, b)| [a, b]).collect();
             for i in 0..pool.len() {
                 for j in 0..pool.len() {
                     if i == j {
@@ -172,8 +173,16 @@ impl RankModel {
                 fp += 1;
             }
         }
-        let prec = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let rec = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+        let prec = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let rec = if tp + fnn == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fnn) as f64
+        };
         if prec + rec == 0.0 {
             0.0
         } else {
@@ -282,19 +291,11 @@ mod tests {
     fn constraint_verdict_cases() {
         let cs = constraints();
         assert_eq!(
-            constraint_verdict(
-                &[Value::str("single")],
-                &[Value::str("married")],
-                &cs
-            ),
+            constraint_verdict(&[Value::str("single")], &[Value::str("married")], &cs),
             Some(true)
         );
         assert_eq!(
-            constraint_verdict(
-                &[Value::str("married")],
-                &[Value::str("single")],
-                &cs
-            ),
+            constraint_verdict(&[Value::str("married")], &[Value::str("single")], &cs),
             Some(false)
         );
         assert_eq!(

@@ -136,11 +136,7 @@ impl ModelRegistry {
 
     /// Install a blocking filter for a pair model: `predict_pair` returns
     /// `false` without inference for pairs outside `candidates`.
-    pub fn set_block_filter(
-        &self,
-        id: ModelId,
-        candidates: rustc_hash::FxHashSet<(u64, u64)>,
-    ) {
+    pub fn set_block_filter(&self, id: ModelId, candidates: rustc_hash::FxHashSet<(u64, u64)>) {
         self.block_filters.lock().insert(id, candidates);
     }
 
@@ -184,7 +180,10 @@ impl ModelRegistry {
 
     /// Name of a model id (pretty-printing rules).
     pub fn name(&self, id: ModelId) -> Option<String> {
-        self.models.read().get(id.0 as usize).map(|(n, _)| n.clone())
+        self.models
+            .read()
+            .get(id.0 as usize)
+            .map(|(n, _)| n.clone())
     }
 
     /// Number of registered models.
@@ -389,8 +388,14 @@ mod tests {
         let mut filter = rustc_hash::FxHashSet::default();
         filter.insert((ModelRegistry::pair_key(&a), ModelRegistry::pair_key(&b)));
         reg.set_block_filter(id, filter);
-        assert!(reg.predict_pair(id, &a, &b), "candidate pair runs the model");
-        assert!(!reg.predict_pair(id, &a, &c), "non-candidate short-circuits to false");
+        assert!(
+            reg.predict_pair(id, &a, &b),
+            "candidate pair runs the model"
+        );
+        assert!(
+            !reg.predict_pair(id, &a, &c),
+            "non-candidate short-circuits to false"
+        );
         // only one real inference happened; the blocked pair was a hit
         assert_eq!(reg.meter.inferences(), 1);
         assert_eq!(reg.meter.memo_hits(), 1);

@@ -124,9 +124,10 @@ mod tests {
 
     #[test]
     fn tokenize_basic() {
-        assert_eq!(tokenize("IPhone 14 (Discount ID 41)"), vec![
-            "iphone", "14", "discount", "id", "41"
-        ]);
+        assert_eq!(
+            tokenize("IPhone 14 (Discount ID 41)"),
+            vec!["iphone", "14", "discount", "id", "41"]
+        );
         assert!(tokenize("  ,, ").is_empty());
     }
 

@@ -93,7 +93,11 @@ impl GradientBoosting {
         assert_eq!(xs.len(), ys.len());
         let n = xs.len();
         let dim = xs.first().map(|x| x.len()).unwrap_or(0);
-        let base = if n == 0 { 0.0 } else { ys.iter().sum::<f64>() / n as f64 };
+        let base = if n == 0 {
+            0.0
+        } else {
+            ys.iter().sum::<f64>() / n as f64
+        };
         let mut model = GradientBoosting {
             base,
             learning_rate,
@@ -119,9 +123,7 @@ impl GradientBoosting {
     }
 
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
     }
 
     /// Per-feature importance (normalized total gain, sums to 1 when any
@@ -157,7 +159,10 @@ mod tests {
                 vec![a, (i % 7) as f64, 3.0]
             })
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 3.0 { 10.0 } else { -10.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] > 3.0 { 10.0 } else { -10.0 })
+            .collect();
         (xs, ys)
     }
 

@@ -27,7 +27,10 @@ pub struct Valuation {
 
 impl Valuation {
     pub fn new(tuples: Vec<GlobalTid>, n_vertex: usize) -> Self {
-        Valuation { tuples, vertices: vec![None; n_vertex] }
+        Valuation {
+            tuples,
+            vertices: vec![None; n_vertex],
+        }
     }
 }
 
@@ -65,8 +68,11 @@ pub trait TemporalOracle: Sync {
 /// its `[EID]=` union–find; without an oracle, raw eids are compared (two
 /// tuples of *different* relations are never the same entity by default).
 pub trait EntityOracle: Sync {
-    fn same(&self, a: (rock_data::RelId, rock_data::Eid), b: (rock_data::RelId, rock_data::Eid))
-        -> bool;
+    fn same(
+        &self,
+        a: (rock_data::RelId, rock_data::Eid),
+        b: (rock_data::RelId, rock_data::Eid),
+    ) -> bool;
 }
 
 /// Timestamp-backed oracle: `t1 ⪯A t2` iff both cells are stamped and
@@ -100,7 +106,13 @@ impl TemporalOracle for TimestampOracle<'_> {
 
 impl<'a> EvalContext<'a> {
     pub fn new(db: &'a Database, models: &'a ModelRegistry) -> Self {
-        EvalContext { db, graph: None, models, temporal: None, entities: None }
+        EvalContext {
+            db,
+            graph: None,
+            models,
+            temporal: None,
+            entities: None,
+        }
     }
 
     pub fn with_graph(mut self, g: &'a Graph) -> Self {
@@ -118,7 +130,13 @@ impl<'a> EvalContext<'a> {
         self
     }
 
-    fn tuple_values(&self, rule: &Rule, h: &Valuation, var: usize, attrs: &[rock_data::AttrId]) -> Vec<Value> {
+    fn tuple_values(
+        &self,
+        rule: &Rule,
+        h: &Valuation,
+        var: usize,
+        attrs: &[rock_data::AttrId],
+    ) -> Vec<Value> {
         let gt = h.tuples[var];
         let rel = self.db.relation(gt.rel);
         let t = rel.get(gt.tid).expect("valuation references live tuple");
@@ -142,24 +160,52 @@ impl<'a> EvalContext<'a> {
     pub fn eval_predicate(&self, rule: &Rule, h: &Valuation, p: &Predicate) -> Option<bool> {
         use Predicate::*;
         Some(match p {
-            Const { var, attr, op, value } => op.eval(&self.cell(h, *var, *attr), value),
-            Attr { lvar, lattr, op, rvar, rattr } => {
-                op.eval(&self.cell(h, *lvar, *lattr), &self.cell(h, *rvar, *rattr))
-            }
-            Ml { model, lvar, lattrs, rvar, rattrs } => {
+            Const {
+                var,
+                attr,
+                op,
+                value,
+            } => op.eval(&self.cell(h, *var, *attr), value),
+            Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } => op.eval(&self.cell(h, *lvar, *lattr), &self.cell(h, *rvar, *rattr)),
+            Ml {
+                model,
+                lvar,
+                lattrs,
+                rvar,
+                rattrs,
+            } => {
                 let a = self.tuple_values(rule, h, *lvar, lattrs);
                 let b = self.tuple_values(rule, h, *rvar, rattrs);
                 self.models.predict_pair(model.resolved(), &a, &b)
             }
-            Temporal { lvar, rvar, attr, strict } => {
+            Temporal {
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => {
                 let oracle = self.temporal?;
                 let (l, r) = (h.tuples[*lvar], h.tuples[*rvar]);
                 oracle.holds(l.rel, *attr, l.tid, r.tid, *strict)
             }
-            MlRank { model, lvar, rvar, attr, strict } => {
+            MlRank {
+                model,
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => {
                 let all: Vec<rock_data::AttrId> = {
                     let rel = self.db.relation(h.tuples[*lvar].rel);
-                    (0..rel.schema.arity()).map(rock_data::AttrId::from).collect()
+                    (0..rel.schema.arity())
+                        .map(rock_data::AttrId::from)
+                        .collect()
                 };
                 let a = self.tuple_values(rule, h, *lvar, &all);
                 let b = self.tuple_values(rule, h, *rvar, &all);
@@ -190,25 +236,52 @@ impl<'a> EvalContext<'a> {
                 let x = h.vertices[*xvar]?;
                 path.has_match(self.graph?, x)
             }
-            ValExtract { tvar, attr, xvar, path } => {
+            ValExtract {
+                tvar,
+                attr,
+                xvar,
+                path,
+            } => {
                 let x = h.vertices[*xvar]?;
                 let extracted = path.val(self.graph?, x)?;
                 self.cell(h, *tvar, *attr).sql_eq(&extracted)
             }
-            CorrConst { model, var, evidence, target, value, delta } => {
+            CorrConst {
+                model,
+                var,
+                evidence,
+                target,
+                value,
+                delta,
+            } => {
                 let ev = self.tuple_values(rule, h, *var, evidence);
                 let _ = target;
-                self.models.correlation_strength(model.resolved(), &ev, value) >= *delta
+                self.models
+                    .correlation_strength(model.resolved(), &ev, value)
+                    >= *delta
             }
-            CorrAttr { model, var, evidence, target, delta } => {
+            CorrAttr {
+                model,
+                var,
+                evidence,
+                target,
+                delta,
+            } => {
                 let ev = self.tuple_values(rule, h, *var, evidence);
                 let cur = self.cell(h, *var, *target);
                 if cur.is_null() {
                     return Some(false);
                 }
-                self.models.correlation_strength(model.resolved(), &ev, &cur) >= *delta
+                self.models
+                    .correlation_strength(model.resolved(), &ev, &cur)
+                    >= *delta
             }
-            Predict { model, var, evidence, target } => {
+            Predict {
+                model,
+                var,
+                evidence,
+                target,
+            } => {
                 let ev = self.tuple_values(rule, h, *var, evidence);
                 match self.models.predict_value(model.resolved(), &ev) {
                     Some(pred) => self.cell(h, *var, *target).sql_eq(&pred),
@@ -310,7 +383,8 @@ pub fn enumerate_valuations_restricted<F>(
             // predicates (match/val) wait for vertex binding
             if p.tuple_vars() == [v] && !p.is_ml() && p.vertex_vars().is_empty() {
                 tids.retain(|tid| {
-                    let h = single_var_valuation(rule, v, GlobalTid::new(rule.rel_of(v), *tid), nvars);
+                    let h =
+                        single_var_valuation(rule, v, GlobalTid::new(rule.rel_of(v), *tid), nvars);
                     ctx.eval_predicate(rule, &h, p) == Some(true)
                 });
             }
@@ -326,11 +400,13 @@ pub fn enumerate_valuations_restricted<F>(
         .precondition
         .iter()
         .filter_map(|p| match p {
-            Predicate::Attr { lvar, lattr, op: crate::op::CmpOp::Eq, rvar, rattr }
-                if lvar != rvar =>
-            {
-                Some((*lvar, *lattr, *rvar, *rattr))
-            }
+            Predicate::Attr {
+                lvar,
+                lattr,
+                op: crate::op::CmpOp::Eq,
+                rvar,
+                rattr,
+            } if lvar != rvar => Some((*lvar, *lattr, *rvar, *rattr)),
             _ => None,
         })
         .collect();
@@ -343,8 +419,7 @@ pub fn enumerate_valuations_restricted<F>(
             indexes.entry((v, a)).or_insert_with(|| {
                 let rel = ctx.db.relation(rule.rel_of(v));
                 let mut idx: FxHashMap<Value, Vec<TupleId>> = FxHashMap::default();
-                let cand: rustc_hash::FxHashSet<TupleId> =
-                    candidates[v].iter().copied().collect();
+                let cand: rustc_hash::FxHashSet<TupleId> = candidates[v].iter().copied().collect();
                 for (val, tids) in rel.index_on(a) {
                     let filtered: Vec<TupleId> =
                         tids.into_iter().filter(|t| cand.contains(t)).collect();
@@ -452,7 +527,16 @@ where
         h.tuples[v] = GlobalTid::new(rule.rel_of(v), tid);
         bound[v] = true;
         let cont = bind_next(
-            rule, ctx, order, depth + 1, candidates, indexes, eq_preds, ordered_preds, h, bound,
+            rule,
+            ctx,
+            order,
+            depth + 1,
+            candidates,
+            indexes,
+            eq_preds,
+            ordered_preds,
+            h,
+            bound,
             on_valuation,
         );
         bound[v] = false;
@@ -475,14 +559,24 @@ fn bind_vertices(rule: &Rule, ctx: &EvalContext<'_>, h: &mut Valuation) -> bool 
     let Some(g) = ctx.graph else { return false };
     for xvar in 0..rule.vertex_vars.len() {
         let her = rule.precondition.iter().find_map(|p| match p {
-            Predicate::Her { model, tvar, xvar: xv } if *xv == xvar => Some((model, *tvar)),
+            Predicate::Her {
+                model,
+                tvar,
+                xvar: xv,
+            } if *xv == xvar => Some((model, *tvar)),
             _ => None,
         });
-        let Some((model, tvar)) = her else { return false };
-        let Some(m) = ctx.models.her(model.resolved()) else { return false };
+        let Some((model, tvar)) = her else {
+            return false;
+        };
+        let Some(m) = ctx.models.her(model.resolved()) else {
+            return false;
+        };
         let gt = h.tuples[tvar];
         let rel = ctx.db.relation(gt.rel);
-        let Some(t) = rel.get(gt.tid) else { return false };
+        let Some(t) = rel.get(gt.tid) else {
+            return false;
+        };
         let name = vec![t.get(rock_data::AttrId(1)).clone()];
         let ctx_vals: Vec<Value> = t.values.iter().skip(2).cloned().collect();
         match m.align(g, &name, &ctx_vals) {
@@ -555,11 +649,27 @@ mod tests {
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
-        r.insert_row(vec![Value::str("p1"), Value::str("IPhone 14"), Value::str("Apple")]);
-        r.insert_row(vec![Value::str("p2"), Value::str("IPhone 14"), Value::str("Apple")]);
-        r.insert_row(vec![Value::str("p3"), Value::str("Mate X2"), Value::str("Huawei")]);
+        r.insert_row(vec![
+            Value::str("p1"),
+            Value::str("IPhone 14"),
+            Value::str("Apple"),
+        ]);
+        r.insert_row(vec![
+            Value::str("p2"),
+            Value::str("IPhone 14"),
+            Value::str("Apple"),
+        ]);
+        r.insert_row(vec![
+            Value::str("p3"),
+            Value::str("Mate X2"),
+            Value::str("Huawei"),
+        ]);
         // violation of φ2: same commodity, different manufactory
-        r.insert_row(vec![Value::str("p4"), Value::str("Mate X2"), Value::str("Apple")]);
+        r.insert_row(vec![
+            Value::str("p4"),
+            Value::str("Mate X2"),
+            Value::str("Apple"),
+        ]);
         db
     }
 
@@ -643,7 +753,11 @@ mod tests {
                 rvar: 1,
                 rattrs: vec![AttrId(1)],
             }],
-            Predicate::EidCmp { lvar: 0, rvar: 1, eq: true },
+            Predicate::EidCmp {
+                lvar: 0,
+                rvar: 1,
+                eq: true,
+            },
         );
         rule.resolve(&reg).unwrap();
         let ctx = EvalContext::new(&db, &reg);
@@ -692,8 +806,17 @@ mod tests {
             "td",
             vec![("t".into(), RelId(0)), ("s".into(), RelId(0))],
             vec![],
-            vec![Predicate::Temporal { lvar: 0, rvar: 1, attr: AttrId(2), strict: true }],
-            Predicate::EidCmp { lvar: 0, rvar: 1, eq: true },
+            vec![Predicate::Temporal {
+                lvar: 0,
+                rvar: 1,
+                attr: AttrId(2),
+                strict: true,
+            }],
+            Predicate::EidCmp {
+                lvar: 0,
+                rvar: 1,
+                eq: true,
+            },
         );
         let mut found = Vec::new();
         enumerate_valuations(&rule, &ctx, |h| {
@@ -776,13 +899,7 @@ mod tests {
         );
         let ctx = EvalContext::new(&db, &reg);
         let mk = |var: usize, p: Predicate| -> (Rule, Valuation) {
-            let mut rule = Rule::new(
-                "r",
-                vec![("t".into(), RelId(0))],
-                vec![],
-                vec![],
-                p,
-            );
+            let mut rule = Rule::new("r", vec![("t".into(), RelId(0))], vec![], vec![], p);
             rule.resolve(&reg).unwrap();
             let h = Valuation::new(
                 vec![rock_data::GlobalTid::new(RelId(0), TupleId(var as u32))],
@@ -806,16 +923,22 @@ mod tests {
             *value = Value::str("000");
         }
         let (rule, h) = mk(0, corr);
-        assert_eq!(ctx.eval_predicate(&rule, &h, &rule.consequence), Some(false));
+        assert_eq!(
+            ctx.eval_predicate(&rule, &h, &rule.consequence),
+            Some(false)
+        );
         // CorrAttr on the correct row passes, on the corrupted row fails
         let corr_attr = |row: usize| {
-            let (rule, h) = mk(row, Predicate::CorrAttr {
-                model: ModelRef::named("Mc"),
-                var: 0,
-                evidence: vec![AttrId(0)],
-                target: AttrId(1),
-                delta: 0.5,
-            });
+            let (rule, h) = mk(
+                row,
+                Predicate::CorrAttr {
+                    model: ModelRef::named("Mc"),
+                    var: 0,
+                    evidence: vec![AttrId(0)],
+                    target: AttrId(1),
+                    delta: 0.5,
+                },
+            );
             ctx.eval_predicate(&rule, &h, &rule.consequence)
         };
         assert_eq!(corr_attr(0), Some(true));
@@ -823,18 +946,24 @@ mod tests {
         assert_eq!(corr_attr(2), Some(false), "null target never correlates");
         // Predict: t.area_code = Md(t[city]) — true where it matches
         let pred = |row: usize| {
-            let (rule, h) = mk(row, Predicate::Predict {
-                model: ModelRef::named("Md"),
-                var: 0,
-                evidence: vec![AttrId(0)],
-                target: AttrId(1),
-            });
+            let (rule, h) = mk(
+                row,
+                Predicate::Predict {
+                    model: ModelRef::named("Md"),
+                    var: 0,
+                    evidence: vec![AttrId(0)],
+                    target: AttrId(1),
+                },
+            );
             ctx.eval_predicate(&rule, &h, &rule.consequence)
         };
         assert_eq!(pred(0), Some(true));
         assert_eq!(pred(1), Some(false));
-        assert_eq!(pred(2), Some(false), "null cell != prediction — the MI trigger");
+        assert_eq!(
+            pred(2),
+            Some(false),
+            "null cell != prediction — the MI trigger"
+        );
         let _ = (mc, md);
     }
-
 }

@@ -98,7 +98,14 @@ mod tests {
 
     #[test]
     fn null_never_satisfies() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.eval(&Value::Null, &Value::Int(1)), "{op}");
             assert!(!op.eval(&Value::Int(1), &Value::Null), "{op}");
             assert!(!op.eval(&Value::Null, &Value::Null), "{op}");
@@ -107,7 +114,14 @@ mod tests {
 
     #[test]
     fn negation_involution() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -116,7 +130,14 @@ mod tests {
     fn negation_complementary_on_non_null() {
         let a = Value::Int(3);
         let b = Value::Int(7);
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_ne!(op.eval(&a, &b), op.negate().eval(&a, &b));
         }
     }

@@ -50,7 +50,10 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { rule: self.name.clone(), message: msg.into() }
+        ParseError {
+            rule: self.name.clone(),
+            message: msg.into(),
+        }
     }
 
     fn var(&self, name: &str) -> Result<usize, ParseError> {
@@ -109,11 +112,7 @@ impl Ctx<'_> {
         } else {
             raw
         };
-        let ty = self
-            .schema
-            .relation(self.tuple_vars[var].1)
-            .attr(attr)
-            .ty;
+        let ty = self.schema.relation(self.tuple_vars[var].1).attr(attr).ty;
         Ok(Value::parse_as(unquoted, ty))
     }
 }
@@ -143,7 +142,10 @@ impl Ctx<'_> {
 /// ```
 pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseError> {
     let input = input.trim();
-    let fail = |m: &str| ParseError { rule: String::new(), message: m.into() };
+    let fail = |m: &str| ParseError {
+        rule: String::new(),
+        message: m.into(),
+    };
     let rest = input
         .strip_prefix("rule")
         .ok_or_else(|| fail("rule must start with 'rule'"))?
@@ -152,9 +154,10 @@ pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseErr
         .split_once(':')
         .ok_or_else(|| fail("missing ':' after rule name"))?;
     let name = name.trim().to_owned();
-    let (pre_text, cons_text) = body
-        .rsplit_once("->")
-        .ok_or_else(|| ParseError { rule: name.clone(), message: "missing '->'".into() })?;
+    let (pre_text, cons_text) = body.rsplit_once("->").ok_or_else(|| ParseError {
+        rule: name.clone(),
+        message: "missing '->'".into(),
+    })?;
 
     let mut ctx = Ctx {
         schema,
@@ -170,7 +173,10 @@ pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseErr
         if atom.is_empty() {
             continue;
         }
-        if let Some(inner) = atom.strip_prefix("vertex(").and_then(|a| a.strip_suffix(')')) {
+        if let Some(inner) = atom
+            .strip_prefix("vertex(")
+            .and_then(|a| a.strip_suffix(')'))
+        {
             ctx.vertex_vars.push(inner.trim().to_owned());
             continue;
         }
@@ -200,9 +206,17 @@ pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseErr
         .collect::<Result<Vec<_>, _>>()?;
     let consequence = parse_atom(cons_text.trim(), &ctx)?;
 
-    let rule = Rule::new(name, ctx.tuple_vars, ctx.vertex_vars, precondition, consequence);
-    rule.validate(schema)
-        .map_err(|m| ParseError { rule: rule.name.clone(), message: m })?;
+    let rule = Rule::new(
+        name,
+        ctx.tuple_vars,
+        ctx.vertex_vars,
+        precondition,
+        consequence,
+    );
+    rule.validate(schema).map_err(|m| ParseError {
+        rule: rule.name.clone(),
+        message: m,
+    })?;
     Ok(rule)
 }
 
@@ -227,14 +241,21 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
 
     // ml:Model(t[...], s[...])
     if let Some(rest) = atom.strip_prefix("ml:") {
-        let (model, args) = split_call(rest).ok_or_else(|| ctx.err(format!("bad ml atom '{atom}'")))?;
+        let (model, args) =
+            split_call(rest).ok_or_else(|| ctx.err(format!("bad ml atom '{atom}'")))?;
         let parts = split_args(args);
         if parts.len() != 2 {
             return Err(ctx.err(format!("ml predicate needs 2 args: '{atom}'")));
         }
         let (lvar, lattrs) = ctx.var_attr_list(&parts[0])?;
         let (rvar, rattrs) = ctx.var_attr_list(&parts[1])?;
-        return Ok(Predicate::Ml { model: ModelRef::named(model), lvar, lattrs, rvar, rattrs });
+        return Ok(Predicate::Ml {
+            model: ModelRef::named(model),
+            lvar,
+            lattrs,
+            rvar,
+            rattrs,
+        });
     }
 
     // rank:Model(t, s, <=[attr]) / <[attr]
@@ -250,7 +271,13 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
         let (strict, attr_name) = parse_order_spec(parts[2].trim())
             .ok_or_else(|| ctx.err(format!("bad order spec '{}'", parts[2])))?;
         let attr = ctx.attr(lvar, attr_name)?;
-        return Ok(Predicate::MlRank { model: ModelRef::named(model), lvar, rvar, attr, strict });
+        return Ok(Predicate::MlRank {
+            model: ModelRef::named(model),
+            lvar,
+            rvar,
+            attr,
+            strict,
+        });
     }
 
     // her:Model(t, x)
@@ -263,18 +290,30 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
         }
         let tvar = ctx.var(parts[0].trim())?;
         let xvar = ctx.vertex(parts[1].trim())?;
-        return Ok(Predicate::Her { model: ModelRef::named(model), tvar, xvar });
+        return Ok(Predicate::Her {
+            model: ModelRef::named(model),
+            tvar,
+            xvar,
+        });
     }
 
     // match(t.attr, x.path)
-    if let Some(inner) = atom.strip_prefix("match(").and_then(|a| a.strip_suffix(')')) {
+    if let Some(inner) = atom
+        .strip_prefix("match(")
+        .and_then(|a| a.strip_suffix(')'))
+    {
         let parts = split_args(inner);
         if parts.len() != 2 {
             return Err(ctx.err(format!("match needs 2 args: '{atom}'")));
         }
         let (tvar, attr) = ctx.var_attr(parts[0].trim())?;
         let (xvar, path) = parse_vertex_path(parts[1].trim(), ctx)?;
-        return Ok(Predicate::PathMatch { tvar, attr, xvar, path });
+        return Ok(Predicate::PathMatch {
+            tvar,
+            attr,
+            xvar,
+            path,
+        });
     }
 
     // corr:Mc(t[..], t.B='c') >= d   |   corr:Mc(t[..], t.B) >= d
@@ -314,7 +353,13 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
         if v2 != var {
             return Err(ctx.err("corr evidence and target must share a variable"));
         }
-        return Ok(Predicate::CorrAttr { model: ModelRef::named(model), var, evidence, target, delta });
+        return Ok(Predicate::CorrAttr {
+            model: ModelRef::named(model),
+            var,
+            evidence,
+            target,
+            delta,
+        });
     }
 
     // t <=[attr] s   |   t <[attr] s   (temporal)
@@ -344,18 +389,28 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
             if let Some(inner) = rhs.strip_prefix("val(").and_then(|r| r.strip_suffix(')')) {
                 let (tvar, attr) = ctx.var_attr(lhs)?;
                 let (xvar, path) = parse_vertex_path(inner.trim(), ctx)?;
-                return Ok(Predicate::ValExtract { tvar, attr, xvar, path });
+                return Ok(Predicate::ValExtract {
+                    tvar,
+                    attr,
+                    xvar,
+                    path,
+                });
             }
             // t.attr = predict:Md(t[...])
             if let Some(rest) = rhs.strip_prefix("predict:") {
-                let (model, args) =
-                    split_call(rest).ok_or_else(|| ctx.err(format!("bad predict atom '{atom}'")))?;
+                let (model, args) = split_call(rest)
+                    .ok_or_else(|| ctx.err(format!("bad predict atom '{atom}'")))?;
                 let (var2, evidence) = ctx.var_attr_list(args)?;
                 let (var, target) = ctx.var_attr(lhs)?;
                 if var != var2 {
                     return Err(ctx.err("predict target and evidence must share a variable"));
                 }
-                return Ok(Predicate::Predict { model: ModelRef::named(model), var, evidence, target });
+                return Ok(Predicate::Predict {
+                    model: ModelRef::named(model),
+                    var,
+                    evidence,
+                    target,
+                });
             }
         }
 
@@ -364,14 +419,25 @@ fn parse_atom(atom: &str, ctx: &Ctx<'_>) -> Result<Predicate, ParseError> {
             if ctx.var(v.trim()).is_ok() && !rhs.starts_with('\'') {
                 let (lvar, lattr) = ctx.var_attr(lhs)?;
                 let (rvar, rattr) = ctx.var_attr(rhs)?;
-                return Ok(Predicate::Attr { lvar, lattr, op, rvar, rattr });
+                return Ok(Predicate::Attr {
+                    lvar,
+                    lattr,
+                    op,
+                    rvar,
+                    rattr,
+                });
             }
         }
 
         // t.attr OP constant
         let (var, attr) = ctx.var_attr(lhs)?;
         let value = ctx.constant(var, attr, rhs)?;
-        return Ok(Predicate::Const { var, attr, op, value });
+        return Ok(Predicate::Const {
+            var,
+            attr,
+            op,
+            value,
+        });
     }
 
     Err(ctx.err(format!("unrecognized atom '{atom}'")))
@@ -396,7 +462,12 @@ fn try_parse_temporal(atom: &str, ctx: &Ctx<'_>) -> Result<Option<Predicate>, Pa
             let lvar = ctx.var(lhs)?;
             let rvar = ctx.var(rhs)?;
             let attr = ctx.attr(lvar, attr_name)?;
-            return Ok(Some(Predicate::Temporal { lvar, rvar, attr, strict }));
+            return Ok(Some(Predicate::Temporal {
+                lvar,
+                rvar,
+                attr,
+                strict,
+            }));
         }
     }
     Ok(None)
@@ -580,9 +651,7 @@ mod tests {
 
     #[test]
     fn phi5_temporal_both_sides() {
-        roundtrip(
-            "rule phi5: Person(t) && Person(s) && t <=[status] s -> t <=[home] s",
-        );
+        roundtrip("rule phi5: Person(t) && Person(s) && t <=[status] s -> t <=[home] s");
     }
 
     #[test]
@@ -601,23 +670,17 @@ mod tests {
 
     #[test]
     fn phi8_prediction() {
-        roundtrip(
-            "rule phi8: Trans(t) && null(t.price) -> t.price = predict:Mprice(t[com,mfg])",
-        );
+        roundtrip("rule phi8: Trans(t) && null(t.price) -> t.price = predict:Mprice(t[com,mfg])");
     }
 
     #[test]
     fn phi11_rank() {
-        roundtrip(
-            "rule phi11: Person(t) && Person(s) && rank:Mrank(t, s, <=[LN]) -> t <=[LN] s",
-        );
+        roundtrip("rule phi11: Person(t) && Person(s) && rank:Mrank(t, s, <=[LN]) -> t <=[LN] s");
     }
 
     #[test]
     fn phi12_constant_consequence() {
-        roundtrip(
-            "rule phi12: Store(t) && t.location = 'Beijing' -> t.area_code = '010'",
-        );
+        roundtrip("rule phi12: Store(t) && t.location = 'Beijing' -> t.area_code = '010'");
     }
 
     #[test]
@@ -639,9 +702,7 @@ mod tests {
         roundtrip(
             "rule er: Person(t) && Person(s) && t.LN = s.LN && t.FN = s.FN && t.home = s.home -> t.eid = s.eid",
         );
-        roundtrip(
-            "rule ner: Person(t) && Person(s) && t.gender != s.gender -> t.eid != s.eid",
-        );
+        roundtrip("rule ner: Person(t) && Person(s) && t.gender != s.gender -> t.eid != s.eid");
     }
 
     #[test]
@@ -652,11 +713,7 @@ mod tests {
     #[test]
     fn numeric_constants_typed() {
         let s = schema();
-        let r = parse_rule(
-            "rule n: Trans(t) && t.price >= 5000 -> t.mfg = 'Apple'",
-            &s,
-        )
-        .unwrap();
+        let r = parse_rule("rule n: Trans(t) && t.price >= 5000 -> t.mfg = 'Apple'", &s).unwrap();
         match &r.precondition[0] {
             Predicate::Const { value, .. } => assert_eq!(value, &Value::Float(5000.0)),
             p => panic!("unexpected {p:?}"),

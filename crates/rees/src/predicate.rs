@@ -28,7 +28,10 @@ pub struct ModelRef {
 
 impl ModelRef {
     pub fn named(name: impl Into<String>) -> Self {
-        ModelRef { name: name.into(), id: None }
+        ModelRef {
+            name: name.into(),
+            id: None,
+        }
     }
 
     /// The resolved id; panics with a clear message when unresolved (a rule
@@ -43,27 +46,87 @@ impl ModelRef {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Predicate {
     /// `t.A ⊕ c`
-    Const { var: VarId, attr: AttrId, op: CmpOp, value: Value },
+    Const {
+        var: VarId,
+        attr: AttrId,
+        op: CmpOp,
+        value: Value,
+    },
     /// `t.A ⊕ s.B`
-    Attr { lvar: VarId, lattr: AttrId, op: CmpOp, rvar: VarId, rattr: AttrId },
+    Attr {
+        lvar: VarId,
+        lattr: AttrId,
+        op: CmpOp,
+        rvar: VarId,
+        rattr: AttrId,
+    },
     /// `M(t[Ā], s[B̄])` — Boolean ML predicate (§2.1(e)).
-    Ml { model: ModelRef, lvar: VarId, lattrs: Vec<AttrId>, rvar: VarId, rattrs: Vec<AttrId> },
+    Ml {
+        model: ModelRef,
+        lvar: VarId,
+        lattrs: Vec<AttrId>,
+        rvar: VarId,
+        rattrs: Vec<AttrId>,
+    },
     /// `t ⪯A s` (strict=false) or `t ≺A s` (strict=true) (§2.2).
-    Temporal { lvar: VarId, rvar: VarId, attr: AttrId, strict: bool },
+    Temporal {
+        lvar: VarId,
+        rvar: VarId,
+        attr: AttrId,
+        strict: bool,
+    },
     /// `Mrank(t1, t2, ⊗A)` (§2.2).
-    MlRank { model: ModelRef, lvar: VarId, rvar: VarId, attr: AttrId, strict: bool },
+    MlRank {
+        model: ModelRef,
+        lvar: VarId,
+        rvar: VarId,
+        attr: AttrId,
+        strict: bool,
+    },
     /// `HER(t, x)` (§2.3). The vertex variable is bound by this predicate.
-    Her { model: ModelRef, tvar: VarId, xvar: VertexVarId },
+    Her {
+        model: ModelRef,
+        tvar: VarId,
+        xvar: VertexVarId,
+    },
     /// `match(t.A, x.ρ)` (§2.3).
-    PathMatch { tvar: VarId, attr: AttrId, xvar: VertexVarId, path: LabelPath },
+    PathMatch {
+        tvar: VarId,
+        attr: AttrId,
+        xvar: VertexVarId,
+        path: LabelPath,
+    },
     /// `t[A] = val(x.ρ)` (§2.3).
-    ValExtract { tvar: VarId, attr: AttrId, xvar: VertexVarId, path: LabelPath },
+    ValExtract {
+        tvar: VarId,
+        attr: AttrId,
+        xvar: VertexVarId,
+        path: LabelPath,
+    },
     /// `Mc(t[Ā], t.B = c) ≥ δ` (§2.3) — correlation with a constant.
-    CorrConst { model: ModelRef, var: VarId, evidence: Vec<AttrId>, target: AttrId, value: Value, delta: f64 },
+    CorrConst {
+        model: ModelRef,
+        var: VarId,
+        evidence: Vec<AttrId>,
+        target: AttrId,
+        value: Value,
+        delta: f64,
+    },
     /// `Mc(t[Ā], t.B) ≥ δ` (§2.3) — correlation with the current value.
-    CorrAttr { model: ModelRef, var: VarId, evidence: Vec<AttrId>, target: AttrId, delta: f64 },
+    CorrAttr {
+        model: ModelRef,
+        var: VarId,
+        evidence: Vec<AttrId>,
+        target: AttrId,
+        delta: f64,
+    },
     /// `t.B = Md(t[Ā])` (§2.3) — ML value prediction.
-    Predict { model: ModelRef, var: VarId, evidence: Vec<AttrId>, target: AttrId },
+    Predict {
+        model: ModelRef,
+        var: VarId,
+        evidence: Vec<AttrId>,
+        target: AttrId,
+    },
     /// `null(t.A)` — syntactic abbreviation (Example 3).
     IsNull { var: VarId, attr: AttrId },
     /// `t.eid ⊕ s.eid` with ⊕ ∈ {=, ≠} — the ER consequences (§4.2).
@@ -75,8 +138,11 @@ impl Predicate {
     pub fn tuple_vars(&self) -> Vec<VarId> {
         use Predicate::*;
         match self {
-            Const { var, .. } | CorrConst { var, .. } | CorrAttr { var, .. }
-            | Predict { var, .. } | IsNull { var, .. } => vec![*var],
+            Const { var, .. }
+            | CorrConst { var, .. }
+            | CorrAttr { var, .. }
+            | Predict { var, .. }
+            | IsNull { var, .. } => vec![*var],
             Attr { lvar, rvar, .. }
             | Ml { lvar, rvar, .. }
             | Temporal { lvar, rvar, .. }
@@ -122,7 +188,13 @@ impl Predicate {
         let mut out = Vec::new();
         match self {
             Const { var, attr, .. } | IsNull { var, attr } if *var == v => out.push(*attr),
-            Attr { lvar, lattr, rvar, rattr, .. } => {
+            Attr {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+                ..
+            } => {
                 if *lvar == v {
                     out.push(*lattr);
                 }
@@ -130,7 +202,13 @@ impl Predicate {
                     out.push(*rattr);
                 }
             }
-            Ml { lvar, lattrs, rvar, rattrs, .. } => {
+            Ml {
+                lvar,
+                lattrs,
+                rvar,
+                rattrs,
+                ..
+            } => {
                 if *lvar == v {
                     out.extend_from_slice(lattrs);
                 }
@@ -138,9 +216,18 @@ impl Predicate {
                     out.extend_from_slice(rattrs);
                 }
             }
-            CorrConst { var, evidence, target, .. } | CorrAttr { var, evidence, target, .. }
-                if *var == v =>
-            {
+            CorrConst {
+                var,
+                evidence,
+                target,
+                ..
+            }
+            | CorrAttr {
+                var,
+                evidence,
+                target,
+                ..
+            } if *var == v => {
                 out.extend_from_slice(evidence);
                 out.push(*target);
             }
@@ -178,39 +265,100 @@ impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use Predicate::*;
         match self {
-            Const { var, attr, op, value } => write!(f, "?{var}.{attr} {op} '{value}'"),
-            Attr { lvar, lattr, op, rvar, rattr } => {
+            Const {
+                var,
+                attr,
+                op,
+                value,
+            } => write!(f, "?{var}.{attr} {op} '{value}'"),
+            Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } => {
                 write!(f, "?{lvar}.{lattr} {op} ?{rvar}.{rattr}")
             }
-            Ml { model, lvar, rvar, .. } => write!(f, "{}(?{lvar}[..], ?{rvar}[..])", model.name),
-            Temporal { lvar, rvar, attr, strict } => {
-                write!(f, "?{lvar} {}[{attr}] ?{rvar}", if *strict { "<" } else { "<=" })
+            Ml {
+                model, lvar, rvar, ..
+            } => write!(f, "{}(?{lvar}[..], ?{rvar}[..])", model.name),
+            Temporal {
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => {
+                write!(
+                    f,
+                    "?{lvar} {}[{attr}] ?{rvar}",
+                    if *strict { "<" } else { "<=" }
+                )
             }
-            MlRank { model, lvar, rvar, attr, strict } => write!(
+            MlRank {
+                model,
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => write!(
                 f,
                 "{}(?{lvar}, ?{rvar}, {}[{attr}])",
                 model.name,
                 if *strict { "<" } else { "<=" }
             ),
             Her { model, tvar, xvar } => write!(f, "{}(?{tvar}, ?x{xvar})", model.name),
-            PathMatch { tvar, attr, xvar, path } => {
+            PathMatch {
+                tvar,
+                attr,
+                xvar,
+                path,
+            } => {
                 write!(f, "match(?{tvar}.{attr}, ?x{xvar}.{path})")
             }
-            ValExtract { tvar, attr, xvar, path } => {
+            ValExtract {
+                tvar,
+                attr,
+                xvar,
+                path,
+            } => {
                 write!(f, "?{tvar}.{attr} = val(?x{xvar}.{path})")
             }
-            CorrConst { model, var, target, value, delta, .. } => {
-                write!(f, "{}(?{var}[..], {target}='{value}') >= {delta}", model.name)
+            CorrConst {
+                model,
+                var,
+                target,
+                value,
+                delta,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{}(?{var}[..], {target}='{value}') >= {delta}",
+                    model.name
+                )
             }
-            CorrAttr { model, var, target, delta, .. } => {
+            CorrAttr {
+                model,
+                var,
+                target,
+                delta,
+                ..
+            } => {
                 write!(f, "{}(?{var}[..], {target}) >= {delta}", model.name)
             }
-            Predict { model, var, target, .. } => {
+            Predict {
+                model, var, target, ..
+            } => {
                 write!(f, "?{var}.{target} = {}(?{var}[..])", model.name)
             }
             IsNull { var, attr } => write!(f, "null(?{var}.{attr})"),
             EidCmp { lvar, rvar, eq } => {
-                write!(f, "?{lvar}.eid {} ?{rvar}.eid", if *eq { "=" } else { "!=" })
+                write!(
+                    f,
+                    "?{lvar}.eid {} ?{rvar}.eid",
+                    if *eq { "=" } else { "!=" }
+                )
             }
         }
     }
@@ -230,7 +378,11 @@ mod tests {
             rattr: AttrId(2),
         };
         assert_eq!(p.tuple_vars(), vec![0]);
-        let q = Predicate::EidCmp { lvar: 0, rvar: 1, eq: true };
+        let q = Predicate::EidCmp {
+            lvar: 0,
+            rvar: 1,
+            eq: true,
+        };
         assert_eq!(q.tuple_vars(), vec![0, 1]);
     }
 
@@ -244,8 +396,18 @@ mod tests {
             rattrs: vec![],
         }
         .is_ml());
-        assert!(!Predicate::IsNull { var: 0, attr: AttrId(0) }.is_ml());
-        assert!(!Predicate::Temporal { lvar: 0, rvar: 1, attr: AttrId(0), strict: false }.is_ml());
+        assert!(!Predicate::IsNull {
+            var: 0,
+            attr: AttrId(0)
+        }
+        .is_ml());
+        assert!(!Predicate::Temporal {
+            lvar: 0,
+            rvar: 1,
+            attr: AttrId(0),
+            strict: false
+        }
+        .is_ml());
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl Rule {
 
     /// All predicates (precondition ∪ {consequence}).
     pub fn all_predicates(&self) -> impl Iterator<Item = &Predicate> {
-        self.precondition.iter().chain(std::iter::once(&self.consequence))
+        self.precondition
+            .iter()
+            .chain(std::iter::once(&self.consequence))
     }
 
     /// Does the rule use any ML predicate? (RocknoML drops such rules.)
@@ -120,7 +122,10 @@ impl Rule {
             }
             for x in p.vertex_vars() {
                 if x >= nverts {
-                    return Err(format!("{}: unbound vertex variable ?x{x} in {p}", self.name));
+                    return Err(format!(
+                        "{}: unbound vertex variable ?x{x} in {p}",
+                        self.name
+                    ));
                 }
             }
             // attribute ids must exist in the bound relation's schema
@@ -138,8 +143,7 @@ impl Rule {
         }
         // Temporal predicates require both sides bound to the same relation.
         for p in self.all_predicates() {
-            if let Predicate::Temporal { lvar, rvar, .. } | Predicate::MlRank { lvar, rvar, .. } =
-                p
+            if let Predicate::Temporal { lvar, rvar, .. } | Predicate::MlRank { lvar, rvar, .. } = p
             {
                 if self.rel_of(*lvar) != self.rel_of(*rvar) {
                     return Err(format!(
@@ -205,9 +209,7 @@ impl RuleDisplay<'_> {
     }
 
     fn attr_name(&self, v: VarId, a: rock_data::AttrId) -> &str {
-        self.schema
-            .relation(self.rule.rel_of(v))
-            .attr_name(a)
+        self.schema.relation(self.rule.rel_of(v)).attr_name(a)
     }
 
     fn attr_list(&self, v: VarId, attrs: &[rock_data::AttrId]) -> String {
@@ -221,7 +223,12 @@ impl RuleDisplay<'_> {
     fn fmt_pred(&self, f: &mut fmt::Formatter<'_>, p: &Predicate) -> fmt::Result {
         use Predicate::*;
         match p {
-            Const { var, attr, op, value } => write!(
+            Const {
+                var,
+                attr,
+                op,
+                value,
+            } => write!(
                 f,
                 "{}.{} {} '{}'",
                 self.var_name(*var),
@@ -229,7 +236,13 @@ impl RuleDisplay<'_> {
                 op,
                 value
             ),
-            Attr { lvar, lattr, op, rvar, rattr } => write!(
+            Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } => write!(
                 f,
                 "{}.{} {} {}.{}",
                 self.var_name(*lvar),
@@ -238,7 +251,13 @@ impl RuleDisplay<'_> {
                 self.var_name(*rvar),
                 self.attr_name(*rvar, *rattr)
             ),
-            Ml { model, lvar, lattrs, rvar, rattrs } => write!(
+            Ml {
+                model,
+                lvar,
+                lattrs,
+                rvar,
+                rattrs,
+            } => write!(
                 f,
                 "ml:{}({}[{}], {}[{}])",
                 model.name,
@@ -247,7 +266,12 @@ impl RuleDisplay<'_> {
                 self.var_name(*rvar),
                 self.attr_list(*rvar, rattrs)
             ),
-            Temporal { lvar, rvar, attr, strict } => write!(
+            Temporal {
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => write!(
                 f,
                 "{} {}[{}] {}",
                 self.var_name(*lvar),
@@ -255,7 +279,13 @@ impl RuleDisplay<'_> {
                 self.attr_name(*lvar, *attr),
                 self.var_name(*rvar)
             ),
-            MlRank { model, lvar, rvar, attr, strict } => write!(
+            MlRank {
+                model,
+                lvar,
+                rvar,
+                attr,
+                strict,
+            } => write!(
                 f,
                 "rank:{}({}, {}, {}[{}])",
                 model.name,
@@ -271,7 +301,12 @@ impl RuleDisplay<'_> {
                 self.var_name(*tvar),
                 self.vertex_name(*xvar)
             ),
-            PathMatch { tvar, attr, xvar, path } => write!(
+            PathMatch {
+                tvar,
+                attr,
+                xvar,
+                path,
+            } => write!(
                 f,
                 "match({}.{}, {}.{})",
                 self.var_name(*tvar),
@@ -279,7 +314,12 @@ impl RuleDisplay<'_> {
                 self.vertex_name(*xvar),
                 path
             ),
-            ValExtract { tvar, attr, xvar, path } => write!(
+            ValExtract {
+                tvar,
+                attr,
+                xvar,
+                path,
+            } => write!(
                 f,
                 "{}.{} = val({}.{})",
                 self.var_name(*tvar),
@@ -287,7 +327,14 @@ impl RuleDisplay<'_> {
                 self.vertex_name(*xvar),
                 path
             ),
-            CorrConst { model, var, evidence, target, value, delta } => write!(
+            CorrConst {
+                model,
+                var,
+                evidence,
+                target,
+                value,
+                delta,
+            } => write!(
                 f,
                 "corr:{}({}[{}], {}.{}='{}') >= {}",
                 model.name,
@@ -298,7 +345,13 @@ impl RuleDisplay<'_> {
                 value,
                 delta
             ),
-            CorrAttr { model, var, evidence, target, delta } => write!(
+            CorrAttr {
+                model,
+                var,
+                evidence,
+                target,
+                delta,
+            } => write!(
                 f,
                 "corr:{}({}[{}], {}.{}) >= {}",
                 model.name,
@@ -308,7 +361,12 @@ impl RuleDisplay<'_> {
                 self.attr_name(*var, *target),
                 delta
             ),
-            Predict { model, var, evidence, target } => write!(
+            Predict {
+                model,
+                var,
+                evidence,
+                target,
+            } => write!(
                 f,
                 "{}.{} = predict:{}({}[{}])",
                 self.var_name(*var),
@@ -375,7 +433,13 @@ impl RuleSet {
 
     /// The RocknoML ablation: drop every rule that uses an ML predicate.
     pub fn without_ml(&self) -> RuleSet {
-        RuleSet::new(self.rules.iter().filter(|r| !r.uses_ml()).cloned().collect())
+        RuleSet::new(
+            self.rules
+                .iter()
+                .filter(|r| !r.uses_ml())
+                .cloned()
+                .collect(),
+        )
     }
 }
 
@@ -429,14 +493,21 @@ mod tests {
     #[test]
     fn validation_rejects_unbound_var() {
         let mut r = phi2();
-        r.consequence = Predicate::EidCmp { lvar: 0, rvar: 5, eq: true };
+        r.consequence = Predicate::EidCmp {
+            lvar: 0,
+            rvar: 5,
+            eq: true,
+        };
         assert!(r.validate(&schema()).unwrap_err().contains("unbound"));
     }
 
     #[test]
     fn validation_rejects_bad_attr() {
         let mut r = phi2();
-        r.precondition.push(Predicate::IsNull { var: 0, attr: AttrId(9) });
+        r.precondition.push(Predicate::IsNull {
+            var: 0,
+            attr: AttrId(9),
+        });
         assert!(r.validate(&schema()).unwrap_err().contains("out of range"));
     }
 

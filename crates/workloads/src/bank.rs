@@ -21,9 +21,7 @@ use crate::workload::{GenConfig, MlHint, Task, Workload};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rock_data::{
-    AttrId, AttrType, Database, DatabaseSchema, Eid, RelId, RelationSchema, Value,
-};
+use rock_data::{AttrId, AttrType, Database, DatabaseSchema, Eid, RelId, RelationSchema, Value};
 use rock_kg::Graph;
 use rock_ml::correlation::{CorrelationModel, ValuePredictor};
 use rock_ml::pair::NgramPairModel;
@@ -111,7 +109,11 @@ fn schema() -> DatabaseSchema {
         ),
         RelationSchema::of(
             "Branch",
-            &[("bid", AttrType::Str), ("city", AttrType::Str), ("area_code", AttrType::Str)],
+            &[
+                ("bid", AttrType::Str),
+                ("city", AttrType::Str),
+                ("area_code", AttrType::Str),
+            ],
         ),
     ])
 }
@@ -142,11 +144,14 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     {
         let r = clean.relation_mut(RelId(rels::BRANCH));
         for (i, (city, code)) in namegen::CITIES.iter().enumerate() {
-            r.insert(Eid(i as u32), vec![
-                Value::str(format!("B{i:02}")),
-                Value::str(*city),
-                Value::str(*code),
-            ]);
+            r.insert(
+                Eid(i as u32),
+                vec![
+                    Value::str(format!("B{i:02}")),
+                    Value::str(*city),
+                    Value::str(*code),
+                ],
+            );
         }
     }
 
@@ -161,13 +166,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let phone = format!("13{:09}", rng.gen_range(0..1_000_000_000u64));
             let (city, _) = *pick(&mut rng, namegen::CITIES);
             for _src in 0..rng.gen_range(3..=4usize) {
-                r.insert(Eid(c as u32), vec![
-                    Value::str(&cid),
-                    Value::str(ln),
-                    Value::str(fn_),
-                    Value::str(&phone),
-                    Value::str(city),
-                ]);
+                r.insert(
+                    Eid(c as u32),
+                    vec![
+                        Value::str(&cid),
+                        Value::str(ln),
+                        Value::str(fn_),
+                        Value::str(&phone),
+                        Value::str(city),
+                    ],
+                );
             }
         }
     }
@@ -182,13 +190,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let industry = *pick(&mut rng, INDUSTRIES);
             let (city, code) = *pick(&mut rng, namegen::CITIES);
             for _ in 0..3 {
-                r.insert(Eid(c as u32), vec![
-                    Value::str(&coid),
-                    Value::str(&name),
-                    Value::str(industry),
-                    Value::str(city),
-                    Value::str(code),
-                ]);
+                r.insert(
+                    Eid(c as u32),
+                    vec![
+                        Value::str(&coid),
+                        Value::str(&name),
+                        Value::str(industry),
+                        Value::str(city),
+                        Value::str(code),
+                    ],
+                );
             }
         }
     }
@@ -199,11 +210,14 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     {
         let r = clean.relation_mut(RelId(rels::ACCOUNT));
         for a in 0..n_accounts {
-            r.insert(Eid(a as u32), vec![
-                Value::str(format!("A{a:05}")),
-                Value::str(format!("C{:05}", a % n_customers)),
-                Value::Float((rng.gen_range(10..100_000) as f64) / 10.0),
-            ]);
+            r.insert(
+                Eid(a as u32),
+                vec![
+                    Value::str(format!("A{a:05}")),
+                    Value::str(format!("C{:05}", a % n_customers)),
+                    Value::Float((rng.gen_range(10..100_000) as f64) / 10.0),
+                ],
+            );
         }
     }
     {
@@ -214,13 +228,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let amount = (rng.gen_range(100..500_000) as f64) / 100.0;
             let fee = (amount * 0.01 * rng.gen_range(1..5) as f64 * 100.0).round() / 100.0;
             for _ in 0..3 {
-                r.insert(Eid(batch as u32), vec![
-                    Value::str(format!("P{pid:06}")),
-                    Value::str(&aid),
-                    Value::Float(amount),
-                    Value::Float(fee),
-                    Value::Float(amount + fee),
-                ]);
+                r.insert(
+                    Eid(batch as u32),
+                    vec![
+                        Value::str(format!("P{pid:06}")),
+                        Value::str(&aid),
+                        Value::Float(amount),
+                        Value::Float(fee),
+                        Value::Float(amount + fee),
+                    ],
+                );
                 pid += 1;
             }
         }
@@ -236,7 +253,12 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     );
     // CNC: name typos + duplicates with reformatting
     inj.corrupt_attr(&mut dirty, cu, AttrId(cust::LAST_NAME), cfg.error_rate);
-    inj.corrupt_attr(&mut dirty, cu, AttrId(cust::FIRST_NAME), cfg.error_rate / 2.0);
+    inj.corrupt_attr(
+        &mut dirty,
+        cu,
+        AttrId(cust::FIRST_NAME),
+        cfg.error_rate / 2.0,
+    );
     let dups = inj.duplicate_tuples(
         &mut dirty,
         cu,
@@ -269,10 +291,25 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     }
     // CIC: industry conflicts, city nulls, area-code conflicts
     let industry_pool: Vec<Value> = INDUSTRIES.iter().map(|i| Value::str(*i)).collect();
-    inj.conflict_attr(&mut dirty, co, AttrId(comp::INDUSTRY), cfg.error_rate, &industry_pool);
+    inj.conflict_attr(
+        &mut dirty,
+        co,
+        AttrId(comp::INDUSTRY),
+        cfg.error_rate,
+        &industry_pool,
+    );
     inj.null_attr(&mut dirty, co, AttrId(comp::CITY), cfg.error_rate);
-    let code_pool: Vec<Value> = namegen::CITIES.iter().map(|(_, c)| Value::str(*c)).collect();
-    inj.conflict_attr(&mut dirty, co, AttrId(comp::AREA_CODE), cfg.error_rate, &code_pool);
+    let code_pool: Vec<Value> = namegen::CITIES
+        .iter()
+        .map(|(_, c)| Value::str(*c))
+        .collect();
+    inj.conflict_attr(
+        &mut dirty,
+        co,
+        AttrId(comp::AREA_CODE),
+        cfg.error_rate,
+        &code_pool,
+    );
     // TPA: corrupted + nulled totals
     inj.corrupt_attr(&mut dirty, pa, AttrId(pay::TOTAL), cfg.error_rate);
     inj.null_attr(&mut dirty, pa, AttrId(pay::TOTAL), cfg.error_rate / 2.0);
@@ -312,38 +349,38 @@ pub fn generate(cfg: &GenConfig) -> Workload {
         .collect();
     registry.register_predictor(
         "Mphone",
-        Arc::new(ValuePredictor::new(CorrelationModel::train(&phone_rows), 0.3)),
+        Arc::new(ValuePredictor::new(
+            CorrelationModel::train(&phone_rows),
+            0.3,
+        )),
     );
 
     let mut rules = RuleSet::new(parse_rules(RULES, &dirty.schema()).expect("curated rules parse"));
     rules.resolve(&registry).expect("models registered");
 
-    let task = |name: &str,
-                prefixes: &[&str],
-                scope: &[(u16, u16)],
-                poly: Option<(u16, u16)>|
-     -> Task {
-        Task {
-            name: name.into(),
-            rule_names: rules
-                .iter()
-                .filter(|r| prefixes.iter().any(|p| r.name.starts_with(p)))
-                .map(|r| r.name.clone())
-                .collect(),
-            scope: if scope.is_empty() {
-                None
-            } else {
-                Some(Workload::scope_of(
-                    &dirty,
-                    &scope
-                        .iter()
-                        .map(|(r, a)| (RelId(*r), AttrId(*a)))
-                        .collect::<Vec<_>>(),
-                ))
-            },
-            polynomial_target: poly.map(|(r, a)| (RelId(r), AttrId(a))),
-        }
-    };
+    let task =
+        |name: &str, prefixes: &[&str], scope: &[(u16, u16)], poly: Option<(u16, u16)>| -> Task {
+            Task {
+                name: name.into(),
+                rule_names: rules
+                    .iter()
+                    .filter(|r| prefixes.iter().any(|p| r.name.starts_with(p)))
+                    .map(|r| r.name.clone())
+                    .collect(),
+                scope: if scope.is_empty() {
+                    None
+                } else {
+                    Some(Workload::scope_of(
+                        &dirty,
+                        &scope
+                            .iter()
+                            .map(|(r, a)| (RelId(*r), AttrId(*a)))
+                            .collect::<Vec<_>>(),
+                    ))
+                },
+                polynomial_target: poly.map(|(r, a)| (RelId(r), AttrId(a))),
+            }
+        };
     let tasks = vec![
         task(
             "CNC",
@@ -398,7 +435,11 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                 rel: "Customer".into(),
                 attrs: vec!["last_name".into(), "first_name".into()],
             },
-            MlHint { model: "Mcompany".into(), rel: "Company".into(), attrs: vec!["name".into()] },
+            MlHint {
+                model: "Mcompany".into(),
+                rel: "Company".into(),
+                attrs: vec!["name".into()],
+            },
         ],
     }
 }
@@ -422,7 +463,12 @@ mod tests {
     use super::*;
 
     fn wl() -> Workload {
-        generate(&GenConfig { rows: 240, error_rate: 0.1, seed: 5, trusted_per_rel: 20 })
+        generate(&GenConfig {
+            rows: 240,
+            error_rate: 0.1,
+            seed: 5,
+            trusted_per_rel: 20,
+        })
     }
 
     #[test]
@@ -431,7 +477,10 @@ mod tests {
         assert_eq!(w.dirty.len(), 5);
         assert!(w.dirty.relation(RelId(rels::CUSTOMER)).len() > 100);
         assert!(w.dirty.relation(RelId(rels::PAYMENT)).len() > 100);
-        assert_eq!(w.dirty.relation(RelId(rels::BRANCH)).len(), namegen::CITIES.len());
+        assert_eq!(
+            w.dirty.relation(RelId(rels::BRANCH)).len(),
+            namegen::CITIES.len()
+        );
     }
 
     #[test]

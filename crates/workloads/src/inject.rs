@@ -67,7 +67,10 @@ pub struct Injector {
 
 impl Injector {
     pub fn new(seed: u64) -> Self {
-        Injector { rng: StdRng::seed_from_u64(seed), truth: ErrorTruth::default() }
+        Injector {
+            rng: StdRng::seed_from_u64(seed),
+            truth: ErrorTruth::default(),
+        }
     }
 
     /// Corrupt a fraction `rate` of the non-null cells of `attr` with
@@ -248,7 +251,9 @@ impl Injector {
             if self.rng.gen::<f64>() >= rate {
                 continue;
             }
-            let Some(orig) = db.relation(rel).get(tid).cloned() else { continue };
+            let Some(orig) = db.relation(rel).get(tid).cloned() else {
+                continue;
+            };
             let mut values = orig.values.clone();
             let mut noised: Vec<(AttrId, Value)> = Vec::new();
             for a in noisy_attrs {
@@ -264,7 +269,10 @@ impl Injector {
             let stamps: Vec<(AttrId, Timestamp)> = (0..db.relation(rel).schema.arity())
                 .filter_map(|a| {
                     let attr = AttrId(a as u16);
-                    db.relation(rel).timestamps.get(tid, attr).map(|ts| (attr, ts))
+                    db.relation(rel)
+                        .timestamps
+                        .get(tid, attr)
+                        .map(|ts| (attr, ts))
                 })
                 .collect();
             let dup = db.relation_mut(rel).insert(new_eid, values);

@@ -146,7 +146,13 @@ pub fn generate(cfg: &GenConfig) -> Workload {
         .iter()
         .map(|r| Value::str(*r))
         .collect();
-    inj.conflict_attr(&mut dirty, rel, AttrId(attrs::REGION), cfg.error_rate / 2.0, &region_pool);
+    inj.conflict_attr(
+        &mut dirty,
+        rel,
+        AttrId(attrs::REGION),
+        cfg.error_rate / 2.0,
+        &region_pool,
+    );
     // SN: seller typos
     inj.corrupt_attr(&mut dirty, rel, AttrId(attrs::SELLER), cfg.error_rate);
     // TD: stale statuses
@@ -207,7 +213,13 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     ];
     registry.register_rank(
         "Mstatus",
-        Arc::new(RankModel::train_creator_critic(1, &pairs, &constraints, 2, cfg.seed)),
+        Arc::new(RankModel::train_creator_critic(
+            1,
+            &pairs,
+            &constraints,
+            2,
+            cfg.seed,
+        )),
     );
 
     // rules
@@ -284,7 +296,12 @@ mod tests {
     use super::*;
 
     fn wl() -> Workload {
-        generate(&GenConfig { rows: 240, error_rate: 0.1, seed: 7, trusted_per_rel: 20 })
+        generate(&GenConfig {
+            rows: 240,
+            error_rate: 0.1,
+            seed: 7,
+            trusted_per_rel: 20,
+        })
     }
 
     #[test]

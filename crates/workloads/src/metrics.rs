@@ -193,10 +193,7 @@ mod tests {
 
     #[test]
     fn correction_metrics_cases() {
-        let schema = DatabaseSchema::new(vec![RelationSchema::of(
-            "T",
-            &[("v", AttrType::Str)],
-        )]);
+        let schema = DatabaseSchema::new(vec![RelationSchema::of("T", &[("v", AttrType::Str)])]);
         let mut clean = Database::new(&schema);
         let r = clean.relation_mut(RelId(0));
         for s in ["a", "b", "c", "d"] {
@@ -204,14 +201,23 @@ mod tests {
         }
         // dirty: t0 corrupted, t1 corrupted, t2 fine, t3 corrupted
         let mut dirty = clean.clone();
-        dirty.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(0), Value::str("X"));
-        dirty.relation_mut(RelId(0)).set_cell(TupleId(1), AttrId(0), Value::str("Y"));
-        dirty.relation_mut(RelId(0)).set_cell(TupleId(3), AttrId(0), Value::str("Z"));
+        dirty
+            .relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(0), Value::str("X"));
+        dirty
+            .relation_mut(RelId(0))
+            .set_cell(TupleId(1), AttrId(0), Value::str("Y"));
+        dirty
+            .relation_mut(RelId(0))
+            .set_cell(TupleId(3), AttrId(0), Value::str("Z"));
         // repaired: t0 fixed correctly, t1 "fixed" wrongly, t2 broken, t3 untouched
         let mut rep = dirty.clone();
-        rep.relation_mut(RelId(0)).set_cell(TupleId(0), AttrId(0), Value::str("a"));
-        rep.relation_mut(RelId(0)).set_cell(TupleId(1), AttrId(0), Value::str("W"));
-        rep.relation_mut(RelId(0)).set_cell(TupleId(2), AttrId(0), Value::str("V"));
+        rep.relation_mut(RelId(0))
+            .set_cell(TupleId(0), AttrId(0), Value::str("a"));
+        rep.relation_mut(RelId(0))
+            .set_cell(TupleId(1), AttrId(0), Value::str("W"));
+        rep.relation_mut(RelId(0))
+            .set_cell(TupleId(2), AttrId(0), Value::str("V"));
         let truth = ErrorTruth::default();
         let m = correction_metrics(&dirty, &rep, &clean, &truth, None);
         assert_eq!((m.tp, m.fp, m.fn_), (1, 2, 1));
@@ -219,7 +225,12 @@ mod tests {
 
     #[test]
     fn er_pairs_order_normalized() {
-        let g = |a: u32, b: u32| (GlobalTid::new(RelId(0), TupleId(a)), GlobalTid::new(RelId(0), TupleId(b)));
+        let g = |a: u32, b: u32| {
+            (
+                GlobalTid::new(RelId(0), TupleId(a)),
+                GlobalTid::new(RelId(0), TupleId(b)),
+            )
+        };
         let pred = vec![g(1, 0), g(2, 3)];
         let truth = vec![g(0, 1), g(4, 5)];
         let m = er_pair_metrics(&pred, &truth);

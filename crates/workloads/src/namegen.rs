@@ -8,13 +8,31 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 pub const FIRST_NAMES: &[&str] = &[
-    "Christine", "George", "Wei", "Min", "Elena", "Tomas", "Priya", "Jun", "Sara", "Ivan",
-    "Lucia", "Omar", "Yuki", "Ahmed", "Nina", "Pavel", "Mei", "Carlos", "Anya", "David",
+    "Christine",
+    "George",
+    "Wei",
+    "Min",
+    "Elena",
+    "Tomas",
+    "Priya",
+    "Jun",
+    "Sara",
+    "Ivan",
+    "Lucia",
+    "Omar",
+    "Yuki",
+    "Ahmed",
+    "Nina",
+    "Pavel",
+    "Mei",
+    "Carlos",
+    "Anya",
+    "David",
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Jones", "Wang", "Li", "Garcia", "Novak", "Patel", "Kim", "Berg", "Petrov",
-    "Rossi", "Hassan", "Tanaka", "Ali", "Weber", "Volkov", "Chen", "Lopez", "Koch", "Brown",
+    "Smith", "Jones", "Wang", "Li", "Garcia", "Novak", "Patel", "Kim", "Berg", "Petrov", "Rossi",
+    "Hassan", "Tanaka", "Ali", "Weber", "Volkov", "Chen", "Lopez", "Koch", "Brown",
 ];
 
 pub const CITIES: &[(&str, &str)] = &[
@@ -29,16 +47,38 @@ pub const CITIES: &[(&str, &str)] = &[
 ];
 
 pub const STREETS: &[&str] = &[
-    "Beijing West Road", "West Road", "Nanjing Road", "People Square", "Huaihai Road",
-    "Century Avenue", "Garden Street", "Lake View Lane", "Harbor Boulevard", "Spring Street",
+    "Beijing West Road",
+    "West Road",
+    "Nanjing Road",
+    "People Square",
+    "Huaihai Road",
+    "Century Avenue",
+    "Garden Street",
+    "Lake View Lane",
+    "Harbor Boulevard",
+    "Spring Street",
 ];
 
 pub const COMPANY_STEMS: &[&str] = &[
-    "Apex", "Northwind", "Golden Dragon", "Silk Route", "Evergreen", "Bluewave", "Red Lantern",
-    "Summit", "Harbor Light", "Quantum",
+    "Apex",
+    "Northwind",
+    "Golden Dragon",
+    "Silk Route",
+    "Evergreen",
+    "Bluewave",
+    "Red Lantern",
+    "Summit",
+    "Harbor Light",
+    "Quantum",
 ];
 
-pub const COMPANY_SUFFIXES: &[&str] = &["Trading Co", "Logistics Ltd", "Industries", "Retail Group", "Holdings"];
+pub const COMPANY_SUFFIXES: &[&str] = &[
+    "Trading Co",
+    "Logistics Ltd",
+    "Industries",
+    "Retail Group",
+    "Holdings",
+];
 
 pub const COMMODITIES: &[(&str, &str, f64)] = &[
     // (commodity, manufactory, base price)
@@ -66,7 +106,11 @@ pub fn address(rng: &mut StdRng) -> String {
 
 /// A company name like "Golden Dragon Trading Co".
 pub fn company(rng: &mut StdRng) -> String {
-    format!("{} {}", pick(rng, COMPANY_STEMS), pick(rng, COMPANY_SUFFIXES))
+    format!(
+        "{} {}",
+        pick(rng, COMPANY_STEMS),
+        pick(rng, COMPANY_SUFFIXES)
+    )
 }
 
 /// The `i`-th globally unique company name ("Apex Trading Co 3"): company

@@ -155,12 +155,15 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let (city, _) = *pick(&mut rng, namegen::CITIES);
             let top_tier = rng.gen_range(0..TIERS.len());
             for (i, tier) in TIERS.iter().enumerate().take(top_tier + 1) {
-                let tid = r.insert(Eid(c as u32), vec![
-                    Value::str(&cid),
-                    Value::str(&name),
-                    Value::str(city),
-                    Value::str(*tier),
-                ]);
+                let tid = r.insert(
+                    Eid(c as u32),
+                    vec![
+                        Value::str(&cid),
+                        Value::str(&name),
+                        Value::str(city),
+                        Value::str(*tier),
+                    ],
+                );
                 r.set_timestamp(
                     tid,
                     AttrId(client::TIER),
@@ -179,11 +182,10 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let name = namegen::unique_company(f);
             let sector = *pick(&mut rng, SECTORS);
             for _ in 0..3 {
-                r.insert(Eid(f as u32), vec![
-                    Value::str(&fid),
-                    Value::str(&name),
-                    Value::str(sector),
-                ]);
+                r.insert(
+                    Eid(f as u32),
+                    vec![Value::str(&fid), Value::str(&name), Value::str(sector)],
+                );
             }
         }
     }
@@ -196,13 +198,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let price = (base * rng.gen_range(0.8..1.2) * 100.0).round() / 100.0;
             let tax = (price * 0.13 * 100.0).round() / 100.0;
             for i in 0..3 {
-                r.insert(Eid(o as u32), vec![
-                    Value::str(format!("O{o:05}-{i}")),
-                    Value::str(com),
-                    Value::Float(price),
-                    Value::Float(tax),
-                    Value::Float(((price - tax) * 100.0).round() / 100.0),
-                ]);
+                r.insert(
+                    Eid(o as u32),
+                    vec![
+                        Value::str(format!("O{o:05}-{i}")),
+                        Value::str(com),
+                        Value::Float(price),
+                        Value::Float(tax),
+                        Value::Float(((price - tax) * 100.0).round() / 100.0),
+                    ],
+                );
             }
         }
     }
@@ -222,23 +227,35 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                 let var = variants[i / namegen::COMMODITIES.len()];
                 let name = format!("{com} {var}");
                 let cat = CATS[i % CATS.len()];
-                r.insert(Eid(i as u32), vec![
-                    Value::str(format!("I{i:03}")),
-                    Value::str(&name),
-                    Value::str(cat),
-                    Value::str(mfg),
-                ]);
-                ext_rows.push((format!("X{i:03}"), format!("{name} (official)"), cat, mfg, i));
+                r.insert(
+                    Eid(i as u32),
+                    vec![
+                        Value::str(format!("I{i:03}")),
+                        Value::str(&name),
+                        Value::str(cat),
+                        Value::str(mfg),
+                    ],
+                );
+                ext_rows.push((
+                    format!("X{i:03}"),
+                    format!("{name} (official)"),
+                    cat,
+                    mfg,
+                    i,
+                ));
             }
         }
         let r = clean.relation_mut(RelId(rels::ITEM_EXT));
         for (xid, name, cat, mfg, i) in ext_rows {
-            r.insert(Eid((1000 + i) as u32), vec![
-                Value::str(xid),
-                Value::str(name),
-                Value::str(cat),
-                Value::str(mfg),
-            ]);
+            r.insert(
+                Eid((1000 + i) as u32),
+                vec![
+                    Value::str(xid),
+                    Value::str(name),
+                    Value::str(cat),
+                    Value::str(mfg),
+                ],
+            );
         }
     }
 
@@ -268,7 +285,12 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     // TPWT: corrupted + nulled price_wot (numeric — where T5-class models
     // struggle, per the paper)
     inj.corrupt_attr(&mut dirty, or, AttrId(order::PRICE_WOT), cfg.error_rate);
-    inj.null_attr(&mut dirty, or, AttrId(order::PRICE_WOT), cfg.error_rate / 2.0);
+    inj.null_attr(
+        &mut dirty,
+        or,
+        AttrId(order::PRICE_WOT),
+        cfg.error_rate / 2.0,
+    );
     // Item: missing manufactories imputed from ItemExt; for half of those
     // rows the category is *also* nulled, so the imputation requires the
     // chain MI (fill cat) → ER (align with ItemExt) → MI (pull mfg) —
@@ -325,8 +347,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
         })
         .collect();
     let constraints = vec![
-        CurrencyConstraint { attr_pos: 0, earlier: Value::str("bronze"), later: Value::str("silver") },
-        CurrencyConstraint { attr_pos: 0, earlier: Value::str("silver"), later: Value::str("gold") },
+        CurrencyConstraint {
+            attr_pos: 0,
+            earlier: Value::str("bronze"),
+            later: Value::str("silver"),
+        },
+        CurrencyConstraint {
+            attr_pos: 0,
+            earlier: Value::str("silver"),
+            later: Value::str("gold"),
+        },
     ];
     let cat_rows: Vec<(Vec<Value>, Value)> = clean
         .relation(it)
@@ -344,38 +374,41 @@ pub fn generate(cfg: &GenConfig) -> Workload {
     );
     registry.register_rank(
         "Mtier",
-        Arc::new(RankModel::train_creator_critic(1, &tier_pairs, &constraints, 2, cfg.seed)),
+        Arc::new(RankModel::train_creator_critic(
+            1,
+            &tier_pairs,
+            &constraints,
+            2,
+            cfg.seed,
+        )),
     );
 
     let mut rules = RuleSet::new(parse_rules(RULES, &dirty.schema()).expect("curated rules parse"));
     rules.resolve(&registry).expect("models registered");
 
-    let task = |name: &str,
-                prefixes: &[&str],
-                scope: &[(u16, u16)],
-                poly: Option<(u16, u16)>|
-     -> Task {
-        Task {
-            name: name.into(),
-            rule_names: rules
-                .iter()
-                .filter(|r| prefixes.iter().any(|p| r.name.starts_with(p)))
-                .map(|r| r.name.clone())
-                .collect(),
-            scope: if scope.is_empty() {
-                None
-            } else {
-                Some(Workload::scope_of(
-                    &dirty,
-                    &scope
-                        .iter()
-                        .map(|(r, a)| (RelId(*r), AttrId(*a)))
-                        .collect::<Vec<_>>(),
-                ))
-            },
-            polynomial_target: poly.map(|(r, a)| (RelId(r), AttrId(a))),
-        }
-    };
+    let task =
+        |name: &str, prefixes: &[&str], scope: &[(u16, u16)], poly: Option<(u16, u16)>| -> Task {
+            Task {
+                name: name.into(),
+                rule_names: rules
+                    .iter()
+                    .filter(|r| prefixes.iter().any(|p| r.name.starts_with(p)))
+                    .map(|r| r.name.clone())
+                    .collect(),
+                scope: if scope.is_empty() {
+                    None
+                } else {
+                    Some(Workload::scope_of(
+                        &dirty,
+                        &scope
+                            .iter()
+                            .map(|(r, a)| (RelId(*r), AttrId(*a)))
+                            .collect::<Vec<_>>(),
+                    ))
+                },
+                polynomial_target: poly.map(|(r, a)| (RelId(r), AttrId(a))),
+            }
+        };
     let tasks = vec![
         task(
             "CIN",
@@ -415,8 +448,16 @@ pub fn generate(cfg: &GenConfig) -> Workload {
         tasks,
         trusted,
         ml_hints: vec![
-            MlHint { model: "Mfirm".into(), rel: "Firm".into(), attrs: vec!["name".into()] },
-            MlHint { model: "MER".into(), rel: "Item".into(), attrs: vec!["name".into()] },
+            MlHint {
+                model: "Mfirm".into(),
+                rel: "Firm".into(),
+                attrs: vec!["name".into()],
+            },
+            MlHint {
+                model: "MER".into(),
+                rel: "Item".into(),
+                attrs: vec!["name".into()],
+            },
         ],
     }
 }
@@ -437,7 +478,12 @@ mod tests {
     use super::*;
 
     fn wl() -> Workload {
-        generate(&GenConfig { rows: 240, error_rate: 0.1, seed: 11, trusted_per_rel: 20 })
+        generate(&GenConfig {
+            rows: 240,
+            error_rate: 0.1,
+            seed: 11,
+            trusted_per_rel: 20,
+        })
     }
 
     #[test]

@@ -128,7 +128,12 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { rows: 400, error_rate: 0.08, seed: 42, trusted_per_rel: 40 }
+        GenConfig {
+            rows: 400,
+            error_rate: 0.08,
+            seed: 42,
+            trusted_per_rel: 40,
+        }
     }
 }
 
@@ -158,18 +163,17 @@ mod tests {
 
     #[test]
     fn trusted_tuples_are_clean() {
-        let schema = DatabaseSchema::new(vec![RelationSchema::of(
-            "T",
-            &[("a", AttrType::Str)],
-        )]);
+        let schema = DatabaseSchema::new(vec![RelationSchema::of("T", &[("a", AttrType::Str)])]);
         let mut db = Database::new(&schema);
         for i in 0..10 {
-            db.relation_mut(RelId(0)).insert_row(vec![Value::str(format!("v{i}"))]);
+            db.relation_mut(RelId(0))
+                .insert_row(vec![Value::str(format!("v{i}"))]);
         }
         let mut truth = ErrorTruth::default();
-        truth
-            .corrupted
-            .insert(CellRef::new(RelId(0), TupleId(0), AttrId(0)), Value::str("v0"));
+        truth.corrupted.insert(
+            CellRef::new(RelId(0), TupleId(0), AttrId(0)),
+            Value::str("v0"),
+        );
         truth.duplicate_pairs.push((
             GlobalTid::new(RelId(0), TupleId(1)),
             GlobalTid::new(RelId(0), TupleId(2)),

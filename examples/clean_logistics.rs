@@ -82,9 +82,16 @@ fn main() {
 
     // 5. The ablation of §6 Exp-3 in miniature.
     for variant in [Variant::RockNoMl, Variant::RockSeq, Variant::RockNoC] {
-        let sys = RockSystem::new(RockConfig { variant, ..RockConfig::default() });
+        let sys = RockSystem::new(RockConfig {
+            variant,
+            ..RockConfig::default()
+        });
         let out = sys.correct(&w, &task);
-        println!("correct RClean [{}]: F1 = {:.3}", variant.name(), out.metrics.f1());
+        println!(
+            "correct RClean [{}]: F1 = {:.3}",
+            variant.name(),
+            out.metrics.f1()
+        );
     }
     assert!(out.metrics.f1() > 0.6, "Rock must clean most of Logistics");
     println!("\nclean_logistics OK");

@@ -10,7 +10,9 @@
 //! ```
 
 use rock::chase::{ChaseConfig, ChaseEngine};
-use rock::data::{AttrId, AttrType, Database, DatabaseSchema, Delta, Eid, RelId, RelationSchema, Update, Value};
+use rock::data::{
+    AttrId, AttrType, Database, DatabaseSchema, Delta, Eid, RelId, RelationSchema, Update, Value,
+};
 use rock::detect::Detector;
 use rock::ml::ModelRegistry;
 use rock::rees::{parse_rules, RuleSet};
@@ -54,7 +56,11 @@ fn main() {
         Delta::new(vec![Update::Insert {
             rel,
             eid: Eid(1000),
-            values: vec![Value::str("O9001"), Value::str("Beijing"), Value::str("North")],
+            values: vec![
+                Value::str("O9001"),
+                Value::str("Beijing"),
+                Value::str("North"),
+            ],
         }]),
         Delta::new(vec![Update::SetCell {
             rel,
@@ -65,7 +71,11 @@ fn main() {
         Delta::new(vec![Update::Insert {
             rel,
             eid: Eid(1001),
-            values: vec![Value::str("O9002"), Value::str("Beijing"), Value::str("West")], // wrong region
+            values: vec![
+                Value::str("O9002"),
+                Value::str("Beijing"),
+                Value::str("West"),
+            ], // wrong region
         }]),
     ];
 

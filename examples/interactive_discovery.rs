@@ -37,9 +37,8 @@ fn main() {
 
     // the simulated expert: likes rules about the `region` attribute,
     // dislikes constant-heavy rules (a stand-in for domain preference)
-    let expert_likes = |rule: &rock::rees::Rule| -> bool {
-        rule.display(&schema).to_string().contains("region")
-    };
+    let expert_likes =
+        |rule: &rock::rees::Rule| -> bool { rule.display(&schema).to_string().contains("region") };
 
     let mut miner = AnytimeMiner::new(pool.rules.clone());
     let mut liked_total = 0usize;

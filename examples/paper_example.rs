@@ -76,11 +76,51 @@ fn main() {
     {
         let r = db.relation_mut(person);
         let rows: Vec<Vec<Value>> = vec![
-            vec!["p1".into(), "Jones".into(), "Christine".into(), "F".into(), "5 Beijing West Road".into(), "single".into(), "n/a".into()],
-            vec!["p2".into(), "Smith".into(), "Christine".into(), "F".into(), "5 West Road".into(), "single".into(), "p3".into()],
-            vec!["p2".into(), "Smith".into(), "Christine".into(), "F".into(), "12 Beijing Road".into(), "married".into(), "p4".into()],
-            vec!["p3".into(), "Smith".into(), "George".into(), "M".into(), "12 Beijing Road".into(), "married".into(), "p2".into()],
-            vec!["p4".into(), "Smith".into(), "George".into(), "M".into(), Value::Null, Value::Null, Value::Null],
+            vec![
+                "p1".into(),
+                "Jones".into(),
+                "Christine".into(),
+                "F".into(),
+                "5 Beijing West Road".into(),
+                "single".into(),
+                "n/a".into(),
+            ],
+            vec![
+                "p2".into(),
+                "Smith".into(),
+                "Christine".into(),
+                "F".into(),
+                "5 West Road".into(),
+                "single".into(),
+                "p3".into(),
+            ],
+            vec![
+                "p2".into(),
+                "Smith".into(),
+                "Christine".into(),
+                "F".into(),
+                "12 Beijing Road".into(),
+                "married".into(),
+                "p4".into(),
+            ],
+            vec![
+                "p3".into(),
+                "Smith".into(),
+                "George".into(),
+                "M".into(),
+                "12 Beijing Road".into(),
+                "married".into(),
+                "p2".into(),
+            ],
+            vec![
+                "p4".into(),
+                "Smith".into(),
+                "George".into(),
+                "M".into(),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
         ];
         for (i, row) in rows.into_iter().enumerate() {
             r.insert(Eid(i as u32), row);
@@ -90,20 +130,69 @@ fn main() {
     // Table 2 (Store), abbreviated.
     {
         let r = db.relation_mut(store);
-        r.insert_row(vec!["s1".into(), "Apple Jingdong Self-run".into(), "Electron.".into(), "Beijing".into(), Value::Float(15e6), Value::Null]);
-        r.insert_row(vec!["s3".into(), "Huawei Flagship".into(), "Electron.".into(), "Beijing".into(), Value::Float(11e6), Value::Null]);
+        r.insert_row(vec![
+            "s1".into(),
+            "Apple Jingdong Self-run".into(),
+            "Electron.".into(),
+            "Beijing".into(),
+            Value::Float(15e6),
+            Value::Null,
+        ]);
+        r.insert_row(vec![
+            "s3".into(),
+            "Huawei Flagship".into(),
+            "Electron.".into(),
+            "Beijing".into(),
+            Value::Float(11e6),
+            Value::Null,
+        ]);
     }
 
     // Table 3 (Transaction): t12/t13 share discount code 41 — the same
     // person used it twice under different pids (the φ1 ER evidence).
     {
         let r = db.relation_mut(trans);
-        r.insert_row(vec!["p1".into(), "s2".into(), "IPhone 13".into(), "Apple".into(), Value::Float(9000.0), date("2020-12-18")]);
-        r.insert_row(vec!["p1".into(), "s1".into(), "IPhone 14 (Discount ID 41)".into(), "Apple".into(), Value::Float(6500.0), date("2021-11-11")]);
-        r.insert_row(vec!["p2".into(), "s1".into(), "IPhone 14 (Discount Code 41)".into(), "Apple".into(), Value::Null, date("2021-11-11")]);
-        r.insert_row(vec!["p3".into(), "s3".into(), "Mate X2 (Limited Sold)".into(), "Huawei".into(), Value::Float(5200.0), date("2023-08-12")]);
+        r.insert_row(vec![
+            "p1".into(),
+            "s2".into(),
+            "IPhone 13".into(),
+            "Apple".into(),
+            Value::Float(9000.0),
+            date("2020-12-18"),
+        ]);
+        r.insert_row(vec![
+            "p1".into(),
+            "s1".into(),
+            "IPhone 14 (Discount ID 41)".into(),
+            "Apple".into(),
+            Value::Float(6500.0),
+            date("2021-11-11"),
+        ]);
+        r.insert_row(vec![
+            "p2".into(),
+            "s1".into(),
+            "IPhone 14 (Discount Code 41)".into(),
+            "Apple".into(),
+            Value::Null,
+            date("2021-11-11"),
+        ]);
+        r.insert_row(vec![
+            "p3".into(),
+            "s3".into(),
+            "Mate X2 (Limited Sold)".into(),
+            "Huawei".into(),
+            Value::Float(5200.0),
+            date("2023-08-12"),
+        ]);
         // t15's manufactory "Apple" for a Mate X2 is the CR error φ2 fixes
-        r.insert_row(vec!["p4".into(), "s3".into(), "Mate X2 (Limited Sold)".into(), "Apple".into(), Value::Null, date("2023-08-12")]);
+        r.insert_row(vec![
+            "p4".into(),
+            "s3".into(),
+            "Mate X2 (Limited Sold)".into(),
+            "Apple".into(),
+            Value::Null,
+            date("2023-08-12"),
+        ]);
     }
 
     // The rules (paper Examples 1, 2, 6, 7). MER is the discount-code ER
@@ -144,7 +233,11 @@ rule phi_home_order: Person(t) && Person(s) && t.pid = s.pid && t.status = 'sing
         let rel = result.db.relation(cell.rel);
         println!(
             "fix: {}[{}].{} : '{}' -> '{}'",
-            rel.schema.name, cell.tid.0, rel.schema.attr_name(cell.attr), old, new
+            rel.schema.name,
+            cell.tid.0,
+            rel.schema.attr_name(cell.attr),
+            old,
+            new
         );
     }
 
@@ -158,12 +251,10 @@ rule phi_home_order: Person(t) && Person(s) && t.pid = s.pid && t.status = 'sing
     println!("\nGeorge (p4) home imputed: {george_home}");
     assert_eq!(george_home, &Value::str("12 Beijing Road"));
     assert!(
-        result
-            .fixes
-            .same_entity(
-                rock::chase::EntityKey::new(person, Eid(3)),
-                rock::chase::EntityKey::new(person, Eid(4))
-            ),
+        result.fixes.same_entity(
+            rock::chase::EntityKey::new(person, Eid(3)),
+            rock::chase::EntityKey::new(person, Eid(4))
+        ),
         "MI helps ER: p3 and p4 must be identified"
     );
     // φ2 fixed the Mate X2 manufactory
@@ -172,6 +263,9 @@ rule phi_home_order: Person(t) && Person(s) && t.pid = s.pid && t.status = 'sing
         Some(&Value::str("Huawei"))
     );
     // φ12 imputed Beijing stores' area codes
-    assert_eq!(result.db.cell(store, TupleId(0), AttrId(5)), Some(&Value::str("010")));
+    assert_eq!(
+        result.db.cell(store, TupleId(0), AttrId(5)),
+        Some(&Value::str("010"))
+    );
     println!("all Example 7 interactions reproduced OK");
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use rock::chase::{ChaseConfig, ChaseEngine};
-use rock::data::{AttrType, Database, DatabaseSchema, RelationSchema, RelId, Value};
+use rock::data::{AttrType, Database, DatabaseSchema, RelId, RelationSchema, Value};
 use rock::detect::Detector;
 use rock::ml::ModelRegistry;
 use rock::rees::{parse_rules, RuleSet};
@@ -27,11 +27,31 @@ fn main() {
     let store = db.rel_id("Store").unwrap();
     {
         let r = db.relation_mut(store);
-        r.insert_row(vec![Value::str("Apple Jingdong"), Value::str("Beijing"), Value::str("010")]);
-        r.insert_row(vec![Value::str("Huawei Flagship"), Value::str("Beijing"), Value::str("021")]); // wrong
-        r.insert_row(vec![Value::str("Nike China"), Value::str("Shanghai"), Value::str("021")]);
-        r.insert_row(vec![Value::str("Adidas Outlet"), Value::str("Shanghai"), Value::Null]); // missing
-        r.insert_row(vec![Value::str("Lenovo Hub"), Value::str("Beijing"), Value::str("010")]);
+        r.insert_row(vec![
+            Value::str("Apple Jingdong"),
+            Value::str("Beijing"),
+            Value::str("010"),
+        ]);
+        r.insert_row(vec![
+            Value::str("Huawei Flagship"),
+            Value::str("Beijing"),
+            Value::str("021"),
+        ]); // wrong
+        r.insert_row(vec![
+            Value::str("Nike China"),
+            Value::str("Shanghai"),
+            Value::str("021"),
+        ]);
+        r.insert_row(vec![
+            Value::str("Adidas Outlet"),
+            Value::str("Shanghai"),
+            Value::Null,
+        ]); // missing
+        r.insert_row(vec![
+            Value::str("Lenovo Hub"),
+            Value::str("Beijing"),
+            Value::str("010"),
+        ]);
     }
 
     // 3. Two REE++s in the rule DSL: a CFD-style functional dependency and
@@ -63,7 +83,10 @@ rule beijing_code: Store(t) && t.city = 'Beijing' -> t.area_code = '010'
     //    FD group + the constant rule) and materializes them.
     let engine = ChaseEngine::new(&rules, &registry, ChaseConfig::default());
     let result = engine.run(&db, &[]);
-    println!("\nchase: {} rounds, {} fixes, {} conflicts", result.rounds, result.steps, result.conflicts);
+    println!(
+        "\nchase: {} rounds, {} fixes, {} conflicts",
+        result.rounds, result.steps, result.conflicts
+    );
     for (cell, old, new) in &result.changes {
         let rel = result.db.relation(cell.rel);
         println!(
@@ -87,12 +110,16 @@ rule beijing_code: Store(t) && t.city = 'Beijing' -> t.area_code = '010'
         );
     }
     assert_eq!(
-        result.db.cell(store, rock::data::TupleId(1), rock::data::AttrId(2)),
+        result
+            .db
+            .cell(store, rock::data::TupleId(1), rock::data::AttrId(2)),
         Some(&Value::str("010")),
         "the wrong Beijing code must be repaired"
     );
     assert_eq!(
-        result.db.cell(store, rock::data::TupleId(3), rock::data::AttrId(2)),
+        result
+            .db
+            .cell(store, rock::data::TupleId(3), rock::data::AttrId(2)),
         Some(&Value::str("021")),
         "the missing Shanghai code must be imputed from the FD group"
     );

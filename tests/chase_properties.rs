@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use rock::chase::{ChaseConfig, ChaseEngine};
-use rock::data::{AttrId, AttrType, Database, DatabaseSchema, RelId, RelationSchema, TupleId, Value};
+use rock::data::{
+    AttrId, AttrType, Database, DatabaseSchema, RelId, RelationSchema, TupleId, Value,
+};
 use rock::ml::ModelRegistry;
 use rock::rees::{parse_rules, RuleSet};
 
@@ -41,8 +43,16 @@ fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
     for (k, a, b, c) in rows {
         r.insert_row(vec![
             Value::str(format!("k{}", k % 4)),
-            Value::str(if a % 3 == 0 { "x".into() } else { format!("a{}", a % 3) }),
-            Value::str(if b % 3 == 0 { "bz".into() } else { format!("b{}", b % 3) }),
+            Value::str(if a % 3 == 0 {
+                "x".into()
+            } else {
+                format!("a{}", a % 3)
+            }),
+            Value::str(if b % 3 == 0 {
+                "bz".into()
+            } else {
+                format!("b{}", b % 3)
+            }),
             match c {
                 None => Value::Null,
                 Some(v) => Value::str(format!("c{}", v % 2)),
@@ -195,9 +205,24 @@ fn cascading_rules_propagate() {
     {
         let r = db.relation_mut(RelId(0));
         // same k; a differs (majority x); b differs; c null
-        r.insert_row(vec![Value::str("k0"), Value::str("x"), Value::str("bz"), Value::Null]);
-        r.insert_row(vec![Value::str("k0"), Value::str("x"), Value::str("bz"), Value::Null]);
-        r.insert_row(vec![Value::str("k0"), Value::str("a1"), Value::str("b1"), Value::Null]);
+        r.insert_row(vec![
+            Value::str("k0"),
+            Value::str("x"),
+            Value::str("bz"),
+            Value::Null,
+        ]);
+        r.insert_row(vec![
+            Value::str("k0"),
+            Value::str("x"),
+            Value::str("bz"),
+            Value::Null,
+        ]);
+        r.insert_row(vec![
+            Value::str("k0"),
+            Value::str("a1"),
+            Value::str("b1"),
+            Value::Null,
+        ]);
     }
     let reg = ModelRegistry::new();
     let engine = ChaseEngine::new(&rs, &reg, ChaseConfig::default());

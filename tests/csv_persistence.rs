@@ -51,7 +51,10 @@ fn cleaning_after_csv_roundtrip_is_identical() {
         let r = db.relation_mut(RelId(0));
         for i in 0..30 {
             let v = if i == 7 { "WRONG" } else { "right" };
-            r.insert_row(vec![rock::data::Value::str(format!("k{}", i % 3)), rock::data::Value::str(v)]);
+            r.insert_row(vec![
+                rock::data::Value::str(format!("k{}", i % 3)),
+                rock::data::Value::str(v),
+            ]);
         }
     }
     let rules = RuleSet::new(

@@ -13,7 +13,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
         // finite floats only (CSV text round-trip; NaN is unrepresentable)
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         any::<bool>().prop_map(Value::Bool),
         (-300_000i32..300_000).prop_map(Value::Date),
         "[a-zA-Z0-9 _.-]{0,16}".prop_map(Value::str),

@@ -1,0 +1,163 @@
+//! The acceptance test of the bitset-cache rewrite: on a seeded workload
+//! instance (ML predicates included), the cached levelwise miner and the
+//! tuple re-scan miner return **byte-identical** rule sets — same rules,
+//! same names, same measures, same order — with identical search-space
+//! accounting. Also exercises the degenerate budget (everything spills)
+//! to show the budget trades only time, never results.
+
+use rock::data::{AttrId, RelId};
+use rock::discovery::levelwise::{Discoverer, DiscoveryConfig, DiscoveryReport};
+use rock::discovery::space::{MlSignature, PredicateSpace, SpaceConfig};
+use rock::workloads::workload::GenConfig;
+use rock::workloads::Workload;
+
+fn logistics() -> Workload {
+    rock::workloads::logistics::generate(&GenConfig {
+        rows: 120,
+        error_rate: 0.08,
+        seed: 7,
+        trusted_per_rel: 10,
+    })
+}
+
+/// Name-based ML hints → index-based signatures (same conversion as the
+/// core system's discovery driver).
+fn signatures(w: &Workload) -> Vec<MlSignature> {
+    let schema = w.dirty.schema();
+    w.ml_hints
+        .iter()
+        .filter_map(|h| {
+            let rel = schema.rel_id(&h.rel)?;
+            let attrs: Vec<AttrId> = h
+                .attrs
+                .iter()
+                .filter_map(|a| schema.relation(rel).attr_id(a))
+                .collect();
+            Some(MlSignature {
+                model: h.model.clone(),
+                rel,
+                attrs,
+            })
+        })
+        .collect()
+}
+
+fn mine(w: &Workload, cfg: DiscoveryConfig) -> DiscoveryReport {
+    let sigs = signatures(w);
+    let space = PredicateSpace::build(&w.dirty, RelId(0), &sigs, &SpaceConfig::default());
+    Discoverer::new(&w.registry, cfg).mine_relation(&w.dirty, RelId(0), &space)
+}
+
+fn assert_identical(cached: &DiscoveryReport, scan: &DiscoveryReport) {
+    assert_eq!(
+        serde_json::to_string(&cached.rules).unwrap(),
+        serde_json::to_string(&scan.rules).unwrap(),
+        "cached and scan rule sets must serialize identically"
+    );
+    assert_eq!(cached.candidates_evaluated, scan.candidates_evaluated);
+    assert_eq!(cached.pruned, scan.pruned);
+}
+
+#[test]
+fn cached_miner_matches_scan_on_logistics() {
+    let w = logistics();
+    let cfg = DiscoveryConfig {
+        min_support: 1e-4,
+        min_confidence: 0.9,
+        max_preconditions: 2,
+        ..Default::default()
+    };
+    let cached = mine(&w, cfg.clone());
+    let scan = mine(
+        &w,
+        DiscoveryConfig {
+            use_bitset_cache: false,
+            ..cfg
+        },
+    );
+    assert!(!cached.rules.is_empty(), "workload should yield rules");
+    assert_identical(&cached, &scan);
+    let stats = cached.cache.expect("bitset path reports cache stats");
+    assert!(
+        stats.hits > 0,
+        "level-2 candidates must reuse cached bitsets"
+    );
+    assert!(stats.bytes_peak > 0);
+    assert!(scan.cache.is_none());
+}
+
+#[test]
+fn cached_miner_matches_scan_with_parallel_workers() {
+    let w = logistics();
+    let cfg = DiscoveryConfig {
+        min_support: 1e-4,
+        min_confidence: 0.9,
+        max_preconditions: 2,
+        workers: 4,
+        ..Default::default()
+    };
+    let cached = mine(&w, cfg.clone());
+    let scan = mine(
+        &w,
+        DiscoveryConfig {
+            use_bitset_cache: false,
+            ..cfg
+        },
+    );
+    assert_identical(&cached, &scan);
+}
+
+#[test]
+fn zero_budget_spills_everything_but_stays_exact() {
+    let w = logistics();
+    let cfg = DiscoveryConfig {
+        min_support: 1e-4,
+        min_confidence: 0.9,
+        max_preconditions: 2,
+        cache_budget_bytes: 0,
+        ..Default::default()
+    };
+    let cached = mine(&w, cfg.clone());
+    let scan = mine(
+        &w,
+        DiscoveryConfig {
+            use_bitset_cache: false,
+            ..cfg
+        },
+    );
+    assert_identical(&cached, &scan);
+    let stats = cached.cache.expect("cache stats even when nothing fits");
+    assert_eq!(stats.entries, 0, "no entry fits a zero budget");
+    assert_eq!(stats.hits, 0);
+    assert!(stats.spills > 0, "every build must spill");
+    assert_eq!(stats.bytes, 0);
+}
+
+#[test]
+fn tight_budget_evicts_but_stays_exact() {
+    let w = logistics();
+    // a few KiB: big enough to hold some unary bitsets, far too small for
+    // the pair-domain ones — forces both residency and eviction traffic
+    let cfg = DiscoveryConfig {
+        min_support: 1e-4,
+        min_confidence: 0.9,
+        max_preconditions: 2,
+        cache_budget_bytes: 4 << 10,
+        ..Default::default()
+    };
+    let cached = mine(&w, cfg.clone());
+    let scan = mine(
+        &w,
+        DiscoveryConfig {
+            use_bitset_cache: false,
+            ..cfg
+        },
+    );
+    assert_identical(&cached, &scan);
+    let stats = cached.cache.expect("cache stats");
+    assert!(stats.bytes <= 4 << 10, "residency respects the budget");
+    assert!(
+        stats.spills + stats.evictions > 0,
+        "budget pressure observed"
+    );
+}

@@ -8,7 +8,12 @@ use rock::workloads::workload::GenConfig;
 use rock::workloads::Workload;
 
 fn cfg(seed: u64) -> GenConfig {
-    GenConfig { rows: 180, error_rate: 0.08, seed, trusted_per_rel: 20 }
+    GenConfig {
+        rows: 180,
+        error_rate: 0.08,
+        seed,
+        trusted_per_rel: 20,
+    }
 }
 
 fn apps() -> Vec<Workload> {
@@ -56,10 +61,13 @@ fn rockseq_matches_rock_and_dominates_noc() {
     let w = rock::workloads::sales::generate(&cfg(9));
     let task = w.tasks.last().unwrap().clone();
     let f1 = |variant| {
-        RockSystem::new(RockConfig { variant, ..RockConfig::default() })
-            .correct(&w, &task)
-            .metrics
-            .f1()
+        RockSystem::new(RockConfig {
+            variant,
+            ..RockConfig::default()
+        })
+        .correct(&w, &task)
+        .metrics
+        .f1()
     };
     let rock = f1(Variant::Rock);
     let seq = f1(Variant::RockSeq);

@@ -14,7 +14,11 @@ use rustc_hash::FxHashSet;
 fn schema() -> DatabaseSchema {
     DatabaseSchema::new(vec![RelationSchema::of(
         "T",
-        &[("k", AttrType::Str), ("v", AttrType::Str), ("w", AttrType::Str)],
+        &[
+            ("k", AttrType::Str),
+            ("v", AttrType::Str),
+            ("w", AttrType::Str),
+        ],
     )])
 }
 

@@ -9,7 +9,12 @@ use rock::workloads::workload::GenConfig;
 use rock::workloads::{bank, sales};
 
 fn cfg(seed: u64) -> GenConfig {
-    GenConfig { rows: 180, error_rate: 0.08, seed, trusted_per_rel: 20 }
+    GenConfig {
+        rows: 180,
+        error_rate: 0.08,
+        seed,
+        trusted_per_rel: 20,
+    }
 }
 
 #[test]
@@ -26,11 +31,17 @@ fn bank_phone_chain_needs_iteration() {
         .filter(|(c, _)| c.rel == RelId(bank::rels::CUSTOMER) && c.attr == AttrId(bank::cust::CID))
         .map(|(c, v)| (*c, v.clone()))
         .collect();
-    assert!(!cid_errors.is_empty(), "workload must corrupt duplicate cids");
+    assert!(
+        !cid_errors.is_empty(),
+        "workload must corrupt duplicate cids"
+    );
 
     let repaired_by = |variant: Variant| {
-        let out = RockSystem::new(RockConfig { variant, ..RockConfig::default() })
-            .correct(&w, &task);
+        let out = RockSystem::new(RockConfig {
+            variant,
+            ..RockConfig::default()
+        })
+        .correct(&w, &task);
         cid_errors
             .iter()
             .filter(|(c, correct)| out.repaired.cell(c.rel, c.tid, c.attr) == Some(correct))
@@ -71,8 +82,11 @@ fn sales_category_chain_needs_iteration() {
     assert!(!chained.is_empty(), "workload must null cat+mfg together");
 
     let filled_by = |variant: Variant| {
-        let out = RockSystem::new(RockConfig { variant, ..RockConfig::default() })
-            .correct(&w, &task);
+        let out = RockSystem::new(RockConfig {
+            variant,
+            ..RockConfig::default()
+        })
+        .correct(&w, &task);
         chained
             .iter()
             .filter(|c| {
@@ -86,7 +100,10 @@ fn sales_category_chain_needs_iteration() {
     let rock = filled_by(Variant::Rock);
     let noc = filled_by(Variant::RockNoC);
     assert_eq!(rock, chained.len(), "Rock fills every chained manufactory");
-    assert!(noc < rock, "RocknoC misses chained imputations: {noc} vs {rock}");
+    assert!(
+        noc < rock,
+        "RocknoC misses chained imputations: {noc} vs {rock}"
+    );
 }
 
 #[test]
@@ -113,6 +130,10 @@ fn incremental_correction_handles_new_dirty_rows() {
     // the inserted row's region got reconciled with its city group
     let new_tid = rock::data::TupleId(w.dirty.relation(RelId(0)).capacity() as u32);
     let fixed = out.repaired.cell(RelId(0), new_tid, AttrId(4)).unwrap();
-    assert_ne!(fixed, &Value::str("West"), "incremental chase must repair the insert");
+    assert_ne!(
+        fixed,
+        &Value::str("West"),
+        "incremental chase must repair the insert"
+    );
     assert!(out.changes > 0);
 }

@@ -4,7 +4,9 @@
 //! heterogeneous ER, then pull missing attribute values out of the graph.
 
 use rock::chase::{ChaseConfig, ChaseEngine};
-use rock::data::{AttrId, AttrType, Database, DatabaseSchema, RelId, RelationSchema, TupleId, Value};
+use rock::data::{
+    AttrId, AttrType, Database, DatabaseSchema, RelId, RelationSchema, TupleId, Value,
+};
 use rock::kg::Graph;
 use rock::ml::her::HerModel;
 use rock::ml::ModelRegistry;
@@ -24,11 +26,23 @@ fn setup() -> (Database, Graph, ModelRegistry, RuleSet) {
     let mut db = Database::new(&schema);
     {
         let r = db.relation_mut(RelId(0));
-        r.insert_row(vec![Value::str("s1"), Value::str("Apple Jingdong"), Value::str("Beijing")]);
+        r.insert_row(vec![
+            Value::str("s1"),
+            Value::str("Apple Jingdong"),
+            Value::str("Beijing"),
+        ]);
         // missing location — the extraction target
-        r.insert_row(vec![Value::str("s2"), Value::str("Huawei Flagship"), Value::Null]);
+        r.insert_row(vec![
+            Value::str("s2"),
+            Value::str("Huawei Flagship"),
+            Value::Null,
+        ]);
         // wrong location — the extraction check flags it
-        r.insert_row(vec![Value::str("s3"), Value::str("Nike China"), Value::str("Beijing")]);
+        r.insert_row(vec![
+            Value::str("s3"),
+            Value::str("Nike China"),
+            Value::str("Beijing"),
+        ]);
     }
 
     // the Wikipedia stand-in
@@ -96,5 +110,8 @@ fn no_graph_means_no_extraction() {
     let engine = ChaseEngine::new(&rules, &reg, ChaseConfig::default());
     let res = engine.run(&db, &[]);
     assert!(res.changes.is_empty());
-    assert_eq!(res.db.cell(RelId(0), TupleId(1), AttrId(2)), Some(&Value::Null));
+    assert_eq!(
+        res.db.cell(RelId(0), TupleId(1), AttrId(2)),
+        Some(&Value::Null)
+    );
 }

@@ -50,7 +50,12 @@ fn person_predicate() -> impl Strategy<Value = Predicate> {
     prop_oneof![
         // t.A op 'c' — string attrs only so the constant round-trips
         (0usize..2, 1u16..3, cmp_op(), str_value()).prop_map(|(var, a, op, value)| {
-            Predicate::Const { var, attr: AttrId(a), op, value }
+            Predicate::Const {
+                var,
+                attr: AttrId(a),
+                op,
+                value,
+            }
         }),
         // t.A op s.B over same-typed string attrs
         (1u16..3, cmp_op(), 1u16..3).prop_map(|(la, op, ra)| Predicate::Attr {
@@ -61,7 +66,10 @@ fn person_predicate() -> impl Strategy<Value = Predicate> {
             rattr: AttrId(ra),
         }),
         // null(t.A)
-        (0usize..2, attr.clone()).prop_map(|(var, a)| Predicate::IsNull { var, attr: AttrId(a) }),
+        (0usize..2, attr.clone()).prop_map(|(var, a)| Predicate::IsNull {
+            var,
+            attr: AttrId(a)
+        }),
         // temporal
         (attr.clone(), any::<bool>()).prop_map(|(a, strict)| Predicate::Temporal {
             lvar: 0,
@@ -86,7 +94,11 @@ fn person_predicate() -> impl Strategy<Value = Predicate> {
             }
         }),
         // eid comparison
-        any::<bool>().prop_map(|eq| Predicate::EidCmp { lvar: 0, rvar: 1, eq }),
+        any::<bool>().prop_map(|eq| Predicate::EidCmp {
+            lvar: 0,
+            rvar: 1,
+            eq
+        }),
     ]
 }
 
