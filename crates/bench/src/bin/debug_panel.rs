@@ -29,6 +29,12 @@ fn main() {
             out.wall_seconds, out.rounds, out.unit_seconds.len(), out.changes, out.conflicts,
             w.registry.meter.cost()
         );
+        for (i, rs) in out.round_stats.iter().enumerate() {
+            println!(
+                "  round {i}: rules={} delta_tuples={} valuations={} proposals={} carried={}",
+                rs.active_rules, rs.delta_tuples, rs.valuations, rs.proposals, rs.carried
+            );
+        }
         return;
     }
     if args.first().map(|s| s.as_str()) == Some("corr") {

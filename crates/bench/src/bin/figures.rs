@@ -7,7 +7,8 @@
 //!
 //! Panels: f4a f4b f4c (RD time), f4d f4e f4f (ED F1), f4g (ED time),
 //! f4h (ED scaling), f4i (EC F1), f4j (Sales-EC per task), f4k (EC time),
-//! f4l (EC scaling), rdcache (bitset-cache vs scan discovery throughput).
+//! f4l (EC scaling), rdcache (bitset-cache vs scan discovery throughput),
+//! chase-delta (semi-naive delta chase vs full re-scan valuation counts).
 //! Output is printed and written to `results/`.
 
 use rock_bench::panels;
@@ -73,8 +74,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let panels_requested: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         [
-            "f4a", "f4b", "f4c", "f4d", "f4e", "f4f", "f4g", "f4h", "f4i", "f4j", "f4k", "f4l",
-            "rdcache", "summary",
+            "f4a",
+            "f4b",
+            "f4c",
+            "f4d",
+            "f4e",
+            "f4f",
+            "f4g",
+            "f4h",
+            "f4i",
+            "f4j",
+            "f4k",
+            "f4l",
+            "rdcache",
+            "chase-delta",
+            "summary",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -101,12 +115,15 @@ fn main() {
             "f4k" => panels::ec_time(),
             "f4l" => panels::ec_scaling(),
             "rdcache" => panels::rd_cache(),
+            "chase-delta" => panels::chase_delta(),
             "summary" => {
                 let (t, j) = summary();
                 (t, j)
             }
             other => {
-                eprintln!("unknown panel '{other}' — expected f4a..f4l, rdcache, summary, or all");
+                eprintln!(
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, summary, or all"
+                );
                 std::process::exit(2);
             }
         };

@@ -240,6 +240,96 @@ pub fn rd_cache() -> (Table, serde_json::Value) {
     (table, json!({ "panel": "rdcache", "rows": rows_json }))
 }
 
+/// Extra panel: semi-naive delta chase (default) vs full re-scan on the
+/// Logistics correction task. Both modes repair the database identically
+/// (asserted here — the full-rescan path is the equivalence oracle, see
+/// `tests/chase_delta_equivalence.rs`); the per-round rows show the
+/// valuation-count reduction the delta restriction buys from round 2 on.
+pub fn chase_delta() -> (Table, serde_json::Value) {
+    let w = logistics();
+    let task = w.task("RClean").expect("RClean task").clone();
+    let run = |semi_naive: bool| {
+        let sys = rock_core::RockSystem::new(rock_core::RockConfig {
+            semi_naive,
+            ..rock_core::RockConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        let out = sys.correct(&w, &task);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (full, full_wall) = run(false);
+    let (semi, semi_wall) = run(true);
+    assert_eq!(
+        serde_json::to_string(&full.repaired).unwrap(),
+        serde_json::to_string(&semi.repaired).unwrap(),
+        "semi-naive and full-rescan chases must repair identically"
+    );
+    assert_eq!(
+        (full.rounds, full.changes, full.conflicts),
+        (semi.rounds, semi.changes, semi.conflicts),
+        "semi-naive and full-rescan chases must agree on rounds/changes/conflicts"
+    );
+
+    let mut table = Table::new(
+        "Chase delta — semi-naive vs full re-scan (Logistics EC)",
+        &[
+            "round",
+            "full valuations",
+            "semi valuations",
+            "delta tuples",
+            "carried",
+            "reduction",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    for (i, (f, s)) in full.round_stats.iter().zip(&semi.round_stats).enumerate() {
+        let reduction = if f.valuations > 0 {
+            1.0 - s.valuations as f64 / f.valuations as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            i.to_string(),
+            f.valuations.to_string(),
+            s.valuations.to_string(),
+            s.delta_tuples.to_string(),
+            s.carried.to_string(),
+            format!("{:.0}%", reduction * 100.0),
+        ]);
+        rows_json.push(json!({
+            "round": i,
+            "full_valuations": f.valuations,
+            "semi_valuations": s.valuations,
+            "semi_delta_tuples": s.delta_tuples,
+            "semi_carried": s.carried,
+            "active_rules": s.active_rules,
+            "proposals": s.proposals,
+        }));
+    }
+    let total = |rs: &[rock_chase::RoundStats]| rs.iter().map(|r| r.valuations).sum::<u64>();
+    let (tv_full, tv_semi) = (total(&full.round_stats), total(&semi.round_stats));
+    table.row(vec![
+        "total".into(),
+        format!("{tv_full} ({})", fmt_secs(full_wall)),
+        format!("{tv_semi} ({})", fmt_secs(semi_wall)),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}x fewer", tv_full as f64 / tv_semi.max(1) as f64),
+    ]);
+    (
+        table,
+        json!({
+            "panel": "chase-delta",
+            "rows": rows_json,
+            "full_wall_seconds": full_wall,
+            "semi_wall_seconds": semi_wall,
+            "full_valuations_total": tv_full,
+            "semi_valuations_total": tv_semi,
+            "speedup_wall": full_wall / semi_wall.max(1e-9),
+        }),
+    )
+}
+
 /// Panels 4(d)/(e)/(f): error-detection F1 per task.
 pub fn ed_f1(app_name: &str) -> (Table, serde_json::Value) {
     let w = app(app_name);

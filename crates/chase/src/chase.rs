@@ -18,18 +18,36 @@
 //! (DESIGN.md §3 discusses the interpretation).
 
 use crate::conflict::ConflictPolicy;
+use crate::delta::{DeltaSet, RoundStats};
 use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
 use crate::order::OrderInsert;
 use rock_crystal::work::{partition_range, Partition};
 use rock_crystal::{Cluster, WorkUnit};
-use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Value};
+use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Update, Value};
 use rock_kg::Graph;
-use rock_ml::ModelRegistry;
+use rock_ml::{MlBlockIndex, ModelRegistry, PairSignature};
 use rock_rees::eval::{
-    distinct_ok, enumerate_valuations_restricted, EntityOracle, EvalContext, Valuation,
+    distinct_ok, enumerate_valuations_restricted, enumerate_valuations_with_candidates,
+    EntityOracle, EvalContext, Valuation,
 };
 use rock_rees::{Predicate, Rule, RuleSet};
 use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Work-unit payload tags (see [`WorkUnit::payload`]): how a unit's
+/// partition is to be interpreted by the evaluation closure.
+const PAYLOAD_FULL: u64 = 0;
+/// Full enumeration, then keep only valuations touching the rule's pending
+/// delta — the trivially-correct oracle mechanism (`semi_naive: false` in a
+/// seeded run).
+const PAYLOAD_FILTER: u64 = 1;
+/// `PAYLOAD_PINNED_BASE + v`: pin tuple variable `v` to a chunk of the
+/// rule's pending-delta ones-list; the partition's `[start, end)` indexes
+/// into that shared list.
+const PAYLOAD_PINNED_BASE: u64 = 2;
+
+/// One emitted proposal together with the tuples its valuation bound
+/// (empty when tuple-level tracking is off).
+type Emission = (Vec<GlobalTid>, Proposal);
 
 /// How strictly preconditions must be backed by ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +76,14 @@ pub struct ChaseConfig {
     /// re-activates every rule every round (the naive-re-scan ablation the
     /// benches measure).
     pub lazy_activation: bool,
+    /// Semi-naive delta rounds: from round 2 on, enumerate only valuations
+    /// where at least one tuple variable binds a tuple touched since the
+    /// rule last ran; untouched valuations re-emit their previous proposals
+    /// from the per-rule carry. `false` keeps the full re-scan of every
+    /// active rule — the equivalence oracle and ablation baseline. Round 1
+    /// is a full scan either way, so results are identical by construction
+    /// (property-tested in `tests/chase_delta_equivalence.rs`).
+    pub semi_naive: bool,
 }
 
 impl Default for ChaseConfig {
@@ -69,6 +95,7 @@ impl Default for ChaseConfig {
             policy: ConflictPolicy::default(),
             gate: GateMode::Resolved,
             lazy_activation: true,
+            semi_naive: true,
         }
     }
 }
@@ -160,6 +187,10 @@ pub struct ChaseResult {
     /// Modeled per-round scheduler makespans (scaling experiments read the
     /// sum; see `rock_crystal::SchedulerStats::modeled_makespan`).
     pub round_makespans: Vec<Vec<f64>>,
+    /// Per-round evaluation observability (valuations enumerated, delta
+    /// sizes, carried emissions). Mechanism-dependent: the semi-naive and
+    /// full-rescan paths produce identical fixes but different counts here.
+    pub round_stats: Vec<RoundStats>,
 }
 
 impl ChaseResult {
@@ -225,6 +256,10 @@ pub struct ChaseEngine<'a> {
     pub rules: &'a RuleSet,
     pub registry: &'a ModelRegistry,
     pub graph: Option<&'a Graph>,
+    /// Tuple-level blocking index from `precompute_ml_indexed`: pinned
+    /// delta enumeration restricts an ML predicate's non-pinned variable to
+    /// the pinned tuples' block-mates (plus the cumulative dirty set).
+    pub blocking: Option<&'a MlBlockIndex>,
     pub config: ChaseConfig,
 }
 
@@ -234,12 +269,18 @@ impl<'a> ChaseEngine<'a> {
             rules,
             registry,
             graph: None,
+            blocking: None,
             config,
         }
     }
 
     pub fn with_graph(mut self, g: &'a Graph) -> Self {
         self.graph = Some(g);
+        self
+    }
+
+    pub fn with_blocking(mut self, idx: &'a MlBlockIndex) -> Self {
+        self.blocking = Some(idx);
         self
     }
 
@@ -255,8 +296,12 @@ impl<'a> ChaseEngine<'a> {
         self.run_inner(db.clone(), trusted, None, fixes)
     }
 
-    /// Incremental chase: apply ΔD, then chase activating only rules that
-    /// read the touched relations (paper §4.1 workflow, incremental mode).
+    /// Incremental chase: apply ΔD, then chase with the round-1 delta
+    /// seeded from the *tuples* ΔD touched (paper §4.1 workflow,
+    /// incremental mode). Only valuations binding at least one touched
+    /// tuple fire — the tuple-level analogue of incremental detection.
+    /// Both `semi_naive` settings run these delta semantics; the flag only
+    /// selects the mechanism (pinned enumeration vs. scan-and-filter).
     pub fn run_incremental(
         &self,
         db: &Database,
@@ -264,9 +309,23 @@ impl<'a> ChaseEngine<'a> {
         delta: &Delta,
     ) -> ChaseResult {
         let mut work = db.clone();
-        work.apply(delta);
-        let touched: FxHashSet<RelId> = delta.touched_relations().into_iter().collect();
-        self.run_inner(work, trusted, Some(touched), FixStore::new())
+        let inserted = work.apply(delta);
+        let mut seed = DeltaSet::empty(&work);
+        let mut ins = inserted.into_iter();
+        for u in &delta.updates {
+            match u {
+                Update::Insert { rel, .. } => {
+                    // `apply` returns inserted ids in update order
+                    if let Some(tid) = ins.next() {
+                        seed.mark(*rel, tid);
+                    }
+                }
+                Update::Delete { rel, tid } | Update::SetCell { rel, tid, .. } => {
+                    seed.mark(*rel, *tid);
+                }
+            }
+        }
+        self.run_inner(work, trusted, Some(seed), FixStore::new())
     }
 
     fn rule_reads(&self, rule: &Rule) -> FxHashSet<(RelId, AttrId)> {
@@ -286,7 +345,7 @@ impl<'a> ChaseEngine<'a> {
         &self,
         mut work_db: Database,
         trusted: &[GlobalTid],
-        delta_rels: Option<FxHashSet<RelId>>,
+        seed: Option<DeltaSet>,
         mut fixes: FixStore,
     ) -> ChaseResult {
         for t in trusted {
@@ -324,17 +383,47 @@ impl<'a> ChaseEngine<'a> {
             .map(|r| self.rule_reads(r))
             .collect();
 
-        // initial activation
-        let mut active: FxHashSet<usize> = match &delta_rels {
+        // initial activation: every rule in batch mode, rules reading a
+        // seeded relation in incremental mode
+        let mut active: FxHashSet<usize> = match &seed {
             None => (0..self.rules.len()).collect(),
-            Some(rels) => (0..self.rules.len())
+            Some(d) => (0..self.rules.len())
                 .filter(|&i| {
                     self.rules.rules[i]
                         .tuple_vars
                         .iter()
-                        .any(|(_, r)| rels.contains(r))
+                        .any(|(_, r)| d.rel_count(*r) > 0)
                 })
                 .collect(),
+        };
+
+        let seeded = seed.is_some();
+        // Tuple-level tracking is needed whenever delta rounds can happen:
+        // semi-naive batch rounds >= 2, or any seeded (incremental) run.
+        // The full-rescan ablation (batch, semi_naive = false) keeps the
+        // untracked zero-overhead path.
+        let track = self.config.semi_naive || seeded;
+        let nrules = self.rules.len();
+        let empty_delta = DeltaSet::empty(&work_db);
+        // per-rule delta accumulated since the rule last ran
+        let mut pending: Vec<DeltaSet> = match &seed {
+            Some(d) => vec![d.clone(); nrules],
+            None => vec![empty_delta.clone(); nrules],
+        };
+        // Emissions of each rule's last run, keyed by the valuation's bound
+        // tuples. Delta rounds re-emit the untouched ones verbatim: a
+        // valuation whose tuples, oracles and gate inputs are all unchanged
+        // since the rule last ran emits exactly what it emitted then (and
+        // the commit phase re-counts persistent conflicts from them, like
+        // the full re-scan does).
+        let mut carry: Vec<Option<Vec<Emission>>> = vec![None; nrules];
+        // Union of every delta since chase start. Blocking-pruned pinned
+        // enumeration unions this into the non-pinned candidates: block-mate
+        // lists are build-time state, so tuples rewritten after the index
+        // was built must always stay candidates.
+        let mut cumulative = match &seed {
+            Some(d) => d.clone(),
+            None => empty_delta.clone(),
         };
 
         let cluster = Cluster::new(self.config.workers);
@@ -344,9 +433,22 @@ impl<'a> ChaseEngine<'a> {
         let mut steps = 0usize;
         let mut rounds = 0usize;
         let mut round_makespans: Vec<Vec<f64>> = Vec::new();
+        let mut round_stats: Vec<RoundStats> = Vec::new();
 
         while rounds < self.config.max_rounds && !active.is_empty() {
             rounds += 1;
+            let mut stat = RoundStats::default();
+            let mut sorted_active: Vec<usize> = active.iter().copied().collect();
+            sorted_active.sort_unstable();
+            stat.active_rules = sorted_active.len();
+            // Full scan when: batch round 1, the full-rescan ablation, or a
+            // rule first activated mid-run (it has no carry to complete a
+            // delta round with). Seeded runs are delta rounds throughout.
+            let full_mode: Vec<bool> = (0..nrules)
+                .map(|ri| {
+                    !seeded && (rounds == 1 || !self.config.semi_naive || carry[ri].is_none())
+                })
+                .collect();
             // ---- evaluation phase ----
             let proposals = {
                 let oracle = ChaseOrderOracle {
@@ -360,65 +462,176 @@ impl<'a> ChaseEngine<'a> {
                 if let Some(g) = self.graph {
                     ctx = ctx.with_graph(g);
                 }
-                // build work units: rule × var0 partitions
+                // Build work units. Full/filter scans partition var0's slot
+                // range; pinned delta units partition the rule's pending
+                // ones-list for one variable (symmetric over variables, so
+                // every delta-touching valuation is reached).
                 let mut units = Vec::new();
-                let mut sorted_active: Vec<usize> = active.iter().copied().collect();
-                sorted_active.sort_unstable();
+                let mut pinned_lists: FxHashMap<(usize, usize), Vec<TupleId>> =
+                    FxHashMap::default();
                 for &ri in &sorted_active {
                     let rule = &self.rules.rules[ri];
-                    let rel0 = rule.rel_of(0);
-                    let rows = work_db.relation(rel0).capacity() as u32;
-                    for p in partition_range(rel0.0, rows, self.config.partitions_per_rule) {
-                        units.push(WorkUnit::new(ri as u32, vec![p]));
+                    if !full_mode[ri] {
+                        stat.delta_tuples += pending[ri].count();
                     }
-                    if rows == 0 {
-                        units.push(WorkUnit::new(ri as u32, vec![Partition::new(rel0.0, 0, 0)]));
+                    if full_mode[ri] || !self.config.semi_naive {
+                        let payload = if full_mode[ri] {
+                            PAYLOAD_FULL
+                        } else {
+                            PAYLOAD_FILTER
+                        };
+                        let rel0 = rule.rel_of(0);
+                        let rows = work_db.relation(rel0).capacity() as u32;
+                        for p in partition_range(rel0.0, rows, self.config.partitions_per_rule) {
+                            units.push(WorkUnit::new(ri as u32, vec![p]).with_payload(payload));
+                        }
+                        if rows == 0 {
+                            units.push(
+                                WorkUnit::new(ri as u32, vec![Partition::new(rel0.0, 0, 0)])
+                                    .with_payload(payload),
+                            );
+                        }
+                    } else {
+                        for v in 0..rule.tuple_vars.len() {
+                            let rel = rule.rel_of(v);
+                            let ones = pending[ri].ones_vec(rel);
+                            if ones.is_empty() {
+                                continue;
+                            }
+                            let n = ones.len() as u32;
+                            pinned_lists.insert((ri, v), ones);
+                            for p in partition_range(rel.0, n, self.config.partitions_per_rule) {
+                                units.push(
+                                    WorkUnit::new(ri as u32, vec![p])
+                                        .with_payload(PAYLOAD_PINNED_BASE + v as u64),
+                                );
+                            }
+                        }
                     }
                 }
                 let gate = self.config.gate;
                 let fixes_ref = &fixes;
                 let rules = self.rules;
-                let (proposal_lists, stats) = cluster.execute(units, |unit| {
+                let pending_ref = &pending;
+                let pinned_ref = &pinned_lists;
+                let dirty_ref = &cumulative;
+                let blocking = self.blocking;
+                let registry = self.registry;
+                let unit_rules: Vec<usize> = units.iter().map(|u| u.rule as usize).collect();
+                let (results, sched) = cluster.execute(units, |unit| {
                     let ri = unit.rule as usize;
                     let rule = &rules.rules[ri];
-                    let range = unit.partitions[0].start..unit.partitions[0].end;
-                    let mut out: Vec<Proposal> = Vec::new();
-                    enumerate_valuations_restricted(rule, &ctx, Some((0, range)), |h| {
-                        if !distinct_ok(rule, h) {
-                            return true;
+                    let mut out: Vec<Emission> = Vec::new();
+                    let mut count = 0u64;
+                    match unit.payload {
+                        PAYLOAD_FULL => {
+                            let range = unit.partitions[0].start..unit.partitions[0].end;
+                            enumerate_valuations_restricted(rule, &ctx, Some((0, range)), |h| {
+                                count += 1;
+                                visit_valuation(
+                                    rule, unit.rule, h, &ctx, gate, fixes_ref, track, &mut out,
+                                );
+                                true
+                            });
                         }
-                        if gate == GateMode::Strict
-                            && !precondition_validated(rule, h, &ctx, fixes_ref)
-                        {
-                            return true;
+                        PAYLOAD_FILTER => {
+                            // trivially-correct delta oracle: enumerate
+                            // everything, keep valuations touching the
+                            // rule's pending delta
+                            let pend = &pending_ref[ri];
+                            let range = unit.partitions[0].start..unit.partitions[0].end;
+                            enumerate_valuations_restricted(rule, &ctx, Some((0, range)), |h| {
+                                count += 1;
+                                if h.tuples.iter().any(|gt| pend.contains(gt.rel, gt.tid)) {
+                                    visit_valuation(
+                                        rule, unit.rule, h, &ctx, gate, fixes_ref, track, &mut out,
+                                    );
+                                }
+                                true
+                            });
                         }
-                        if ctx.eval_predicate(rule, h, &rule.consequence) == Some(true) {
-                            // Already satisfied. In Strict mode the fix is
-                            // still recorded in U — satisfied consequences
-                            // are validated facts, and accumulation of
-                            // ground truth (§4.1) depends on them.
-                            if gate == GateMode::Strict {
-                                if let Some(p) = propose(rule, ri as u32, h, &ctx) {
-                                    out.push(p);
+                        payload => {
+                            let v = (payload - PAYLOAD_PINNED_BASE) as usize;
+                            let list = &pinned_ref[&(ri, v)];
+                            let chunk = &list[unit.partitions[0].start as usize
+                                ..unit.partitions[0].end as usize];
+                            let pend = &pending_ref[ri];
+                            let mut overrides: FxHashMap<usize, Vec<TupleId>> =
+                                FxHashMap::default();
+                            overrides.insert(v, chunk.to_vec());
+                            prune_with_blocking(
+                                rule,
+                                v,
+                                chunk,
+                                blocking,
+                                registry,
+                                dirty_ref,
+                                ctx.db,
+                                &mut overrides,
+                            );
+                            enumerate_valuations_with_candidates(rule, &ctx, &overrides, |h| {
+                                count += 1;
+                                // symmetric passes overlap: a valuation is
+                                // handled by the pass pinning its first
+                                // delta variable only
+                                if (0..v).any(|w| pend.contains(h.tuples[w].rel, h.tuples[w].tid)) {
+                                    return true;
+                                }
+                                visit_valuation(
+                                    rule, unit.rule, h, &ctx, gate, fixes_ref, track, &mut out,
+                                );
+                                true
+                            });
+                        }
+                    }
+                    (out, count)
+                });
+                round_makespans.push(sched.unit_seconds.clone());
+                let mut per_rule: FxHashMap<usize, Vec<Emission>> = FxHashMap::default();
+                for (ri, (ems, cnt)) in unit_rules.iter().zip(results) {
+                    stat.valuations += cnt;
+                    per_rule.entry(*ri).or_default().extend(ems);
+                }
+                let mut all: Vec<Proposal> = Vec::new();
+                for &ri in &sorted_active {
+                    let mut emissions = per_rule.remove(&ri).unwrap_or_default();
+                    if track {
+                        if !full_mode[ri] {
+                            if let Some(prev) = &carry[ri] {
+                                let pend = &pending[ri];
+                                for (tids, p) in prev {
+                                    // untouched valuations re-emit verbatim;
+                                    // touched ones were re-derived (or
+                                    // retracted) by the delta enumeration
+                                    if tids.iter().any(|gt| pend.contains(gt.rel, gt.tid)) {
+                                        continue;
+                                    }
+                                    stat.carried += 1;
+                                    emissions.push((tids.clone(), p.clone()));
                                 }
                             }
-                            return true;
                         }
-                        if let Some(p) = propose(rule, ri as u32, h, &ctx) {
-                            out.push(p);
-                        }
-                        true
-                    });
-                    out
-                });
-                round_makespans.push(stats.unit_seconds.clone());
-                let mut all: Vec<Proposal> = proposal_lists.into_iter().flatten().collect();
+                        emissions
+                            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key().cmp(&b.1.key())));
+                        emissions.dedup();
+                        carry[ri] = Some(emissions.clone());
+                    }
+                    all.extend(emissions.into_iter().map(|(_, p)| p));
+                }
                 all.sort_by_key(|p| p.key());
                 all.dedup();
                 all
             };
+            // pending was consumed by every rule that ran this round
+            if track {
+                for &ri in &sorted_active {
+                    pending[ri].clear();
+                }
+            }
+            stat.proposals = proposals.len();
 
             if proposals.is_empty() {
+                round_stats.push(stat);
                 break;
             }
 
@@ -426,6 +639,9 @@ impl<'a> ChaseEngine<'a> {
             let mut changed_cells: FxHashSet<(RelId, AttrId)> = FxHashSet::default();
             let mut any_merge = false;
             let mut groups_by_root = entity_idx.grouped(&fixes);
+            // tuples this round's commit touches, for the next delta rounds
+            let mut round_delta = empty_delta.clone();
+            let changes_start = changes.len();
 
             // Phase A: distinctness
             for p in &proposals {
@@ -455,6 +671,16 @@ impl<'a> ChaseEngine<'a> {
                             merged_pairs.push((*a, *b));
                             // membership changed: refresh the grouped view
                             groups_by_root = entity_idx.grouped(&fixes);
+                            // the merge changes the entity oracle (and the
+                            // validated-value visibility) for every member
+                            // of the united class, even when no cell is
+                            // rewritten — all of them join the delta
+                            let root = fixes.find(ka);
+                            if let Some(ms) = groups_by_root.get(&root) {
+                                for m in ms {
+                                    round_delta.mark(m.rel, m.tid);
+                                }
+                            }
                             for (rel, attr, v1, v2) in vcs {
                                 conflicts += 1;
                                 self.resolve_and_commit(
@@ -572,6 +798,16 @@ impl<'a> ChaseEngine<'a> {
                         continue;
                     }
                     fixes.override_value(root, cell.rel, cell.attr, winner.clone());
+                    // the validated value is visible to the Strict gate for
+                    // every member of the class in this relation, whether
+                    // or not its cell is rewritten below
+                    if let Some(ms) = groups_by_root.get(&root) {
+                        for m in ms {
+                            if m.rel == cell.rel {
+                                round_delta.mark(m.rel, m.tid);
+                            }
+                        }
+                    }
                     for m in groups_by_root.get(&root).cloned().unwrap_or_default() {
                         if m.rel != cell.rel {
                             continue;
@@ -615,6 +851,10 @@ impl<'a> ChaseEngine<'a> {
                         OrderInsert::Added => {
                             steps += 1;
                             changed_cells.insert((*rel, *attr));
+                            // order edges act transitively through the DAG,
+                            // so tuple-level delta tracking of their reach
+                            // is unsound — coarsen to the whole relation
+                            round_delta.mark_all(*rel);
                         }
                         OrderInsert::Known => {}
                         OrderInsert::Conflict => {
@@ -633,6 +873,18 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
             }
+
+            // ---- delta bookkeeping ----
+            if track {
+                for (cell, _, _) in &changes[changes_start..] {
+                    round_delta.mark(cell.rel, cell.tid);
+                }
+                cumulative.union_with(&round_delta);
+                for p in pending.iter_mut() {
+                    p.union_with(&round_delta);
+                }
+            }
+            round_stats.push(stat);
 
             // ---- next activation ----
             active.clear();
@@ -691,6 +943,7 @@ impl<'a> ChaseEngine<'a> {
             conflicts,
             steps,
             round_makespans,
+            round_stats,
         }
     }
 
@@ -899,6 +1152,130 @@ fn tuple_features(db: &Database, rel: RelId, tid: TupleId) -> Vec<Value> {
         .get(tid)
         .map(|t| t.values.clone())
         .unwrap_or_default()
+}
+
+/// Shared leaf of every evaluation mode: distinctness, the Strict gate, the
+/// consequence check, and the proposal emission (with the valuation's bound
+/// tuples recorded when tuple-level tracking is on).
+#[allow(clippy::too_many_arguments)]
+fn visit_valuation(
+    rule: &Rule,
+    ri: u32,
+    h: &Valuation,
+    ctx: &EvalContext<'_>,
+    gate: GateMode,
+    fixes: &FixStore,
+    track: bool,
+    out: &mut Vec<Emission>,
+) {
+    if !distinct_ok(rule, h) {
+        return;
+    }
+    if gate == GateMode::Strict && !precondition_validated(rule, h, ctx, fixes) {
+        return;
+    }
+    if ctx.eval_predicate(rule, h, &rule.consequence) == Some(true) {
+        // Already satisfied. In Strict mode the fix is still recorded in U
+        // — satisfied consequences are validated facts, and accumulation of
+        // ground truth (§4.1) depends on them.
+        if gate == GateMode::Strict {
+            if let Some(p) = propose(rule, ri, h, ctx) {
+                out.push((if track { h.tuples.clone() } else { Vec::new() }, p));
+            }
+        }
+        return;
+    }
+    if let Some(p) = propose(rule, ri, h, ctx) {
+        out.push((if track { h.tuples.clone() } else { Vec::new() }, p));
+    }
+}
+
+/// Blocking-pruned pair enumeration: for each tuple variable paired with
+/// the pinned variable by an ML predicate, restrict its candidates to the
+/// pinned chunk's block-mates plus the cumulative dirty set.
+///
+/// Soundness: a pair excluded here has both projections unchanged since the
+/// index build (the pinned side is checked against its build-time key
+/// below; the other side would be in `dirty` otherwise), was no LSH
+/// candidate at build time, and is therefore excluded by the model's block
+/// filter — the full scan would evaluate it to `false` anyway. Pruning is
+/// skipped (full fallback for that variable) when the index or block filter
+/// is missing or any pinned tuple's projection changed.
+#[allow(clippy::too_many_arguments)]
+fn prune_with_blocking(
+    rule: &Rule,
+    pinned: usize,
+    chunk: &[TupleId],
+    blocking: Option<&MlBlockIndex>,
+    registry: &ModelRegistry,
+    dirty: &DeltaSet,
+    db: &Database,
+    overrides: &mut FxHashMap<usize, Vec<TupleId>>,
+) {
+    let Some(index) = blocking else {
+        return;
+    };
+    for p in &rule.precondition {
+        let Predicate::Ml {
+            model,
+            lvar,
+            lattrs,
+            rvar,
+            rattrs,
+        } = p
+        else {
+            continue;
+        };
+        if lvar == rvar {
+            continue;
+        }
+        let (other, pinned_left) = if *lvar == pinned {
+            (*rvar, true)
+        } else if *rvar == pinned {
+            (*lvar, false)
+        } else {
+            continue;
+        };
+        if overrides.contains_key(&other) {
+            continue; // first applicable predicate wins
+        }
+        let id = model.resolved();
+        if !registry.has_block_filter(id) {
+            continue;
+        }
+        let sig = PairSignature {
+            model: id,
+            lrel: rule.rel_of(*lvar),
+            lattrs: lattrs.clone(),
+            rrel: rule.rel_of(*rvar),
+            rattrs: rattrs.clone(),
+        };
+        let Some(pair_idx) = index.get(&sig) else {
+            continue;
+        };
+        // every pinned tuple must still project to its build-time key,
+        // otherwise its mate list is stale and pruning would be unsound
+        let attrs = if pinned_left { lattrs } else { rattrs };
+        let rel = db.relation(rule.rel_of(pinned));
+        let fresh = chunk.iter().all(|tid| match rel.get(*tid) {
+            Some(t) => {
+                pair_idx.build_key(*tid, pinned_left)
+                    == Some(ModelRegistry::pair_key(&t.project(attrs)))
+            }
+            None => true, // dead tuples bind nothing
+        });
+        if !fresh {
+            continue;
+        }
+        let mut cands: Vec<TupleId> = Vec::new();
+        for tid in chunk {
+            cands.extend_from_slice(pair_idx.mates(*tid, pinned_left));
+        }
+        cands.extend(dirty.ones_vec(rule.rel_of(other)));
+        cands.sort_unstable();
+        cands.dedup();
+        overrides.insert(other, cands);
+    }
 }
 
 /// Strict-gate check: every precondition cell read by the rule must belong
@@ -1248,10 +1625,16 @@ mod tests {
             ],
         }]);
         let res = engine.run_incremental(&db, &[], &delta);
-        // both the old null and the new null get filled (rule is relation-wide)
+        // the inserted tuple's null gets filled...
         assert_eq!(
             res.db.cell(RelId(0), TupleId(3), AttrId(3)),
             Some(&Value::Float(6500.0))
+        );
+        // ...but the pre-existing null does NOT: incremental mode is
+        // tuple-level — only valuations binding a ΔD tuple fire
+        assert_eq!(
+            res.db.cell(RelId(0), TupleId(2), AttrId(3)),
+            Some(&Value::Null)
         );
     }
 

@@ -27,12 +27,14 @@
 
 pub mod chase;
 pub mod conflict;
+pub mod delta;
 pub mod fixes;
 pub mod order;
 pub mod quality;
 
 pub use chase::{ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal};
 pub use conflict::ConflictPolicy;
+pub use delta::{DeltaSet, RoundStats};
 pub use fixes::{EntityKey, FixStore};
 pub use order::PartialOrderStore;
 pub use quality::QualityReport;

@@ -3,14 +3,15 @@
 
 use crate::poly::PolyPipeline;
 use crate::variant::{effective_rules, sorted_rules, split_by_task, Variant};
-use rock_chase::{ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy};
+use rock_chase::{ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy, RoundStats};
 use rock_data::Database;
-use rock_detect::blocking::{precompute_ml, BlockingStats};
+use rock_detect::blocking::{precompute_ml, precompute_ml_indexed, BlockingStats};
 use rock_detect::{DetectReport, Detector};
 use rock_discovery::levelwise::{Discoverer, DiscoveryConfig};
 use rock_discovery::sampling::mine_with_sampling;
 use rock_discovery::space::{MlSignature, PredicateSpace, SpaceConfig};
 use rock_discovery::topk::{diversified_top_k, score_rules, AnytimeMiner};
+use rock_ml::MlBlockIndex;
 use rock_rees::eval::enumerate_valuations;
 use rock_rees::EvalContext;
 use rock_rees::RuleSet;
@@ -38,6 +39,10 @@ pub struct RockConfig {
     /// (the letter of the certain-fix regime); `Resolved` (default)
     /// bootstraps from the resolved view.
     pub gate: rock_chase::chase::GateMode,
+    /// Semi-naive delta chase for round ≥ 2 (§4.1); `false` keeps the
+    /// full-rescan ablation used by the `chase-delta` panel and the
+    /// equivalence tests.
+    pub semi_naive: bool,
 }
 
 impl Default for RockConfig {
@@ -51,6 +56,7 @@ impl Default for RockConfig {
             blocking: true,
             partitions_per_rule: 4,
             gate: rock_chase::chase::GateMode::Resolved,
+            semi_naive: true,
         }
     }
 }
@@ -85,6 +91,9 @@ pub struct CorrectionOutcome {
     pub conflicts: usize,
     pub changes: usize,
     pub unit_seconds: Vec<f64>,
+    /// Per-round chase observability (delta sizes, valuations enumerated);
+    /// concatenated across group runs for the sequential variants.
+    pub round_stats: Vec<RoundStats>,
 }
 
 /// The Rock system facade.
@@ -199,9 +208,14 @@ impl RockSystem {
     pub fn correct(&self, w: &Workload, task: &Task) -> CorrectionOutcome {
         let start = Instant::now();
         let rules = sorted_rules(&effective_rules(self.config.variant, &w.rules_for(task)));
-        if self.config.blocking && self.config.variant.uses_ml() {
-            precompute_ml(&w.dirty, &rules, &w.registry);
-        }
+        // the tuple-level blocking index doubles as the semi-naive chase's
+        // pair-enumeration pruner, so keep it alive for the engine
+        let block_index: Option<MlBlockIndex> =
+            if self.config.blocking && self.config.variant.uses_ml() {
+                Some(precompute_ml_indexed(&w.dirty, &rules, &w.registry).1)
+            } else {
+                None
+            };
         let policy = ConflictPolicy {
             mc: w.registry.id("Mc"),
             mrank: ["Mstatus", "Mtier", "Mrank"]
@@ -215,6 +229,7 @@ impl RockSystem {
                 policy: policy.clone(),
                 partitions_per_rule: self.config.partitions_per_rule,
                 gate: self.config.gate,
+                semi_naive: self.config.semi_naive,
                 ..ChaseConfig::default()
             };
             let engine = ChaseEngine::new(rules, &w.registry, cfg);
@@ -222,18 +237,30 @@ impl RockSystem {
                 Some(g) => engine.with_graph(g),
                 None => engine,
             };
+            let engine = match &block_index {
+                Some(idx) => engine.with_blocking(idx),
+                None => engine,
+            };
             engine.run(&w.dirty, &w.trusted)
         };
 
-        let (mut repaired, rounds, conflicts, changes, unit_seconds) = match self.config.variant {
-            Variant::Rock | Variant::RockNoMl => {
-                let res = mk_engine(&rules, 32);
-                let us = res.round_makespans.concat();
-                (res.db, res.rounds, res.conflicts, res.changes.len(), us)
-            }
-            Variant::RockSeq => self.run_sequential(w, &rules, &policy, true),
-            Variant::RockNoC => self.run_sequential(w, &rules, &policy, false),
-        };
+        let (mut repaired, rounds, conflicts, changes, unit_seconds, round_stats) =
+            match self.config.variant {
+                Variant::Rock | Variant::RockNoMl => {
+                    let res = mk_engine(&rules, 32);
+                    let us = res.round_makespans.concat();
+                    (
+                        res.db,
+                        res.rounds,
+                        res.conflicts,
+                        res.changes.len(),
+                        us,
+                        res.round_stats,
+                    )
+                }
+                Variant::RockSeq => self.run_sequential(w, &rules, &policy, true),
+                Variant::RockNoC => self.run_sequential(w, &rules, &policy, false),
+            };
 
         if self.config.variant.uses_ml() {
             if let Some((rel, attr)) = task.polynomial_target {
@@ -255,6 +282,7 @@ impl RockSystem {
             conflicts,
             changes,
             unit_seconds,
+            round_stats,
         }
     }
 
@@ -280,6 +308,7 @@ impl RockSystem {
             policy,
             partitions_per_rule: self.config.partitions_per_rule,
             gate: self.config.gate,
+            semi_naive: self.config.semi_naive,
             ..ChaseConfig::default()
         };
         let engine = ChaseEngine::new(&rules, &w.registry, cfg);
@@ -297,6 +326,7 @@ impl RockSystem {
             conflicts: res.conflicts,
             changes: res.changes.len(),
             unit_seconds: res.round_makespans.concat(),
+            round_stats: res.round_stats,
             repaired: res.db,
         }
     }
@@ -373,7 +403,7 @@ impl RockSystem {
         rules: &RuleSet,
         policy: &ConflictPolicy,
         iterate: bool,
-    ) -> (Database, usize, usize, usize, Vec<f64>) {
+    ) -> (Database, usize, usize, usize, Vec<f64>, Vec<RoundStats>) {
         let groups = split_by_task(rules);
         let mut db = w.dirty.clone();
         let mut fixes = rock_chase::FixStore::new();
@@ -381,6 +411,7 @@ impl RockSystem {
         let mut conflicts = 0usize;
         let mut changes = 0usize;
         let mut unit_seconds = Vec::new();
+        let mut round_stats: Vec<RoundStats> = Vec::new();
         let max_sweeps = if iterate { 8 } else { 1 };
         for _sweep in 0..max_sweeps {
             let mut changed_this_sweep = 0usize;
@@ -392,6 +423,7 @@ impl RockSystem {
                     workers: self.config.workers,
                     max_rounds: if iterate { 32 } else { 1 },
                     policy: policy.clone(),
+                    semi_naive: self.config.semi_naive,
                     ..ChaseConfig::default()
                 };
                 let engine = ChaseEngine::new(group, &w.registry, cfg);
@@ -407,6 +439,7 @@ impl RockSystem {
                 changes += res.changes.len();
                 changed_this_sweep += res.changes.len() + res.merged_pairs.len();
                 unit_seconds.extend(res.round_makespans.concat());
+                round_stats.extend(res.round_stats);
                 db = res.db;
                 fixes = res.fixes;
             }
@@ -414,7 +447,14 @@ impl RockSystem {
                 break;
             }
         }
-        (db, total_rounds, conflicts, changes, unit_seconds)
+        (
+            db,
+            total_rounds,
+            conflicts,
+            changes,
+            unit_seconds,
+            round_stats,
+        )
     }
 }
 

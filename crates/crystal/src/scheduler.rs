@@ -17,9 +17,10 @@
 use crate::ring::{ConsistentHashRing, NodeId};
 use crate::work::WorkUnit;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use crossbeam::utils::Backoff;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-run scheduler statistics.
 #[derive(Debug, Clone, Default)]
@@ -189,46 +190,61 @@ impl Cluster {
                 let results = &results;
                 let units = &units;
                 let f = &f;
-                scope.spawn(move |_| loop {
-                    // own queue first
-                    let mut task = deque.pop();
-                    let mut was_steal = false;
-                    if task.is_none() {
-                        // steal round-robin from the others
-                        'steal: for off in 1..n {
-                            let victim = (w + off) % n;
-                            loop {
-                                match stealers[victim].steal() {
-                                    Steal::Success(i) => {
-                                        task = Some(i);
-                                        was_steal = true;
-                                        break 'steal;
+                scope.spawn(move |_| {
+                    // Exponential backoff while idle: spin first, then
+                    // yield, then sleep in short naps (crossbeam's Backoff
+                    // has no futex to park on here — there is no unpark
+                    // signal when a victim's queue refills, so a bounded
+                    // nap is the parking stand-in). A hot bare-`yield_now`
+                    // loop burns a core against the very workers it waits
+                    // for.
+                    let backoff = Backoff::new();
+                    loop {
+                        // own queue first
+                        let mut task = deque.pop();
+                        let mut was_steal = false;
+                        if task.is_none() {
+                            // steal round-robin from the others
+                            'steal: for off in 1..n {
+                                let victim = (w + off) % n;
+                                loop {
+                                    match stealers[victim].steal() {
+                                        Steal::Success(i) => {
+                                            task = Some(i);
+                                            was_steal = true;
+                                            break 'steal;
+                                        }
+                                        Steal::Retry => continue,
+                                        Steal::Empty => break,
                                     }
-                                    Steal::Retry => continue,
-                                    Steal::Empty => break,
                                 }
                             }
                         }
-                    }
-                    match task {
-                        Some(i) => {
-                            let t0 = Instant::now();
-                            let r = f(&units[i]);
-                            let ns = t0.elapsed().as_nanos() as u64;
-                            busy_ns[w].fetch_add(ns, Ordering::Relaxed);
-                            unit_ns[i].store(ns, Ordering::Relaxed);
-                            *results[i].lock() = Some(r);
-                            executed[w].fetch_add(1, Ordering::Relaxed);
-                            if was_steal {
-                                stolen[w].fetch_add(1, Ordering::Relaxed);
+                        match task {
+                            Some(i) => {
+                                backoff.reset();
+                                let t0 = Instant::now();
+                                let r = f(&units[i]);
+                                let ns = t0.elapsed().as_nanos() as u64;
+                                busy_ns[w].fetch_add(ns, Ordering::Relaxed);
+                                unit_ns[i].store(ns, Ordering::Relaxed);
+                                *results[i].lock() = Some(r);
+                                executed[w].fetch_add(1, Ordering::Relaxed);
+                                if was_steal {
+                                    stolen[w].fetch_add(1, Ordering::Relaxed);
+                                }
+                                remaining.fetch_sub(1, Ordering::AcqRel);
                             }
-                            remaining.fetch_sub(1, Ordering::AcqRel);
-                        }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
-                                break;
+                            None => {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                if backoff.is_completed() {
+                                    std::thread::sleep(Duration::from_micros(100));
+                                } else {
+                                    backoff.snooze();
+                                }
                             }
-                            std::thread::yield_now();
                         }
                     }
                 });

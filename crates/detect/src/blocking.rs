@@ -13,7 +13,7 @@
 //! `predict_pair` call hits the memo.
 
 use rock_data::Database;
-use rock_ml::{MinHashLsh, ModelRegistry};
+use rock_ml::{MinHashLsh, MlBlockIndex, ModelRegistry, PairBlockIndex, PairSignature};
 use rock_rees::{Predicate, RuleSet};
 use rustc_hash::FxHashSet;
 
@@ -43,7 +43,19 @@ impl BlockingStats {
 
 /// Pre-compute all binary ML predicates of `rules` over `db`.
 pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -> BlockingStats {
+    precompute_ml_indexed(db, rules, registry).0
+}
+
+/// Like [`precompute_ml`], additionally returning the tuple-level
+/// [`MlBlockIndex`] built in the same pass — the semi-naive chase consumes
+/// it to enumerate block-mates of delta tuples instead of whole relations.
+pub fn precompute_ml_indexed(
+    db: &Database,
+    rules: &RuleSet,
+    registry: &ModelRegistry,
+) -> (BlockingStats, MlBlockIndex) {
     let mut stats = BlockingStats::default();
+    let mut index = MlBlockIndex::new();
     let mut done: FxHashSet<String> = FxHashSet::default();
     for rule in rules.iter() {
         for p in rule.all_predicates() {
@@ -77,6 +89,7 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
 
             let lrel = db.relation(rule.rel_of(*lvar));
             let rrel = db.relation(rule.rel_of(*rvar));
+            let mut pair_idx = PairBlockIndex::default();
             // index the left side
             let mut lsh = MinHashLsh::new(16, 2);
             let ltexts: Vec<(rock_data::TupleId, Vec<rock_data::Value>, String)> = lrel
@@ -87,8 +100,11 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
                     (t.tid, vals, text)
                 })
                 .collect();
-            for (tid, _, text) in &ltexts {
+            for (tid, vals, text) in &ltexts {
                 lsh.insert(tid.0, text);
+                pair_idx
+                    .left_key
+                    .insert(*tid, ModelRegistry::pair_key(vals));
             }
             // query with the right side: run the model only on LSH
             // candidates; everything else is excluded via a block filter
@@ -104,11 +120,14 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
                 let stext = classifier.blocking_text(&svals);
                 stats.total_pairs += ltexts.len() as u64;
                 let skey = ModelRegistry::pair_key(&svals);
+                pair_idx.right_key.insert(s.tid, skey);
+                let mut rmates: Vec<rock_data::TupleId> = Vec::new();
                 for cand in lsh.candidates(&stext) {
                     let Some(&i) = by_tid.get(&cand) else {
                         continue;
                     };
-                    let (_, lvals, _) = &ltexts[i];
+                    let (ltid, lvals, _) = &ltexts[i];
+                    rmates.push(*ltid);
                     stats.candidate_pairs += 1;
                     let out = classifier.predict(lvals, &svals);
                     registry.meter.add(classifier.cost());
@@ -118,11 +137,26 @@ pub fn precompute_ml(db: &Database, rules: &RuleSet, registry: &ModelRegistry) -
                     filter.insert((ModelRegistry::pair_key(lvals), skey));
                     registry.memoize_pair(id, lvals, &svals, out);
                 }
+                rmates.sort_unstable();
+                for l in &rmates {
+                    pair_idx.left_mates.entry(*l).or_default().push(s.tid);
+                }
+                pair_idx.right_mates.insert(s.tid, rmates);
             }
             registry.set_block_filter(id, filter);
+            index.insert(
+                PairSignature {
+                    model: id,
+                    lrel: rule.rel_of(*lvar),
+                    lattrs: lattrs.clone(),
+                    rrel: rule.rel_of(*rvar),
+                    rattrs: rattrs.clone(),
+                },
+                pair_idx,
+            );
         }
     }
-    stats
+    (stats, index)
 }
 
 #[cfg(test)]
@@ -199,6 +233,41 @@ mod tests {
             "no fresh inference after pre-computation"
         );
         assert!(reg.meter.memo_hits() > 0);
+    }
+
+    #[test]
+    fn indexed_precompute_builds_symmetric_mates() {
+        let db = db();
+        let reg = ModelRegistry::new();
+        reg.register_pair("MER", Arc::new(NgramPairModel::with_threshold(0.8)));
+        let mut rs = rules(&db);
+        rs.resolve(&reg).unwrap();
+        let (stats, index) = precompute_ml_indexed(&db, &rs, &reg);
+        assert_eq!(index.len(), stats.predicates);
+        let sig = PairSignature {
+            model: reg.id("MER").unwrap(),
+            lrel: RelId(0),
+            lattrs: vec![rock_data::AttrId(1)],
+            rrel: RelId(0),
+            rattrs: vec![rock_data::AttrId(1)],
+        };
+        let idx = index.get(&sig).expect("signature indexed");
+        // build-time keys recorded for every live tuple on both sides
+        assert_eq!(idx.left_key.len(), db.relation(RelId(0)).len());
+        assert_eq!(idx.right_key.len(), db.relation(RelId(0)).len());
+        // mates are symmetric: l in right_mates[r] <=> r in left_mates[l]
+        let mut pairs = 0u64;
+        for (r, ls) in &idx.right_mates {
+            for l in ls {
+                pairs += 1;
+                assert!(idx.mates(*l, true).contains(r), "asymmetric ({l:?},{r:?})");
+            }
+        }
+        assert_eq!(pairs, stats.candidate_pairs);
+        // every tuple is at least its own block-mate (identical text)
+        for t in db.relation(RelId(0)).iter() {
+            assert!(idx.mates(t.tid, false).contains(&t.tid));
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! * [`registry`] — the model registry REE++ predicates reference by name,
 //!   with memoized inference and cost accounting.
 
+pub mod block_index;
 pub mod correlation;
 pub mod features;
 pub mod her;
@@ -42,6 +43,7 @@ pub mod registry;
 pub mod text;
 pub mod tree;
 
+pub use block_index::{MlBlockIndex, PairBlockIndex, PairSignature};
 pub use correlation::{CorrelationModel, ValuePredictor};
 pub use her::HerModel;
 pub use lsh::MinHashLsh;

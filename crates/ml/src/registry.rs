@@ -37,6 +37,7 @@ pub struct CostMeter {
     milli_cost: AtomicU64,
     inferences: AtomicU64,
     memo_hits: AtomicU64,
+    contentions: AtomicU64,
 }
 
 impl CostMeter {
@@ -65,10 +66,23 @@ impl CostMeter {
         self.memo_hits.load(Ordering::Relaxed)
     }
 
+    /// Record one contended memo-shard acquisition (a `try_lock` that had
+    /// to fall back to blocking).
+    pub fn contend(&self) {
+        self.contentions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of contended memo-shard acquisitions — with the sharded memo
+    /// this should stay near zero even under parallel chase workers.
+    pub fn contentions(&self) -> u64 {
+        self.contentions.load(Ordering::Relaxed)
+    }
+
     pub fn reset(&self) {
         self.milli_cost.store(0, Ordering::Relaxed);
         self.inferences.store(0, Ordering::Relaxed);
         self.memo_hits.store(0, Ordering::Relaxed);
+        self.contentions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -80,16 +94,27 @@ enum Model {
     Her(Arc<HerModel>),
 }
 
+/// Number of lock shards for the inference memos. Chase workers hash to
+/// shards by input, so concurrent lookups of different pairs rarely touch
+/// the same mutex.
+const MEMO_SHARDS: usize = 16;
+
+/// Shard index for a memo key: multiply-shift over the two input hashes.
+fn memo_shard(h1: u64, h2: u64) -> usize {
+    (((h1 ^ h2).wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 60) as usize & (MEMO_SHARDS - 1)
+}
+
 /// Thread-safe registry of named models with memoized inference.
 pub struct ModelRegistry {
     models: RwLock<Vec<(String, Model)>>,
     by_name: RwLock<FxHashMap<String, ModelId>>,
-    memo_bool: Mutex<FxHashMap<(ModelId, u64, u64), bool>>,
-    memo_score: Mutex<FxHashMap<(ModelId, u64, u64), f64>>,
+    memo_bool: Vec<Mutex<FxHashMap<(ModelId, u64, u64), bool>>>,
+    memo_score: Vec<Mutex<FxHashMap<(ModelId, u64, u64), f64>>>,
     /// Blocking filters (§5.3 filter-and-verify): when a model has a
     /// filter, pairs outside it short-circuit to `false` without inference
     /// — LSH guarantees matches are in the filter with high probability.
-    block_filters: Mutex<FxHashMap<ModelId, rustc_hash::FxHashSet<(u64, u64)>>>,
+    /// Read-mostly after precomputation, hence the `RwLock`.
+    block_filters: RwLock<FxHashMap<ModelId, rustc_hash::FxHashSet<(u64, u64)>>>,
     pub meter: CostMeter,
 }
 
@@ -121,10 +146,29 @@ impl ModelRegistry {
         ModelRegistry {
             models: RwLock::new(Vec::new()),
             by_name: RwLock::new(FxHashMap::default()),
-            memo_bool: Mutex::new(FxHashMap::default()),
-            memo_score: Mutex::new(FxHashMap::default()),
-            block_filters: Mutex::new(FxHashMap::default()),
+            memo_bool: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            memo_score: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            block_filters: RwLock::new(FxHashMap::default()),
             meter: CostMeter::default(),
+        }
+    }
+
+    /// Lock one memo shard, counting contended acquisitions.
+    fn lock_shard<'a, T>(
+        &self,
+        shards: &'a [Mutex<T>],
+        idx: usize,
+    ) -> parking_lot::MutexGuard<'a, T> {
+        match shards[idx].try_lock() {
+            Some(g) => g,
+            None => {
+                self.meter.contend();
+                shards[idx].lock()
+            }
         }
     }
 
@@ -137,12 +181,19 @@ impl ModelRegistry {
     /// Install a blocking filter for a pair model: `predict_pair` returns
     /// `false` without inference for pairs outside `candidates`.
     pub fn set_block_filter(&self, id: ModelId, candidates: rustc_hash::FxHashSet<(u64, u64)>) {
-        self.block_filters.lock().insert(id, candidates);
+        self.block_filters.write().insert(id, candidates);
     }
 
     /// Remove a model's blocking filter.
     pub fn clear_block_filter(&self, id: ModelId) {
-        self.block_filters.lock().remove(&id);
+        self.block_filters.write().remove(&id);
+    }
+
+    /// Whether a blocking filter is installed for this model — the
+    /// semi-naive chase only trusts block-mate pruning when the full
+    /// filter-and-verify pass ran.
+    pub fn has_block_filter(&self, id: ModelId) -> bool {
+        self.block_filters.read().contains_key(&id)
     }
 
     fn register(&self, name: &str, model: Model) -> ModelId {
@@ -200,7 +251,7 @@ impl ModelRegistry {
     pub fn predict_pair(&self, id: ModelId, a: &[Value], b: &[Value]) -> bool {
         let key = (id, hash_values(a), hash_values(b));
         {
-            let filters = self.block_filters.lock();
+            let filters = self.block_filters.read();
             if let Some(f) = filters.get(&id) {
                 if !f.contains(&(key.1, key.2)) {
                     self.meter.hit();
@@ -208,7 +259,8 @@ impl ModelRegistry {
                 }
             }
         }
-        if let Some(&v) = self.memo_bool.lock().get(&key) {
+        let shard = memo_shard(key.1, key.2);
+        if let Some(&v) = self.lock_shard(&self.memo_bool, shard).get(&key) {
             self.meter.hit();
             return v;
         }
@@ -219,14 +271,15 @@ impl ModelRegistry {
         self.meter.add(m.cost());
         let v = m.predict(a, b);
         drop(models);
-        self.memo_bool.lock().insert(key, v);
+        self.lock_shard(&self.memo_bool, shard).insert(key, v);
         v
     }
 
     /// Pair score, memoized.
     pub fn score_pair(&self, id: ModelId, a: &[Value], b: &[Value]) -> f64 {
         let key = (id, hash_values(a), hash_values(b));
-        if let Some(&v) = self.memo_score.lock().get(&key) {
+        let shard = memo_shard(key.1, key.2);
+        if let Some(&v) = self.lock_shard(&self.memo_score, shard).get(&key) {
             self.meter.hit();
             return v;
         }
@@ -237,7 +290,7 @@ impl ModelRegistry {
         self.meter.add(m.cost());
         let v = m.score(a, b);
         drop(models);
-        self.memo_score.lock().insert(key, v);
+        self.lock_shard(&self.memo_score, shard).insert(key, v);
         v
     }
 
@@ -309,13 +362,18 @@ impl ModelRegistry {
     /// output for candidates.
     pub fn memoize_pair(&self, id: ModelId, a: &[Value], b: &[Value], result: bool) {
         let key = (id, hash_values(a), hash_values(b));
-        self.memo_bool.lock().insert(key, result);
+        let shard = memo_shard(key.1, key.2);
+        self.lock_shard(&self.memo_bool, shard).insert(key, result);
     }
 
     /// Drop all memoized results (tests / repeated experiments).
     pub fn clear_memo(&self) {
-        self.memo_bool.lock().clear();
-        self.memo_score.lock().clear();
+        for s in &self.memo_bool {
+            s.lock().clear();
+        }
+        for s in &self.memo_score {
+            s.lock().clear();
+        }
     }
 }
 
@@ -411,5 +469,55 @@ mod tests {
         let reg = ModelRegistry::new();
         let id = reg.register_pair("M", Arc::new(ExactMatchModel));
         reg.rank_confidence(id, &[], &[]);
+    }
+
+    #[test]
+    fn sharded_memo_counts_hits_across_shards() {
+        // keys spread over many shards must still memoize exactly once each
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        for i in 0..64 {
+            let a = [Value::Int(i)];
+            reg.predict_pair(id, &a, &a);
+            reg.predict_pair(id, &a, &a);
+        }
+        assert_eq!(reg.meter.inferences(), 64);
+        assert_eq!(reg.meter.memo_hits(), 64);
+        // single-threaded access never contends
+        assert_eq!(reg.meter.contentions(), 0);
+    }
+
+    #[test]
+    fn has_block_filter_tracks_install_and_clear() {
+        let reg = ModelRegistry::new();
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        assert!(!reg.has_block_filter(id));
+        reg.set_block_filter(id, rustc_hash::FxHashSet::default());
+        assert!(reg.has_block_filter(id));
+        reg.clear_block_filter(id);
+        assert!(!reg.has_block_filter(id));
+    }
+
+    #[test]
+    fn parallel_memo_access_is_consistent() {
+        let reg = Arc::new(ModelRegistry::new());
+        let id = reg.register_pair("M", Arc::new(ExactMatchModel));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..128 {
+                    let a = [Value::Int((t * 128 + i) % 32)];
+                    assert!(reg.predict_pair(id, &a, &a));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 32 distinct keys; races may run a key's inference more than once
+        // but the memo stays consistent and bounded
+        assert!(reg.meter.inferences() >= 32);
+        assert!(reg.meter.inferences() + reg.meter.memo_hits() == 4 * 128);
     }
 }

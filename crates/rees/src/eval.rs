@@ -362,12 +362,12 @@ pub fn enumerate_valuations_restricted<F>(
     rule: &Rule,
     ctx: &EvalContext<'_>,
     restrict: Option<(usize, std::ops::Range<u32>)>,
-    mut on_valuation: F,
+    on_valuation: F,
 ) where
     F: FnMut(&Valuation) -> bool,
 {
     let nvars = rule.tuple_vars.len();
-    // 1. unary candidate lists
+    // unary candidate lists
     let mut candidates: Vec<Vec<TupleId>> = Vec::with_capacity(nvars);
     for v in 0..nvars {
         let rel = ctx.db.relation(rule.rel_of(v));
@@ -377,20 +377,72 @@ pub fn enumerate_valuations_restricted<F>(
                 tids.retain(|t| range.contains(&t.0));
             }
         }
-        for p in &rule.precondition {
-            // unary pre-filter: cheap single-variable predicates only —
-            // ML predicates wait for memo/blocking, and vertex-dependent
-            // predicates (match/val) wait for vertex binding
-            if p.tuple_vars() == [v] && !p.is_ml() && p.vertex_vars().is_empty() {
-                tids.retain(|tid| {
-                    let h =
-                        single_var_valuation(rule, v, GlobalTid::new(rule.rel_of(v), *tid), nvars);
-                    ctx.eval_predicate(rule, &h, p) == Some(true)
-                });
-            }
-        }
+        apply_unary_prefilters(rule, ctx, v, &mut tids);
         candidates.push(tids);
     }
+    enumerate_from_candidates(rule, ctx, candidates, on_valuation);
+}
+
+/// Like [`enumerate_valuations`], but with explicit per-variable candidate
+/// lists for any subset of the tuple variables — the semi-naive chase pins
+/// one variable to the delta set and (for ML pair rules) prunes the other
+/// to the pinned tuples' block-mates. Variables absent from `overrides`
+/// enumerate the full relation. Overridden lists are filtered to live
+/// tuples and re-run through the cheap unary prefilters, so callers may
+/// pass raw tid lists.
+pub fn enumerate_valuations_with_candidates<F>(
+    rule: &Rule,
+    ctx: &EvalContext<'_>,
+    overrides: &FxHashMap<usize, Vec<TupleId>>,
+    on_valuation: F,
+) where
+    F: FnMut(&Valuation) -> bool,
+{
+    let nvars = rule.tuple_vars.len();
+    let mut candidates: Vec<Vec<TupleId>> = Vec::with_capacity(nvars);
+    for v in 0..nvars {
+        let rel = ctx.db.relation(rule.rel_of(v));
+        let mut tids: Vec<TupleId> = match overrides.get(&v) {
+            Some(list) => list
+                .iter()
+                .copied()
+                .filter(|t| rel.get(*t).is_some())
+                .collect(),
+            None => rel.tids().collect(),
+        };
+        apply_unary_prefilters(rule, ctx, v, &mut tids);
+        candidates.push(tids);
+    }
+    enumerate_from_candidates(rule, ctx, candidates, on_valuation);
+}
+
+/// Cheap single-variable predicate prefilter shared by all enumeration
+/// entry points — ML predicates wait for memo/blocking, and
+/// vertex-dependent predicates (match/val) wait for vertex binding.
+fn apply_unary_prefilters(rule: &Rule, ctx: &EvalContext<'_>, v: usize, tids: &mut Vec<TupleId>) {
+    let nvars = rule.tuple_vars.len();
+    for p in &rule.precondition {
+        if p.tuple_vars() == [v] && !p.is_ml() && p.vertex_vars().is_empty() {
+            tids.retain(|tid| {
+                let h = single_var_valuation(rule, v, GlobalTid::new(rule.rel_of(v), *tid), nvars);
+                ctx.eval_predicate(rule, &h, p) == Some(true)
+            });
+        }
+    }
+}
+
+/// The shared enumeration core: greedy variable ordering, hash-join
+/// narrowing on equality predicates, and recursive binding with full
+/// verification at the leaves.
+fn enumerate_from_candidates<F>(
+    rule: &Rule,
+    ctx: &EvalContext<'_>,
+    candidates: Vec<Vec<TupleId>>,
+    mut on_valuation: F,
+) where
+    F: FnMut(&Valuation) -> bool,
+{
+    let nvars = rule.tuple_vars.len();
     // 2. variable order: smallest candidate list first (greedy).
     let mut order: Vec<usize> = (0..nvars).collect();
     order.sort_by_key(|&v| candidates[v].len());

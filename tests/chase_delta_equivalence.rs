@@ -1,0 +1,258 @@
+//! Equivalence suite for the semi-naive delta chase (§4.1 incremental
+//! evaluation): with `ChaseConfig { semi_naive: true }` every round ≥ 2
+//! enumerates only valuations pinned to a delta tuple and re-emits the
+//! rest from the per-rule carry — the result must be *identical* to the
+//! full-rescan oracle (`semi_naive: false`), down to the committed change
+//! list. Covered: both gate modes, merge-heavy ER workloads (entity-class
+//! merges re-activate tuples), multi-worker runs, and random `Delta`s
+//! through `run_incremental` (pinned-bitset vs scan-and-filter mechanism).
+
+use proptest::prelude::*;
+use rock::chase::{ChaseConfig, ChaseEngine, ChaseResult, GateMode};
+use rock::data::{
+    AttrId, AttrType, Database, DatabaseSchema, Delta, GlobalTid, RelId, RelationSchema, TupleId,
+    Update, Value,
+};
+use rock::ml::ModelRegistry;
+use rock::rees::{parse_rules, RuleSet};
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::new(vec![RelationSchema::of(
+        "T",
+        &[
+            ("k", AttrType::Str),
+            ("a", AttrType::Str),
+            ("b", AttrType::Str),
+            ("c", AttrType::Str),
+        ],
+    )])
+}
+
+/// The `tests/chase_properties.rs` rule set: value propagation (r1, r2),
+/// a constant rule (r3), an ER merge rule (r4) and a null-fill (r5) — the
+/// merges make entity classes, so round ≥ 2 re-activation must follow
+/// class membership, not just written cells.
+fn rules(schema: &DatabaseSchema) -> RuleSet {
+    RuleSet::new(
+        parse_rules(
+            "rule r1: T(t) && T(s) && t.k = s.k -> t.a = s.a\n\
+             rule r2: T(t) && T(s) && t.a = s.a -> t.b = s.b\n\
+             rule r3: T(t) && t.a = 'x' -> t.c = 'cx'\n\
+             rule r4: T(t) && T(s) && t.k = s.k -> t.eid = s.eid\n\
+             rule r5: T(t) && null(t.c) && t.b = 'bz' -> t.c = 'cz'",
+            schema,
+        )
+        .unwrap(),
+    )
+}
+
+fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
+    let schema = schema();
+    let mut db = Database::new(&schema);
+    let r = db.relation_mut(RelId(0));
+    for (k, a, b, c) in rows {
+        r.insert_row(vec![
+            Value::str(format!("k{}", k % 4)),
+            Value::str(if a % 3 == 0 {
+                "x".into()
+            } else {
+                format!("a{}", a % 3)
+            }),
+            Value::str(if b % 3 == 0 {
+                "bz".into()
+            } else {
+                format!("b{}", b % 3)
+            }),
+            match c {
+                None => Value::Null,
+                Some(v) => Value::str(format!("c{}", v % 2)),
+            },
+        ]);
+    }
+    db
+}
+
+/// Everything observable except the mechanism-dependent fields
+/// (`round_stats`, `round_makespans`) must match byte-for-byte.
+fn assert_equiv(full: &ChaseResult, semi: &ChaseResult) {
+    assert_eq!(
+        serde_json::to_string(&full.db).unwrap(),
+        serde_json::to_string(&semi.db).unwrap(),
+        "databases diverged"
+    );
+    assert_eq!(full.changes, semi.changes, "change lists diverged");
+    assert_eq!(full.merged_pairs, semi.merged_pairs, "merges diverged");
+    assert_eq!(full.conflicts, semi.conflicts, "conflict counts diverged");
+    assert_eq!(full.steps, semi.steps, "step counts diverged");
+    assert_eq!(full.rounds, semi.rounds, "round counts diverged");
+    assert!(semi.fixes.is_valid());
+}
+
+/// Run the full-rescan oracle and the semi-naive chase on the same input.
+fn run_pair(
+    db: &Database,
+    rs: &RuleSet,
+    trusted: &[GlobalTid],
+    cfg: ChaseConfig,
+) -> (ChaseResult, ChaseResult) {
+    let reg = ModelRegistry::new();
+    let full = ChaseEngine::new(
+        rs,
+        &reg,
+        ChaseConfig {
+            semi_naive: false,
+            ..cfg.clone()
+        },
+    )
+    .run(db, trusted);
+    let semi = ChaseEngine::new(
+        rs,
+        &reg,
+        ChaseConfig {
+            semi_naive: true,
+            ..cfg
+        },
+    )
+    .run(db, trusted);
+    (full, semi)
+}
+
+// No explicit case count: these blocks stay default-configured so CI's
+// global `PROPTEST_CASES=64` governs them (see .github/workflows/ci.yml).
+proptest! {
+    /// Batch equivalence across both gate modes, with row 0 trusted so the
+    /// Strict gate has ground truth to bootstrap from.
+    #[test]
+    fn semi_naive_equals_full_rescan(
+        rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3, prop::option::of(0u8..2)), 2..12),
+        strict in any::<bool>(),
+    ) {
+        let schema = schema();
+        let rs = rules(&schema);
+        let db = build_db(&rows);
+        let trusted = vec![GlobalTid::new(RelId(0), TupleId(0))];
+        let cfg = ChaseConfig {
+            gate: if strict { GateMode::Strict } else { GateMode::Resolved },
+            ..ChaseConfig::default()
+        };
+        let (full, semi) = run_pair(&db, &rs, &trusted, cfg);
+        assert_equiv(&full, &semi);
+    }
+
+    /// Multi-worker semi-naive ≡ full rescan: pinned work units partition
+    /// the delta ones-lists, so stealing must not change the outcome.
+    #[test]
+    fn semi_naive_equals_full_rescan_parallel(
+        rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3, prop::option::of(0u8..2)), 2..10),
+    ) {
+        let schema = schema();
+        let rs = rules(&schema);
+        let db = build_db(&rows);
+        let cfg = ChaseConfig {
+            workers: 4,
+            partitions_per_rule: 8,
+            ..ChaseConfig::default()
+        };
+        let (full, semi) = run_pair(&db, &rs, &[], cfg);
+        assert_equiv(&full, &semi);
+    }
+
+    /// `run_incremental` mode-equality over random ΔDs: the semi-naive flag
+    /// only switches the mechanism (pinned bitsets + blocking vs
+    /// scan-all-and-filter-on-pending); both chase exactly the touched
+    /// tuples and must agree byte-for-byte.
+    #[test]
+    fn incremental_modes_agree_on_random_deltas(
+        rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3, prop::option::of(0u8..2)), 3..10),
+        edits in prop::collection::vec((0u8..10, 0u8..4, prop::option::of(0u8..3)), 1..6),
+    ) {
+        let schema = schema();
+        let rs = rules(&schema);
+        let db = build_db(&rows);
+        let updates: Vec<Update> = edits
+            .iter()
+            .map(|(t, attr, v)| Update::SetCell {
+                rel: RelId(0),
+                tid: TupleId(*t as u32 % rows.len() as u32),
+                attr: AttrId(*attr as u16),
+                value: match v {
+                    None => Value::Null,
+                    Some(x) => Value::str(format!("v{x}")),
+                },
+            })
+            .collect();
+        let delta = Delta::new(updates);
+        let reg = ModelRegistry::new();
+        let run = |semi_naive: bool| {
+            ChaseEngine::new(&rs, &reg, ChaseConfig { semi_naive, ..ChaseConfig::default() })
+                .run_incremental(&db, &[], &delta)
+        };
+        let full = run(false);
+        let semi = run(true);
+        assert_equiv(&full, &semi);
+    }
+}
+
+/// Deterministic merge-heavy regression: a mostly-clean database where the
+/// round-1 commit touches only two tuples (one shared key, one `a`
+/// disagreement). The cascade forces ≥ 2 rounds, the ER merge re-activates
+/// the merged class, and the semi-naive chase must enumerate strictly
+/// fewer valuations than the full rescan while committing the same fixes.
+#[test]
+fn merge_heavy_cascade_fewer_valuations_same_result() {
+    let schema = schema();
+    let rs = rules(&schema);
+    let mut db = Database::new(&schema);
+    {
+        let r = db.relation_mut(RelId(0));
+        // ten self-consistent rows: unique keys, agreeing a/b, c filled
+        for i in 0..10u32 {
+            r.insert_row(vec![
+                Value::str(format!("u{i}")),
+                Value::str("a1"),
+                Value::str("b1"),
+                Value::str("c0"),
+            ]);
+        }
+        // one conflicting pair on a shared key: r4 merges them, r1
+        // propagates `x` by majority-with-tiebreak, r3 then fills c
+        r.insert_row(vec![
+            Value::str("k0"),
+            Value::str("x"),
+            Value::str("bz"),
+            Value::Null,
+        ]);
+        r.insert_row(vec![
+            Value::str("k0"),
+            Value::str("x"),
+            Value::str("b1"),
+            Value::Null,
+        ]);
+    }
+    let (full, semi) = run_pair(&db, &rs, &[], ChaseConfig::default());
+    assert_equiv(&full, &semi);
+    assert!(full.rounds >= 2, "cascade must take ≥ 2 rounds");
+    assert!(
+        !full.merged_pairs.is_empty(),
+        "shared key must force an ER merge"
+    );
+    let late = |r: &ChaseResult| {
+        r.round_stats
+            .iter()
+            .skip(1)
+            .map(|s| s.valuations)
+            .sum::<u64>()
+    };
+    assert!(
+        late(&semi) < late(&full),
+        "round ≥ 2 valuations: semi {} must be < full {}",
+        late(&semi),
+        late(&full)
+    );
+    // the touched pair is 2 of 12 tuples, so the delta rounds stay small
+    assert!(semi
+        .round_stats
+        .iter()
+        .skip(1)
+        .all(|s| s.delta_tuples <= 12));
+}
