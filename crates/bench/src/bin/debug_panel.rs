@@ -8,6 +8,59 @@ use rock_workloads::metrics::detection_metrics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("crystal") {
+        // Seeded chaos run over the Logistics correction task; prints the
+        // scheduler's fault-handling counters. Seed from argv[1] or
+        // ROCK_CHAOS_SEED (default 4242).
+        let seed = args
+            .get(1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .or_else(|| {
+                std::env::var("ROCK_CHAOS_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+            })
+            .unwrap_or(4242);
+        let w = panels::logistics();
+        let task = w.task("RClean").unwrap().clone();
+        let plan = rock_crystal::FaultPlan::chaos(seed).with_crash(1, 2);
+        let sys = rock_core::RockSystem::new(rock_core::RockConfig {
+            workers: 4,
+            cluster: rock_crystal::ClusterConfig::default().with_fault_plan(plan),
+            ..rock_core::RockConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        let out = sys.correct(&w, &task);
+        println!(
+            "crystal chaos seed={seed} wall={:.2}s rounds={} changes={} conflicts={} F1={:.3} quarantined_units={}",
+            t0.elapsed().as_secs_f64(),
+            out.rounds,
+            out.changes,
+            out.conflicts,
+            out.metrics.f1(),
+            out.unit_failures.len()
+        );
+        let f = &out.fault_stats;
+        println!(
+            "  retries={} panics_caught={} transients={} latency={} reassigned={} spec_launched={} spec_won={} quarantined={} node_crashes={}",
+            f.retries,
+            f.panics_caught,
+            f.transient_errors,
+            f.latency_injected,
+            f.reassigned,
+            f.speculative_launched,
+            f.speculative_won,
+            f.quarantined,
+            f.node_crashes
+        );
+        for fl in &out.unit_failures {
+            println!(
+                "  quarantined unit {} (rule {}) after {} attempts: {}",
+                fl.unit, fl.rule, fl.attempts, fl.error
+            );
+        }
+        return;
+    }
     if args.first().map(|s| s.as_str()) == Some("ec") {
         let w = rock_workloads::logistics::generate(&rock_workloads::workload::GenConfig {
             rows: 900,

@@ -8,8 +8,10 @@
 //! Panels: f4a f4b f4c (RD time), f4d f4e f4f (ED F1), f4g (ED time),
 //! f4h (ED scaling), f4i (EC F1), f4j (Sales-EC per task), f4k (EC time),
 //! f4l (EC scaling), rdcache (bitset-cache vs scan discovery throughput),
-//! chase-delta (semi-naive delta chase vs full re-scan valuation counts).
-//! Output is printed and written to `results/`.
+//! chase-delta (semi-naive delta chase vs full re-scan valuation counts),
+//! chaos (fault injection: byte-identical repairs under panics, transient
+//! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`).
+//! Output is printed and written to `results/` (atomically: temp+rename).
 
 use rock_bench::panels;
 use rock_bench::table::Table;
@@ -88,6 +90,7 @@ fn main() {
             "f4l",
             "rdcache",
             "chase-delta",
+            "chaos",
             "summary",
         ]
         .iter()
@@ -116,13 +119,14 @@ fn main() {
             "f4l" => panels::ec_scaling(),
             "rdcache" => panels::rd_cache(),
             "chase-delta" => panels::chase_delta(),
+            "chaos" => panels::chaos(),
             "summary" => {
                 let (t, j) = summary();
                 (t, j)
             }
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, chaos, summary, or all"
                 );
                 std::process::exit(2);
             }
@@ -134,9 +138,9 @@ fn main() {
             started.elapsed().as_secs_f64()
         );
         let txt_path = Path::new("results").join(format!("{p}.txt"));
-        fs::write(&txt_path, &rendered).expect("write panel text");
+        rock_bench::write_atomic(&txt_path, &rendered).expect("write panel text");
         let json_path = Path::new("results").join(format!("{p}.json"));
-        fs::write(&json_path, serde_json::to_string_pretty(&json).unwrap())
+        rock_bench::write_atomic(&json_path, serde_json::to_string_pretty(&json).unwrap())
             .expect("write panel json");
     }
     println!("wrote {} panels to results/", panels_requested.len());

@@ -330,6 +330,201 @@ pub fn chase_delta() -> (Table, serde_json::Value) {
     )
 }
 
+/// Chaos panel: the Logistics correction task under seeded deterministic
+/// fault injection (per-unit panics, transient errors, latency spikes, and
+/// one whole-node crash) versus an undisturbed run. The headline assertion
+/// is **byte-identical repairs**: every injected fault is absorbed by the
+/// scheduler's retry / reassignment / speculation machinery, never by
+/// dropping work. Two controlled scheduler-level sections additionally
+/// demonstrate queue reassignment after a node crash (`reassigned > 0`
+/// under every seed, since the crashed node owns the whole queue) and
+/// quarantine of a poison unit after exactly `max_retries + 1` attempts.
+/// Seed comes from `ROCK_CHAOS_SEED` (default 4242) so CI can sweep a
+/// matrix.
+pub fn chaos() -> (Table, serde_json::Value) {
+    use rock_crystal::work::Partition;
+    use rock_crystal::{Cluster, ClusterConfig, FaultPlan, WorkUnit};
+
+    let seed = std::env::var("ROCK_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(4242);
+    const WORKERS: usize = 4;
+    let w = logistics();
+    let task = w.task("RClean").expect("RClean task").clone();
+    let run = |cluster: ClusterConfig| {
+        let sys = rock_core::RockSystem::new(rock_core::RockConfig {
+            workers: WORKERS,
+            cluster,
+            ..rock_core::RockConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        let out = sys.correct(&w, &task);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (clean, clean_wall) = run(ClusterConfig::default());
+    // Probabilistic first-attempt faults plus a planned crash of node 1 at
+    // its second unit boundary: the chase's cluster loses a member mid-run
+    // and later rounds place work on survivors only.
+    let plan = FaultPlan::chaos(seed).with_crash(1, 2);
+    let (chaotic, chaos_wall) = run(ClusterConfig::default().with_fault_plan(plan));
+    assert_eq!(
+        serde_json::to_string(&clean.repaired).unwrap(),
+        serde_json::to_string(&chaotic.repaired).unwrap(),
+        "repairs must be byte-identical under fault injection (seed {seed})"
+    );
+    assert!(
+        chaotic.unit_failures.is_empty(),
+        "chaos plan has no poison units, so nothing may be quarantined: {:?}",
+        chaotic.unit_failures
+    );
+    assert_eq!(
+        (clean.rounds, clean.changes, clean.conflicts),
+        (chaotic.rounds, chaotic.changes, chaotic.conflicts),
+        "fault recovery must not change chase semantics"
+    );
+
+    // Controlled crash: every unit hashes onto one owner, which crashes
+    // before executing anything — its whole queue must flow to survivors
+    // through the reassignment injector.
+    let probe = WorkUnit::new(7, vec![Partition::new(0, 0, 10)]);
+    let victim = Cluster::new(WORKERS).owner_of(&probe);
+    let crash_units: Vec<WorkUnit> = (0..32)
+        .map(|_| WorkUnit::new(7, vec![Partition::new(0, 0, 10)]))
+        .collect();
+    let crash_out = Cluster::with_config(
+        WORKERS,
+        ClusterConfig::default().with_fault_plan(FaultPlan::seeded(seed).with_crash(victim, 0)),
+    )
+    .execute(crash_units, |u| {
+        let mut acc = u.rule as u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(5);
+        }
+        Ok(acc)
+    });
+    assert!(
+        crash_out.is_complete(),
+        "crash run must still complete every unit: {:?}",
+        crash_out.failures
+    );
+    assert_eq!(crash_out.stats.faults.node_crashes, 1);
+    assert!(
+        crash_out.stats.faults.reassigned > 0,
+        "the crashed owner's queue must be reassigned: {:?}",
+        crash_out.stats.faults
+    );
+
+    // Poison unit: panics on every attempt, quarantined after exactly
+    // max_retries + 1 attempts, reported as a typed failure — not fatal.
+    let poison_units: Vec<WorkUnit> = (0..16)
+        .map(|i| WorkUnit::new(i, vec![Partition::new(0, i * 10, (i + 1) * 10)]))
+        .collect();
+    let poison_out = Cluster::with_config(
+        WORKERS,
+        ClusterConfig::default()
+            .with_fault_plan(FaultPlan::seeded(seed).with_poison(vec![3]))
+            .with_max_retries(2),
+    )
+    .execute(poison_units, |u| Ok(u.rule));
+    assert_eq!(poison_out.failures.len(), 1);
+    assert_eq!(poison_out.failures[0].unit, 3);
+    assert_eq!(poison_out.failures[0].attempts, 3);
+    assert_eq!(
+        poison_out.results.iter().filter(|r| r.is_some()).count(),
+        15,
+        "the other 15 units still commit"
+    );
+
+    let f = &chaotic.fault_stats;
+    let mut table = Table::new(
+        format!("Chaos — Logistics EC under fault injection (seed {seed})"),
+        &["metric", "clean", "chaos"],
+    );
+    table.row(vec![
+        "wall seconds".into(),
+        fmt_secs(clean_wall),
+        fmt_secs(chaos_wall),
+    ]);
+    table.row(vec![
+        "F1".into(),
+        fmt_f1(clean.metrics.f1()),
+        fmt_f1(chaotic.metrics.f1()),
+    ]);
+    table.row(vec![
+        "rounds / changes".into(),
+        format!("{} / {}", clean.rounds, clean.changes),
+        format!("{} / {}", chaotic.rounds, chaotic.changes),
+    ]);
+    table.row(vec![
+        "repairs byte-identical".into(),
+        "-".into(),
+        "yes (asserted)".into(),
+    ]);
+    table.row(vec![
+        "panics caught / transients / latency".into(),
+        "0 / 0 / 0".into(),
+        format!(
+            "{} / {} / {}",
+            f.panics_caught, f.transient_errors, f.latency_injected
+        ),
+    ]);
+    table.row(vec![
+        "retries / quarantined".into(),
+        "0 / 0".into(),
+        format!("{} / {}", f.retries, f.quarantined),
+    ]);
+    table.row(vec![
+        "node crashes / units reassigned".into(),
+        "0 / 0".into(),
+        format!("{} / {}", f.node_crashes, f.reassigned),
+    ]);
+    table.row(vec![
+        "speculative launched / won".into(),
+        "0 / 0".into(),
+        format!("{} / {}", f.speculative_launched, f.speculative_won),
+    ]);
+    table.row(vec![
+        "controlled crash: reassigned".into(),
+        "-".into(),
+        format!("{}", crash_out.stats.faults.reassigned),
+    ]);
+    table.row(vec![
+        "poison unit: attempts before quarantine".into(),
+        "-".into(),
+        format!("{}", poison_out.failures[0].attempts),
+    ]);
+    table.row(vec![
+        "fault-handling overhead".into(),
+        "1.00x".into(),
+        format!("{:.2}x", chaos_wall / clean_wall.max(1e-9)),
+    ]);
+    let json = json!({
+        "panel": "chaos",
+        "seed": seed,
+        "workers": WORKERS,
+        "byte_identical": true,
+        "clean_wall_seconds": clean_wall,
+        "chaos_wall_seconds": chaos_wall,
+        "clean_f1": clean.metrics.f1(),
+        "chaos_f1": chaotic.metrics.f1(),
+        "faults": {
+            "retries": f.retries,
+            "panics_caught": f.panics_caught,
+            "transient_errors": f.transient_errors,
+            "latency_injected": f.latency_injected,
+            "reassigned": f.reassigned,
+            "speculative_launched": f.speculative_launched,
+            "speculative_won": f.speculative_won,
+            "quarantined": f.quarantined,
+            "node_crashes": f.node_crashes,
+        },
+        "controlled_crash_reassigned": crash_out.stats.faults.reassigned,
+        "poison_attempts": poison_out.failures[0].attempts,
+    });
+    (table, json)
+}
+
 /// Panels 4(d)/(e)/(f): error-detection F1 per task.
 pub fn ed_f1(app_name: &str) -> (Table, serde_json::Value) {
     let w = app(app_name);

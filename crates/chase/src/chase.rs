@@ -22,7 +22,7 @@ use crate::delta::{DeltaSet, RoundStats};
 use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
 use crate::order::OrderInsert;
 use rock_crystal::work::{partition_range, Partition};
-use rock_crystal::{Cluster, WorkUnit};
+use rock_crystal::{Cluster, ClusterConfig, FaultStats, UnitFailure, WorkUnit};
 use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Update, Value};
 use rock_kg::Graph;
 use rock_ml::{MlBlockIndex, ModelRegistry, PairSignature};
@@ -84,6 +84,11 @@ pub struct ChaseConfig {
     /// is a full scan either way, so results are identical by construction
     /// (property-tested in `tests/chase_delta_equivalence.rs`).
     pub semi_naive: bool,
+    /// Crystal resilience knobs (fault plan, retry budget, backoff,
+    /// speculation threshold). A rule with a quarantined unit has its round
+    /// voided and re-runs from scratch the next round, so recoverable
+    /// faults never change the committed fixes.
+    pub cluster: ClusterConfig,
 }
 
 impl Default for ChaseConfig {
@@ -96,6 +101,7 @@ impl Default for ChaseConfig {
             gate: GateMode::Resolved,
             lazy_activation: true,
             semi_naive: true,
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -191,6 +197,13 @@ pub struct ChaseResult {
     /// sizes, carried emissions). Mechanism-dependent: the semi-naive and
     /// full-rescan paths produce identical fixes but different counts here.
     pub round_stats: Vec<RoundStats>,
+    /// Fault-handling counters accumulated over all rounds (all zero in an
+    /// undisturbed run).
+    pub fault_stats: FaultStats,
+    /// Units quarantined across the whole chase. Each voids its rule's
+    /// round (the rule re-runs from scratch the next round), so this being
+    /// non-empty means degraded progress, not wrong fixes.
+    pub unit_failures: Vec<UnitFailure>,
 }
 
 impl ChaseResult {
@@ -426,7 +439,10 @@ impl<'a> ChaseEngine<'a> {
             None => empty_delta.clone(),
         };
 
-        let cluster = Cluster::new(self.config.workers);
+        // One Cluster for all rounds: membership (a crashed node, the
+        // rebuilt ring) persists across rounds, so later rounds place work
+        // on survivors only.
+        let cluster = Cluster::with_config(self.config.workers, self.config.cluster.clone());
         let mut changes: Vec<(CellRef, Value, Value)> = Vec::new();
         let mut merged_pairs: Vec<(GlobalTid, GlobalTid)> = Vec::new();
         let mut conflicts = 0usize;
@@ -434,9 +450,15 @@ impl<'a> ChaseEngine<'a> {
         let mut rounds = 0usize;
         let mut round_makespans: Vec<Vec<f64>> = Vec::new();
         let mut round_stats: Vec<RoundStats> = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut unit_failures: Vec<UnitFailure> = Vec::new();
 
         while rounds < self.config.max_rounds && !active.is_empty() {
             rounds += 1;
+            // Rules with a quarantined unit this round: their round is
+            // voided (partial emissions discarded, carry dropped, pending
+            // kept) and they re-run from scratch next round.
+            let mut round_failed: FxHashSet<usize> = FxHashSet::default();
             let mut stat = RoundStats::default();
             let mut sorted_active: Vec<usize> = active.iter().copied().collect();
             sorted_active.sort_unstable();
@@ -518,7 +540,7 @@ impl<'a> ChaseEngine<'a> {
                 let blocking = self.blocking;
                 let registry = self.registry;
                 let unit_rules: Vec<usize> = units.iter().map(|u| u.rule as usize).collect();
-                let (results, sched) = cluster.execute(units, |unit| {
+                let outcome = cluster.execute(units, |unit| {
                     let ri = unit.rule as usize;
                     let rule = &rules.rules[ri];
                     let mut out: Vec<Emission> = Vec::new();
@@ -584,16 +606,30 @@ impl<'a> ChaseEngine<'a> {
                             });
                         }
                     }
-                    (out, count)
+                    Ok((out, count))
                 });
-                round_makespans.push(sched.unit_seconds.clone());
+                round_makespans.push(outcome.stats.unit_seconds.clone());
+                fault_stats.merge(&outcome.stats.faults);
+                for fl in &outcome.failures {
+                    round_failed.insert(fl.rule as usize);
+                }
+                unit_failures.extend(outcome.failures);
                 let mut per_rule: FxHashMap<usize, Vec<Emission>> = FxHashMap::default();
-                for (ri, (ems, cnt)) in unit_rules.iter().zip(results) {
+                for (ri, res) in unit_rules.iter().zip(outcome.results) {
+                    let Some((ems, cnt)) = res else { continue };
                     stat.valuations += cnt;
                     per_rule.entry(*ri).or_default().extend(ems);
                 }
                 let mut all: Vec<Proposal> = Vec::new();
                 for &ri in &sorted_active {
+                    if round_failed.contains(&ri) {
+                        // void the rule's round: partial emissions could
+                        // miss valuations, so nothing commits and the
+                        // carry is dropped (next round is a full scan)
+                        carry[ri] = None;
+                        per_rule.remove(&ri);
+                        continue;
+                    }
                     let mut emissions = per_rule.remove(&ri).unwrap_or_default();
                     if track {
                         if !full_mode[ri] {
@@ -623,16 +659,24 @@ impl<'a> ChaseEngine<'a> {
                 all
             };
             // pending was consumed by every rule that ran this round
+            // (failed rules keep theirs: their round is retried)
             if track {
                 for &ri in &sorted_active {
-                    pending[ri].clear();
+                    if !round_failed.contains(&ri) {
+                        pending[ri].clear();
+                    }
                 }
             }
             stat.proposals = proposals.len();
 
             if proposals.is_empty() {
                 round_stats.push(stat);
-                break;
+                if round_failed.is_empty() {
+                    break;
+                }
+                // nothing committed, but failed rules must retry
+                active = round_failed;
+                continue;
             }
 
             // ---- commit phase ----
@@ -894,6 +938,7 @@ impl<'a> ChaseEngine<'a> {
                 if !changed_cells.is_empty() || any_merge {
                     active.extend(0..self.rules.len());
                 }
+                active.extend(round_failed.iter().copied());
                 continue;
             }
             if any_merge {
@@ -906,7 +951,9 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
             }
-            if changed_cells.is_empty() && !any_merge {
+            // failed rules always retry, whatever the lazy analysis says
+            active.extend(round_failed.iter().copied());
+            if changed_cells.is_empty() && !any_merge && round_failed.is_empty() {
                 break;
             }
         }
@@ -944,6 +991,8 @@ impl<'a> ChaseEngine<'a> {
             steps,
             round_makespans,
             round_stats,
+            fault_stats,
+            unit_failures,
         }
     }
 

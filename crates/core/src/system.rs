@@ -4,6 +4,7 @@
 use crate::poly::PolyPipeline;
 use crate::variant::{effective_rules, sorted_rules, split_by_task, Variant};
 use rock_chase::{ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy, RoundStats};
+use rock_crystal::{ClusterConfig, FaultStats, UnitFailure};
 use rock_data::Database;
 use rock_detect::blocking::{precompute_ml, precompute_ml_indexed, BlockingStats};
 use rock_detect::{DetectReport, Detector};
@@ -43,6 +44,10 @@ pub struct RockConfig {
     /// full-rescan ablation used by the `chase-delta` panel and the
     /// equivalence tests.
     pub semi_naive: bool,
+    /// Crystal fault-tolerance knobs (fault injection plan, retry budget,
+    /// backoff, speculation threshold), threaded into every discovery /
+    /// detection / chase cluster this system builds.
+    pub cluster: ClusterConfig,
 }
 
 impl Default for RockConfig {
@@ -57,6 +62,7 @@ impl Default for RockConfig {
             partitions_per_rule: 4,
             gate: rock_chase::chase::GateMode::Resolved,
             semi_naive: true,
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -69,6 +75,8 @@ pub struct DiscoveryOutcome {
     pub wall_seconds: f64,
     /// Modeled ML cost spent (registry meter delta).
     pub ml_cost: f64,
+    /// Scheduler fault counters aggregated over all mined relations.
+    pub fault_stats: FaultStats,
 }
 
 /// Detection outcome.
@@ -94,6 +102,11 @@ pub struct CorrectionOutcome {
     /// Per-round chase observability (delta sizes, valuations enumerated);
     /// concatenated across group runs for the sequential variants.
     pub round_stats: Vec<RoundStats>,
+    /// Scheduler fault counters aggregated over all chase rounds.
+    pub fault_stats: FaultStats,
+    /// Quarantined work units (their rules' rounds were voided and
+    /// re-attempted; a non-empty list after convergence means best-effort).
+    pub unit_failures: Vec<UnitFailure>,
 }
 
 /// The Rock system facade.
@@ -134,9 +147,12 @@ impl RockSystem {
         } else {
             Vec::new()
         };
-        let disc = Discoverer::new(&w.registry, self.config.discovery.clone());
+        let mut disc_cfg = self.config.discovery.clone();
+        disc_cfg.cluster = self.config.cluster.clone();
+        let disc = Discoverer::new(&w.registry, disc_cfg);
         let mut rules = RuleSet::default();
         let mut candidates = 0usize;
+        let mut fault_stats = FaultStats::default();
         for (rid, rel) in w.dirty.iter() {
             if rel.is_empty() {
                 continue;
@@ -156,6 +172,7 @@ impl RockSystem {
                 disc.mine_relation(&w.dirty, rid, &space)
             };
             candidates += report.candidates_evaluated;
+            fault_stats.merge(&report.fault_stats);
             for r in report.rules.rules {
                 rules.push(r);
             }
@@ -165,6 +182,7 @@ impl RockSystem {
             candidates_evaluated: candidates,
             wall_seconds: start.elapsed().as_secs_f64(),
             ml_cost: w.registry.meter.cost() - cost0,
+            fault_stats,
         }
     }
 
@@ -177,7 +195,9 @@ impl RockSystem {
         } else {
             None
         };
-        let mut detector = Detector::new(&rules, &w.registry).with_workers(self.config.workers);
+        let mut detector = Detector::new(&rules, &w.registry)
+            .with_workers(self.config.workers)
+            .with_cluster(self.config.cluster.clone());
         detector.partitions_per_rule = self.config.partitions_per_rule;
         if let Some(g) = &w.graph {
             detector = detector.with_graph(g);
@@ -230,6 +250,7 @@ impl RockSystem {
                 partitions_per_rule: self.config.partitions_per_rule,
                 gate: self.config.gate,
                 semi_naive: self.config.semi_naive,
+                cluster: self.config.cluster.clone(),
                 ..ChaseConfig::default()
             };
             let engine = ChaseEngine::new(rules, &w.registry, cfg);
@@ -244,23 +265,33 @@ impl RockSystem {
             engine.run(&w.dirty, &w.trusted)
         };
 
-        let (mut repaired, rounds, conflicts, changes, unit_seconds, round_stats) =
-            match self.config.variant {
-                Variant::Rock | Variant::RockNoMl => {
-                    let res = mk_engine(&rules, 32);
-                    let us = res.round_makespans.concat();
-                    (
-                        res.db,
-                        res.rounds,
-                        res.conflicts,
-                        res.changes.len(),
-                        us,
-                        res.round_stats,
-                    )
-                }
-                Variant::RockSeq => self.run_sequential(w, &rules, &policy, true),
-                Variant::RockNoC => self.run_sequential(w, &rules, &policy, false),
-            };
+        let (
+            mut repaired,
+            rounds,
+            conflicts,
+            changes,
+            unit_seconds,
+            round_stats,
+            fault_stats,
+            unit_failures,
+        ) = match self.config.variant {
+            Variant::Rock | Variant::RockNoMl => {
+                let res = mk_engine(&rules, 32);
+                let us = res.round_makespans.concat();
+                (
+                    res.db,
+                    res.rounds,
+                    res.conflicts,
+                    res.changes.len(),
+                    us,
+                    res.round_stats,
+                    res.fault_stats,
+                    res.unit_failures,
+                )
+            }
+            Variant::RockSeq => self.run_sequential(w, &rules, &policy, true),
+            Variant::RockNoC => self.run_sequential(w, &rules, &policy, false),
+        };
 
         if self.config.variant.uses_ml() {
             if let Some((rel, attr)) = task.polynomial_target {
@@ -283,6 +314,8 @@ impl RockSystem {
             changes,
             unit_seconds,
             round_stats,
+            fault_stats,
+            unit_failures,
         }
     }
 
@@ -309,6 +342,7 @@ impl RockSystem {
             partitions_per_rule: self.config.partitions_per_rule,
             gate: self.config.gate,
             semi_naive: self.config.semi_naive,
+            cluster: self.config.cluster.clone(),
             ..ChaseConfig::default()
         };
         let engine = ChaseEngine::new(&rules, &w.registry, cfg);
@@ -327,6 +361,8 @@ impl RockSystem {
             changes: res.changes.len(),
             unit_seconds: res.round_makespans.concat(),
             round_stats: res.round_stats,
+            fault_stats: res.fault_stats,
+            unit_failures: res.unit_failures,
             repaired: res.db,
         }
     }
@@ -403,7 +439,16 @@ impl RockSystem {
         rules: &RuleSet,
         policy: &ConflictPolicy,
         iterate: bool,
-    ) -> (Database, usize, usize, usize, Vec<f64>, Vec<RoundStats>) {
+    ) -> (
+        Database,
+        usize,
+        usize,
+        usize,
+        Vec<f64>,
+        Vec<RoundStats>,
+        FaultStats,
+        Vec<UnitFailure>,
+    ) {
         let groups = split_by_task(rules);
         let mut db = w.dirty.clone();
         let mut fixes = rock_chase::FixStore::new();
@@ -412,6 +457,8 @@ impl RockSystem {
         let mut changes = 0usize;
         let mut unit_seconds = Vec::new();
         let mut round_stats: Vec<RoundStats> = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut unit_failures: Vec<UnitFailure> = Vec::new();
         let max_sweeps = if iterate { 8 } else { 1 };
         for _sweep in 0..max_sweeps {
             let mut changed_this_sweep = 0usize;
@@ -424,6 +471,7 @@ impl RockSystem {
                     max_rounds: if iterate { 32 } else { 1 },
                     policy: policy.clone(),
                     semi_naive: self.config.semi_naive,
+                    cluster: self.config.cluster.clone(),
                     ..ChaseConfig::default()
                 };
                 let engine = ChaseEngine::new(group, &w.registry, cfg);
@@ -440,6 +488,8 @@ impl RockSystem {
                 changed_this_sweep += res.changes.len() + res.merged_pairs.len();
                 unit_seconds.extend(res.round_makespans.concat());
                 round_stats.extend(res.round_stats);
+                fault_stats.merge(&res.fault_stats);
+                unit_failures.extend(res.unit_failures);
                 db = res.db;
                 fixes = res.fixes;
             }
@@ -454,6 +504,8 @@ impl RockSystem {
             changes,
             unit_seconds,
             round_stats,
+            fault_stats,
+            unit_failures,
         )
     }
 }

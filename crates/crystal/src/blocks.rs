@@ -55,22 +55,24 @@ impl BlockStore {
     }
 
     /// Store an object split into blocks of `block_size`, placing each
-    /// block on the ring owner of `(object, index)`.
+    /// block on the ring owner of `(object, index)`. Returns `None` when
+    /// the ring has no nodes to own the blocks (nothing is stored).
     pub fn put_object(
         &self,
         ring: &ConsistentHashRing,
         name: &str,
         data: &[u8],
         block_size: usize,
-    ) -> Vec<BlockId> {
+    ) -> Option<Vec<BlockId>> {
         assert!(block_size > 0);
+        if ring.node_count() == 0 {
+            return None;
+        }
         let mut ids = Vec::new();
         let mut last_on_node: FxHashMap<NodeId, BlockId> = FxHashMap::default();
         let mut blocks = self.blocks.write();
         for (i, chunk) in data.chunks(block_size).enumerate() {
-            let node = ring
-                .owner(format!("{name}/{i}").as_bytes())
-                .expect("ring has nodes");
+            let node = ring.owner(format!("{name}/{i}").as_bytes())?;
             let id = BlockId(self.next_id.fetch_add(1, Ordering::Relaxed));
             blocks.insert(
                 id,
@@ -94,7 +96,7 @@ impl BlockStore {
                 blocks: ids.clone(),
             },
         );
-        ids
+        Some(ids)
     }
 
     /// Fetch an object's full contents from the perspective of `reader`:
@@ -179,7 +181,7 @@ mod tests {
         let store = BlockStore::new();
         let r = ring(4);
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
-        let ids = store.put_object(&r, "table/part0", &data, 64);
+        let ids = store.put_object(&r, "table/part0", &data, 64).unwrap();
         assert_eq!(ids.len(), 16); // ceil(1000/64)
         let back = store.get_object("table/part0", NodeId(0)).unwrap();
         assert_eq!(back, data);
@@ -191,7 +193,7 @@ mod tests {
         let store = BlockStore::new();
         let r = ring(4);
         let data = vec![7u8; 640];
-        store.put_object(&r, "obj", &data, 64);
+        store.put_object(&r, "obj", &data, 64).unwrap();
         store.get_object("obj", NodeId(0)).unwrap();
         // with 4 nodes, roughly 3/4 of blocks are remote to node 0
         assert!(store.remote_fetches() > 0);
@@ -203,9 +205,17 @@ mod tests {
     fn single_node_no_remote_traffic() {
         let store = BlockStore::new();
         let r = ring(1);
-        store.put_object(&r, "obj", &[1, 2, 3, 4], 2);
+        store.put_object(&r, "obj", &[1, 2, 3, 4], 2).unwrap();
         store.get_object("obj", NodeId(0)).unwrap();
         assert_eq!(store.remote_fetches(), 0);
+    }
+
+    #[test]
+    fn empty_ring_rejects_put() {
+        let store = BlockStore::new();
+        let r = ConsistentHashRing::new(8);
+        assert!(store.put_object(&r, "obj", &[1, 2, 3], 2).is_none());
+        assert_eq!(store.object_count(), 0);
     }
 
     #[test]
@@ -213,7 +223,7 @@ mod tests {
         let store = BlockStore::new();
         let r = ring(3);
         let data = vec![0u8; 64 * 30];
-        let ids = store.put_object(&r, "obj", &data, 64);
+        let ids = store.put_object(&r, "obj", &data, 64).unwrap();
         let mut covered = 0usize;
         for n in 0..3 {
             let chain = store.chain_on_node("obj", NodeId(n));

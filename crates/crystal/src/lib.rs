@@ -20,9 +20,18 @@
 //! * [`scheduler`] — the non-centralized work manager: every node runs the
 //!   same engine, units are placed by the hash of `D_T`, idle nodes fetch
 //!   units from others (work stealing; §5.2 strategy 3).
+//! * [`fault`] — seeded deterministic fault injection (panics, transient
+//!   errors, stragglers, node crashes) plus the retry/quarantine/
+//!   speculation knobs in [`fault::ClusterConfig`]; see DESIGN.md
+//!   §Crystal fault model.
+
+// The substrate must never kill a run: recoverable conditions are typed
+// errors, and panics are isolated per unit. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod blocks;
 pub mod crc32;
+pub mod fault;
 pub mod kvstore;
 pub mod ring;
 pub mod scheduler;
@@ -30,7 +39,10 @@ pub mod work;
 
 pub use blocks::{BlockId, BlockStore};
 pub use crc32::crc32;
-pub use kvstore::KvStore;
+pub use fault::{
+    ClusterConfig, FaultInjector, FaultPlan, FaultStats, NodeCrash, UnitError, UnitFailure,
+};
+pub use kvstore::{KvStore, PrefixWatch, WatchEvent};
 pub use ring::{ConsistentHashRing, NodeId};
-pub use scheduler::{Cluster, SchedulerStats};
+pub use scheduler::{Cluster, ExecuteOutcome, SchedulerStats};
 pub use work::{CostEstimator, WorkUnit};

@@ -56,6 +56,26 @@ impl ConsistentHashRing {
         true
     }
 
+    /// Rebuild a ring from an explicit membership list (e.g. the live
+    /// `nodes/` entries after lease expiry — see
+    /// [`crate::scheduler::Cluster::sync_membership`]): only the listed
+    /// nodes get positions, so ownership re-hashes onto survivors.
+    pub fn from_members<'a>(
+        vnodes: usize,
+        members: impl IntoIterator<Item = (NodeId, &'a str)>,
+    ) -> Self {
+        let mut ring = ConsistentHashRing::new(vnodes);
+        for (node, address) in members {
+            ring.add_node(node, address);
+        }
+        ring
+    }
+
+    /// Whether a node is present.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.iter().any(|(n, _)| *n == node)
+    }
+
     /// Remove a node; its keys flow to the next clockwise owners.
     pub fn remove_node(&mut self, node: NodeId) -> bool {
         let Some(idx) = self.nodes.iter().position(|(n, _)| *n == node) else {
@@ -185,6 +205,32 @@ mod tests {
         }
         // Expected share ≈ 1/9 of keys; allow generous slack.
         assert!(moved > 0 && moved < ks.len() / 3, "moved {moved}");
+    }
+
+    #[test]
+    fn from_members_matches_incremental_build() {
+        let incremental = build(4);
+        let members: Vec<(NodeId, String)> = (0..4)
+            .map(|i| (NodeId(i as u32), format!("10.0.0.{i}")))
+            .collect();
+        let rebuilt =
+            ConsistentHashRing::from_members(64, members.iter().map(|(n, a)| (*n, a.as_str())));
+        assert_eq!(rebuilt.node_count(), 4);
+        assert!(rebuilt.contains(NodeId(2)));
+        assert!(!rebuilt.contains(NodeId(9)));
+        for k in keys(500) {
+            assert_eq!(incremental.owner(k.as_bytes()), rebuilt.owner(k.as_bytes()));
+        }
+        // excluding a member re-hashes exactly like removing it
+        let survivors = ConsistentHashRing::from_members(
+            64,
+            members.iter().skip(1).map(|(n, a)| (*n, a.as_str())),
+        );
+        let mut removed = build(4);
+        removed.remove_node(NodeId(0));
+        for k in keys(500) {
+            assert_eq!(survivors.owner(k.as_bytes()), removed.owner(k.as_bytes()));
+        }
     }
 
     #[test]

@@ -13,13 +13,31 @@
 //! (crossbeam-deque); units placed by consistent-hash owner; idle workers
 //! steal. Per-worker execution counts and steal counts are reported so the
 //! scalability experiments (Fig. 4(h)/(l)) can verify balance.
+//!
+//! Fault tolerance (see [`crate::fault`] and DESIGN.md §Crystal): every
+//! unit body runs under `catch_unwind`, panics and transient errors are
+//! retried with capped deterministic exponential backoff, poison units are
+//! quarantined after `max_retries + 1` attempts (reported in
+//! [`ExecuteOutcome::failures`], never fatal), a crashed node's remaining
+//! queue is re-enqueued onto survivors via a global injector, and
+//! stragglers get speculative copies with first-writer-wins idempotent
+//! commit into the per-unit result slot. A unit settles exactly once
+//! (commit or quarantine), which is the at-most-once commit argument: the
+//! `settled` flag is swapped atomically before any result is written.
 
+use crate::fault::{
+    ClusterConfig, FaultDecision, FaultInjector, FaultStats, InjectedFault, UnitError, UnitFailure,
+};
+use crate::kvstore::KvStore;
 use crate::ring::{ConsistentHashRing, NodeId};
 use crate::work::WorkUnit;
-use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::utils::Backoff;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-run scheduler statistics.
@@ -27,16 +45,20 @@ use std::time::{Duration, Instant};
 pub struct SchedulerStats {
     pub workers: usize,
     pub units: usize,
-    /// Units executed per worker.
+    /// Units committed per worker (first-writer commits only; failed
+    /// attempts and losing speculative copies are not counted here).
     pub executed: Vec<u64>,
     /// Units obtained by stealing, per worker.
     pub stolen: Vec<u64>,
-    /// Busy seconds per worker (sum of unit execution times as actually
-    /// scheduled on the host).
+    /// Busy seconds per worker (sum of attempt execution times as actually
+    /// scheduled on the host, including failed attempts).
     pub busy_seconds: Vec<f64>,
-    /// Measured execution seconds of each unit, in unit order.
+    /// Measured execution seconds of each unit's winning attempt, in unit
+    /// order (0.0 for quarantined units).
     pub unit_seconds: Vec<f64>,
     pub wall_seconds: f64,
+    /// Fault-handling counters (all zero in an undisturbed run).
+    pub faults: FaultStats,
 }
 
 impl SchedulerStats {
@@ -45,7 +67,7 @@ impl SchedulerStats {
         if self.executed.is_empty() || self.units == 0 {
             return 1.0;
         }
-        let max = *self.executed.iter().max().unwrap() as f64;
+        let max = self.executed.iter().copied().max().unwrap_or(0) as f64;
         let mean = self.units as f64 / self.workers as f64;
         if mean == 0.0 {
             1.0
@@ -82,34 +104,127 @@ pub fn makespan_lpt(durations: &[f64], bins: usize) -> f64 {
     let mut load = vec![0.0f64; bins];
     for d in sorted {
         // place on the least-loaded bin
-        let (idx, _) = load
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("bins >= 1");
+        let mut idx = 0;
+        for (j, l) in load.iter().enumerate() {
+            if *l < load[idx] {
+                idx = j;
+            }
+        }
         load[idx] += d;
     }
     load.into_iter().fold(0.0, f64::max)
 }
 
-/// A simulated cluster of `n` equal workers.
+/// The outcome of [`Cluster::execute`]: per-unit results in unit order
+/// (`None` exactly for the units listed in `failures`), the typed failures
+/// of quarantined units, and the run's scheduler statistics.
+#[derive(Debug)]
+pub struct ExecuteOutcome<R> {
+    pub results: Vec<Option<R>>,
+    pub failures: Vec<UnitFailure>,
+    pub stats: SchedulerStats,
+}
+
+impl<R> ExecuteOutcome<R> {
+    /// True when every unit produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// All results when every unit succeeded, the failures otherwise.
+    pub fn into_complete(self) -> Result<Vec<R>, Vec<UnitFailure>> {
+        if self.failures.is_empty() {
+            Ok(self.results.into_iter().flatten().collect())
+        } else {
+            Err(self.failures)
+        }
+    }
+}
+
+/// Shared membership state: the live ring, per-worker liveness flags, the
+/// node→lease mapping, and the once-latch for the planned crash. Shared
+/// (via `Arc`) across rounds so a node that crashed in round *r* stays dead
+/// in round *r+1* and placement re-hashes onto survivors.
+#[derive(Debug)]
+struct Membership {
+    ring: RwLock<ConsistentHashRing>,
+    alive: Vec<AtomicBool>,
+    leases: RwLock<FxHashMap<usize, u64>>,
+    crash_fired: AtomicBool,
+}
+
+/// A work item in flight: the unit index plus whether this is a
+/// speculative copy.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    idx: usize,
+    spec: bool,
+}
+
+/// Atomic fault counters shared by the worker threads of one run.
+#[derive(Default)]
+struct FaultCounters {
+    retries: AtomicU64,
+    panics: AtomicU64,
+    transients: AtomicU64,
+    latency: AtomicU64,
+    reassigned: AtomicU64,
+    spec_launched: AtomicU64,
+    spec_won: AtomicU64,
+    quarantined: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            panics_caught: self.panics.load(Ordering::Relaxed),
+            transient_errors: self.transients.load(Ordering::Relaxed),
+            latency_injected: self.latency.load(Ordering::Relaxed),
+            reassigned: self.reassigned.load(Ordering::Relaxed),
+            speculative_launched: self.spec_launched.load(Ordering::Relaxed),
+            speculative_won: self.spec_won.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            node_crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(inj) = payload.downcast_ref::<InjectedFault>() {
+        format!(
+            "injected panic (unit {}, attempt {})",
+            inj.unit, inj.attempt
+        )
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// A simulated cluster of `n` equal workers. Cloning shares the membership
+/// state (a clone sees the same dead nodes and rebuilt ring).
 #[derive(Debug, Clone)]
 pub struct Cluster {
     workers: usize,
-    ring: ClusterRing,
-}
-
-/// The ring is rebuilt per worker count (nodes are "registered in ETCD" —
-/// see [`crate::kvstore`]; the harness uses [`Cluster::registered`] for
-/// that wiring, the scheduler itself just needs owners).
-#[derive(Debug, Clone)]
-struct ClusterRing {
-    ring: ConsistentHashRing,
+    config: ClusterConfig,
+    membership: Arc<Membership>,
+    kv: Option<Arc<KvStore>>,
 }
 
 impl Cluster {
-    /// A cluster with `workers` nodes (≥1).
+    /// A cluster with `workers` nodes (≥1) and default resilience knobs.
     pub fn new(workers: usize) -> Self {
+        Cluster::with_config(workers, ClusterConfig::default())
+    }
+
+    /// A cluster with explicit resilience configuration (fault plan,
+    /// retry budget, backoff, speculation threshold).
+    pub fn with_config(workers: usize, config: ClusterConfig) -> Self {
         let workers = workers.max(1);
         let mut ring = ConsistentHashRing::new(64);
         for i in 0..workers {
@@ -117,56 +232,199 @@ impl Cluster {
         }
         Cluster {
             workers,
-            ring: ClusterRing { ring },
+            config,
+            membership: Arc::new(Membership {
+                ring: RwLock::new(ring),
+                alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+                leases: RwLock::new(FxHashMap::default()),
+                crash_fired: AtomicBool::new(false),
+            }),
+            kv: None,
         }
     }
 
+    /// Attach a KV store (builder-style); node crashes then revoke the dead
+    /// node's lease so watchers observe the membership change.
+    pub fn with_kv(mut self, kv: Arc<KvStore>) -> Self {
+        self.kv = Some(kv);
+        self
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Total workers, including dead ones.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Register all nodes in a KV store under `nodes/` (the ETCD wiring of
-    /// §5.1). Returns the number registered.
-    pub fn registered(&self, kv: &crate::kvstore::KvStore) -> usize {
-        for i in 0..self.workers {
-            kv.put(&format!("nodes/{i}"), format!("10.42.0.{i}"));
-        }
-        self.workers
+    /// Workers currently alive.
+    pub fn alive_workers(&self) -> usize {
+        self.membership
+            .alive
+            .iter()
+            .filter(|a| a.load(Ordering::Acquire))
+            .count()
     }
 
-    /// Initial placement of a unit: the ring owner of its partition hash.
-    fn place(&self, unit: &WorkUnit) -> usize {
-        self.ring
+    pub fn is_alive(&self, worker: usize) -> bool {
+        self.membership
+            .alive
+            .get(worker)
+            .is_some_and(|a| a.load(Ordering::Acquire))
+    }
+
+    /// Register all live nodes in a KV store under `nodes/` (the ETCD
+    /// wiring of §5.1). Returns the number registered.
+    pub fn registered(&self, kv: &KvStore) -> usize {
+        let mut count = 0;
+        for i in 0..self.workers {
+            if self.membership.alive[i].load(Ordering::Acquire) {
+                kv.put(&format!("nodes/{i}"), format!("10.42.0.{i}"));
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Register all live nodes in the attached KV store under leases of
+    /// `ttl` logical ticks (§5.1 membership): a node that stops calling
+    /// [`KvStore::keep_alive`] loses its `nodes/i` key when the lease
+    /// expires, and [`Cluster::sync_membership`] then drops it from the
+    /// ring. Returns the number of leases granted (0 without a KV store).
+    pub fn register_leased(&self, ttl: u64) -> usize {
+        let Some(kv) = &self.kv else {
+            return 0;
+        };
+        let mut leases = self.membership.leases.write();
+        let mut count = 0;
+        for i in 0..self.workers {
+            if !self.membership.alive[i].load(Ordering::Acquire) {
+                continue;
+            }
+            let lease = kv.lease_grant(ttl);
+            kv.put_with_lease(&format!("nodes/{i}"), format!("10.42.0.{i}"), lease);
+            leases.insert(i, lease);
+            count += 1;
+        }
+        count
+    }
+
+    /// Renew the leases of all live nodes (heartbeat).
+    pub fn keep_alive_all(&self) -> usize {
+        let Some(kv) = &self.kv else {
+            return 0;
+        };
+        let leases = self.membership.leases.read();
+        let mut renewed = 0;
+        for (w, lease) in leases.iter() {
+            if self.membership.alive[*w].load(Ordering::Acquire) && kv.keep_alive(*lease) {
+                renewed += 1;
+            }
+        }
+        renewed
+    }
+
+    /// Expire due leases in the attached KV store and rebuild the ring from
+    /// the surviving `nodes/` entries, marking absent workers dead.
+    /// Returns the number of live workers afterwards.
+    pub fn sync_membership(&self) -> usize {
+        let Some(kv) = &self.kv else {
+            return self.alive_workers();
+        };
+        kv.expire_due();
+        let live: Vec<(NodeId, String)> = kv
+            .scan_prefix("nodes/")
+            .into_iter()
+            .filter_map(|(k, e)| {
+                let idx: usize = k.strip_prefix("nodes/")?.parse().ok()?;
+                if idx >= self.workers {
+                    return None;
+                }
+                Some((
+                    NodeId(idx as u32),
+                    String::from_utf8_lossy(&e.value).into_owned(),
+                ))
+            })
+            .collect();
+        *self.membership.ring.write() =
+            ConsistentHashRing::from_members(64, live.iter().map(|(n, a)| (*n, a.as_str())));
+        let mut alive = 0;
+        for w in 0..self.workers {
+            let present = live.iter().any(|(n, _)| n.0 as usize == w);
+            self.membership.alive[w].store(present, Ordering::Release);
+            alive += usize::from(present);
+        }
+        alive
+    }
+
+    /// The worker a unit is initially placed on: the ring owner of its
+    /// partition hash, falling back to the first live worker when the
+    /// owner is dead or the ring is empty.
+    pub fn owner_of(&self, unit: &WorkUnit) -> usize {
+        let owner = self
+            .membership
             .ring
-            .owner_of_hash(unit.placement_hash())
-            .map(|n| n.0 as usize % self.workers)
+            .read()
+            .owner_of_hash(unit.placement_hash());
+        if let Some(n) = owner {
+            let w = n.0 as usize;
+            if w < self.workers && self.membership.alive[w].load(Ordering::Acquire) {
+                return w;
+            }
+        }
+        (0..self.workers)
+            .find(|&w| self.membership.alive[w].load(Ordering::Acquire))
             .unwrap_or(0)
     }
 
-    /// Execute all units with work stealing; `f` runs on worker threads.
-    /// Results are returned in unit order.
-    pub fn execute<R, F>(&self, units: Vec<WorkUnit>, f: F) -> (Vec<R>, SchedulerStats)
+    /// Execute all units with work stealing; `f` runs on worker threads
+    /// and may fail with a [`UnitError`] (retried like an injected fault).
+    /// Results are returned in unit order; a `None` slot corresponds to a
+    /// quarantined unit described in [`ExecuteOutcome::failures`].
+    pub fn execute<R, F>(&self, units: Vec<WorkUnit>, f: F) -> ExecuteOutcome<R>
     where
         R: Send,
-        F: Fn(&WorkUnit) -> R + Sync,
+        F: Fn(&WorkUnit) -> Result<R, UnitError> + Sync,
     {
         let n = self.workers;
         let total = units.len();
         let start = Instant::now();
+        let max_retries = self.config.max_retries;
+        let spec_threshold = self.config.speculative_threshold;
+        let fault = self
+            .config
+            .fault_plan
+            .clone()
+            .filter(|p| p.is_active())
+            .map(FaultInjector::new);
+        if fault
+            .as_ref()
+            .is_some_and(|fi| fi.plan().panic_prob > 0.0 || !fi.plan().poison_units.is_empty())
+        {
+            crate::fault::silence_injected_panics();
+        }
 
         // Build per-worker deques and place units (indices into `units`).
-        let deques: Vec<Deque<usize>> = (0..n).map(|_| Deque::new_fifo()).collect();
-        let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+        let deques: Vec<Deque<Task>> = (0..n).map(|_| Deque::new_fifo()).collect();
+        let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+        // A crashed node drains its remaining queue here; any worker polls
+        // it before stealing.
+        let global: Injector<Task> = Injector::new();
         // Sort by estimated cost descending within each queue so big units
         // start early (classic LPT-flavoured placement).
         let mut placed: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, u) in units.iter().enumerate() {
-            placed[self.place(u)].push(i);
+            placed[self.owner_of(u)].push(i);
         }
         for (w, mut list) in placed.into_iter().enumerate() {
             list.sort_by(|&a, &b| units[b].est_cost.total_cmp(&units[a].est_cost));
             for i in list {
-                deques[w].push(i);
+                deques[w].push(Task {
+                    idx: i,
+                    spec: false,
+                });
             }
         }
 
@@ -174,43 +432,269 @@ impl Cluster {
         let stolen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         // busy time per worker in nanoseconds
         let busy_ns: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        // execution time per unit in nanoseconds
+        // execution time of the winning attempt per unit, in nanoseconds
         let unit_ns: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        // retry/speculation bookkeeping per unit
+        let attempts: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+        let settled: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        let running: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        let spec_launched: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        let started_ns: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        let cost_milli: Vec<u64> = units
+            .iter()
+            .map(|u| (u.est_cost.max(0.0) * 1000.0) as u64 + 1)
+            .collect();
+        // observed throughput (committed work only), for straggler detection
+        let done_ns = AtomicU64::new(0);
+        let done_cost_milli = AtomicU64::new(0);
+        let done_count = AtomicU64::new(0);
         let remaining = AtomicUsize::new(total);
         let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let failures: Mutex<Vec<UnitFailure>> = Mutex::new(Vec::new());
+        let counters = FaultCounters::default();
+        let membership = &*self.membership;
+        let config = &self.config;
+        let kv = self.kv.as_deref();
 
-        crossbeam::scope(|scope| {
+        // Absorb the scope result instead of propagating worker panics:
+        // unit bodies run under catch_unwind, so a scope-level unwind means
+        // a scheduler bug — its unsettled units surface as `Lost` failures
+        // below rather than aborting the caller.
+        let _ = crossbeam::scope(|scope| {
             for (w, deque) in deques.into_iter().enumerate() {
                 let stealers = &stealers;
+                let global = &global;
                 let executed = &executed;
                 let stolen = &stolen;
                 let busy_ns = &busy_ns;
                 let unit_ns = &unit_ns;
+                let attempts = &attempts;
+                let settled = &settled;
+                let running = &running;
+                let spec_launched = &spec_launched;
+                let started_ns = &started_ns;
+                let cost_milli = &cost_milli;
+                let done_ns = &done_ns;
+                let done_cost_milli = &done_cost_milli;
+                let done_count = &done_count;
                 let remaining = &remaining;
                 let results = &results;
+                let failures = &failures;
+                let counters = &counters;
                 let units = &units;
+                let fault = &fault;
                 let f = &f;
                 scope.spawn(move |_| {
-                    // Exponential backoff while idle: spin first, then
-                    // yield, then sleep in short naps (crossbeam's Backoff
-                    // has no futex to park on here — there is no unpark
-                    // signal when a victim's queue refills, so a bounded
-                    // nap is the parking stand-in). A hot bare-`yield_now`
-                    // loop burns a core against the very workers it waits
-                    // for.
+                    if !membership.alive[w].load(Ordering::Acquire) {
+                        // Dead from a crash in an earlier round: drain
+                        // anything mistakenly placed here and exit.
+                        while let Some(t) = deque.pop() {
+                            global.push(t);
+                            counters.reassigned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+
+                    // Run one task (original or speculative copy) through
+                    // the inject → catch_unwind → retry/quarantine pipeline.
+                    let run = |i: usize, spec: bool, was_steal: bool, local_done: &mut u64| {
+                        if settled[i].load(Ordering::Acquire) {
+                            return;
+                        }
+                        loop {
+                            // Speculative copies observe the current
+                            // attempt number without consuming one, so the
+                            // owner's retry/quarantine accounting stays
+                            // exact (attempts == max_retries + 1 on
+                            // quarantine, always).
+                            let attempt = if spec {
+                                attempts[i].load(Ordering::Relaxed).max(1)
+                            } else {
+                                attempts[i].fetch_add(1, Ordering::Relaxed)
+                            };
+                            running[i].store(true, Ordering::Relaxed);
+                            let now_rel = start.elapsed().as_nanos() as u64;
+                            let _ = started_ns[i].compare_exchange(
+                                0,
+                                now_rel.max(1),
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            );
+                            let decision = fault
+                                .as_ref()
+                                .map(|fi| fi.decide(i, attempt))
+                                .unwrap_or(FaultDecision::None);
+                            if matches!(decision, FaultDecision::Latency(_)) {
+                                counters.latency.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let t0 = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                match decision {
+                                    FaultDecision::Panic => {
+                                        panic_any(InjectedFault { unit: i, attempt })
+                                    }
+                                    FaultDecision::Transient => {
+                                        return Err(UnitError::Transient(format!(
+                                            "injected fault (unit {i}, attempt {attempt})"
+                                        )));
+                                    }
+                                    FaultDecision::Latency(d) => std::thread::sleep(d),
+                                    FaultDecision::None => {}
+                                }
+                                f(&units[i])
+                            }));
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            busy_ns[w].fetch_add(ns, Ordering::Relaxed);
+                            let error = match outcome {
+                                Ok(Ok(r)) => {
+                                    // First-writer-wins idempotent commit:
+                                    // the settled swap decides the winner,
+                                    // so a unit's result is written at most
+                                    // once even when a speculative copy
+                                    // races the original.
+                                    if !settled[i].swap(true, Ordering::AcqRel) {
+                                        *results[i].lock() = Some(r);
+                                        unit_ns[i].store(ns, Ordering::Relaxed);
+                                        executed[w].fetch_add(1, Ordering::Relaxed);
+                                        if was_steal {
+                                            stolen[w].fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        if spec {
+                                            counters.spec_won.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        done_ns.fetch_add(ns, Ordering::Relaxed);
+                                        done_cost_milli.fetch_add(cost_milli[i], Ordering::Relaxed);
+                                        done_count.fetch_add(1, Ordering::Relaxed);
+                                        remaining.fetch_sub(1, Ordering::AcqRel);
+                                        *local_done += 1;
+                                    }
+                                    return;
+                                }
+                                Ok(Err(e)) => {
+                                    if matches!(e, UnitError::Transient(_)) {
+                                        counters.transients.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    e
+                                }
+                                Err(payload) => {
+                                    counters.panics.fetch_add(1, Ordering::Relaxed);
+                                    UnitError::Panic(describe_panic(payload.as_ref()))
+                                }
+                            };
+                            if settled[i].load(Ordering::Acquire) {
+                                return; // another copy already won
+                            }
+                            if spec {
+                                return; // speculative copies never retry
+                            }
+                            if attempt >= max_retries {
+                                // Quarantine: settle without a result; the
+                                // typed failure is reported, not fatal.
+                                if !settled[i].swap(true, Ordering::AcqRel) {
+                                    failures.lock().push(UnitFailure {
+                                        unit: i,
+                                        rule: units[i].rule,
+                                        attempts: attempt + 1,
+                                        error,
+                                    });
+                                    counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                                    remaining.fetch_sub(1, Ordering::AcqRel);
+                                    *local_done += 1;
+                                }
+                                return;
+                            }
+                            counters.retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(config.backoff_for(attempt));
+                        }
+                    };
+
+                    // Scan for a running unit that exceeds the speculation
+                    // threshold relative to the observed cost→time rate.
+                    let find_straggler = || -> Option<usize> {
+                        if spec_threshold <= 0.0 || done_count.load(Ordering::Relaxed) < 3 {
+                            return None;
+                        }
+                        let rate = done_ns.load(Ordering::Relaxed)
+                            / done_cost_milli.load(Ordering::Relaxed).max(1);
+                        let now_rel = start.elapsed().as_nanos() as u64;
+                        for i in 0..total {
+                            if settled[i].load(Ordering::Acquire)
+                                || !running[i].load(Ordering::Relaxed)
+                                || spec_launched[i].load(Ordering::Relaxed)
+                            {
+                                continue;
+                            }
+                            let s = started_ns[i].load(Ordering::Relaxed);
+                            if s == 0 {
+                                continue;
+                            }
+                            let expected = rate.saturating_mul(cost_milli[i]).max(50_000);
+                            let limit = ((expected as f64) * spec_threshold) as u64;
+                            if now_rel.saturating_sub(s) > limit.max(200_000)
+                                && !spec_launched[i].swap(true, Ordering::Relaxed)
+                            {
+                                return Some(i);
+                            }
+                        }
+                        None
+                    };
+
+                    let crash = fault.as_ref().and_then(|fi| fi.plan().crash);
                     let backoff = Backoff::new();
+                    let mut local_done: u64 = 0;
                     loop {
-                        // own queue first
+                        // Planned whole-node crash, honored at a unit
+                        // boundary (no in-flight work is lost) and only
+                        // when survivors exist.
+                        if let Some(c) = crash {
+                            if c.node == w
+                                && n > 1
+                                && local_done >= c.after_units
+                                && !membership.crash_fired.swap(true, Ordering::AcqRel)
+                            {
+                                let mut moved = 0u64;
+                                while let Some(t) = deque.pop() {
+                                    global.push(t);
+                                    moved += 1;
+                                }
+                                counters.reassigned.fetch_add(moved, Ordering::Relaxed);
+                                counters.crashes.fetch_add(1, Ordering::Relaxed);
+                                membership.alive[w].store(false, Ordering::Release);
+                                membership.ring.write().remove_node(NodeId(w as u32));
+                                if let Some(kv) = kv {
+                                    let lease = membership.leases.write().remove(&w);
+                                    if let Some(lease) = lease {
+                                        kv.lease_revoke(lease);
+                                    } else {
+                                        kv.delete(&format!("nodes/{w}"));
+                                    }
+                                }
+                                return;
+                            }
+                        }
+                        // own queue first, then the reassignment injector,
+                        // then steal round-robin from the others
                         let mut task = deque.pop();
                         let mut was_steal = false;
                         if task.is_none() {
-                            // steal round-robin from the others
+                            loop {
+                                match global.steal() {
+                                    Steal::Success(t) => {
+                                        task = Some(t);
+                                        break;
+                                    }
+                                    Steal::Retry => continue,
+                                    Steal::Empty => break,
+                                }
+                            }
+                        }
+                        if task.is_none() {
                             'steal: for off in 1..n {
                                 let victim = (w + off) % n;
                                 loop {
                                     match stealers[victim].steal() {
-                                        Steal::Success(i) => {
-                                            task = Some(i);
+                                        Steal::Success(t) => {
+                                            task = Some(t);
                                             was_steal = true;
                                             break 'steal;
                                         }
@@ -221,24 +705,25 @@ impl Cluster {
                             }
                         }
                         match task {
-                            Some(i) => {
+                            Some(t) => {
                                 backoff.reset();
-                                let t0 = Instant::now();
-                                let r = f(&units[i]);
-                                let ns = t0.elapsed().as_nanos() as u64;
-                                busy_ns[w].fetch_add(ns, Ordering::Relaxed);
-                                unit_ns[i].store(ns, Ordering::Relaxed);
-                                *results[i].lock() = Some(r);
-                                executed[w].fetch_add(1, Ordering::Relaxed);
-                                if was_steal {
-                                    stolen[w].fetch_add(1, Ordering::Relaxed);
-                                }
-                                remaining.fetch_sub(1, Ordering::AcqRel);
+                                run(t.idx, t.spec, was_steal, &mut local_done);
                             }
                             None => {
                                 if remaining.load(Ordering::Acquire) == 0 {
                                     break;
                                 }
+                                if let Some(i) = find_straggler() {
+                                    counters.spec_launched.fetch_add(1, Ordering::Relaxed);
+                                    backoff.reset();
+                                    run(i, true, false, &mut local_done);
+                                    continue;
+                                }
+                                // Exponential backoff while idle: spin
+                                // first, then yield, then sleep in short
+                                // naps (there is no unpark signal when a
+                                // victim's queue refills, so a bounded nap
+                                // is the parking stand-in).
                                 if backoff.is_completed() {
                                     std::thread::sleep(Duration::from_micros(100));
                                 } else {
@@ -249,13 +734,24 @@ impl Cluster {
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
-        let out: Vec<R> = results
-            .into_iter()
-            .map(|m| m.into_inner().expect("all units executed"))
-            .collect();
+        let out: Vec<Option<R>> = results.into_iter().map(|m| m.into_inner()).collect();
+        let mut failures = failures.into_inner();
+        // Defensive: a unit neither committed nor quarantined (possible
+        // only if a worker died outside catch_unwind) is reported as Lost.
+        for (i, r) in out.iter().enumerate() {
+            if r.is_none() && !failures.iter().any(|fl| fl.unit == i) {
+                failures.push(UnitFailure {
+                    unit: i,
+                    rule: units[i].rule,
+                    attempts: attempts[i].load(Ordering::Relaxed),
+                    error: UnitError::Lost,
+                });
+            }
+        }
+        failures.sort_by_key(|fl| fl.unit);
+
         let stats = SchedulerStats {
             workers: n,
             units: total,
@@ -270,14 +766,20 @@ impl Cluster {
                 .map(|a| a.load(Ordering::Relaxed) as f64 / 1e9)
                 .collect(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            faults: counters.snapshot(),
         };
-        (out, stats)
+        ExecuteOutcome {
+            results: out,
+            failures,
+            stats,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::work::Partition;
 
     fn units(n: u32) -> Vec<WorkUnit> {
@@ -289,30 +791,38 @@ mod tests {
     #[test]
     fn executes_all_units_in_order() {
         let cluster = Cluster::new(4);
-        let (results, stats) = cluster.execute(units(100), |u| u.partitions[0].start);
-        assert_eq!(results.len(), 100);
-        for (i, r) in results.iter().enumerate() {
-            assert_eq!(*r, i as u32 * 10);
+        let out = cluster.execute(units(100), |u| Ok(u.partitions[0].start));
+        assert_eq!(out.results.len(), 100);
+        assert!(out.is_complete());
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, Some(i as u32 * 10));
         }
-        assert_eq!(stats.units, 100);
-        assert_eq!(stats.executed.iter().sum::<u64>(), 100);
+        assert_eq!(out.stats.units, 100);
+        assert_eq!(out.stats.executed.iter().sum::<u64>(), 100);
+        let f = &out.stats.faults;
+        assert_eq!(
+            (f.retries, f.panics_caught, f.quarantined, f.reassigned),
+            (0, 0, 0, 0),
+            "no fault handling in a clean run"
+        );
     }
 
     #[test]
     fn single_worker_works() {
         let cluster = Cluster::new(1);
-        let (results, stats) = cluster.execute(units(10), |u| u.rule);
-        assert_eq!(results.len(), 10);
-        assert_eq!(stats.executed, vec![10]);
-        assert_eq!(stats.imbalance(), 1.0);
+        let out = cluster.execute(units(10), |u| Ok(u.rule));
+        assert_eq!(out.results.len(), 10);
+        assert_eq!(out.stats.executed, vec![10]);
+        assert_eq!(out.stats.imbalance(), 1.0);
     }
 
     #[test]
     fn empty_units_ok() {
         let cluster = Cluster::new(3);
-        let (results, stats) = cluster.execute(Vec::new(), |_| 0u8);
-        assert!(results.is_empty());
-        assert_eq!(stats.units, 0);
+        let out = cluster.execute(Vec::new(), |_| Ok(0u8));
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.units, 0);
+        assert!(out.is_complete());
     }
 
     #[test]
@@ -323,19 +833,23 @@ mod tests {
         let us: Vec<WorkUnit> = (0..64)
             .map(|_| WorkUnit::new(7, vec![Partition::new(0, 0, 10)]))
             .collect();
-        let (results, stats) = cluster.execute(us, |_| {
+        let out = cluster.execute(us, |_| {
             // ~200µs of busy work
             let mut acc = 0u64;
             for i in 0..200_000u64 {
                 acc = acc.wrapping_add(i).rotate_left(3);
             }
-            acc
+            Ok(acc)
         });
-        assert_eq!(results.len(), 64);
-        let total_stolen: u64 = stats.stolen.iter().sum();
-        assert!(total_stolen > 0, "expected steals, stats={stats:?}");
+        assert_eq!(out.results.len(), 64);
+        let total_stolen: u64 = out.stats.stolen.iter().sum();
+        assert!(total_stolen > 0, "expected steals, stats={:?}", out.stats);
         // balance should be far better than everything-on-one-node
-        assert!(stats.imbalance() < 3.0, "imbalance {}", stats.imbalance());
+        assert!(
+            out.stats.imbalance() < 3.0,
+            "imbalance {}",
+            out.stats.imbalance()
+        );
     }
 
     #[test]
@@ -349,15 +863,15 @@ mod tests {
             for i in 0..200_000u64 {
                 acc = acc.wrapping_add(i).rotate_left(1);
             }
-            acc
+            Ok(acc)
         };
         // Durations must be sampled without thread contention (a 1-worker
         // run), then scheduled onto n modeled workers — running 4 threads
         // on 1 CPU inflates per-unit wall durations with preemption time.
         let us = units(64);
-        let (_, s1) = Cluster::new(1).execute(us, work);
-        let m1 = s1.modeled_makespan();
-        let m4 = makespan_lpt(&s1.unit_seconds, 4);
+        let out = Cluster::new(1).execute(us, work);
+        let m1 = out.stats.modeled_makespan();
+        let m4 = makespan_lpt(&out.stats.unit_seconds, 4);
         assert!(m1 > 0.0 && m4 > 0.0);
         assert!(m4 < m1 / 2.0, "m1={m1} m4={m4}");
     }
@@ -382,9 +896,173 @@ mod tests {
 
     #[test]
     fn registered_nodes_visible_in_kv() {
-        let kv = crate::kvstore::KvStore::new();
+        let kv = KvStore::new();
         let cluster = Cluster::new(5);
         assert_eq!(cluster.registered(&kv), 5);
         assert_eq!(kv.scan_prefix("nodes/").len(), 5);
+    }
+
+    #[test]
+    fn injected_panics_and_transients_recover() {
+        let plan = FaultPlan::chaos(1234);
+        let cluster = Cluster::with_config(4, ClusterConfig::default().with_fault_plan(plan));
+        let out = cluster.execute(units(200), |u| Ok(u.partitions[0].start));
+        assert!(out.is_complete(), "failures: {:?}", out.failures);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, Some(i as u32 * 10));
+        }
+        assert!(
+            out.stats.faults.panics_caught + out.stats.faults.transient_errors > 0,
+            "chaos plan should inject something over 200 units: {:?}",
+            out.stats.faults
+        );
+        // Every failed first attempt is retried (a speculative copy may
+        // occasionally settle a unit first, so ≤ rather than ==).
+        let f = &out.stats.faults;
+        assert!(f.retries > 0 && f.retries <= f.panics_caught + f.transient_errors);
+        assert_eq!(f.quarantined, 0);
+    }
+
+    #[test]
+    fn faulted_results_equal_fault_free() {
+        let us = units(150);
+        let clean = Cluster::new(3).execute(us.clone(), |u| Ok(u.placement_hash()));
+        let chaotic = Cluster::with_config(
+            3,
+            ClusterConfig::default().with_fault_plan(FaultPlan::chaos(77)),
+        )
+        .execute(us, |u| Ok(u.placement_hash()));
+        assert_eq!(clean.results, chaotic.results);
+    }
+
+    #[test]
+    fn poison_unit_quarantined_after_exact_retries() {
+        let plan = FaultPlan::seeded(9).with_poison(vec![5]);
+        let cfg = ClusterConfig::default()
+            .with_fault_plan(plan)
+            .with_max_retries(3);
+        let out = Cluster::with_config(2, cfg).execute(units(20), |u| Ok(u.rule));
+        assert_eq!(out.failures.len(), 1);
+        let fl = &out.failures[0];
+        assert_eq!(fl.unit, 5);
+        assert_eq!(fl.attempts, 4, "max_retries + 1 total attempts");
+        assert!(matches!(fl.error, UnitError::Panic(_)));
+        assert!(out.results[5].is_none());
+        assert_eq!(out.stats.faults.quarantined, 1);
+        assert_eq!(out.stats.faults.retries, 3);
+        // every other unit still committed
+        assert_eq!(out.results.iter().filter(|r| r.is_some()).count(), 19);
+    }
+
+    #[test]
+    fn genuine_panic_is_isolated_not_fatal() {
+        let cluster = Cluster::with_config(2, ClusterConfig::default().with_max_retries(1));
+        let out = cluster.execute(units(10), |u| {
+            if u.partitions[0].start == 30 {
+                panic!("genuine bug in unit body");
+            }
+            Ok(u.partitions[0].start)
+        });
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].unit, 3);
+        assert_eq!(out.failures[0].attempts, 2);
+        match &out.failures[0].error {
+            UnitError::Panic(m) => assert!(m.contains("genuine bug"), "{m}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        assert_eq!(out.results.iter().filter(|r| r.is_some()).count(), 9);
+    }
+
+    #[test]
+    fn node_crash_reassigns_remaining_units() {
+        // All units hash to the same queue; crash that owner immediately so
+        // its whole queue must flow to survivors through the injector.
+        let cluster = Cluster::new(4);
+        let probe = WorkUnit::new(7, vec![Partition::new(0, 0, 10)]);
+        let victim = cluster.owner_of(&probe);
+        let us: Vec<WorkUnit> = (0..32)
+            .map(|_| WorkUnit::new(7, vec![Partition::new(0, 0, 10)]))
+            .collect();
+        let cfg =
+            ClusterConfig::default().with_fault_plan(FaultPlan::seeded(3).with_crash(victim, 0));
+        let cluster = Cluster::with_config(4, cfg);
+        // Units heavy enough (~100µs) that survivors cannot steal the whole
+        // queue before the victim's crash check drains it.
+        let out = cluster.execute(us, |u| {
+            let mut acc = u.rule as u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i).rotate_left(5);
+            }
+            Ok(acc & 0xff)
+        });
+        assert!(out.is_complete(), "failures: {:?}", out.failures);
+        assert_eq!(out.stats.faults.node_crashes, 1);
+        assert!(
+            out.stats.faults.reassigned > 0,
+            "dead node's queue must be reassigned: {:?}",
+            out.stats.faults
+        );
+        assert_eq!(out.stats.executed[victim], 0, "victim committed nothing");
+        assert_eq!(cluster.alive_workers(), 3);
+        // the dead node stays dead: a second round places onto survivors
+        let out2 = cluster.execute(units(40), |u| Ok(u.partitions[0].start));
+        assert!(out2.is_complete());
+        assert_eq!(out2.stats.executed[victim], 0);
+    }
+
+    #[test]
+    fn crash_skipped_when_no_survivors() {
+        let cfg = ClusterConfig::default().with_fault_plan(FaultPlan::seeded(3).with_crash(0, 0));
+        let out = Cluster::with_config(1, cfg).execute(units(5), |u| Ok(u.rule));
+        assert!(out.is_complete(), "sole worker must not crash");
+        assert_eq!(out.stats.faults.node_crashes, 0);
+    }
+
+    #[test]
+    fn stragglers_get_speculative_copies() {
+        // One unit sleeps far beyond the observed rate; an idle worker must
+        // launch a speculative copy. The injected-latency path exercises
+        // the same machinery end-to-end.
+        let plan = FaultPlan::seeded(21).with_latency(1.0, Duration::from_millis(30));
+        // latency_prob 1.0 with first_attempt_only hits every unit once;
+        // restrict to a handful of units so the test stays fast.
+        let cfg = ClusterConfig {
+            fault_plan: Some(plan),
+            speculative_threshold: 2.0,
+            ..ClusterConfig::default()
+        };
+        let out = Cluster::with_config(4, cfg).execute(units(8), |u| Ok(u.rule));
+        assert!(out.is_complete());
+        // Speculation is timing-dependent (idle workers only), so only the
+        // invariants are asserted: launched ≥ won, and results intact.
+        assert!(out.stats.faults.speculative_won <= out.stats.faults.speculative_launched);
+        assert_eq!(out.results.iter().filter(|r| r.is_some()).count(), 8);
+    }
+
+    #[test]
+    fn leased_registration_and_expiry_rebuild_ring() {
+        let kv = Arc::new(KvStore::new());
+        let cluster = Cluster::new(4).with_kv(Arc::clone(&kv));
+        assert_eq!(cluster.register_leased(5), 4);
+        assert_eq!(kv.scan_prefix("nodes/").len(), 4);
+        // node 2's lease lapses (no keep-alive) while others renew
+        let lease2 = *cluster.membership.leases.read().get(&2).unwrap();
+        for _ in 0..6 {
+            kv.tick();
+            for (w, l) in cluster.membership.leases.read().iter() {
+                if *w != 2 {
+                    kv.keep_alive(*l);
+                }
+            }
+        }
+        assert_eq!(cluster.sync_membership(), 3);
+        assert!(!cluster.is_alive(2));
+        assert!(kv.get("nodes/2").is_none());
+        assert!(!kv.keep_alive(lease2), "expired lease cannot be renewed");
+        // placement now lands on survivors only
+        for i in 0..50 {
+            let u = WorkUnit::new(0, vec![Partition::new(0, i * 7, i * 7 + 5)]);
+            assert_ne!(cluster.owner_of(&u), 2);
+        }
     }
 }

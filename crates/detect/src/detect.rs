@@ -1,7 +1,7 @@
 //! Batch and incremental violation detection.
 
 use rock_crystal::work::partition_range;
-use rock_crystal::{Cluster, WorkUnit};
+use rock_crystal::{Cluster, ClusterConfig, FaultStats, UnitFailure, WorkUnit};
 use rock_data::{CellRef, Database, Delta, GlobalTid, TupleId};
 use rock_kg::Graph;
 use rock_ml::ModelRegistry;
@@ -70,6 +70,12 @@ pub struct DetectReport {
     pub unit_seconds: Vec<f64>,
     /// Wall seconds of the detection pass.
     pub wall_seconds: f64,
+    /// Fault/retry/speculation counters from the Crystal scheduler.
+    pub fault_stats: FaultStats,
+    /// Work units quarantined after exhausting retries. Their partitions
+    /// contribute no violations — the report is a best-effort under-
+    /// approximation whenever this is non-empty.
+    pub unit_failures: Vec<UnitFailure>,
 }
 
 impl DetectReport {
@@ -216,6 +222,7 @@ pub struct Detector<'a> {
     pub graph: Option<&'a Graph>,
     pub workers: usize,
     pub partitions_per_rule: u32,
+    pub cluster: ClusterConfig,
 }
 
 impl<'a> Detector<'a> {
@@ -226,6 +233,7 @@ impl<'a> Detector<'a> {
             graph: None,
             workers: 1,
             partitions_per_rule: 4,
+            cluster: ClusterConfig::default(),
         }
     }
 
@@ -236,6 +244,12 @@ impl<'a> Detector<'a> {
 
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Fault-injection / retry / speculation knobs for the batch path.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
         self
     }
 
@@ -296,7 +310,7 @@ impl<'a> Detector<'a> {
         match touched {
             None => {
                 // batch: rule × partition work units on the cluster
-                let cluster = Cluster::new(self.workers);
+                let cluster = Cluster::with_config(self.workers, self.cluster.clone());
                 let mut units = Vec::new();
                 for (ri, rule) in self.rules.iter().enumerate() {
                     let rel0 = rule.rel_of(0);
@@ -306,7 +320,7 @@ impl<'a> Detector<'a> {
                     }
                 }
                 let rules = self.rules;
-                let (lists, stats) = cluster.execute(units, |unit| {
+                let outcome = cluster.execute(units, |unit| {
                     let ri = unit.rule as usize;
                     let rule = &rules.rules[ri];
                     let range = unit.partitions[0].start..unit.partitions[0].end;
@@ -323,10 +337,12 @@ impl<'a> Detector<'a> {
                         }
                         true
                     });
-                    (found, sats)
+                    Ok((found, sats))
                 });
-                report.unit_seconds = stats.unit_seconds;
-                for (found, sats) in lists {
+                report.unit_seconds = outcome.stats.unit_seconds;
+                report.fault_stats.merge(&outcome.stats.faults);
+                report.unit_failures.extend(outcome.failures);
+                for (found, sats) in outcome.results.into_iter().flatten() {
                     for (ri, h) in found {
                         let rule = &self.rules.rules[ri];
                         record(rule, ri, consequence_kind(rule), &h, &mut report);

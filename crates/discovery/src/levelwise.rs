@@ -29,7 +29,7 @@
 use crate::cache::{CacheStats, PredicateBitsets};
 use crate::space::PredicateSpace;
 use rock_crystal::work::Partition;
-use rock_crystal::{Cluster, WorkUnit};
+use rock_crystal::{Cluster, ClusterConfig, FaultStats, UnitFailure, WorkUnit};
 use rock_data::{Database, RelId};
 use rock_kg::Graph;
 use rock_ml::ModelRegistry;
@@ -57,6 +57,9 @@ pub struct DiscoveryConfig {
     /// Evaluate candidates with bitset kernels (default). `false` selects
     /// the tuple re-scan path — same mined rules, no cache.
     pub use_bitset_cache: bool,
+    /// Fault-injection / retry / speculation knobs for candidate
+    /// measurement on the cluster.
+    pub cluster: ClusterConfig,
 }
 
 impl Default for DiscoveryConfig {
@@ -69,6 +72,7 @@ impl Default for DiscoveryConfig {
             min_consequence_support: 1e-9,
             cache_budget_bytes: 64 << 20,
             use_bitset_cache: true,
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -86,6 +90,11 @@ pub struct DiscoveryReport {
     pub unit_seconds: Vec<f64>,
     /// Predicate-bitset cache counters (`None` on the scan path).
     pub cache: Option<CacheStats>,
+    /// Fault/retry/speculation counters from the Crystal scheduler.
+    pub fault_stats: FaultStats,
+    /// Candidate units quarantined after exhausting retries; their
+    /// candidates are treated as pruned (not measured).
+    pub unit_failures: Vec<UnitFailure>,
 }
 
 impl DiscoveryReport {
@@ -143,6 +152,8 @@ impl<'a> Discoverer<'a> {
             wall_seconds: 0.0,
             unit_seconds: Vec::new(),
             cache: None,
+            fault_stats: FaultStats::default(),
+            unit_failures: Vec::new(),
         };
 
         let ctx = self.ctx(db);
@@ -156,7 +167,7 @@ impl<'a> Discoverer<'a> {
             self.config.cache_budget_bytes,
         );
         let n = bits.n();
-        let cluster = Cluster::new(self.config.workers);
+        let cluster = Cluster::with_config(self.config.workers, self.config.cluster.clone());
         let mut counter = 0usize;
 
         for (ci, consequence) in space.consequences.iter().enumerate() {
@@ -238,16 +249,24 @@ impl<'a> Discoverer<'a> {
                     })
                     .collect();
                 let frontier_ref = &frontier;
-                let (outs, stats) = cluster.execute(units, |u| {
+                let outcome = cluster.execute(units, |u| {
                     let i = u.rule as usize;
-                    rules[i].as_ref()?;
-                    let pi = *candidates[i].last().expect("level ≥ 1 candidate");
-                    let parent = &frontier_ref[u.payload as usize].1;
-                    let child = parent.and(&bits.precondition(pi)?, n);
-                    let m = bits.measure(ci, &child)?;
-                    Some((m, Arc::new(child)))
+                    let evaluate = || {
+                        rules[i].as_ref()?;
+                        let pi = *candidates[i].last().expect("level ≥ 1 candidate");
+                        let parent = &frontier_ref[u.payload as usize].1;
+                        let child = parent.and(&bits.precondition(pi)?, n);
+                        let m = bits.measure(ci, &child)?;
+                        Some((m, Arc::new(child)))
+                    };
+                    Ok(evaluate())
                 });
-                report.unit_seconds.extend(stats.unit_seconds);
+                report.unit_seconds.extend(outcome.stats.unit_seconds);
+                report.fault_stats.merge(&outcome.stats.faults);
+                report.unit_failures.extend(outcome.failures);
+                // a quarantined unit leaves `None`: its candidate is
+                // dropped exactly like a support-pruned one
+                let outs = outcome.results.into_iter().map(Option::flatten);
 
                 let mut next_frontier: Vec<(Vec<usize>, Arc<SatBits>)> = Vec::new();
                 for ((idxs, rule), out) in candidates.into_iter().zip(rules).zip(outs) {
@@ -299,12 +318,14 @@ impl<'a> Discoverer<'a> {
             wall_seconds: 0.0,
             unit_seconds: Vec::new(),
             cache: None,
+            fault_stats: FaultStats::default(),
+            unit_failures: Vec::new(),
         };
 
         // Parallel evaluation of candidates happens per level: build the
         // level's candidate list, measure each as a work unit, then expand
         // survivors.
-        let cluster = Cluster::new(self.config.workers);
+        let cluster = Cluster::with_config(self.config.workers, self.config.cluster.clone());
         let mut counter = 0usize;
 
         for (ci, consequence) in space.consequences.iter().enumerate() {
@@ -366,11 +387,14 @@ impl<'a> Discoverer<'a> {
                     })
                     .collect();
                 let ctx = self.ctx(db);
-                let (measures, stats) = cluster.execute(units, |u| {
+                let outcome = cluster.execute(units, |u| {
                     let i = u.rule as usize;
-                    rules[i].as_ref().map(|r| measure(r, &ctx))
+                    Ok(rules[i].as_ref().map(|r| measure(r, &ctx)))
                 });
-                report.unit_seconds.extend(stats.unit_seconds);
+                report.unit_seconds.extend(outcome.stats.unit_seconds);
+                report.fault_stats.merge(&outcome.stats.faults);
+                report.unit_failures.extend(outcome.failures);
+                let measures = outcome.results.into_iter().map(Option::flatten);
 
                 let mut next_frontier = Vec::new();
                 for ((idxs, rule), m) in candidates.into_iter().zip(rules).zip(measures) {

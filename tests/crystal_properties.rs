@@ -65,12 +65,13 @@ proptest! {
             .map(|i| WorkUnit::new(i as u32, vec![Partition::new(0, i as u32, i as u32 + 1)]))
             .collect();
         let cluster = Cluster::new(workers);
-        let (results, stats) = cluster.execute(us, |u| u.rule);
-        prop_assert_eq!(results.len(), units);
-        for (i, r) in results.iter().enumerate() {
-            prop_assert_eq!(*r as usize, i);
+        let outcome = cluster.execute(us, |u| Ok(u.rule));
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(outcome.results.len(), units);
+        for (i, r) in outcome.results.iter().enumerate() {
+            prop_assert_eq!(r.unwrap() as usize, i);
         }
-        prop_assert_eq!(stats.executed.iter().sum::<u64>() as usize, units);
+        prop_assert_eq!(outcome.stats.executed.iter().sum::<u64>() as usize, units);
     }
 
     /// Partial order: inserting random pairs never yields a state where
