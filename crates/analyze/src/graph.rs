@@ -1,0 +1,536 @@
+//! Pass 3 — the rule-dependency graph and inter-rule diagnostics.
+//!
+//! Edges run from a rule's *consequence action* to every rule whose
+//! *precondition reads* it can change: value writes (`SetCell` /
+//! `EquateCells` targets) feed value reads, order writes (temporal
+//! consequences) feed temporal reads, and merge consequences feed every
+//! rule touching a mergeable relation (a merge can rewrite any validated
+//! attribute of the united class, so it is ⊤ over those relations).
+//!
+//! The graph doubles as the chase's scheduling artifact
+//! (`ChaseConfig::use_rule_graph`):
+//!
+//! * [`RuleGraph::dead`] — rules that provably never extend the fix
+//!   store: unsatisfiable or malformed preconditions, and reflexive
+//!   merge consequences (`t.eid = t.eid` is a union–find no-op). The
+//!   chase drops them from activation entirely. This is deliberately a
+//!   *subset* of the rules `W201` warns about: a rule whose equality
+//!   consequence restates its precondition still *validates* cells
+//!   (which strict gating can observe), so it is dead weight but not
+//!   skip-safe.
+//! * [`RuleGraph::follows_writes`] — rules whose written cells another
+//!   rule (or a merge) can also write. Their proposals participate in
+//!   conflict clusters with other writers, so they must stay active
+//!   whenever the store changed; everything else re-activates only when
+//!   its own reads or relations saw a delta.
+//! * [`RuleGraph::rels`] — relations each rule binds, intersected with
+//!   the round's tuple-level delta.
+
+use rock_data::{AttrId, DatabaseSchema, RelId};
+use rock_rees::{CmpOp, DiagCode, Diagnostic, Predicate, Rule, RuleSet};
+use serde::Serialize;
+
+/// The rule-dependency graph over a ruleset (see module docs).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RuleGraph {
+    pub nrules: usize,
+    /// Relations each rule binds (sorted, deduped).
+    pub rels: Vec<Vec<RelId>>,
+    /// `(relation, attribute)` cells each rule's consequence can write.
+    pub cell_writes: Vec<Vec<(RelId, AttrId)>>,
+    /// Rules whose consequence merges entities (`t.eid = s.eid`).
+    pub merge_rule: Vec<bool>,
+    /// Skip-safe rules: provably never extend the fix store.
+    pub dead: Vec<bool>,
+    /// `subsumed_by[i] = Some(j)` — rule `i` can never fire without rule
+    /// `j` firing on the same valuation with the same consequence.
+    pub subsumed_by: Vec<Option<usize>>,
+    /// Rules that must re-activate whenever any round committed a write
+    /// (their proposals cluster with other writers of the same cells).
+    pub follows_writes: Vec<bool>,
+    /// Action → read edges `(writer, reader)`, writer ≠ reader.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl RuleGraph {
+    /// Build the graph for a ruleset assumed well-formed and satisfiable
+    /// (the common case: parsed + validated rules).
+    pub fn build(rules: &RuleSet, schema: &DatabaseSchema) -> RuleGraph {
+        let mask = vec![false; rules.len()];
+        RuleGraph::build_masked(rules, schema, &mask, &mask)
+    }
+
+    /// Build with per-rule masks from the earlier passes: `malformed`
+    /// rules are excluded from every computation (their variable indices
+    /// cannot be trusted), `unsat` rules join the dead set.
+    pub fn build_masked(
+        rules: &RuleSet,
+        _schema: &DatabaseSchema,
+        malformed: &[bool],
+        unsat: &[bool],
+    ) -> RuleGraph {
+        let n = rules.len();
+        let rs: Vec<&Rule> = rules.iter().collect();
+
+        let mut rels = vec![Vec::new(); n];
+        let mut cell_writes = vec![Vec::new(); n];
+        let mut merge_rule = vec![false; n];
+        let mut dead = vec![false; n];
+        for i in 0..n {
+            dead[i] = malformed[i] || unsat[i];
+            if malformed[i] {
+                continue;
+            }
+            let r = rs[i];
+            let mut rr: Vec<RelId> = r.tuple_vars.iter().map(|(_, rel)| *rel).collect();
+            rr.sort_unstable();
+            rr.dedup();
+            rels[i] = rr;
+            cell_writes[i] = consequence_cell_writes(r);
+            merge_rule[i] = matches!(r.consequence, Predicate::EidCmp { eq: true, .. });
+            if reflexive_merge(&r.consequence) || inert_merge(r) {
+                dead[i] = true;
+            }
+        }
+
+        // Relations any merge consequence can touch: a merge validated on
+        // (R, S) can rewrite validated attributes of either side's class.
+        let mut merge_rels: Vec<RelId> = Vec::new();
+        for i in 0..n {
+            if merge_rule[i] && !dead[i] {
+                if let Predicate::EidCmp { lvar, rvar, .. } = rs[i].consequence {
+                    merge_rels.push(rs[i].rel_of(lvar));
+                    merge_rels.push(rs[i].rel_of(rvar));
+                }
+            }
+        }
+        merge_rels.sort_unstable();
+        merge_rels.dedup();
+
+        let mut follows_writes = vec![false; n];
+        for i in 0..n {
+            if dead[i] || cell_writes[i].is_empty() {
+                continue;
+            }
+            follows_writes[i] = (0..n).any(|j| {
+                j != i
+                    && !dead[j]
+                    && (cell_writes[j].iter().any(|c| cell_writes[i].contains(c))
+                        || (merge_rule[j]
+                            && cell_writes[i]
+                                .iter()
+                                .any(|(r, _)| merge_rels.binary_search(r).is_ok())))
+            });
+        }
+
+        let mut subsumed_by = vec![None; n];
+        for i in 0..n {
+            if dead[i] || malformed[i] || unsat[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || dead[j] || malformed[j] || unsat[j] {
+                    continue;
+                }
+                if covers(rs[j], rs[i]) && (!covers(rs[i], rs[j]) || j < i) {
+                    subsumed_by[i] = Some(j);
+                    break;
+                }
+            }
+        }
+
+        let mut edges = Vec::new();
+        for i in 0..n {
+            if dead[i] {
+                continue;
+            }
+            let order_w = order_writes(rs[i]);
+            for j in 0..n {
+                if i == j || dead[j] {
+                    continue;
+                }
+                let value_edge = cell_writes[i]
+                    .iter()
+                    .any(|c| value_reads(rs[j]).contains(c));
+                let order_edge = order_w.iter().any(|c| order_reads(rs[j]).contains(c));
+                let merge_edge =
+                    merge_rule[i] && rels[i].iter().any(|r| rels[j].binary_search(r).is_ok());
+                if value_edge || order_edge || merge_edge {
+                    edges.push((i, j));
+                }
+            }
+        }
+
+        RuleGraph {
+            nrules: n,
+            rels,
+            cell_writes,
+            merge_rule,
+            dead,
+            subsumed_by,
+            follows_writes,
+            edges,
+        }
+    }
+
+    /// The inter-rule diagnostics (`W201`–`W203`).
+    pub fn diagnose(&self, rules: &RuleSet, schema: &DatabaseSchema) -> Vec<Diagnostic> {
+        let rs: Vec<&Rule> = rules.iter().collect();
+        let mut out = Vec::new();
+        // W201 — dead weight: the consequence cannot add information.
+        for (i, r) in rs.iter().enumerate() {
+            if self.rels[i].is_empty() && self.cell_writes[i].is_empty() && self.dead[i] {
+                continue; // malformed/unsat: already reported with errors
+            }
+            let span = r.spans.consequence;
+            if r.precondition.contains(&r.consequence) {
+                out.push(Diagnostic::new(
+                    DiagCode::DeadRule,
+                    &r.name,
+                    span,
+                    "consequence already appears in the precondition — the rule can \
+                     only restate what it matched"
+                        .to_owned(),
+                ));
+            } else if trivial_consequence(&r.consequence) {
+                out.push(Diagnostic::new(
+                    DiagCode::DeadRule,
+                    &r.name,
+                    span,
+                    format!("consequence {} is trivially satisfied", r.consequence),
+                ));
+            }
+        }
+        // W202 — subsumption.
+        for (i, r) in rs.iter().enumerate() {
+            if let Some(j) = self.subsumed_by[i] {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::SubsumedRule,
+                        &r.name,
+                        r.spans.rule,
+                        format!(
+                            "rule '{}' has the same consequence under a weaker \
+                             precondition — '{}' never fires alone",
+                            rs[j].name, r.name
+                        ),
+                    )
+                    .with_note(format!("subsumed by rule '{}'", rs[j].name)),
+                );
+            }
+        }
+        // W203 — confluence hazards: two live rules pinning the same cell
+        // to different constants without provably exclusive preconditions.
+        for i in 0..rs.len() {
+            if self.dead[i] {
+                continue;
+            }
+            let Some((vi, ci)) = const_eq_consequence(rs[i]) else {
+                continue;
+            };
+            for j in (i + 1)..rs.len() {
+                if self.dead[j] {
+                    continue;
+                }
+                let Some((vj, cj)) = const_eq_consequence(rs[j]) else {
+                    continue;
+                };
+                let (reli, attri) = (rs[i].rel_of(vi.0), vi.1);
+                let (relj, attrj) = (rs[j].rel_of(vj.0), vj.1);
+                if reli != relj || attri != attrj || ci.sql_eq(cj) {
+                    continue;
+                }
+                if mutually_exclusive(rs[i], vi.0, rs[j], vj.0) {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::ConfluenceHazard,
+                        &rs[j].name,
+                        rs[j].spans.consequence,
+                        format!(
+                            "sets {}.{} to '{cj}' while rule '{}' sets it to '{ci}' — \
+                             a tuple matching both preconditions becomes a chase conflict",
+                            schema.relation(relj).name,
+                            schema.relation(relj).attr_name(attrj),
+                            rs[i].name,
+                        ),
+                    )
+                    .with_note(format!("conflicts with rule '{}'", rs[i].name)),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Cells a consequence writes when it fires (mirrors the chase's
+/// `propose()`: only these consequence shapes produce cell proposals).
+fn consequence_cell_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
+    let mut out = match &r.consequence {
+        Predicate::Const {
+            var,
+            attr,
+            op: CmpOp::Eq,
+            ..
+        } => vec![(r.rel_of(*var), *attr)],
+        Predicate::Attr {
+            lvar,
+            lattr,
+            op: CmpOp::Eq,
+            rvar,
+            rattr,
+        } => vec![(r.rel_of(*lvar), *lattr), (r.rel_of(*rvar), *rattr)],
+        Predicate::ValExtract { tvar, attr, .. } => vec![(r.rel_of(*tvar), *attr)],
+        Predicate::Predict { var, target, .. } => vec![(r.rel_of(*var), *target)],
+        _ => Vec::new(),
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `(relation, attribute)` cells the precondition reads as values.
+fn value_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
+    let mut out = Vec::new();
+    for p in &r.precondition {
+        for v in p.tuple_vars() {
+            let rel = r.rel_of(v);
+            for a in p.reads_of(v) {
+                out.push((rel, a));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Attributes whose validated *order* the precondition consults.
+fn order_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
+    let mut out = Vec::new();
+    for p in &r.precondition {
+        if let Predicate::Temporal { lvar, attr, .. } | Predicate::MlRank { lvar, attr, .. } = p {
+            out.push((r.rel_of(*lvar), *attr));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Attributes whose validated order the consequence extends.
+fn order_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
+    match &r.consequence {
+        Predicate::Temporal { lvar, attr, .. } => vec![(r.rel_of(*lvar), *attr)],
+        _ => Vec::new(),
+    }
+}
+
+/// `t.eid = t.eid` — a union–find no-op, always skip-safe.
+fn reflexive_merge(p: &Predicate) -> bool {
+    matches!(p, Predicate::EidCmp { lvar, rvar, eq: true } if lvar == rvar)
+}
+
+/// `… && t.eid = s.eid … -> t.eid = s.eid` — merging a class with itself.
+/// The precondition is evaluated over the *current* entity classes, so
+/// whenever it holds the merge is already committed.
+fn inert_merge(r: &Rule) -> bool {
+    matches!(r.consequence, Predicate::EidCmp { eq: true, .. })
+        && r.precondition.contains(&r.consequence)
+}
+
+/// Consequences satisfied by every tuple (`W201`, not skip-safe in
+/// general — equality consequences still validate cells).
+fn trivial_consequence(p: &Predicate) -> bool {
+    match p {
+        Predicate::Attr {
+            lvar,
+            lattr,
+            op,
+            rvar,
+            rattr,
+        } => lvar == rvar && lattr == rattr && matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+        Predicate::EidCmp { lvar, rvar, eq } => *eq && lvar == rvar,
+        Predicate::Temporal {
+            lvar,
+            rvar,
+            strict: false,
+            ..
+        } => lvar == rvar,
+        _ => false,
+    }
+}
+
+/// Does `weak` fire on every valuation `strong` fires on, with the same
+/// consequence? Requires aligned variable signatures so predicate indices
+/// mean the same thing in both rules.
+fn covers(weak: &Rule, strong: &Rule) -> bool {
+    if weak.name == strong.name {
+        return false;
+    }
+    let sig = |r: &Rule| r.tuple_vars.iter().map(|(_, rel)| *rel).collect::<Vec<_>>();
+    if sig(weak) != sig(strong)
+        || weak.vertex_vars.len() != strong.vertex_vars.len()
+        || weak.consequence != strong.consequence
+    {
+        return false;
+    }
+    weak.precondition
+        .iter()
+        .all(|p| strong.precondition.contains(p))
+}
+
+/// The consequence `t.A = 'c'`, as `((var, attr), value)`.
+fn const_eq_consequence(r: &Rule) -> Option<((usize, AttrId), &rock_data::Value)> {
+    match &r.consequence {
+        Predicate::Const {
+            var,
+            attr,
+            op: CmpOp::Eq,
+            value,
+        } => Some(((*var, *attr), value)),
+        _ => None,
+    }
+}
+
+/// Are the two preconditions provably exclusive *on the written tuple*?
+/// True when each rule pins some attribute of its consequence variable to
+/// a constant and the constants differ — no single tuple satisfies both,
+/// so the rules can never race on the same cell.
+fn mutually_exclusive(a: &Rule, avar: usize, b: &Rule, bvar: usize) -> bool {
+    let binds = |r: &Rule, var: usize| -> Vec<(AttrId, &rock_data::Value)> {
+        r.precondition
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Const {
+                    var: v,
+                    attr,
+                    op: CmpOp::Eq,
+                    value,
+                } if *v == var => Some((*attr, value)),
+                _ => None,
+            })
+            .collect()
+    };
+    let ba = binds(a, avar);
+    binds(b, bvar)
+        .iter()
+        .any(|(attr, vb)| ba.iter().any(|(aa, va)| aa == attr && !va.sql_eq(vb)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, RelationSchema};
+    use rock_rees::parse_rules;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new(vec![
+            RelationSchema::of(
+                "T",
+                &[
+                    ("city", AttrType::Str),
+                    ("code", AttrType::Str),
+                    ("pop", AttrType::Int),
+                ],
+            ),
+            RelationSchema::of("U", &[("k", AttrType::Str), ("v", AttrType::Str)]),
+        ])
+    }
+
+    fn graph(text: &str) -> (RuleGraph, RuleSet, DatabaseSchema) {
+        let s = schema();
+        let rules = RuleSet::new(parse_rules(text, &s).expect("rules parse"));
+        let g = RuleGraph::build(&rules, &s);
+        (g, rules, s)
+    }
+
+    #[test]
+    fn reflexive_merge_is_dead_and_flagged() {
+        let (g, rules, s) = graph(
+            "rule d: T(t) && t.city = 'x' -> t.eid = t.eid\n\
+                   rule ok: T(t) && T(u) && t.city = u.city -> t.code = u.code\n",
+        );
+        assert_eq!(g.dead, vec![true, false]);
+        let ds = g.diagnose(&rules, &s);
+        assert!(ds
+            .iter()
+            .any(|d| d.code == DiagCode::DeadRule && d.rule == "d"));
+    }
+
+    #[test]
+    fn restated_consequence_is_w201_but_not_skip_safe() {
+        let (g, rules, s) = graph("rule d: T(t) && T(u) && t.code = u.code -> t.code = u.code\n");
+        assert_eq!(
+            g.dead,
+            vec![false],
+            "equality consequences still validate cells"
+        );
+        let ds = g.diagnose(&rules, &s);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::DeadRule);
+    }
+
+    #[test]
+    fn subsumption_flags_the_stronger_rule() {
+        let (g, rules, s) = graph(
+            "rule weak: T(t) && T(u) && t.city = u.city -> t.code = u.code\n\
+             rule strong: T(t) && T(u) && t.city = u.city && t.pop = u.pop -> t.code = u.code\n",
+        );
+        assert_eq!(g.subsumed_by, vec![None, Some(0)]);
+        let ds = g.diagnose(&rules, &s);
+        let w202: Vec<_> = ds
+            .iter()
+            .filter(|d| d.code == DiagCode::SubsumedRule)
+            .collect();
+        assert_eq!(w202.len(), 1);
+        assert_eq!(w202[0].rule, "strong");
+    }
+
+    #[test]
+    fn confluence_hazard_unless_exclusive() {
+        let (g, rules, s) = graph(
+            "rule a: T(t) && t.city = 'beijing' -> t.code = '010'\n\
+             rule b: T(t) && t.city = 'shanghai' -> t.code = '021'\n\
+             rule c: T(t) && t.pop > 100 -> t.code = '999'\n",
+        );
+        let ds = g.diagnose(&rules, &s);
+        let w203: Vec<_> = ds
+            .iter()
+            .filter(|d| d.code == DiagCode::ConfluenceHazard)
+            .collect();
+        // a/b are exclusive on city; c clashes with both a and b
+        assert_eq!(w203.len(), 2);
+        assert!(w203.iter().all(|d| d.rule == "c"));
+    }
+
+    #[test]
+    fn edges_follow_writes_into_reads() {
+        let (g, _, _) = graph(
+            "rule fd: T(t) && T(u) && t.city = u.city -> t.code = u.code\n\
+             rule use_code: T(t) && t.code = '010' -> t.pop = 1\n\
+             rule unrelated: U(t) && U(u) && t.k = u.k -> t.v = u.v\n",
+        );
+        assert!(
+            g.edges.contains(&(0, 1)),
+            "fd writes code, use_code reads it"
+        );
+        assert!(g.edges.iter().all(|&(i, j)| i != 2 && j != 2));
+        // fd and use_code both write T cells? fd writes code, use_code pop —
+        // disjoint, and no merge rules: nothing must follow writes.
+        assert_eq!(g.follows_writes, vec![false, false, false]);
+    }
+
+    #[test]
+    fn merge_makes_writers_follow() {
+        let (g, _, _) = graph(
+            "rule er: T(t) && T(u) && t.city = u.city -> t.eid = u.eid\n\
+             rule fd: T(t) && T(u) && t.city = u.city -> t.code = u.code\n\
+             rule other: U(t) && U(u) && t.k = u.k -> t.v = u.v\n",
+        );
+        assert!(g.merge_rule[0]);
+        assert!(g.follows_writes[1], "a T merge can rewrite fd's cells");
+        assert!(!g.follows_writes[2], "U is not mergeable here");
+    }
+}

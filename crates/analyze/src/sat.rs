@@ -1,0 +1,386 @@
+//! Pass 2 — local satisfiability of a rule's precondition.
+//!
+//! Purely syntactic abstract interpretation of the conjunction: constants
+//! are compared with the engine's own SQL semantics (`CmpOp::eval`,
+//! `Value::sql_cmp`), attribute–attribute comparisons are abstracted to
+//! the set of orderings they admit, and reflexive predicates are
+//! special-cased. A precondition flagged here can never hold on *any*
+//! database, so the rule never fires — error severity (`E101`–`E103`) —
+//! while trivially-true predicates are dead weight but harmless (`W104`).
+//!
+//! All checks are pairwise: `t.a > 5 && t.a < 3` is caught, the
+//! three-way-only contradictions a full constraint solver would find are
+//! deliberately out of scope (they do not occur in discovered rules,
+//! whose preconditions are conjunctions of at most a handful of mined
+//! predicates).
+
+use rock_data::Value;
+use rock_rees::{CmpOp, DiagCode, Diagnostic, Predicate, Rule};
+use std::cmp::Ordering;
+
+/// Orderings a comparison admits, as a bitmask over {Less, Equal, Greater}.
+const LESS: u8 = 1;
+const EQUAL: u8 = 2;
+const GREATER: u8 = 4;
+
+fn admitted(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => EQUAL,
+        CmpOp::Neq => LESS | GREATER,
+        CmpOp::Lt => LESS,
+        CmpOp::Le => LESS | EQUAL,
+        CmpOp::Gt => GREATER,
+        CmpOp::Ge => GREATER | EQUAL,
+    }
+}
+
+/// The operator as seen with its operands swapped (`a < b` ⇔ `b > a`).
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Neq => CmpOp::Neq,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Check one rule's precondition; returns every `E101`/`E102`/`E103`/`W104`
+/// it warrants. The caller guarantees the rule is well-formed (variable and
+/// attribute indices valid).
+pub fn check_rule(rule: &Rule) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_reflexive(rule, &mut out);
+    check_consts(rule, &mut out);
+    check_attr_pairs(rule, &mut out);
+    check_null_overlap(rule, &mut out);
+    out
+}
+
+/// E103/W104: predicates comparing a cell (or eid) with itself.
+fn check_reflexive(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for (i, p) in rule.precondition.iter().enumerate() {
+        let span = rule.spans.precondition(i);
+        match p {
+            Predicate::Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } if lvar == rvar && lattr == rattr => match op {
+                CmpOp::Neq | CmpOp::Lt | CmpOp::Gt => out.push(Diagnostic::new(
+                    DiagCode::ReflexiveNeverTrue,
+                    &rule.name,
+                    span,
+                    format!("{p} compares a cell with itself and can never hold"),
+                )),
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => out.push(Diagnostic::new(
+                    DiagCode::TriviallyTrue,
+                    &rule.name,
+                    span,
+                    format!("{p} compares a cell with itself and only filters nulls"),
+                )),
+            },
+            Predicate::EidCmp { lvar, rvar, eq } if lvar == rvar => {
+                if *eq {
+                    out.push(Diagnostic::new(
+                        DiagCode::TriviallyTrue,
+                        &rule.name,
+                        span,
+                        format!("{p} compares a tuple's entity with itself and is always true"),
+                    ));
+                } else {
+                    out.push(Diagnostic::new(
+                        DiagCode::ReflexiveNeverTrue,
+                        &rule.name,
+                        span,
+                        format!("{p} requires a tuple's entity to differ from itself"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// E101/E102: contradictory constant predicates on the same cell.
+fn check_consts(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let consts: Vec<(usize, usize, rock_data::AttrId, CmpOp, &Value)> = rule
+        .precondition
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Predicate::Const {
+                var,
+                attr,
+                op,
+                value,
+            } => Some((i, *var, *attr, *op, value)),
+            _ => None,
+        })
+        .collect();
+    for (a, &(i, vi, ai, opi, ci)) in consts.iter().enumerate() {
+        for &(j, vj, aj, opj, cj) in &consts[a + 1..] {
+            if vi != vj || ai != aj {
+                continue;
+            }
+            let span = rule.spans.precondition(j);
+            let other = &rule.precondition[i];
+            match (opi, opj) {
+                (CmpOp::Eq, CmpOp::Eq) => {
+                    if !ci.sql_eq(cj) {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::UnsatConstEq,
+                                &rule.name,
+                                span,
+                                format!(
+                                    "cell is bound to '{cj}' here but to '{ci}' earlier \
+                                     in the same precondition"
+                                ),
+                            )
+                            .with_note(format!("conflicts with {other}")),
+                        );
+                    }
+                }
+                // an equality fixes the value; any other constant
+                // comparison on the cell must accept it
+                (CmpOp::Eq, _) | (_, CmpOp::Eq) => {
+                    let (eq_v, cmp_op, cmp_v) = if opi == CmpOp::Eq {
+                        (ci, opj, cj)
+                    } else {
+                        (cj, opi, ci)
+                    };
+                    if !cmp_op.eval(eq_v, cmp_v) {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::UnsatCompare,
+                                &rule.name,
+                                span,
+                                format!(
+                                    "cell is fixed to '{eq_v}' but also required \
+                                     {cmp_op} '{cmp_v}'"
+                                ),
+                            )
+                            .with_note(format!("conflicts with {other}")),
+                        );
+                    }
+                }
+                // a lower bound above an upper bound empties the interval
+                (CmpOp::Gt | CmpOp::Ge, CmpOp::Lt | CmpOp::Le)
+                | (CmpOp::Lt | CmpOp::Le, CmpOp::Gt | CmpOp::Ge) => {
+                    let (lo, lo_op, hi, hi_op) = if matches!(opi, CmpOp::Gt | CmpOp::Ge) {
+                        (ci, opi, cj, opj)
+                    } else {
+                        (cj, opj, ci, opi)
+                    };
+                    let strict = lo_op == CmpOp::Gt || hi_op == CmpOp::Lt;
+                    let empty = match lo.sql_cmp(hi) {
+                        Some(Ordering::Greater) => true,
+                        Some(Ordering::Equal) => strict,
+                        _ => false,
+                    };
+                    if empty {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::UnsatCompare,
+                                &rule.name,
+                                span,
+                                format!(
+                                    "bounds {lo_op} '{lo}' and {hi_op} '{hi}' leave \
+                                     no possible value"
+                                ),
+                            )
+                            .with_note(format!("conflicts with {other}")),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// E102: attribute–attribute comparisons on the same operand pair whose
+/// admitted orderings are disjoint (`t.a < s.b && t.a > s.b`).
+fn check_attr_pairs(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let attrs: Vec<(
+        usize,
+        (usize, rock_data::AttrId),
+        (usize, rock_data::AttrId),
+        CmpOp,
+    )> = rule
+        .precondition
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Predicate::Attr {
+                lvar,
+                lattr,
+                op,
+                rvar,
+                rattr,
+            } if (lvar, lattr) != (rvar, rattr) => {
+                // normalize operand order so mirrored writings compare equal
+                let (l, r) = ((*lvar, *lattr), (*rvar, *rattr));
+                if l <= r {
+                    Some((i, l, r, *op))
+                } else {
+                    Some((i, r, l, mirror(*op)))
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    for (a, &(i, li, ri, opi)) in attrs.iter().enumerate() {
+        for &(j, lj, rj, opj) in &attrs[a + 1..] {
+            if li != lj || ri != rj {
+                continue;
+            }
+            if admitted(opi) & admitted(opj) == 0 {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::UnsatCompare,
+                        &rule.name,
+                        rule.spans.precondition(j),
+                        format!(
+                            "{} contradicts an earlier comparison of the same cells",
+                            rule.precondition[j]
+                        ),
+                    )
+                    .with_note(format!("conflicts with {}", rule.precondition[i])),
+                );
+            }
+        }
+    }
+}
+
+/// E102: `null(t.A)` conjoined with any comparison reading `t.A` — the
+/// comparison needs a non-null value, the null check forbids one.
+fn check_null_overlap(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let nulls: Vec<(usize, usize, rock_data::AttrId)> = rule
+        .precondition
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Predicate::IsNull { var, attr } => Some((i, *var, *attr)),
+            _ => None,
+        })
+        .collect();
+    if nulls.is_empty() {
+        return;
+    }
+    for (j, p) in rule.precondition.iter().enumerate() {
+        if !matches!(p, Predicate::Const { .. } | Predicate::Attr { .. }) {
+            continue;
+        }
+        for v in p.tuple_vars() {
+            for a in p.reads_of(v) {
+                if let Some(&(i, ..)) = nulls
+                    .iter()
+                    .find(|&&(ni, nv, na)| nv == v && na == a && ni != j)
+                {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::UnsatCompare,
+                            &rule.name,
+                            rule.spans.precondition(j),
+                            format!(
+                                "{p} compares a cell that null({}) requires to be null",
+                                rule.precondition[i]
+                            ),
+                        )
+                        .with_note("comparisons with null are always false".to_owned()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, DatabaseSchema, RelationSchema};
+    use rock_rees::parse_rule;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new(vec![RelationSchema::of(
+            "T",
+            &[
+                ("a", AttrType::Str),
+                ("b", AttrType::Int),
+                ("c", AttrType::Int),
+            ],
+        )])
+    }
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        check_rule(&parse_rule(text, &schema()).expect("rule parses"))
+    }
+
+    #[test]
+    fn conflicting_const_eq_is_e101() {
+        let ds = check("rule r: T(t) && t.a = 'x' && t.a = 'y' -> t.b = 1");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::UnsatConstEq);
+        assert!(check("rule r: T(t) && t.a = 'x' && t.a = 'x' -> t.b = 1").is_empty());
+    }
+
+    #[test]
+    fn eq_vs_comparison_is_e102() {
+        let ds = check("rule r: T(t) && t.b = 5 && t.b > 9 -> t.a = 'x'");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::UnsatCompare);
+        let ds = check("rule r: T(t) && t.b != 5 && t.b = 5 -> t.a = 'x'");
+        assert_eq!(ds.len(), 1);
+        assert!(check("rule r: T(t) && t.b = 5 && t.b > 1 -> t.a = 'x'").is_empty());
+    }
+
+    #[test]
+    fn empty_interval_is_e102() {
+        let ds = check("rule r: T(t) && t.b > 5 && t.b < 3 -> t.a = 'x'");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::UnsatCompare);
+        // touching bounds: strict empties, non-strict admits the point
+        assert_eq!(
+            check("rule r: T(t) && t.b >= 5 && t.b < 5 -> t.a = 'x'").len(),
+            1
+        );
+        assert!(check("rule r: T(t) && t.b >= 5 && t.b <= 5 -> t.a = 'x'").is_empty());
+    }
+
+    #[test]
+    fn reflexive_traps() {
+        let ds = check("rule r: T(t) && t.a != t.a -> t.b = 1");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::ReflexiveNeverTrue);
+        let ds = check("rule r: T(t) && t.a = t.a -> t.b = 1");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::TriviallyTrue);
+        let ds = check("rule r: T(t) && t.eid != t.eid -> t.b = 1");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::ReflexiveNeverTrue);
+    }
+
+    #[test]
+    fn contradictory_attr_pair_mirrored() {
+        // written with operands swapped: t.b < s.b vs s.b < t.b
+        let ds = check("rule r: T(t) && T(s) && t.b < s.b && s.b < t.b -> t.a = s.a");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::UnsatCompare);
+        // <= both ways admits equality — satisfiable
+        assert!(check("rule r: T(t) && T(s) && t.b <= s.b && s.b <= t.b -> t.a = s.a").is_empty());
+    }
+
+    #[test]
+    fn null_overlap_is_e102() {
+        let ds = check("rule r: T(t) && null(t.a) && t.a = 'x' -> t.b = 1");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::UnsatCompare);
+        // null on a different attribute is fine (the MI idiom)
+        assert!(check("rule r: T(t) && null(t.a) && t.b = 1 -> t.c = 2").is_empty());
+    }
+}

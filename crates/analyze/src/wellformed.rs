@@ -1,0 +1,33 @@
+//! Pass 1 — well-formedness and typing (`E001`–`E007`).
+//!
+//! The checks themselves live on [`Rule::well_formedness`] in `rock-rees`
+//! (the parser's classic `validate` is a wrapper over the same pass), so
+//! analyzer, parser and programmatic rule construction can never drift
+//! apart. This module is the analyzer's entry point to them.
+
+use rock_data::DatabaseSchema;
+use rock_rees::{Diagnostic, Rule};
+
+/// All structural/typing diagnostics for one rule.
+pub fn check_rule(rule: &Rule, schema: &DatabaseSchema) -> Vec<Diagnostic> {
+    rule.well_formedness(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, RelationSchema};
+    use rock_rees::{parse_rule, DiagCode};
+
+    #[test]
+    fn delegates_to_rule_well_formedness() {
+        let s = DatabaseSchema::new(vec![RelationSchema::of(
+            "T",
+            &[("a", AttrType::Str), ("n", AttrType::Int)],
+        )]);
+        let r = parse_rule("rule r: T(t) && t.n = 'notanint' -> t.a = 'x'", &s).expect("parses");
+        let ds = check_rule(&r, &s);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::ConstTypeMismatch);
+    }
+}

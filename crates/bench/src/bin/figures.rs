@@ -9,6 +9,8 @@
 //! f4h (ED scaling), f4i (EC F1), f4j (Sales-EC per task), f4k (EC time),
 //! f4l (EC scaling), rdcache (bitset-cache vs scan discovery throughput),
 //! chase-delta (semi-naive delta chase vs full re-scan valuation counts),
+//! analyze (ruleset static analysis: defect recall + graph-scheduled chase
+//! vs classic activation),
 //! chaos (fault injection: byte-identical repairs under panics, transient
 //! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`).
 //! Output is printed and written to `results/` (atomically: temp+rename).
@@ -90,6 +92,7 @@ fn main() {
             "f4l",
             "rdcache",
             "chase-delta",
+            "analyze",
             "chaos",
             "summary",
         ]
@@ -119,6 +122,7 @@ fn main() {
             "f4l" => panels::ec_scaling(),
             "rdcache" => panels::rd_cache(),
             "chase-delta" => panels::chase_delta(),
+            "analyze" => panels::analyze(),
             "chaos" => panels::chaos(),
             "summary" => {
                 let (t, j) = summary();
@@ -126,7 +130,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, chaos, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, summary, or all"
                 );
                 std::process::exit(2);
             }

@@ -330,6 +330,122 @@ pub fn chase_delta() -> (Table, serde_json::Value) {
     )
 }
 
+/// Static-analysis panel: `rock-analyze` verdicts over every workload's
+/// curated ruleset (must be clean) and its defect-seeded variant (every
+/// injected defect class must be re-found — recall 1.0), plus the
+/// rule × round pairs the graph-driven chase schedule evaluates versus
+/// the classic activation oracle on the Bank correction chase, with the
+/// byte-identical-repairs equivalence asserted inline.
+pub fn analyze() -> (Table, serde_json::Value) {
+    let mut table = Table::new(
+        "Static analysis — rock-analyze verdicts and graph-driven chase scheduling",
+        &[
+            "ruleset", "rules", "errors", "warnings", "dead", "subsumed", "recall",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    for (name, w) in [
+        ("Bank", bank()),
+        ("Logistics", logistics()),
+        ("Sales", sales()),
+    ] {
+        let schema = w.dirty.schema();
+        let clean = rock_analyze::Analyzer::new(&schema).analyze(&w.rules);
+        assert!(
+            clean.is_clean(),
+            "{name} curated rules must analyze clean: {:?}",
+            clean.diagnostics
+        );
+        let (defective, injected) =
+            rock_workloads::inject_defects(&w.rules, &schema, 7, &rock_workloads::DefectKind::ALL);
+        let seeded = rock_analyze::Analyzer::new(&schema).analyze(&defective);
+        let found = injected
+            .iter()
+            .filter(|d| {
+                seeded
+                    .diagnostics
+                    .iter()
+                    .any(|g| g.rule == d.rule_name && g.code == d.expected)
+            })
+            .count();
+        let recall = found as f64 / injected.len() as f64;
+        assert!((recall - 1.0).abs() < 1e-9, "{name} defect recall {recall}");
+        for (label, rep, rc) in [
+            (format!("{name} curated"), &clean, "-".to_owned()),
+            (format!("{name} +defects"), &seeded, format!("{recall:.2}")),
+        ] {
+            let s = rep.stats();
+            table.row(vec![
+                label.clone(),
+                s.rules.to_string(),
+                s.errors.to_string(),
+                s.warnings.to_string(),
+                s.dead_rules.to_string(),
+                s.subsumed_rules.to_string(),
+                rc,
+            ]);
+            rows_json.push(json!({
+                "ruleset": label,
+                "stats": s,
+                "counts": rep.counts_by_code(),
+            }));
+        }
+    }
+
+    // Graph-driven chase scheduling vs the classic activation oracle.
+    let w = bank();
+    let task = w
+        .task("CNC")
+        .or_else(|| w.tasks.first())
+        .expect("bank task")
+        .clone();
+    let run = |use_rule_graph: bool| {
+        let sys = rock_core::RockSystem::new(rock_core::RockConfig {
+            use_rule_graph,
+            ..rock_core::RockConfig::default()
+        });
+        sys.correct(&w, &task)
+    };
+    let classic = run(false);
+    let graph = run(true);
+    assert_eq!(
+        serde_json::to_string(&classic.repaired).unwrap(),
+        serde_json::to_string(&graph.repaired).unwrap(),
+        "graph-driven and classic chases must repair identically"
+    );
+    let rule_rounds = |out: &rock_core::CorrectionOutcome| -> usize {
+        out.round_stats.iter().map(|s| s.active_rules).sum()
+    };
+    let pruned: usize = graph.round_stats.iter().map(|s| s.rules_pruned).sum();
+    let (on, off) = (rule_rounds(&graph), rule_rounds(&classic));
+    assert!(on <= off, "graph schedule must not grow: {on} > {off}");
+    table.row(vec![
+        "Bank chase rule-rounds".into(),
+        format!("{off} classic"),
+        format!("{on} graph"),
+        format!("{pruned} pruned"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    (
+        table,
+        json!({
+            "panel": "analyze",
+            "rulesets": rows_json,
+            "chase": {
+                "workload": "Bank",
+                "rule_rounds_classic": off,
+                "rule_rounds_graph": on,
+                "rules_pruned": pruned,
+                "rounds_classic": classic.rounds,
+                "rounds_graph": graph.rounds,
+            },
+        }),
+    )
+}
+
 /// Chaos panel: the Logistics correction task under seeded deterministic
 /// fault injection (per-unit panics, transient errors, latency spikes, and
 /// one whole-node crash) versus an undisturbed run. The headline assertion

@@ -89,6 +89,15 @@ pub struct ChaseConfig {
     /// voided and re-runs from scratch the next round, so recoverable
     /// faults never change the committed fixes.
     pub cluster: ClusterConfig,
+    /// Schedule rounds with the `rock-analyze` rule-dependency graph:
+    /// statically dead rules never activate, and after each round only
+    /// rules the committed delta can reach (their reads intersect the
+    /// changed cells, their relations saw delta tuples, or another rule
+    /// writes into their write set) re-activate. Always a *subset* of the
+    /// classic activation, so committed fixes are byte-identical with the
+    /// flag off (property-tested in `tests/analyze_properties.rs`); the
+    /// default stays `false` so the classic activation remains the oracle.
+    pub use_rule_graph: bool,
 }
 
 impl Default for ChaseConfig {
@@ -102,6 +111,7 @@ impl Default for ChaseConfig {
             lazy_activation: true,
             semi_naive: true,
             cluster: ClusterConfig::default(),
+            use_rule_graph: false,
         }
     }
 }
@@ -396,6 +406,19 @@ impl<'a> ChaseEngine<'a> {
             .map(|r| self.rule_reads(r))
             .collect();
 
+        // Rule-dependency-graph scheduling (rock-analyze): statically dead
+        // rules never activate, and each round's re-activation is filtered
+        // below to rules the committed delta can actually reach. Every
+        // filter is a retain() over the classic activation set, so the
+        // graph-driven schedule evaluates a subset of the oracle's
+        // rule × round pairs and commits identical fixes.
+        let rule_graph = self.config.use_rule_graph.then(|| {
+            let schema = work_db.schema();
+            rock_analyze::Analyzer::new(&schema)
+                .analyze(self.rules)
+                .graph
+        });
+
         // initial activation: every rule in batch mode, rules reading a
         // seeded relation in incremental mode
         let mut active: FxHashSet<usize> = match &seed {
@@ -409,6 +432,13 @@ impl<'a> ChaseEngine<'a> {
                 })
                 .collect(),
         };
+        // rules the graph pruned from the upcoming round's activation
+        let mut pruned_carry = 0usize;
+        if let Some(g) = &rule_graph {
+            let before = active.len();
+            active.retain(|&ri| !g.dead[ri]);
+            pruned_carry = before - active.len();
+        }
 
         let seeded = seed.is_some();
         // Tuple-level tracking is needed whenever delta rounds can happen:
@@ -463,6 +493,7 @@ impl<'a> ChaseEngine<'a> {
             let mut sorted_active: Vec<usize> = active.iter().copied().collect();
             sorted_active.sort_unstable();
             stat.active_rules = sorted_active.len();
+            stat.rules_pruned = pruned_carry;
             // Full scan when: batch round 1, the full-rescan ablation, or a
             // rule first activated mid-run (it has no carry to complete a
             // delta round with). Seeded runs are delta rounds throughout.
@@ -676,6 +707,7 @@ impl<'a> ChaseEngine<'a> {
                 }
                 // nothing committed, but failed rules must retry
                 active = round_failed;
+                pruned_carry = 0;
                 continue;
             }
 
@@ -939,6 +971,11 @@ impl<'a> ChaseEngine<'a> {
                     active.extend(0..self.rules.len());
                 }
                 active.extend(round_failed.iter().copied());
+                if let Some(g) = &rule_graph {
+                    let before = active.len();
+                    active.retain(|&ri| !g.dead[ri]);
+                    pruned_carry = before - active.len();
+                }
                 continue;
             }
             if any_merge {
@@ -953,6 +990,27 @@ impl<'a> ChaseEngine<'a> {
             }
             // failed rules always retry, whatever the lazy analysis says
             active.extend(round_failed.iter().copied());
+            if let Some(g) = &rule_graph {
+                // Graph refinement: keep a rule only when the round's
+                // committed delta can reach it — its reads saw a changed
+                // cell, one of its relations holds pending delta tuples
+                // (covers merges, validated-value visibility and the
+                // order-write coarsening, all of which mark tuples), or
+                // another rule writes into its write set (its carried
+                // proposals must keep joining those conflict clusters).
+                // Tuple-level pending is only maintained when `track`;
+                // without it only the dead filter applies.
+                let before = active.len();
+                active.retain(|&ri| {
+                    !g.dead[ri]
+                        && (round_failed.contains(&ri)
+                            || !track
+                            || g.follows_writes[ri]
+                            || reads[ri].iter().any(|ra| changed_cells.contains(ra))
+                            || g.rels[ri].iter().any(|r| pending[ri].rel_count(*r) > 0))
+                });
+                pruned_carry = before - active.len();
+            }
             if changed_cells.is_empty() && !any_merge && round_failed.is_empty() {
                 break;
             }

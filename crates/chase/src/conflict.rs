@@ -64,11 +64,10 @@ impl ConflictPolicy {
             .collect();
         cands.sort();
         cands.dedup();
-        if cands.is_empty() {
-            return None;
-        }
-        if cands.len() == 1 {
-            return Some((cands.pop().unwrap(), Resolution::TieBreak));
+        match cands.as_slice() {
+            [] => return None,
+            [only] => return Some((only.clone(), Resolution::TieBreak)),
+            _ => {}
         }
         // Correlation model, when present and discriminative.
         if let Some(mc) = self.mc {
@@ -107,8 +106,9 @@ impl ConflictPolicy {
                 Some((v.clone(), res))
             }
             _ => {
-                // no votes at all: deterministic smallest candidate
-                Some((cands.into_iter().next().unwrap(), Resolution::TieBreak))
+                // no votes at all: deterministic smallest candidate (the
+                // list is sorted and non-empty past the guard above)
+                cands.into_iter().next().map(|c| (c, Resolution::TieBreak))
             }
         }
     }

@@ -116,6 +116,9 @@ pub struct RoundStats {
     pub proposals: usize,
     /// Carried emissions re-used without re-enumeration.
     pub carried: usize,
+    /// Rules the rule-dependency graph removed from this round's
+    /// activation (0 unless `ChaseConfig::use_rule_graph`).
+    pub rules_pruned: usize,
 }
 
 #[cfg(test)]

@@ -25,6 +25,11 @@
 //! previous round (plus EID-sensitive rules after merges). Batch mode seeds
 //! the worklist with every rule; incremental mode seeds it from ΔD.
 
+// The chase commits fixes round-atomically; a panic mid-commit would leave
+// a torn fix store, so non-test code must surface errors as values (same
+// gate as rock-crystal and rock-rees).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod chase;
 pub mod conflict;
 pub mod delta;

@@ -44,6 +44,11 @@ pub struct RockConfig {
     /// full-rescan ablation used by the `chase-delta` panel and the
     /// equivalence tests.
     pub semi_naive: bool,
+    /// Schedule chase rounds with the `rock-analyze` rule-dependency
+    /// graph: statically dead rules never activate and re-activation is
+    /// narrowed to rules the committed delta can reach. Off by default —
+    /// the classic activation set is the equivalence oracle.
+    pub use_rule_graph: bool,
     /// Crystal fault-tolerance knobs (fault injection plan, retry budget,
     /// backoff, speculation threshold), threaded into every discovery /
     /// detection / chase cluster this system builds.
@@ -62,6 +67,7 @@ impl Default for RockConfig {
             partitions_per_rule: 4,
             gate: rock_chase::chase::GateMode::Resolved,
             semi_naive: true,
+            use_rule_graph: false,
             cluster: ClusterConfig::default(),
         }
     }
@@ -77,6 +83,10 @@ pub struct DiscoveryOutcome {
     pub ml_cost: f64,
     /// Scheduler fault counters aggregated over all mined relations.
     pub fault_stats: FaultStats,
+    /// `rock-analyze` screen counters summed over all mined relations.
+    pub analyzer: rock_analyze::AnalyzerStats,
+    /// Mined rules the analyzer screen rejected across relations.
+    pub rules_dropped_by_analyzer: usize,
 }
 
 /// Detection outcome.
@@ -153,6 +163,8 @@ impl RockSystem {
         let mut rules = RuleSet::default();
         let mut candidates = 0usize;
         let mut fault_stats = FaultStats::default();
+        let mut analyzer = rock_analyze::AnalyzerStats::default();
+        let mut rules_dropped = 0usize;
         for (rid, rel) in w.dirty.iter() {
             if rel.is_empty() {
                 continue;
@@ -173,6 +185,8 @@ impl RockSystem {
             };
             candidates += report.candidates_evaluated;
             fault_stats.merge(&report.fault_stats);
+            analyzer.merge(&report.analyzer);
+            rules_dropped += report.rules_dropped_by_analyzer;
             for r in report.rules.rules {
                 rules.push(r);
             }
@@ -183,6 +197,8 @@ impl RockSystem {
             wall_seconds: start.elapsed().as_secs_f64(),
             ml_cost: w.registry.meter.cost() - cost0,
             fault_stats,
+            analyzer,
+            rules_dropped_by_analyzer: rules_dropped,
         }
     }
 
@@ -250,6 +266,7 @@ impl RockSystem {
                 partitions_per_rule: self.config.partitions_per_rule,
                 gate: self.config.gate,
                 semi_naive: self.config.semi_naive,
+                use_rule_graph: self.config.use_rule_graph,
                 cluster: self.config.cluster.clone(),
                 ..ChaseConfig::default()
             };
@@ -342,6 +359,7 @@ impl RockSystem {
             partitions_per_rule: self.config.partitions_per_rule,
             gate: self.config.gate,
             semi_naive: self.config.semi_naive,
+            use_rule_graph: self.config.use_rule_graph,
             cluster: self.config.cluster.clone(),
             ..ChaseConfig::default()
         };
@@ -471,6 +489,7 @@ impl RockSystem {
                     max_rounds: if iterate { 32 } else { 1 },
                     policy: policy.clone(),
                     semi_naive: self.config.semi_naive,
+                    use_rule_graph: self.config.use_rule_graph,
                     cluster: self.config.cluster.clone(),
                     ..ChaseConfig::default()
                 };

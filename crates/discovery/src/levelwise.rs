@@ -95,6 +95,12 @@ pub struct DiscoveryReport {
     /// Candidate units quarantined after exhausting retries; their
     /// candidates are treated as pruned (not measured).
     pub unit_failures: Vec<UnitFailure>,
+    /// `rock-analyze` counters from the post-mining screen (runs on both
+    /// the bitset and the scan path, over the same mined set).
+    pub analyzer: rock_analyze::AnalyzerStats,
+    /// Mined rules the screen rejected: error-severity diagnostics
+    /// (unsatisfiable or ill-typed) or subsumed by another mined rule.
+    pub rules_dropped_by_analyzer: usize,
 }
 
 impl DiscoveryReport {
@@ -119,18 +125,44 @@ impl<'a> Discoverer<'a> {
         }
     }
 
-    /// Mine rules over one relation's two-variable template.
+    /// Mine rules over one relation's two-variable template. The mined
+    /// set is screened by `rock-analyze` before it is returned: rules with
+    /// error-severity diagnostics or subsumed by another mined rule are
+    /// dropped (with counters in the report), identically for the bitset
+    /// and the scan path.
     pub fn mine_relation(
         &self,
         db: &Database,
         rel: RelId,
         space: &PredicateSpace,
     ) -> DiscoveryReport {
-        if self.config.use_bitset_cache {
+        let mut report = if self.config.use_bitset_cache {
             self.mine_relation_cached(db, rel, space)
         } else {
             self.mine_relation_scan(db, rel, space)
-        }
+        };
+        Self::screen_mined(db, &mut report);
+        report
+    }
+
+    /// The static-analysis screen over a freshly mined ruleset. Mining
+    /// enumerates predicates syntactically, so it can emit conjunctions no
+    /// tuple satisfies (support floors catch most, but not rules accepted
+    /// on vacuous confidence) and near-duplicate rules one of which
+    /// subsumes the other; the analyzer rejects both classes before the
+    /// chase ever schedules them.
+    fn screen_mined(db: &Database, report: &mut DiscoveryReport) {
+        let schema = db.schema();
+        let analysis = rock_analyze::Analyzer::new(&schema).analyze(&report.rules);
+        report.analyzer = analysis.stats();
+        let errors = analysis.rules_with_errors();
+        let subsumed = analysis.subsumed_rules();
+        let before = report.rules.len();
+        report
+            .rules
+            .rules
+            .retain(|r| !errors.contains(&r.name) && !subsumed.contains(&r.name));
+        report.rules_dropped_by_analyzer = before - report.rules.len();
     }
 
     /// Bitset-kernel mining: identical candidate generation, ordering and
@@ -154,6 +186,8 @@ impl<'a> Discoverer<'a> {
             cache: None,
             fault_stats: FaultStats::default(),
             unit_failures: Vec::new(),
+            analyzer: rock_analyze::AnalyzerStats::default(),
+            rules_dropped_by_analyzer: 0,
         };
 
         let ctx = self.ctx(db);
@@ -320,6 +354,8 @@ impl<'a> Discoverer<'a> {
             cache: None,
             fault_stats: FaultStats::default(),
             unit_failures: Vec::new(),
+            analyzer: rock_analyze::AnalyzerStats::default(),
+            rules_dropped_by_analyzer: 0,
         };
 
         // Parallel evaluation of candidates happens per level: build the

@@ -139,7 +139,9 @@ impl<'a> EvalContext<'a> {
     ) -> Vec<Value> {
         let gt = h.tuples[var];
         let rel = self.db.relation(gt.rel);
-        let t = rel.get(gt.tid).expect("valuation references live tuple");
+        let t = rel
+            .get(gt.tid)
+            .unwrap_or_else(|| panic!("valuation references dead tuple {:?}", gt));
         let _ = rule;
         t.project(attrs)
     }
@@ -149,7 +151,7 @@ impl<'a> EvalContext<'a> {
         self.db
             .relation(gt.rel)
             .get(gt.tid)
-            .expect("valuation references live tuple")
+            .unwrap_or_else(|| panic!("valuation references dead tuple {:?}", gt))
             .get(attr)
             .clone()
     }

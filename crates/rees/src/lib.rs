@@ -33,6 +33,12 @@
 //! parser and pretty-printer ([`parser`]), valuations and satisfaction
 //! semantics ([`eval`]), and support/confidence measures ([`measures`]).
 
+// Rule evaluation sits on the chase's hot path and inside discovery's
+// measure loops; a panic there takes a whole correction run down, so
+// non-test code must surface errors as values (same gate as rock-crystal).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod diag;
 pub mod eval;
 pub mod measures;
 pub mod op;
@@ -40,6 +46,7 @@ pub mod parser;
 pub mod predicate;
 pub mod rule;
 
+pub use diag::{max_severity, DiagCode, Diagnostic, RuleSpans, Severity, Span};
 pub use eval::{EvalContext, Valuation};
 pub use op::CmpOp;
 pub use parser::{parse_rule, parse_rules, ParseError};

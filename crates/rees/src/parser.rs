@@ -19,6 +19,7 @@
 //! [`parse_atom`]. Whitespace is insignificant; `&&` separates conjuncts;
 //! the single `->` separates precondition from consequence.
 
+use crate::diag::{RuleSpans, Span};
 use crate::op::CmpOp;
 use crate::predicate::{ModelRef, Predicate};
 use crate::rule::Rule;
@@ -26,16 +27,34 @@ use rock_data::{AttrId, DatabaseSchema, RelId, Value};
 use rock_kg::LabelPath;
 use std::fmt;
 
-/// Parse failure with context.
+/// Parse failure with context. `span` locates the offending atom in the
+/// source text (same [`Span`] type diagnostics use); `Span::none()` when
+/// the failure has no better anchor than the rule itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub rule: String,
     pub message: String,
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Attach a span unless one is already set (inner errors win: they
+    /// point at the narrowest offending region).
+    fn or_span(mut self, span: Span) -> Self {
+        if self.span.is_none() {
+            self.span = span;
+        }
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error in rule '{}': {}", self.rule, self.message)
+        write!(f, "parse error in rule '{}': {}", self.rule, self.message)?;
+        if !self.span.is_none() {
+            write!(f, " (at {})", self.span)?;
+        }
+        Ok(())
     }
 }
 
@@ -53,6 +72,7 @@ impl Ctx<'_> {
         ParseError {
             rule: self.name.clone(),
             message: msg.into(),
+            span: Span::none(),
         }
     }
 
@@ -141,10 +161,32 @@ impl Ctx<'_> {
 /// );
 /// ```
 pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseError> {
+    parse_rule_at(input, schema, 1)
+}
+
+/// Byte offset of a subslice within the string it was sliced from. Both
+/// arguments must come from the same allocation (every atom the parser
+/// handles is a subslice of `input`), so the subtraction is well-defined.
+fn offset_in(haystack: &str, needle: &str) -> u32 {
+    (needle.as_ptr() as usize - haystack.as_ptr() as usize) as u32
+}
+
+/// Column span of `atom` (a subslice of `input`) on line `line`.
+fn span_of(input: &str, atom: &str, line: u32) -> Span {
+    let start = offset_in(input, atom);
+    Span::new(line, start, start + atom.len() as u32)
+}
+
+/// [`parse_rule`] with an explicit 1-based source line for spans — this is
+/// what [`parse_rules`] calls so diagnostics point into multi-line texts.
+/// Columns are byte offsets within the *trimmed* line.
+pub fn parse_rule_at(input: &str, schema: &DatabaseSchema, line: u32) -> Result<Rule, ParseError> {
     let input = input.trim();
+    let rule_span = Span::new(line, 0, input.len() as u32);
     let fail = |m: &str| ParseError {
         rule: String::new(),
         message: m.into(),
+        span: rule_span,
     };
     let rest = input
         .strip_prefix("rule")
@@ -157,6 +199,7 @@ pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseErr
     let (pre_text, cons_text) = body.rsplit_once("->").ok_or_else(|| ParseError {
         rule: name.clone(),
         message: "missing '->'".into(),
+        span: rule_span,
     })?;
 
     let mut ctx = Ctx {
@@ -200,33 +243,54 @@ pub fn parse_rule(input: &str, schema: &DatabaseSchema) -> Result<Rule, ParseErr
         return Err(ctx.err("rule binds no tuple variables"));
     }
 
+    let pre_spans: Vec<Span> = pred_atoms.iter().map(|a| span_of(input, a, line)).collect();
+    let cons_trimmed = cons_text.trim();
+    let cons_span = span_of(input, cons_trimmed, line);
+
     let precondition = pred_atoms
         .iter()
-        .map(|a| parse_atom(a, &ctx))
+        .zip(&pre_spans)
+        .map(|(a, sp)| parse_atom(a, &ctx).map_err(|e| e.or_span(*sp)))
         .collect::<Result<Vec<_>, _>>()?;
-    let consequence = parse_atom(cons_text.trim(), &ctx)?;
+    let consequence = parse_atom(cons_trimmed, &ctx).map_err(|e| e.or_span(cons_span))?;
 
-    let rule = Rule::new(
+    let mut rule = Rule::new(
         name,
         ctx.tuple_vars,
         ctx.vertex_vars,
         precondition,
         consequence,
     );
-    rule.validate(schema).map_err(|m| ParseError {
-        rule: rule.name.clone(),
-        message: m,
+    rule.spans = RuleSpans {
+        rule: rule_span,
+        preconditions: pre_spans,
+        consequence: cons_span,
+    };
+    rule.validate(schema).map_err(|m| {
+        // re-run the typed pass to anchor the error at the offending atom
+        let span = rule
+            .well_formedness(schema)
+            .first()
+            .map(|d| d.span)
+            .unwrap_or(rule_span);
+        ParseError {
+            rule: rule.name.clone(),
+            message: m,
+            span,
+        }
     })?;
     Ok(rule)
 }
 
-/// Parse many rules: one per non-empty, non-`#`-comment line.
+/// Parse many rules: one per non-empty, non-`#`-comment line. Spans carry
+/// the 1-based line number within `input`.
 pub fn parse_rules(input: &str, schema: &DatabaseSchema) -> Result<Vec<Rule>, ParseError> {
     input
         .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| parse_rule(l, schema))
+        .enumerate()
+        .map(|(i, l)| (i as u32 + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .map(|(ln, l)| parse_rule_at(l, schema, ln))
         .collect()
 }
 
@@ -739,6 +803,40 @@ mod tests {
         assert!(e.message.contains("start with 'rule'"), "{e}");
         let e = parse_rule("rule x: Trans(t) t.price = 1", &s).unwrap_err();
         assert!(e.message.contains("missing '->'"), "{e}");
+    }
+
+    #[test]
+    fn spans_point_at_atoms() {
+        let s = schema();
+        let line = "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg";
+        let r = parse_rule(line, &s).unwrap();
+        assert_eq!(r.spans.rule, Span::new(1, 0, line.len() as u32));
+        assert_eq!(r.spans.preconditions.len(), 1);
+        let sp = r.spans.preconditions[0];
+        assert_eq!(&line[sp.start as usize..sp.end as usize], "t.com = s.com");
+        let sc = r.spans.consequence;
+        assert_eq!(&line[sc.start as usize..sc.end as usize], "t.mfg = s.mfg");
+    }
+
+    #[test]
+    fn parse_rules_spans_carry_line_numbers() {
+        let text = "# header\nrule a: Trans(t) && t.price >= 1 -> t.mfg = 'Apple'\n\nrule b: Trans(t) && null(t.price) -> t.mfg = 'Apple'\n";
+        let rules = parse_rules(text, &schema()).unwrap();
+        assert_eq!(rules[0].spans.rule.line, 2);
+        assert_eq!(rules[1].spans.rule.line, 4);
+    }
+
+    #[test]
+    fn parse_error_carries_atom_span() {
+        let s = schema();
+        let line = "rule x: Trans(t) && null(t.price) -> q.price = 1";
+        let e = parse_rule(line, &s).unwrap_err();
+        assert!(e.message.contains("unknown tuple variable"), "{e}");
+        let sp = e.span;
+        assert_eq!(&line[sp.start as usize..sp.end as usize], "q.price = 1");
+        // errors with no better anchor fall back to the rule span
+        let e = parse_rule("Trans(t) -> t.price = 1", &s).unwrap_err();
+        assert!(!e.span.is_none());
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! * [`bank`], [`logistics`], [`sales`] — the three applications: schema,
 //!   clean data, knowledge graph, trained models, curated REE++s, tasks.
 //! * [`workload`] — the common `Workload` bundle the harness consumes.
+//! * [`defects`] — seeded defective-ruleset generator for `rock-analyze`.
 
 pub mod bank;
+pub mod defects;
 pub mod inject;
 pub mod logistics;
 pub mod metrics;
@@ -25,6 +27,7 @@ pub mod namegen;
 pub mod sales;
 pub mod workload;
 
+pub use defects::{inject_defects, DefectKind, InjectedDefect};
 pub use inject::{ErrorTruth, Injector};
 pub use metrics::{correction_metrics, detection_metrics, Metrics};
 pub use workload::{Task, Workload};

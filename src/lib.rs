@@ -8,6 +8,8 @@
 //! * [`ml`] — embedded-ML substrate (pair classifiers, `Mrank`, `Mc`/`Md`,
 //!   HER, LSH blocking, model registry).
 //! * [`rees`] — the REE++ rule language.
+//! * [`analyze`] — static analysis over rulesets: typed diagnostics and
+//!   the rule-dependency graph the chase can schedule with.
 //! * [`chase`] — the unified ER+CR+MI+TD chase engine with certain fixes.
 //! * [`discovery`] — rule discovery (levelwise, sampling, top-k, anytime).
 //! * [`detect`] — batch and incremental error detection.
@@ -19,6 +21,7 @@
 //! * [`workloads`] — synthetic Bank / Logistics / Sales generators with
 //!   seeded error injection.
 
+pub use rock_analyze as analyze;
 pub use rock_baselines as baselines;
 pub use rock_chase as chase;
 pub use rock_core as core;
