@@ -8,6 +8,68 @@ use rock_workloads::metrics::detection_metrics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("provenance") {
+        // `debug_panel provenance <wal-dir> [rel:tid:attr]` — answer "why
+        // is this cell 42?" from a durable chase's WAL (rock_chase::wal).
+        // Without a cell, lists the repaired cells and explains the first.
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: debug_panel provenance <wal-dir> [rel:tid:attr]");
+            std::process::exit(2);
+        };
+        let graph = match rock_chase::ProvenanceGraph::load(std::path::Path::new(dir)) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("failed to load WAL from {dir}: {e}");
+                std::process::exit(3);
+            }
+        };
+        println!(
+            "provenance graph: {} fixes over {} repaired cells",
+            graph.len(),
+            graph.repaired_cells().len()
+        );
+        let cell = match args.get(2) {
+            Some(spec) => {
+                let parts: Vec<u32> = spec.split(':').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 3 {
+                    eprintln!("cell spec must be rel:tid:attr (numeric ids), got {spec}");
+                    std::process::exit(2);
+                }
+                rock_data::CellRef::new(
+                    rock_data::RelId(parts[0] as u16),
+                    rock_data::TupleId(parts[1]),
+                    rock_data::AttrId(parts[2] as u16),
+                )
+            }
+            None => match graph.repaired_cells().first().copied() {
+                Some(c) => c,
+                None => {
+                    println!("no repaired cells in this WAL");
+                    return;
+                }
+            },
+        };
+        match graph.why(cell) {
+            Some(chain) => {
+                println!(
+                    "why {cell:?}: fix #{} (round {}, rule {}) via {:?}",
+                    chain.fix.id, chain.fix.round, chain.fix.rule, chain.fix.kind
+                );
+                println!("  valuation: {:?}", chain.fix.valuation);
+                for a in &chain.ancestors {
+                    println!(
+                        "  <- fix #{} (round {}, rule {}) {:?}",
+                        a.id, a.round, a.rule, a.kind
+                    );
+                }
+            }
+            None => {
+                eprintln!("no fix recorded for cell {cell:?}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if args.first().map(|s| s.as_str()) == Some("crystal") {
         // Seeded chaos run over the Logistics correction task; prints the
         // scheduler's fault-handling counters. Seed from argv[1] or

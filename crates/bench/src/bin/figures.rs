@@ -12,8 +12,14 @@
 //! analyze (ruleset static analysis: defect recall + graph-scheduled chase
 //! vs classic activation),
 //! chaos (fault injection: byte-identical repairs under panics, transient
-//! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`).
+//! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`),
+//! durability (WAL + checkpoint chase: byte-identical durable repairs,
+//! resume-from-every-round, provenance query per repaired cell).
 //! Output is printed and written to `results/` (atomically: temp+rename).
+//! Every run also emits `results/BENCH_trajectory.json` — per-panel wall
+//! seconds plus the semantic ratio metrics the CI trajectory gate
+//! (`scripts/check_trajectory.py`) compares against the committed
+//! baseline.
 
 use rock_bench::panels;
 use rock_bench::table::Table;
@@ -94,6 +100,7 @@ fn main() {
             "chase-delta",
             "analyze",
             "chaos",
+            "durability",
             "summary",
         ]
         .iter()
@@ -105,6 +112,8 @@ fn main() {
 
     fs::create_dir_all("results").expect("create results/");
 
+    let mut trajectory_panels = serde_json::Map::new();
+    let mut trajectory_metrics = serde_json::Map::new();
     for p in &panels_requested {
         let started = std::time::Instant::now();
         let (table, json): (Table, serde_json::Value) = match p.as_str() {
@@ -124,17 +133,50 @@ fn main() {
             "chase-delta" => panels::chase_delta(),
             "analyze" => panels::analyze(),
             "chaos" => panels::chaos(),
-            "summary" => {
-                let (t, j) = summary();
-                (t, j)
-            }
+            "durability" => panels::durability(),
+            "summary" => summary(),
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, durability, summary, or all"
                 );
                 std::process::exit(2);
             }
         };
+        let wall = started.elapsed().as_secs_f64();
+        trajectory_panels.insert(p.clone(), serde_json::json!({ "wall_seconds": wall }));
+        // semantic ratio metrics (runner-speed invariant) for the gate
+        match p.as_str() {
+            "durability" => {
+                for k in ["overhead_ratio", "resume_points", "checkpoints"] {
+                    if let Some(v) = json.get(k) {
+                        trajectory_metrics.insert(format!("durability_{k}"), v.clone());
+                    }
+                }
+            }
+            "chaos" => {
+                let c = json.get("clean_wall_seconds").and_then(|v| v.as_f64());
+                let ch = json.get("chaos_wall_seconds").and_then(|v| v.as_f64());
+                if let (Some(c), Some(ch)) = (c, ch) {
+                    if c > 0.0 {
+                        trajectory_metrics
+                            .insert("chaos_wall_ratio".into(), serde_json::json!(ch / c));
+                    }
+                }
+            }
+            "chase-delta" => {
+                let full = json.get("full_valuations_total").and_then(|v| v.as_f64());
+                let semi = json.get("semi_valuations_total").and_then(|v| v.as_f64());
+                if let (Some(full), Some(semi)) = (full, semi) {
+                    if semi > 0.0 {
+                        trajectory_metrics.insert(
+                            "chase_delta_valuation_ratio".into(),
+                            serde_json::json!(full / semi),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
         let rendered = table.render();
         println!("{rendered}");
         println!(
@@ -147,5 +189,20 @@ fn main() {
         rock_bench::write_atomic(&json_path, serde_json::to_string_pretty(&json).unwrap())
             .expect("write panel json");
     }
-    println!("wrote {} panels to results/", panels_requested.len());
+    // Trajectory record for the CI regression gate: per-panel wall seconds
+    // plus the runner-speed-invariant ratio metrics collected above.
+    let trajectory = serde_json::json!({
+        "panels": trajectory_panels,
+        "metrics": trajectory_metrics,
+    });
+    let traj_path = Path::new("results").join("BENCH_trajectory.json");
+    rock_bench::write_atomic(
+        &traj_path,
+        serde_json::to_string_pretty(&trajectory).unwrap(),
+    )
+    .expect("write trajectory json");
+    println!(
+        "wrote {} panels + BENCH_trajectory.json to results/",
+        panels_requested.len()
+    );
 }

@@ -26,14 +26,11 @@ pub mod table;
 
 pub use runners::{modeled_seconds, COST_UNIT_SECONDS};
 
-/// Write `contents` to `path` atomically: write a sibling `<name>.tmp`
-/// first, then rename it over the target, so an interrupted or crashed
-/// harness never leaves a truncated results file where a complete one
-/// stood (rename within a directory is atomic on POSIX).
+/// Write `contents` to `path` atomically *and* durably: write a sibling
+/// `<name>.tmp`, fsync it, rename it over the target, then fsync the
+/// parent directory — an interrupted or crashed harness never leaves a
+/// truncated results file where a complete one stood, and a completed
+/// write survives power loss (see `rock_crystal::storage`).
 pub fn write_atomic(path: &std::path::Path, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp_name);
-    std::fs::write(&tmp, contents.as_ref())?;
-    std::fs::rename(&tmp, path)
+    rock_crystal::write_atomic_durable(path, contents.as_ref())
 }

@@ -17,10 +17,12 @@
 //! which is how the deployed system bootstraps beyond its 10k-tuple seed
 //! (DESIGN.md §3 discusses the interpretation).
 
+use crate::checkpoint::{self, ChaseCheckpoint, CHECKPOINT_VERSION};
 use crate::conflict::ConflictPolicy;
 use crate::delta::{DeltaSet, RoundStats};
 use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
 use crate::order::OrderInsert;
+use crate::wal::{DurabilityConfig, DurabilityCtx, FixKind, RoundFix, WalError, WalSummary};
 use rock_crystal::work::{partition_range, Partition};
 use rock_crystal::{Cluster, ClusterConfig, FaultStats, UnitFailure, WorkUnit};
 use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Update, Value};
@@ -48,6 +50,49 @@ const PAYLOAD_PINNED_BASE: u64 = 2;
 /// One emitted proposal together with the tuples its valuation bound
 /// (empty when tuple-level tracking is off).
 type Emission = (Vec<GlobalTid>, Proposal);
+
+/// The chase loop's complete mutable state, factored out of the engine so
+/// a [`ChaseCheckpoint`] can capture it at a round boundary and `resume`
+/// can re-enter `run_loop` with recovered state. Every round is a
+/// deterministic function of this struct (plus the immutable engine), so
+/// checkpoint + re-run reproduces an uninterrupted run byte-identically.
+struct LoopState {
+    work_db: Database,
+    fixes: FixStore,
+    active: FxHashSet<usize>,
+    pruned_carry: usize,
+    seeded: bool,
+    pending: Vec<DeltaSet>,
+    carry: Vec<Option<Vec<Emission>>>,
+    cumulative: DeltaSet,
+    changes: Vec<(CellRef, Value, Value)>,
+    merged_pairs: Vec<(GlobalTid, GlobalTid)>,
+    conflicts: usize,
+    steps: usize,
+    rounds: usize,
+    round_stats: Vec<RoundStats>,
+    /// Loop decided to stop after the last completed round; resume skips
+    /// straight to the final ER materialization.
+    done: bool,
+}
+
+/// Valuation tuples supporting a deduped proposal (WAL provenance).
+fn support_of(support: &FxHashMap<ProposalKey, Vec<GlobalTid>>, p: &Proposal) -> Vec<GlobalTid> {
+    support.get(&p.key()).cloned().unwrap_or_default()
+}
+
+/// Fold a proposal's provenance into a cell's attribution: the smallest
+/// proposing rule id wins, valuations union.
+fn attribute(
+    map: &mut FxHashMap<CellRef, (u32, Vec<GlobalTid>)>,
+    cell: CellRef,
+    rule: u32,
+    sup: Vec<GlobalTid>,
+) {
+    let e = map.entry(cell).or_insert((rule, Vec::new()));
+    e.0 = e.0.min(rule);
+    e.1.extend(sup);
+}
 
 /// How strictly preconditions must be backed by ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +143,12 @@ pub struct ChaseConfig {
     /// flag off (property-tested in `tests/analyze_properties.rs`); the
     /// default stays `false` so the classic activation remains the oracle.
     pub use_rule_graph: bool,
+    /// Durable chase: append every committed fix to a CRC-framed WAL and
+    /// checkpoint the loop state at round boundaries, so a crashed run
+    /// resumes from its last durable round byte-identically (see
+    /// `crate::wal` / `crate::checkpoint`). `None` (default) keeps the
+    /// zero-IO in-memory chase.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ChaseConfig {
@@ -112,12 +163,13 @@ impl Default for ChaseConfig {
             semi_naive: true,
             cluster: ClusterConfig::default(),
             use_rule_graph: false,
+            durability: None,
         }
     }
 }
 
 /// A deduced fix proposal (one chase step's consequence).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Proposal {
     /// Validate `t[A] = value`.
     SetCell {
@@ -150,9 +202,12 @@ pub enum Proposal {
     },
 }
 
+/// Canonical proposal sort key (also the WAL support-map key).
+pub(crate) type ProposalKey = (u8, u64, u64, String);
+
 impl Proposal {
     /// Canonical sort key for deterministic commit order.
-    fn key(&self) -> (u8, u64, u64, String) {
+    pub(crate) fn key(&self) -> ProposalKey {
         fn cell_key(c: &CellRef) -> u64 {
             ((c.rel.0 as u64) << 48) | ((c.tid.0 as u64) << 16) | c.attr.0 as u64
         }
@@ -214,6 +269,9 @@ pub struct ChaseResult {
     /// round (the rule re-runs from scratch the next round), so this being
     /// non-empty means degraded progress, not wrong fixes.
     pub unit_failures: Vec<UnitFailure>,
+    /// Durability totals (records/checkpoints written, resumed round,
+    /// degradation error). `None` when durability was not configured.
+    pub wal: Option<WalSummary>,
 }
 
 impl ChaseResult {
@@ -366,7 +424,7 @@ impl<'a> ChaseEngine<'a> {
 
     fn run_inner(
         &self,
-        mut work_db: Database,
+        work_db: Database,
         trusted: &[GlobalTid],
         seed: Option<DeltaSet>,
         mut fixes: FixStore,
@@ -398,26 +456,7 @@ impl<'a> ChaseEngine<'a> {
             }
         }
 
-        let entity_idx = EntityIdx::build(&work_db);
-        let reads: Vec<FxHashSet<(RelId, AttrId)>> = self
-            .rules
-            .rules
-            .iter()
-            .map(|r| self.rule_reads(r))
-            .collect();
-
-        // Rule-dependency-graph scheduling (rock-analyze): statically dead
-        // rules never activate, and each round's re-activation is filtered
-        // below to rules the committed delta can actually reach. Every
-        // filter is a retain() over the classic activation set, so the
-        // graph-driven schedule evaluates a subset of the oracle's
-        // rule × round pairs and commits identical fixes.
-        let rule_graph = self.config.use_rule_graph.then(|| {
-            let schema = work_db.schema();
-            rock_analyze::Analyzer::new(&schema)
-                .analyze(self.rules)
-                .graph
-        });
+        let rule_graph = self.build_rule_graph(&work_db);
 
         // initial activation: every rule in batch mode, rules reading a
         // seeded relation in incremental mode
@@ -441,75 +480,206 @@ impl<'a> ChaseEngine<'a> {
         }
 
         let seeded = seed.is_some();
-        // Tuple-level tracking is needed whenever delta rounds can happen:
-        // semi-naive batch rounds >= 2, or any seeded (incremental) run.
-        // The full-rescan ablation (batch, semi_naive = false) keeps the
-        // untracked zero-overhead path.
-        let track = self.config.semi_naive || seeded;
         let nrules = self.rules.len();
         let empty_delta = DeltaSet::empty(&work_db);
         // per-rule delta accumulated since the rule last ran
-        let mut pending: Vec<DeltaSet> = match &seed {
+        let pending: Vec<DeltaSet> = match &seed {
             Some(d) => vec![d.clone(); nrules],
             None => vec![empty_delta.clone(); nrules],
         };
-        // Emissions of each rule's last run, keyed by the valuation's bound
-        // tuples. Delta rounds re-emit the untouched ones verbatim: a
-        // valuation whose tuples, oracles and gate inputs are all unchanged
-        // since the rule last ran emits exactly what it emitted then (and
-        // the commit phase re-counts persistent conflicts from them, like
-        // the full re-scan does).
-        let mut carry: Vec<Option<Vec<Emission>>> = vec![None; nrules];
         // Union of every delta since chase start. Blocking-pruned pinned
         // enumeration unions this into the non-pinned candidates: block-mate
         // lists are build-time state, so tuples rewritten after the index
         // was built must always stay candidates.
-        let mut cumulative = match &seed {
+        let cumulative = match &seed {
             Some(d) => d.clone(),
-            None => empty_delta.clone(),
+            None => empty_delta,
         };
+
+        let st = LoopState {
+            work_db,
+            fixes,
+            active,
+            pruned_carry,
+            seeded,
+            pending,
+            // Emissions of each rule's last run, keyed by the valuation's
+            // bound tuples. Delta rounds re-emit the untouched ones
+            // verbatim: a valuation whose tuples, oracles and gate inputs
+            // are all unchanged since the rule last ran emits exactly what
+            // it emitted then (and the commit phase re-counts persistent
+            // conflicts from them, like the full re-scan does).
+            carry: vec![None; nrules],
+            cumulative,
+            changes: Vec::new(),
+            merged_pairs: Vec::new(),
+            conflicts: 0,
+            steps: 0,
+            rounds: 0,
+            round_stats: Vec::new(),
+            done: false,
+        };
+        let dur = self
+            .config
+            .durability
+            .clone()
+            .map(|cfg| DurabilityCtx::begin(cfg, self.fingerprint()));
+        self.run_loop(st, rule_graph, dur)
+    }
+
+    /// Rule-dependency-graph scheduling (rock-analyze): statically dead
+    /// rules never activate, and each round's re-activation is filtered
+    /// to rules the committed delta can actually reach. Every filter is a
+    /// retain() over the classic activation set, so the graph-driven
+    /// schedule evaluates a subset of the oracle's rule × round pairs and
+    /// commits identical fixes.
+    fn build_rule_graph(&self, db: &Database) -> Option<rock_analyze::RuleGraph> {
+        self.config.use_rule_graph.then(|| {
+            let schema = db.schema();
+            rock_analyze::Analyzer::new(&schema)
+                .analyze(self.rules)
+                .graph
+        })
+    }
+
+    /// Fingerprint of the ruleset plus the semantics-relevant config,
+    /// stamped into the WAL's `Begin` header: resume refuses state written
+    /// by a differently-configured engine instead of silently diverging.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes: Vec<u8> = Vec::new();
+        for r in &self.rules.rules {
+            bytes.extend_from_slice(r.name.as_bytes());
+            bytes.push(0);
+        }
+        bytes.push((self.config.gate == GateMode::Strict) as u8);
+        bytes.push(self.config.lazy_activation as u8);
+        bytes.push(self.config.semi_naive as u8);
+        bytes.push(self.config.use_rule_graph as u8);
+        bytes.extend_from_slice(&(self.rules.len() as u32).to_le_bytes());
+        let lo = rock_crystal::crc32(&bytes) as u64;
+        (lo << 32) | rock_crystal::crc32(&lo.to_le_bytes()) as u64
+    }
+
+    /// Resume a crashed durable run from its last durable round. The
+    /// continued run commits byte-identical repairs to an uninterrupted
+    /// one (see `crate::checkpoint` for the recovery invariants).
+    ///
+    /// Requires `config.durability`; `trusted` must match the original
+    /// run's trusted set (it is re-applied idempotently).
+    pub fn resume(&self, trusted: &[GlobalTid]) -> Result<ChaseResult, WalError> {
+        self.resume_impl(trusted, None)
+    }
+
+    /// Resume from a *specific* durable round instead of the newest — the
+    /// resume-at-every-round oracle check in `tests/wal_durability.rs`.
+    pub fn resume_at(&self, trusted: &[GlobalTid], round: u64) -> Result<ChaseResult, WalError> {
+        self.resume_impl(trusted, Some(round))
+    }
+
+    fn resume_impl(&self, trusted: &[GlobalTid], at: Option<u64>) -> Result<ChaseResult, WalError> {
+        let cfg = self
+            .config
+            .durability
+            .clone()
+            .ok_or(WalError::NotConfigured)?;
+        let rp = checkpoint::locate(&cfg, self.fingerprint(), at)?;
+        let writer = checkpoint::reopen_writer(&cfg, rp.wal_offset)?;
+        let ck = rp.checkpoint;
+        let mut fixes = FixStore::from_snapshot(&ck.fixes);
+        for t in trusted {
+            fixes.trust_tuple(*t);
+        }
+        let st = LoopState {
+            work_db: ck.db,
+            fixes,
+            active: ck.active.iter().copied().collect(),
+            pruned_carry: ck.pruned_carry,
+            seeded: ck.seeded,
+            pending: ck.pending,
+            carry: ck.carry,
+            cumulative: ck.cumulative,
+            changes: ck.changes,
+            merged_pairs: ck.merged_pairs,
+            conflicts: ck.conflicts,
+            steps: ck.steps,
+            rounds: ck.round as usize,
+            round_stats: ck.round_stats,
+            done: ck.done,
+        };
+        let rule_graph = self.build_rule_graph(&st.work_db);
+        let dur = DurabilityCtx::attach(cfg, writer, rp.next_fix_id, rp.last_fix, ck.round);
+        Ok(self.run_loop(st, rule_graph, Some(dur)))
+    }
+
+    /// The round loop, entered with a fresh [`LoopState`] (`run_inner`) or
+    /// a recovered one (`resume`). Every round is a deterministic function
+    /// of `st`, which is what makes checkpoint + re-run byte-identical to
+    /// an uninterrupted run.
+    fn run_loop(
+        &self,
+        mut st: LoopState,
+        rule_graph: Option<rock_analyze::RuleGraph>,
+        mut dur: Option<DurabilityCtx>,
+    ) -> ChaseResult {
+        let entity_idx = EntityIdx::build(&st.work_db);
+        let reads: Vec<FxHashSet<(RelId, AttrId)>> = self
+            .rules
+            .rules
+            .iter()
+            .map(|r| self.rule_reads(r))
+            .collect();
+        let nrules = self.rules.len();
+        let empty_delta = DeltaSet::empty(&st.work_db);
+        // Tuple-level tracking is needed whenever delta rounds can happen
+        // (semi-naive batch rounds >= 2, any seeded run) and whenever the
+        // WAL needs valuations for provenance records. The full-rescan
+        // ablation without durability keeps the untracked zero-overhead
+        // path; tracking never changes the deduped proposal set.
+        let track = self.config.semi_naive || st.seeded || dur.is_some();
+        // capture per-proposal support + per-phase fix records for the WAL
+        let capture = dur.is_some();
 
         // One Cluster for all rounds: membership (a crashed node, the
         // rebuilt ring) persists across rounds, so later rounds place work
         // on survivors only.
         let cluster = Cluster::with_config(self.config.workers, self.config.cluster.clone());
-        let mut changes: Vec<(CellRef, Value, Value)> = Vec::new();
-        let mut merged_pairs: Vec<(GlobalTid, GlobalTid)> = Vec::new();
-        let mut conflicts = 0usize;
-        let mut steps = 0usize;
-        let mut rounds = 0usize;
         let mut round_makespans: Vec<Vec<f64>> = Vec::new();
-        let mut round_stats: Vec<RoundStats> = Vec::new();
         let mut fault_stats = FaultStats::default();
         let mut unit_failures: Vec<UnitFailure> = Vec::new();
 
-        while rounds < self.config.max_rounds && !active.is_empty() {
-            rounds += 1;
+        while !st.done && st.rounds < self.config.max_rounds && !st.active.is_empty() {
+            st.rounds += 1;
             // Rules with a quarantined unit this round: their round is
             // voided (partial emissions discarded, carry dropped, pending
             // kept) and they re-run from scratch next round.
             let mut round_failed: FxHashSet<usize> = FxHashSet::default();
             let mut stat = RoundStats::default();
-            let mut sorted_active: Vec<usize> = active.iter().copied().collect();
+            let mut sorted_active: Vec<usize> = st.active.iter().copied().collect();
             sorted_active.sort_unstable();
             stat.active_rules = sorted_active.len();
-            stat.rules_pruned = pruned_carry;
+            stat.rules_pruned = st.pruned_carry;
             // Full scan when: batch round 1, the full-rescan ablation, or a
             // rule first activated mid-run (it has no carry to complete a
             // delta round with). Seeded runs are delta rounds throughout.
             let full_mode: Vec<bool> = (0..nrules)
                 .map(|ri| {
-                    !seeded && (rounds == 1 || !self.config.semi_naive || carry[ri].is_none())
+                    !st.seeded
+                        && (st.rounds == 1 || !self.config.semi_naive || st.carry[ri].is_none())
                 })
                 .collect();
+            // valuation tuples supporting each deduped proposal, and the
+            // round's committed fixes — both feed the WAL's provenance
+            // records; empty/unused without durability
+            let mut support: FxHashMap<ProposalKey, Vec<GlobalTid>> = FxHashMap::default();
+            let mut round_fixes: Vec<RoundFix> = Vec::new();
             // ---- evaluation phase ----
             let proposals = {
                 let oracle = ChaseOrderOracle {
-                    fixes: &fixes,
-                    db: &work_db,
+                    fixes: &st.fixes,
+                    db: &st.work_db,
                 };
-                let entity_oracle = FixEntityOracle { fixes: &fixes };
-                let mut ctx = EvalContext::new(&work_db, self.registry)
+                let entity_oracle = FixEntityOracle { fixes: &st.fixes };
+                let mut ctx = EvalContext::new(&st.work_db, self.registry)
                     .with_temporal(&oracle)
                     .with_entities(&entity_oracle);
                 if let Some(g) = self.graph {
@@ -525,7 +695,7 @@ impl<'a> ChaseEngine<'a> {
                 for &ri in &sorted_active {
                     let rule = &self.rules.rules[ri];
                     if !full_mode[ri] {
-                        stat.delta_tuples += pending[ri].count();
+                        stat.delta_tuples += st.pending[ri].count();
                     }
                     if full_mode[ri] || !self.config.semi_naive {
                         let payload = if full_mode[ri] {
@@ -534,7 +704,7 @@ impl<'a> ChaseEngine<'a> {
                             PAYLOAD_FILTER
                         };
                         let rel0 = rule.rel_of(0);
-                        let rows = work_db.relation(rel0).capacity() as u32;
+                        let rows = st.work_db.relation(rel0).capacity() as u32;
                         for p in partition_range(rel0.0, rows, self.config.partitions_per_rule) {
                             units.push(WorkUnit::new(ri as u32, vec![p]).with_payload(payload));
                         }
@@ -547,7 +717,7 @@ impl<'a> ChaseEngine<'a> {
                     } else {
                         for v in 0..rule.tuple_vars.len() {
                             let rel = rule.rel_of(v);
-                            let ones = pending[ri].ones_vec(rel);
+                            let ones = st.pending[ri].ones_vec(rel);
                             if ones.is_empty() {
                                 continue;
                             }
@@ -563,11 +733,11 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
                 let gate = self.config.gate;
-                let fixes_ref = &fixes;
+                let fixes_ref = &st.fixes;
                 let rules = self.rules;
-                let pending_ref = &pending;
+                let pending_ref = &st.pending;
                 let pinned_ref = &pinned_lists;
-                let dirty_ref = &cumulative;
+                let dirty_ref = &st.cumulative;
                 let blocking = self.blocking;
                 let registry = self.registry;
                 let unit_rules: Vec<usize> = units.iter().map(|u| u.rule as usize).collect();
@@ -657,15 +827,15 @@ impl<'a> ChaseEngine<'a> {
                         // void the rule's round: partial emissions could
                         // miss valuations, so nothing commits and the
                         // carry is dropped (next round is a full scan)
-                        carry[ri] = None;
+                        st.carry[ri] = None;
                         per_rule.remove(&ri);
                         continue;
                     }
                     let mut emissions = per_rule.remove(&ri).unwrap_or_default();
                     if track {
                         if !full_mode[ri] {
-                            if let Some(prev) = &carry[ri] {
-                                let pend = &pending[ri];
+                            if let Some(prev) = &st.carry[ri] {
+                                let pend = &st.pending[ri];
                                 for (tids, p) in prev {
                                     // untouched valuations re-emit verbatim;
                                     // touched ones were re-derived (or
@@ -681,53 +851,77 @@ impl<'a> ChaseEngine<'a> {
                         emissions
                             .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key().cmp(&b.1.key())));
                         emissions.dedup();
-                        carry[ri] = Some(emissions.clone());
+                        st.carry[ri] = Some(emissions.clone());
                     }
-                    all.extend(emissions.into_iter().map(|(_, p)| p));
+                    for (tids, p) in emissions {
+                        if capture {
+                            support
+                                .entry(p.key())
+                                .or_default()
+                                .extend(tids.iter().copied());
+                        }
+                        all.push(p);
+                    }
                 }
                 all.sort_by_key(|p| p.key());
                 all.dedup();
                 all
             };
+            if capture {
+                for v in support.values_mut() {
+                    v.sort_unstable();
+                    v.dedup();
+                }
+            }
             // pending was consumed by every rule that ran this round
             // (failed rules keep theirs: their round is retried)
             if track {
                 for &ri in &sorted_active {
                     if !round_failed.contains(&ri) {
-                        pending[ri].clear();
+                        st.pending[ri].clear();
                     }
                 }
             }
             stat.proposals = proposals.len();
 
             if proposals.is_empty() {
-                round_stats.push(stat);
+                st.round_stats.push(stat);
                 if round_failed.is_empty() {
-                    break;
+                    st.done = true;
+                } else {
+                    // nothing committed, but failed rules must retry
+                    st.active = round_failed;
+                    st.pruned_carry = 0;
                 }
-                // nothing committed, but failed rules must retry
-                active = round_failed;
-                pruned_carry = 0;
+                // still a round boundary: carries/pendings changed
+                self.commit_round_durable(&st, &mut dur, &round_fixes);
                 continue;
             }
 
             // ---- commit phase ----
             let mut changed_cells: FxHashSet<(RelId, AttrId)> = FxHashSet::default();
             let mut any_merge = false;
-            let mut groups_by_root = entity_idx.grouped(&fixes);
+            let mut groups_by_root = entity_idx.grouped(&st.fixes);
             // tuples this round's commit touches, for the next delta rounds
             let mut round_delta = empty_delta.clone();
-            let changes_start = changes.len();
+            let changes_start = st.changes.len();
 
             // Phase A: distinctness
             for p in &proposals {
-                if let Proposal::Distinct { a, b, .. } = p {
-                    let (ka, kb) = (entity_key(&work_db, *a), entity_key(&work_db, *b));
+                if let Proposal::Distinct { a, b, rule } = p {
+                    let (ka, kb) = (entity_key(&st.work_db, *a), entity_key(&st.work_db, *b));
                     if let (Some(ka), Some(kb)) = (ka, kb) {
-                        if !fixes.set_distinct(ka, kb) {
-                            conflicts += 1; // already merged: ER conflict
+                        if !st.fixes.set_distinct(ka, kb) {
+                            st.conflicts += 1; // already merged: ER conflict
                         } else {
-                            steps += 1;
+                            st.steps += 1;
+                            if capture {
+                                round_fixes.push((
+                                    FixKind::Distinct { a: *a, b: *b },
+                                    *rule,
+                                    support_of(&support, p),
+                                ));
+                            }
                         }
                     }
                 }
@@ -735,54 +929,81 @@ impl<'a> ChaseEngine<'a> {
 
             // Phase B: merges
             for p in &proposals {
-                if let Proposal::Merge { a, b, .. } = p {
-                    let (Some(ka), Some(kb)) = (entity_key(&work_db, *a), entity_key(&work_db, *b))
+                if let Proposal::Merge { a, b, rule } = p {
+                    let (Some(ka), Some(kb)) =
+                        (entity_key(&st.work_db, *a), entity_key(&st.work_db, *b))
                     else {
                         continue;
                     };
-                    match fixes.merge(ka, kb) {
+                    match st.fixes.merge(ka, kb) {
                         MergeOutcome::Merged { conflicts: vcs } => {
-                            steps += 1;
+                            st.steps += 1;
                             any_merge = true;
-                            merged_pairs.push((*a, *b));
+                            st.merged_pairs.push((*a, *b));
+                            let merge_changes_start = st.changes.len();
+                            if capture {
+                                round_fixes.push((
+                                    FixKind::Merge { a: *a, b: *b },
+                                    *rule,
+                                    support_of(&support, p),
+                                ));
+                            }
                             // membership changed: refresh the grouped view
-                            groups_by_root = entity_idx.grouped(&fixes);
+                            groups_by_root = entity_idx.grouped(&st.fixes);
                             // the merge changes the entity oracle (and the
                             // validated-value visibility) for every member
                             // of the united class, even when no cell is
                             // rewritten — all of them join the delta
-                            let root = fixes.find(ka);
+                            let root = st.fixes.find(ka);
                             if let Some(ms) = groups_by_root.get(&root) {
                                 for m in ms {
                                     round_delta.mark(m.rel, m.tid);
                                 }
                             }
                             for (rel, attr, v1, v2) in vcs {
-                                conflicts += 1;
+                                st.conflicts += 1;
                                 self.resolve_and_commit(
-                                    &mut fixes,
-                                    &mut work_db,
+                                    &mut st.fixes,
+                                    &mut st.work_db,
                                     &groups_by_root,
                                     ka,
                                     rel,
                                     attr,
                                     &[v1, v2],
-                                    &mut changes,
+                                    &mut st.changes,
                                     &mut changed_cells,
                                 );
                             }
                             // propagate the merged class's validated values
                             self.materialize_class(
-                                &mut fixes,
-                                &mut work_db,
+                                &mut st.fixes,
+                                &mut st.work_db,
                                 &groups_by_root,
                                 ka,
-                                &mut changes,
+                                &mut st.changes,
                                 &mut changed_cells,
                             );
+                            if capture {
+                                // cell writes the merge forced (conflict
+                                // resolutions + class materialization) are
+                                // fixes of the merge's rule; within-round
+                                // parent chaining makes the Merge record
+                                // their provenance parent
+                                for (cell, old, new) in &st.changes[merge_changes_start..] {
+                                    round_fixes.push((
+                                        FixKind::Cell {
+                                            cell: *cell,
+                                            old: old.clone(),
+                                            new: new.clone(),
+                                        },
+                                        *rule,
+                                        support_of(&support, p),
+                                    ));
+                                }
+                            }
                         }
                         MergeOutcome::Known => {}
-                        MergeOutcome::Distinct => conflicts += 1,
+                        MergeOutcome::Distinct => st.conflicts += 1,
                     }
                 }
             }
@@ -794,16 +1015,46 @@ impl<'a> ChaseEngine<'a> {
             // ground truth — see ConflictPolicy). SetCell proposals pin an
             // explicit candidate onto the cell's cluster.
             let mut cluster = CellClusters::default();
+            // provenance attribution per member cell: smallest proposing
+            // rule id + the union of supporting valuations
+            let mut cell_prov: FxHashMap<CellRef, (u32, Vec<GlobalTid>)> = FxHashMap::default();
             for p in &proposals {
                 match p {
-                    Proposal::SetCell { cell, value, .. } => {
+                    Proposal::SetCell { cell, value, rule } => {
                         cluster.propose(*cell, value.clone());
+                        if capture {
+                            attribute(&mut cell_prov, *cell, *rule, support_of(&support, p));
+                        }
                     }
-                    Proposal::EquateCells { a, b, .. } => cluster.union(*a, *b),
+                    Proposal::EquateCells { a, b, rule } => {
+                        cluster.union(*a, *b);
+                        if capture {
+                            let sup = support_of(&support, p);
+                            attribute(&mut cell_prov, *a, *rule, sup.clone());
+                            attribute(&mut cell_prov, *b, *rule, sup);
+                        }
+                    }
                     _ => {}
                 }
             }
             for (members, mut cands) in cluster.into_groups() {
+                // cluster-level provenance: min rule over the member cells,
+                // union of their supporting valuations
+                let (cl_rule, cl_sup) = if capture {
+                    let mut rule = u32::MAX;
+                    let mut sup: Vec<GlobalTid> = Vec::new();
+                    for cell in &members {
+                        if let Some((r, s)) = cell_prov.get(cell) {
+                            rule = rule.min(*r);
+                            sup.extend(s.iter().copied());
+                        }
+                    }
+                    sup.sort_unstable();
+                    sup.dedup();
+                    (if rule == u32::MAX { 0 } else { rule }, sup)
+                } else {
+                    (0, Vec::new())
+                };
                 // candidates: proposed constants + current non-null member
                 // values + any already-validated value of a member entity.
                 // A *single-cell* cluster (a rule-asserted value with no
@@ -816,19 +1067,19 @@ impl<'a> ChaseEngine<'a> {
                 let mut trusted_val: Option<Value> = None;
                 let mut evidence: Vec<Value> = Vec::new();
                 for cell in &members {
-                    if let Some(v) = work_db.cell(cell.rel, cell.tid, cell.attr) {
+                    if let Some(v) = st.work_db.cell(cell.rel, cell.tid, cell.attr) {
                         if !v.is_null() {
                             raw_votes.push(v.clone());
                             if equate_group {
                                 cands.push(v.clone());
                             }
-                            if trusted_val.is_none() && fixes.is_trusted(cell.tuple()) {
+                            if trusted_val.is_none() && st.fixes.is_trusted(cell.tuple()) {
                                 trusted_val = Some(v.clone());
                             }
                         }
                     }
-                    if let Some(k) = entity_key(&work_db, cell.tuple()) {
-                        if let Some(v) = fixes.validated_value(k, cell.rel, cell.attr) {
+                    if let Some(k) = entity_key(&st.work_db, cell.tuple()) {
+                        if let Some(v) = st.fixes.validated_value(k, cell.rel, cell.attr) {
                             cands.push(v.clone());
                             // Strict mode: validated facts ARE ground truth
                             // (certain fixes may not contradict them).
@@ -838,7 +1089,7 @@ impl<'a> ChaseEngine<'a> {
                         }
                     }
                     if evidence.is_empty() {
-                        if let Some(t) = work_db.relation(cell.rel).get(cell.tid) {
+                        if let Some(t) = st.work_db.relation(cell.rel).get(cell.tid) {
                             let mut ev = t.values.clone();
                             ev[cell.attr.index()] = Value::Null;
                             evidence = ev;
@@ -847,7 +1098,7 @@ impl<'a> ChaseEngine<'a> {
                 }
                 let distinct: FxHashSet<&Value> = cands.iter().filter(|v| !v.is_null()).collect();
                 if distinct.len() > 1 {
-                    conflicts += 1;
+                    st.conflicts += 1;
                 }
                 // single-cell clusters carry no majority signal — the
                 // only raw vote would be the suspect cell itself
@@ -861,19 +1112,32 @@ impl<'a> ChaseEngine<'a> {
                 ) else {
                     continue;
                 };
-                steps += 1;
+                st.steps += 1;
                 // validate on every member's entity and materialize onto
                 // every member tuple of that entity.
                 let mut roots_done: FxHashSet<(EntityKey, RelId, AttrId)> = FxHashSet::default();
                 for cell in &members {
-                    let Some(k) = entity_key(&work_db, cell.tuple()) else {
+                    let Some(k) = entity_key(&st.work_db, cell.tuple()) else {
                         continue;
                     };
-                    let root = fixes.find(k);
+                    let root = st.fixes.find(k);
                     if !roots_done.insert((root, cell.rel, cell.attr)) {
                         continue;
                     }
-                    fixes.override_value(root, cell.rel, cell.attr, winner.clone());
+                    st.fixes
+                        .override_value(root, cell.rel, cell.attr, winner.clone());
+                    if capture {
+                        round_fixes.push((
+                            FixKind::Validate {
+                                entity: root,
+                                rel: cell.rel,
+                                attr: cell.attr,
+                                value: winner.clone(),
+                            },
+                            cl_rule,
+                            cl_sup.clone(),
+                        ));
+                    }
                     // the validated value is visible to the Strict gate for
                     // every member of the class in this relation, whether
                     // or not its cell is rewritten below
@@ -888,24 +1152,35 @@ impl<'a> ChaseEngine<'a> {
                         if m.rel != cell.rel {
                             continue;
                         }
-                        let old = work_db
+                        let old = st
+                            .work_db
                             .cell(m.rel, m.tid, cell.attr)
                             .cloned()
                             .unwrap_or(Value::Null);
                         // ground truth protects non-null trusted cells;
                         // filling a trusted tuple's null is fine.
-                        if fixes.is_trusted(m) && !old.is_null() {
+                        if st.fixes.is_trusted(m) && !old.is_null() {
                             continue;
                         }
                         if old != winner {
-                            work_db
-                                .relation_mut(m.rel)
-                                .set_cell(m.tid, cell.attr, winner.clone());
-                            changes.push((
-                                CellRef::new(m.rel, m.tid, cell.attr),
-                                old,
+                            st.work_db.relation_mut(m.rel).set_cell(
+                                m.tid,
+                                cell.attr,
                                 winner.clone(),
-                            ));
+                            );
+                            let cref = CellRef::new(m.rel, m.tid, cell.attr);
+                            if capture {
+                                round_fixes.push((
+                                    FixKind::Cell {
+                                        cell: cref,
+                                        old: old.clone(),
+                                        new: winner.clone(),
+                                    },
+                                    cl_rule,
+                                    cl_sup.clone(),
+                                ));
+                            }
+                            st.changes.push((cref, old, winner.clone()));
                             changed_cells.insert((cell.rel, cell.attr));
                         }
                     }
@@ -920,12 +1195,25 @@ impl<'a> ChaseEngine<'a> {
                     t1,
                     t2,
                     strict,
-                    ..
+                    rule,
                 } = p
                 {
-                    match fixes.add_order(*rel, *attr, *t1, *t2, *strict) {
+                    match st.fixes.add_order(*rel, *attr, *t1, *t2, *strict) {
                         OrderInsert::Added => {
-                            steps += 1;
+                            st.steps += 1;
+                            if capture {
+                                round_fixes.push((
+                                    FixKind::Order {
+                                        rel: *rel,
+                                        attr: *attr,
+                                        t1: *t1,
+                                        t2: *t2,
+                                        strict: *strict,
+                                    },
+                                    *rule,
+                                    support_of(&support, p),
+                                ));
+                            }
                             changed_cells.insert((*rel, *attr));
                             // order edges act transitively through the DAG,
                             // so tuple-level delta tracking of their reach
@@ -934,15 +1222,15 @@ impl<'a> ChaseEngine<'a> {
                         }
                         OrderInsert::Known => {}
                         OrderInsert::Conflict => {
-                            conflicts += 1;
+                            st.conflicts += 1;
                             // TD conflict resolution (§4.2(2)): Mrank
                             // confidences decide; the validated direction is
                             // retained when it wins, otherwise the new pair
                             // is dropped (the store cannot retract derived
                             // closure edges, so a losing existing *direct*
                             // edge simply stays — deterministic either way).
-                            let f1 = tuple_features(&work_db, *rel, *t1);
-                            let f2 = tuple_features(&work_db, *rel, *t2);
+                            let f1 = tuple_features(&st.work_db, *rel, *t1);
+                            let f2 = tuple_features(&st.work_db, *rel, *t2);
                             let (_keep_new, _) =
                                 self.config.policy.resolve_order(self.registry, &f1, &f2);
                         }
@@ -952,68 +1240,71 @@ impl<'a> ChaseEngine<'a> {
 
             // ---- delta bookkeeping ----
             if track {
-                for (cell, _, _) in &changes[changes_start..] {
+                for (cell, _, _) in &st.changes[changes_start..] {
                     round_delta.mark(cell.rel, cell.tid);
                 }
-                cumulative.union_with(&round_delta);
-                for p in pending.iter_mut() {
+                st.cumulative.union_with(&round_delta);
+                for p in st.pending.iter_mut() {
                     p.union_with(&round_delta);
                 }
             }
-            round_stats.push(stat);
+            st.round_stats.push(stat);
 
             // ---- next activation ----
-            active.clear();
+            st.active.clear();
             if !self.config.lazy_activation {
                 // naive re-scan ablation: everything stays active as long
                 // as anything changed
                 if !changed_cells.is_empty() || any_merge {
-                    active.extend(0..self.rules.len());
+                    st.active.extend(0..self.rules.len());
                 }
-                active.extend(round_failed.iter().copied());
+                st.active.extend(round_failed.iter().copied());
                 if let Some(g) = &rule_graph {
-                    let before = active.len();
-                    active.retain(|&ri| !g.dead[ri]);
-                    pruned_carry = before - active.len();
+                    let before = st.active.len();
+                    st.active.retain(|&ri| !g.dead[ri]);
+                    st.pruned_carry = before - st.active.len();
                 }
-                continue;
-            }
-            if any_merge {
-                // merges may enable any rule with multi-variable predicates
-                active.extend(0..self.rules.len());
             } else {
-                for (ri, rs) in reads.iter().enumerate() {
-                    if rs.iter().any(|ra| changed_cells.contains(ra)) {
-                        active.insert(ri);
+                if any_merge {
+                    // merges may enable any rule with multi-variable
+                    // predicates
+                    st.active.extend(0..self.rules.len());
+                } else {
+                    for (ri, rs) in reads.iter().enumerate() {
+                        if rs.iter().any(|ra| changed_cells.contains(ra)) {
+                            st.active.insert(ri);
+                        }
                     }
                 }
+                // failed rules always retry, whatever the lazy analysis says
+                st.active.extend(round_failed.iter().copied());
+                if let Some(g) = &rule_graph {
+                    // Graph refinement: keep a rule only when the round's
+                    // committed delta can reach it — its reads saw a changed
+                    // cell, one of its relations holds pending delta tuples
+                    // (covers merges, validated-value visibility and the
+                    // order-write coarsening, all of which mark tuples), or
+                    // another rule writes into its write set (its carried
+                    // proposals must keep joining those conflict clusters).
+                    // Tuple-level pending is only maintained when `track`;
+                    // without it only the dead filter applies.
+                    let before = st.active.len();
+                    st.active.retain(|&ri| {
+                        !g.dead[ri]
+                            && (round_failed.contains(&ri)
+                                || !track
+                                || g.follows_writes[ri]
+                                || reads[ri].iter().any(|ra| changed_cells.contains(ra))
+                                || g.rels[ri].iter().any(|r| st.pending[ri].rel_count(*r) > 0))
+                    });
+                    st.pruned_carry = before - st.active.len();
+                }
+                if changed_cells.is_empty() && !any_merge && round_failed.is_empty() {
+                    st.done = true;
+                }
             }
-            // failed rules always retry, whatever the lazy analysis says
-            active.extend(round_failed.iter().copied());
-            if let Some(g) = &rule_graph {
-                // Graph refinement: keep a rule only when the round's
-                // committed delta can reach it — its reads saw a changed
-                // cell, one of its relations holds pending delta tuples
-                // (covers merges, validated-value visibility and the
-                // order-write coarsening, all of which mark tuples), or
-                // another rule writes into its write set (its carried
-                // proposals must keep joining those conflict clusters).
-                // Tuple-level pending is only maintained when `track`;
-                // without it only the dead filter applies.
-                let before = active.len();
-                active.retain(|&ri| {
-                    !g.dead[ri]
-                        && (round_failed.contains(&ri)
-                            || !track
-                            || g.follows_writes[ri]
-                            || reads[ri].iter().any(|ra| changed_cells.contains(ra))
-                            || g.rels[ri].iter().any(|r| pending[ri].rel_count(*r) > 0))
-                });
-                pruned_carry = before - active.len();
-            }
-            if changed_cells.is_empty() && !any_merge && round_failed.is_empty() {
-                break;
-            }
+            // ---- round boundary: make the round durable ----
+            self.commit_round_durable(&st, &mut dur, &round_fixes);
         }
 
         // Materialize the ER outcome into the repaired database: within
@@ -1021,10 +1312,10 @@ impl<'a> ChaseEngine<'a> {
         // the class's smallest eid in that relation (the repaired data then
         // *carries* the deduplication, and re-chasing it is a no-op for
         // same-relation ER rules).
-        for members in entity_idx.grouped(&fixes).values() {
+        for members in entity_idx.grouped(&st.fixes).values() {
             let mut min_per_rel: FxHashMap<RelId, rock_data::Eid> = FxHashMap::default();
             for m in members {
-                if let Some(t) = work_db.relation(m.rel).get(m.tid) {
+                if let Some(t) = st.work_db.relation(m.rel).get(m.tid) {
                     min_per_rel
                         .entry(m.rel)
                         .and_modify(|e| *e = (*e).min(t.eid))
@@ -1033,24 +1324,87 @@ impl<'a> ChaseEngine<'a> {
             }
             for m in members {
                 let target = min_per_rel[&m.rel];
-                if let Some(t) = work_db.relation_mut(m.rel).get_mut(m.tid) {
+                if let Some(t) = st.work_db.relation_mut(m.rel).get_mut(m.tid) {
                     t.eid = target;
                 }
             }
         }
 
         ChaseResult {
-            db: work_db,
-            fixes,
-            rounds,
-            changes,
-            merged_pairs,
-            conflicts,
-            steps,
+            db: st.work_db,
+            fixes: st.fixes,
+            rounds: st.rounds,
+            changes: st.changes,
+            merged_pairs: st.merged_pairs,
+            conflicts: st.conflicts,
+            steps: st.steps,
             round_makespans,
-            round_stats,
+            round_stats: st.round_stats,
             fault_stats,
             unit_failures,
+            wal: dur.map(DurabilityCtx::into_summary),
+        }
+    }
+
+    /// Snapshot the loop state for a round-boundary checkpoint.
+    fn make_checkpoint(&self, st: &LoopState) -> ChaseCheckpoint {
+        let mut active: Vec<usize> = st.active.iter().copied().collect();
+        active.sort_unstable();
+        ChaseCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: self.fingerprint(),
+            round: st.rounds as u64,
+            done: st.done,
+            db: st.work_db.clone(),
+            fixes: st.fixes.to_snapshot(),
+            active,
+            pruned_carry: st.pruned_carry,
+            seeded: st.seeded,
+            pending: st.pending.clone(),
+            carry: st.carry.clone(),
+            cumulative: st.cumulative.clone(),
+            changes: st.changes.clone(),
+            merged_pairs: st.merged_pairs.clone(),
+            conflicts: st.conflicts,
+            steps: st.steps,
+            round_stats: st.round_stats.clone(),
+        }
+    }
+
+    /// Round-boundary durability hook: append the round's fix records to
+    /// the WAL, write a checkpoint when due (every `snapshot_every` rounds
+    /// and always on the final round), fsync the boundary, then honour the
+    /// planned-crash drill. A no-op without durability or after the
+    /// context poisoned itself on an earlier IO error.
+    fn commit_round_durable(
+        &self,
+        st: &LoopState,
+        dur: &mut Option<DurabilityCtx>,
+        round_fixes: &[RoundFix],
+    ) {
+        let Some(d) = dur.as_mut() else { return };
+        let round = st.rounds as u64;
+        let due = st.done
+            || st.active.is_empty()
+            || st.rounds >= self.config.max_rounds
+            || d.cfg.snapshot_every <= 1
+            || st.rounds % d.cfg.snapshot_every == 0;
+        let checkpoint = if due {
+            match self.make_checkpoint(st).to_bytes() {
+                Ok(bytes) => Some((ChaseCheckpoint::file_name(round), bytes)),
+                Err(e) => {
+                    d.error = Some(e.to_string());
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        d.commit_round(round, round_fixes, checkpoint);
+        if d.cfg.crash_at_round == Some(st.rounds) {
+            // planned crash drill (the CI kill-and-resume job): die hard
+            // *after* the round became durable, like a kill -9 would
+            std::process::abort();
         }
     }
 

@@ -1,0 +1,167 @@
+//! Round-boundary checkpoints and the crash-recovery locator.
+//!
+//! A [`ChaseCheckpoint`] is the complete loop state of `run_inner` at a
+//! round boundary: every round is a deterministic function of this state,
+//! so `checkpoint(round k)` + re-running rounds `k+1..` reproduces an
+//! uninterrupted run *byte-identically* (enforced by the CI kill-and-
+//! resume job and `tests/wal_durability.rs`).
+//!
+//! Recovery invariants:
+//!
+//! 1. The checkpoint file is written (atomically, fsynced) **before** its
+//!    `RoundCommit` marker is appended — a marker in the WAL's valid
+//!    prefix implies its checkpoint is complete on disk.
+//! 2. Resume picks the **last** commit marker in the valid prefix whose
+//!    checkpoint file exists, parses, and matches the marker's CRC-32,
+//!    falling back to earlier markers if a file was lost.
+//! 3. The WAL is truncated to the chosen marker before appending — the
+//!    re-run rounds regenerate their records in place, so replay after
+//!    any number of crashes is idempotent.
+//! 4. Timing observability (`round_makespans`, fault counters) is *not*
+//!    checkpointed: it restarts empty on resume. Repair state — database,
+//!    fixes, deltas, carries, changes — is complete.
+
+use crate::chase::Proposal;
+use crate::delta::{DeltaSet, RoundStats};
+use crate::fixes::FixSnapshot;
+use crate::wal::{self, DurabilityConfig, WalError, WalRecord, WalWriter, WAL_FILE};
+use rock_crystal::crc32;
+use rock_data::{CellRef, Database, GlobalTid, Value};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Bumped when the checkpoint encoding changes incompatibly.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Complete chase loop state at a round boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaseCheckpoint {
+    pub version: u32,
+    /// Engine fingerprint (rules + config) the state belongs to.
+    pub fingerprint: u64,
+    /// Rounds completed when this checkpoint was taken.
+    pub round: u64,
+    /// True when the loop decided to stop after this round — resume then
+    /// skips straight to the final materialization.
+    pub done: bool,
+    /// The working database with all committed fixes materialized.
+    pub db: Database,
+    pub fixes: FixSnapshot,
+    /// Rules activated for the next round (sorted).
+    pub active: Vec<usize>,
+    pub pruned_carry: usize,
+    pub seeded: bool,
+    /// Per-rule deltas accumulated since each rule last ran.
+    pub pending: Vec<DeltaSet>,
+    /// Per-rule carried emissions (valuation tuples + proposal).
+    pub carry: Vec<Option<Vec<(Vec<GlobalTid>, Proposal)>>>,
+    /// Union of every committed delta since chase start.
+    pub cumulative: DeltaSet,
+    pub changes: Vec<(CellRef, Value, Value)>,
+    pub merged_pairs: Vec<(GlobalTid, GlobalTid)>,
+    pub conflicts: usize,
+    pub steps: usize,
+    pub round_stats: Vec<RoundStats>,
+}
+
+impl ChaseCheckpoint {
+    /// Canonical checkpoint file name for a round.
+    pub fn file_name(round: u64) -> String {
+        format!("checkpoint-{round:06}.json")
+    }
+
+    pub fn to_bytes(&self) -> Result<Vec<u8>, WalError> {
+        serde_json::to_vec(self).map_err(|e| WalError::Codec(e.to_string()))
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WalError> {
+        serde_json::from_slice(bytes).map_err(|e| WalError::Codec(e.to_string()))
+    }
+}
+
+/// Everything `ChaseEngine::resume` needs: the recovered state, where to
+/// truncate the WAL, and the replayed provenance-id state.
+pub struct ResumePoint {
+    pub checkpoint: ChaseCheckpoint,
+    /// Byte offset one past the chosen `RoundCommit` frame.
+    pub wal_offset: u64,
+    pub next_fix_id: u64,
+    pub last_fix: FxHashMap<GlobalTid, u64>,
+}
+
+/// Locate the last durable round in `cfg.dir` (or the specific round
+/// `at`, for the resume-at-every-round oracle tests) and load its
+/// checkpoint. See the module docs for the recovery invariants.
+pub fn locate(
+    cfg: &DurabilityConfig,
+    fingerprint: u64,
+    at: Option<u64>,
+) -> Result<ResumePoint, WalError> {
+    let scan = wal::read_wal(&cfg.dir.join(WAL_FILE))?;
+    match scan.records.first() {
+        Some((_, WalRecord::Begin { fingerprint: f })) if *f == fingerprint => {}
+        Some((_, WalRecord::Begin { fingerprint: f })) => {
+            return Err(WalError::Mismatch(format!(
+                "WAL belongs to a different engine (fingerprint {f:#x}, expected {fingerprint:#x})"
+            )));
+        }
+        _ => return Err(WalError::Mismatch("WAL has no Begin header".into())),
+    }
+    // candidate commit markers, newest last
+    let mut commits: Vec<(u64, u64, String, u32)> = Vec::new();
+    for (end, rec) in &scan.records {
+        if let WalRecord::RoundCommit {
+            round,
+            checkpoint: Some(name),
+            state_crc,
+        } = rec
+        {
+            if at.is_none() || at == Some(*round) {
+                commits.push((*round, *end, name.clone(), *state_crc));
+            }
+        }
+    }
+    while let Some((round, end, name, state_crc)) = commits.pop() {
+        let Ok(bytes) = std::fs::read(cfg.dir.join(&name)) else {
+            continue;
+        };
+        if crc32(&bytes) != state_crc {
+            continue;
+        }
+        let ckpt = match ChaseCheckpoint::from_bytes(&bytes) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if ckpt.version != CHECKPOINT_VERSION || ckpt.fingerprint != fingerprint {
+            continue;
+        }
+        debug_assert_eq!(ckpt.round, round);
+        // replay the surviving prefix to restore the provenance id state
+        let mut next_fix_id = 0u64;
+        let mut last_fix: FxHashMap<GlobalTid, u64> = FxHashMap::default();
+        for (rend, rec) in &scan.records {
+            if *rend > end {
+                break;
+            }
+            if let WalRecord::Fix(f) = rec {
+                next_fix_id = next_fix_id.max(f.id + 1);
+                for t in f.kind.touched() {
+                    last_fix.insert(t, f.id);
+                }
+            }
+        }
+        return Ok(ResumePoint {
+            checkpoint: ckpt,
+            wal_offset: end,
+            next_fix_id,
+            last_fix,
+        });
+    }
+    Err(WalError::NoDurableRound)
+}
+
+/// Open the WAL for appending at a resume point (truncating the crashed
+/// suffix).
+pub(crate) fn reopen_writer(cfg: &DurabilityConfig, offset: u64) -> Result<WalWriter, WalError> {
+    WalWriter::open_at(&cfg.dir.join(WAL_FILE), offset, cfg.sync)
+}

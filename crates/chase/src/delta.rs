@@ -16,7 +16,10 @@
 use rock_data::{Bitset, Database, RelId, TupleId};
 
 /// Per-relation sets of touched tuple slots.
-#[derive(Debug, Clone)]
+///
+/// Serializable so round-boundary checkpoints (`crate::checkpoint`) can
+/// persist the per-rule pending deltas and the cumulative dirty set.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DeltaSet {
     rels: Vec<Bitset>,
 }
@@ -103,7 +106,7 @@ impl DeltaSet {
 
 /// Per-round evaluation observability (surfaced by `debug_panel` and the
 /// `chase-delta` figure panel).
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RoundStats {
     /// Rules evaluated this round.
     pub active_rules: usize,

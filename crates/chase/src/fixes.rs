@@ -15,10 +15,11 @@
 use crate::order::{OrderInsert, PartialOrderStore};
 use rock_data::{AttrId, Eid, GlobalTid, RelId, TupleId, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
 
 /// Entity key: which relation's eid space the entity id lives in. Merges
 /// may cross relations (heterogeneous ER).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EntityKey {
     pub rel: RelId,
     pub eid: Eid,
@@ -284,6 +285,93 @@ impl FixStore {
     pub fn merge_count(&self) -> usize {
         self.merges
     }
+
+    /// Flatten into a serializable, *deterministic* image (all maps and
+    /// sets become sorted pair lists — serde_json cannot key maps by
+    /// struct types, and the sort makes the checkpoint bytes stable).
+    pub fn to_snapshot(&self) -> FixSnapshot {
+        let mut parent: Vec<(EntityKey, EntityKey)> =
+            self.parent.iter().map(|(k, v)| (*k, *v)).collect();
+        parent.sort_unstable();
+        let mut values: Vec<(EntityKey, Vec<((RelId, AttrId), Value)>)> = self
+            .values
+            .iter()
+            .map(|(k, m)| {
+                let mut inner: Vec<((RelId, AttrId), Value)> =
+                    m.iter().map(|(ka, v)| (*ka, v.clone())).collect();
+                inner.sort_unstable_by_key(|&(ka, _)| ka);
+                (*k, inner)
+            })
+            .collect();
+        values.sort_unstable_by_key(|&(k, _)| k);
+        let mut distinct: Vec<(EntityKey, EntityKey)> = self.distinct.iter().copied().collect();
+        distinct.sort_unstable();
+        let mut orders: Vec<((RelId, AttrId), Vec<(TupleId, TupleId, bool)>)> = self
+            .orders
+            .iter()
+            .map(|(k, p)| {
+                let mut edges: Vec<(TupleId, TupleId, bool)> = p.iter_edges().collect();
+                edges.sort_unstable();
+                (*k, edges)
+            })
+            .collect();
+        orders.sort_unstable_by_key(|&(k, _)| k);
+        let mut trusted: Vec<GlobalTid> = self.trusted.iter().copied().collect();
+        trusted.sort_unstable();
+        FixSnapshot {
+            parent,
+            values,
+            distinct,
+            orders,
+            trusted,
+            added_values: self.added_values,
+            merges: self.merges,
+            added_orders: self.added_orders,
+        }
+    }
+
+    /// Inverse of [`Self::to_snapshot`]: the rebuilt store is behaviorally
+    /// identical (same union–find parents, validated values, distinctness
+    /// pairs, direct order edges, trusted set, and counters).
+    pub fn from_snapshot(s: &FixSnapshot) -> FixStore {
+        let mut f = FixStore::new();
+        for (k, v) in &s.parent {
+            f.parent.insert(*k, *v);
+        }
+        for (k, inner) in &s.values {
+            let m = f.values.entry(*k).or_default();
+            for (ka, v) in inner {
+                m.insert(*ka, v.clone());
+            }
+        }
+        for p in &s.distinct {
+            f.distinct.insert(*p);
+        }
+        for (ka, edges) in &s.orders {
+            f.orders.insert(*ka, PartialOrderStore::from_edges(edges));
+        }
+        for t in &s.trusted {
+            f.trusted.insert(*t);
+        }
+        f.added_values = s.added_values;
+        f.merges = s.merges;
+        f.added_orders = s.added_orders;
+        f
+    }
+}
+
+/// Serializable, deterministic image of a [`FixStore`] for round-boundary
+/// checkpoints (see `crate::checkpoint`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixSnapshot {
+    parent: Vec<(EntityKey, EntityKey)>,
+    values: Vec<(EntityKey, Vec<((RelId, AttrId), Value)>)>,
+    distinct: Vec<(EntityKey, EntityKey)>,
+    orders: Vec<((RelId, AttrId), Vec<(TupleId, TupleId, bool)>)>,
+    trusted: Vec<GlobalTid>,
+    added_values: usize,
+    merges: usize,
+    added_orders: usize,
 }
 
 /// [`rock_rees::eval::TemporalOracle`] backed by the fix store: the chase
@@ -437,6 +525,34 @@ mod tests {
         f.trust_tuple(t);
         assert!(f.is_trusted(t));
         assert_eq!(f.trusted_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behavior() {
+        let mut f = FixStore::new();
+        f.merge(k(1), k(2));
+        f.set_distinct(k(3), k(4));
+        f.set_value(k(1), RelId(0), AttrId(2), Value::str("x"));
+        f.add_order(RelId(0), AttrId(1), TupleId(0), TupleId(1), false);
+        f.add_order(RelId(0), AttrId(1), TupleId(1), TupleId(2), true);
+        f.trust_tuple(GlobalTid::new(RelId(0), TupleId(7)));
+        let snap = f.to_snapshot();
+        let g = FixStore::from_snapshot(&snap);
+        assert!(g.same_entity(k(1), k(2)));
+        assert!(g.is_distinct(k(3), k(4)));
+        assert_eq!(
+            g.validated_value(k(2), RelId(0), AttrId(2)),
+            Some(&Value::str("x"))
+        );
+        assert!(g.order_holds(RelId(0), AttrId(1), TupleId(0), TupleId(2), true));
+        assert!(g.is_trusted(GlobalTid::new(RelId(0), TupleId(7))));
+        assert_eq!(g.merge_count(), 1);
+        assert_eq!(g.added_orders, 2);
+        // deterministic: re-snapshotting the rebuilt store is bit-identical
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&g.to_snapshot()).unwrap()
+        );
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! re-evaluates rules whose read-set intersects the cells fixed in the
 //! previous round (plus EID-sensitive rules after merges). Batch mode seeds
 //! the worklist with every rule; incremental mode seeds it from ΔD.
+//!
+//! Durability (`wal` / `checkpoint` / `provenance`): with
+//! [`DurabilityConfig`] set, every committed fix is appended to a
+//! CRC-framed write-ahead log at round boundaries alongside periodic
+//! checkpoints of the loop state, so a crashed chase resumes from its last
+//! durable round byte-identically ([`ChaseEngine::resume`]) and every
+//! repaired cell can answer "why?" ([`ProvenanceGraph::why`]).
 
 // The chase commits fixes round-atomically; a panic mid-commit would leave
 // a torn fix store, so non-test code must surface errors as values (same
@@ -31,15 +38,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chase;
+pub mod checkpoint;
 pub mod conflict;
 pub mod delta;
 pub mod fixes;
 pub mod order;
+pub mod provenance;
 pub mod quality;
+pub mod wal;
 
 pub use chase::{ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal};
+pub use checkpoint::{ChaseCheckpoint, CHECKPOINT_VERSION};
 pub use conflict::ConflictPolicy;
 pub use delta::{DeltaSet, RoundStats};
-pub use fixes::{EntityKey, FixStore};
+pub use fixes::{EntityKey, FixSnapshot, FixStore};
 pub use order::PartialOrderStore;
+pub use provenance::{ProvenanceChain, ProvenanceGraph};
 pub use quality::QualityReport;
+pub use wal::{
+    read_wal, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord, WalSummary, WAL_FILE,
+};

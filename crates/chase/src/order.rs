@@ -36,6 +36,20 @@ impl PartialOrderStore {
         Self::default()
     }
 
+    /// Rebuild a store from a previously captured direct-edge list
+    /// ([`Self::iter_edges`]). Bypasses the derivability check so the
+    /// reconstructed store has the *identical* direct-edge set (and thus
+    /// identical `edge_count`), not merely the same closure — checkpoint
+    /// resume must restore the store exactly.
+    pub fn from_edges(edges: &[(TupleId, TupleId, bool)]) -> Self {
+        let mut s = PartialOrderStore::new();
+        for &(a, b, strict) in edges {
+            s.succ.entry(a).or_default().push((b, strict));
+            s.edges += 1;
+        }
+        s
+    }
+
     pub fn edge_count(&self) -> usize {
         self.edges
     }

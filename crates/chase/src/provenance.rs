@@ -1,0 +1,182 @@
+//! Fix provenance: "why is this cell 42?" (ROADMAP item 4; the repair-
+//! lineage framing follows HoloClean — see PAPERS.md).
+//!
+//! The WAL already records everything a lineage query needs: each
+//! [`FixRecord`] carries its rule id, the valuation's bound tuples, and
+//! the ids of the prior fixes that last touched those tuples. This module
+//! replays a log's *committed* prefix (records past the last
+//! `RoundCommit` are a crashed tail and excluded — durable provenance
+//! only) into an id-indexed graph with a per-cell index.
+
+use crate::wal::{self, FixKind, FixRecord, WalError, WalRecord, WAL_FILE};
+use rock_data::CellRef;
+use rustc_hash::FxHashMap;
+use serde::Serialize;
+use std::path::Path;
+
+/// The provenance graph of one chase run.
+#[derive(Debug, Default)]
+pub struct ProvenanceGraph {
+    /// All committed fixes, ascending id.
+    nodes: Vec<FixRecord>,
+    by_id: FxHashMap<u64, usize>,
+    /// Fix ids that rewrote each cell, in commit order.
+    by_cell: FxHashMap<CellRef, Vec<u64>>,
+}
+
+/// Answer to a `why(cell)` query.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProvenanceChain {
+    /// The last fix that wrote the cell.
+    pub fix: FixRecord,
+    /// Its transitive parents, ascending id — the full derivation.
+    pub ancestors: Vec<FixRecord>,
+}
+
+impl ProvenanceGraph {
+    /// Load from a durability directory's WAL.
+    pub fn load(dir: &Path) -> Result<Self, WalError> {
+        let scan = wal::read_wal(&dir.join(WAL_FILE))?;
+        // keep only the committed prefix
+        let mut committed = 0usize;
+        for (i, (_, rec)) in scan.records.iter().enumerate() {
+            if matches!(rec, WalRecord::RoundCommit { .. }) {
+                committed = i + 1;
+            }
+        }
+        let records: Vec<WalRecord> = scan
+            .records
+            .into_iter()
+            .take(committed)
+            .map(|(_, r)| r)
+            .collect();
+        Ok(Self::from_records(&records))
+    }
+
+    /// Build from an already-decoded record sequence.
+    pub fn from_records(records: &[WalRecord]) -> Self {
+        let mut g = ProvenanceGraph::default();
+        for rec in records {
+            if let WalRecord::Fix(f) = rec {
+                if let Some(cell) = f.kind.cell() {
+                    g.by_cell.entry(cell).or_default().push(f.id);
+                }
+                g.by_id.insert(f.id, g.nodes.len());
+                g.nodes.push(f.clone());
+            }
+        }
+        g
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: u64) -> Option<&FixRecord> {
+        self.by_id.get(&id).map(|&i| &self.nodes[i])
+    }
+
+    /// All committed fixes, ascending id.
+    pub fn nodes(&self) -> &[FixRecord] {
+        &self.nodes
+    }
+
+    /// Every fix that rewrote `cell`, in commit order.
+    pub fn fixes_for_cell(&self, cell: CellRef) -> &[u64] {
+        self.by_cell.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Cells with at least one recorded fix, sorted (stable output for
+    /// panels and the harness's `--provenance auto` mode).
+    pub fn repaired_cells(&self) -> Vec<CellRef> {
+        let mut cells: Vec<CellRef> = self.by_cell.keys().copied().collect();
+        cells.sort_unstable();
+        cells
+    }
+
+    /// Why does this cell hold its value? Returns the last fix that wrote
+    /// it plus the transitive closure of its provenance parents.
+    pub fn why(&self, cell: CellRef) -> Option<ProvenanceChain> {
+        let &last = self.by_cell.get(&cell)?.last()?;
+        let fix = self.node(last)?.clone();
+        let mut seen: Vec<u64> = Vec::new();
+        let mut stack: Vec<u64> = fix.parents.clone();
+        while let Some(id) = stack.pop() {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            if let Some(n) = self.node(id) {
+                stack.extend(n.parents.iter().copied());
+            }
+        }
+        seen.sort_unstable();
+        let ancestors = seen
+            .into_iter()
+            .filter_map(|id| self.node(id).cloned())
+            .collect();
+        Some(ProvenanceChain { fix, ancestors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrId, GlobalTid, RelId, TupleId, Value};
+
+    fn fix(id: u64, round: u64, cell_tid: u32, parents: Vec<u64>) -> WalRecord {
+        let cell = CellRef::new(RelId(0), TupleId(cell_tid), AttrId(1));
+        WalRecord::Fix(FixRecord {
+            id,
+            round,
+            rule: 3,
+            kind: FixKind::Cell {
+                cell,
+                old: Value::Null,
+                new: Value::Int(42),
+            },
+            valuation: vec![GlobalTid::new(RelId(0), TupleId(cell_tid))],
+            parents,
+        })
+    }
+
+    #[test]
+    fn why_walks_transitive_parents() {
+        let records = vec![
+            WalRecord::Begin { fingerprint: 1 },
+            WalRecord::RoundBegin { round: 1 },
+            fix(0, 1, 0, vec![]),
+            fix(1, 1, 1, vec![0]),
+            WalRecord::RoundCommit {
+                round: 1,
+                checkpoint: None,
+                state_crc: 0,
+            },
+            WalRecord::RoundBegin { round: 2 },
+            fix(2, 2, 2, vec![1]),
+            WalRecord::RoundCommit {
+                round: 2,
+                checkpoint: None,
+                state_crc: 0,
+            },
+        ];
+        let g = ProvenanceGraph::from_records(&records);
+        assert_eq!(g.len(), 3);
+        let chain = g
+            .why(CellRef::new(RelId(0), TupleId(2), AttrId(1)))
+            .unwrap();
+        assert_eq!(chain.fix.id, 2);
+        assert_eq!(chain.fix.rule, 3);
+        assert!(!chain.fix.valuation.is_empty());
+        let ids: Vec<u64> = chain.ancestors.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        // unknown cell
+        assert!(g
+            .why(CellRef::new(RelId(0), TupleId(9), AttrId(1)))
+            .is_none());
+    }
+}

@@ -1,0 +1,630 @@
+//! Write-ahead log for the durable chase (ROADMAP item 4).
+//!
+//! Every round that commits fixes appends, at the round boundary, one
+//! frame sequence to `<dir>/wal.log`:
+//!
+//! ```text
+//! RoundBegin(r) · Fix* · RoundCommit(r, checkpoint, state_crc)
+//! ```
+//!
+//! Frames are CRC-32 framed (`rock_crystal::crc32`, the same CRC Crystal
+//! uses on its hash ring and block checksums):
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: serde_json bytes]
+//! ```
+//!
+//! The reader accepts the longest valid prefix and stops at the first
+//! truncated or corrupt frame — a crash mid-append (or a torn sector)
+//! loses at most the uncommitted tail, never a committed round. State is
+//! only ever resumed from rounds whose `RoundCommit` marker is inside the
+//! valid prefix *and* whose checkpoint file verifies against the
+//! marker's CRC (see `crate::checkpoint`).
+//!
+//! Each [`FixRecord`] doubles as a **provenance node**: it carries the
+//! rule id, the valuation's bound tuples, and the ids of the prior fixes
+//! those tuples last received (`parents`). `crate::provenance` replays
+//! the log into a queryable "why is this cell 42?" graph.
+
+use crate::fixes::EntityKey;
+use rock_crystal::crc32;
+use rock_data::{AttrId, CellRef, GlobalTid, RelId, TupleId, Value};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File magic: identifies the format and its version.
+pub const WAL_MAGIC: &[u8; 8] = b"ROCKWAL1";
+
+/// Errors surfaced by the durability layer. The chase itself never fails
+/// on these — a mid-run WAL error degrades durability to off and is
+/// reported in [`WalSummary::error`] — but [`crate::ChaseEngine::resume`]
+/// is fallible by nature.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// A frame or checkpoint failed to encode/decode.
+    Codec(String),
+    /// The log or checkpoint contradicts itself or the engine (bad magic,
+    /// fingerprint mismatch, missing checkpoint file).
+    Mismatch(String),
+    /// No round has been durably committed yet, so there is nothing to
+    /// resume from.
+    NoDurableRound,
+    /// The engine has no durability configured.
+    NotConfigured,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Codec(m) => write!(f, "wal codec error: {m}"),
+            WalError::Mismatch(m) => write!(f, "wal mismatch: {m}"),
+            WalError::NoDurableRound => write!(f, "no durably committed round to resume from"),
+            WalError::NotConfigured => write!(f, "chase has no durability configured"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Durability knobs, threaded through `ChaseConfig::durability`.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint-*.json`.
+    pub dir: PathBuf,
+    /// Checkpoint every N round boundaries (1 = every round). Rounds
+    /// without a checkpoint still log their fixes; resume falls back to
+    /// the last checkpointed round and deterministically re-runs the gap.
+    pub snapshot_every: usize,
+    /// fsync the WAL at each round boundary and fsync checkpoint writes.
+    /// `false` trades power-loss durability for speed (tests, panels).
+    pub sync: bool,
+    /// Crash drill: abort the process right *after* round N's commit is
+    /// durable. Wired from `ROCK_CRASH_AT_ROUND` by the harness binaries;
+    /// never set in production configs.
+    pub crash_at_round: Option<usize>,
+}
+
+impl DurabilityConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            snapshot_every: 1,
+            sync: true,
+            crash_at_round: None,
+        }
+    }
+}
+
+/// What one fix did to the store / working database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FixKind {
+    /// A cell of the working database was rewritten.
+    Cell {
+        cell: CellRef,
+        old: Value,
+        new: Value,
+    },
+    /// Two entity classes were merged (`[EID]=`).
+    Merge { a: GlobalTid, b: GlobalTid },
+    /// Two entities were validated distinct.
+    Distinct { a: GlobalTid, b: GlobalTid },
+    /// A value was validated on an entity class (`[EID.A]=`).
+    Validate {
+        entity: EntityKey,
+        rel: RelId,
+        attr: AttrId,
+        value: Value,
+    },
+    /// A temporal order edge was validated (`[A]⪯`).
+    Order {
+        rel: RelId,
+        attr: AttrId,
+        t1: TupleId,
+        t2: TupleId,
+        strict: bool,
+    },
+}
+
+impl FixKind {
+    /// Tuples this fix writes/affects — they become the fix's provenance
+    /// footprint (later fixes touching them list this fix as a parent).
+    pub fn touched(&self) -> Vec<GlobalTid> {
+        match self {
+            FixKind::Cell { cell, .. } => vec![cell.tuple()],
+            FixKind::Merge { a, b } | FixKind::Distinct { a, b } => vec![*a, *b],
+            FixKind::Validate { .. } => Vec::new(),
+            FixKind::Order { rel, t1, t2, .. } => {
+                vec![GlobalTid::new(*rel, *t1), GlobalTid::new(*rel, *t2)]
+            }
+        }
+    }
+
+    /// The cell this fix rewrote, if it is a cell fix.
+    pub fn cell(&self) -> Option<CellRef> {
+        match self {
+            FixKind::Cell { cell, .. } => Some(*cell),
+            _ => None,
+        }
+    }
+}
+
+/// One committed fix = one WAL record = one provenance node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixRecord {
+    /// Monotonic fix id (stable across crash/resume: rounds re-run after
+    /// a resume regenerate identical ids).
+    pub id: u64,
+    /// Round that committed the fix (1-based).
+    pub round: u64,
+    /// Id of the rule whose valuation derived the fix.
+    pub rule: u32,
+    pub kind: FixKind,
+    /// Tuples the deriving valuation bound (sorted, deduplicated).
+    pub valuation: Vec<GlobalTid>,
+    /// Ids of the prior fixes that last touched the valuation's tuples —
+    /// the provenance edges.
+    pub parents: Vec<u64>,
+}
+
+/// One framed WAL record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Run header: guards resume against a different rule set / config.
+    Begin {
+        fingerprint: u64,
+    },
+    RoundBegin {
+        round: u64,
+    },
+    Fix(FixRecord),
+    /// Round boundary marker: everything up to here is one committed
+    /// round. `checkpoint` names the snapshot file written just before
+    /// this marker (None on non-snapshot rounds), `state_crc` is the
+    /// CRC-32 of its bytes.
+    RoundCommit {
+        round: u64,
+        checkpoint: Option<String>,
+        state_crc: u32,
+    },
+}
+
+/// Encode a record into one `[len][crc][payload]` frame.
+pub fn encode_frame(rec: &WalRecord) -> Result<Vec<u8>, WalError> {
+    let payload = serde_json::to_vec(rec).map_err(|e| WalError::Codec(e.to_string()))?;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Result of scanning a WAL: records of the longest valid prefix, each
+/// with the byte offset one past its frame.
+#[derive(Debug)]
+pub struct WalScan {
+    pub records: Vec<(u64, WalRecord)>,
+    /// Bytes of the valid prefix (magic + whole frames).
+    pub valid_len: u64,
+    /// True when bytes past `valid_len` exist but fail to frame-decode —
+    /// the crashed tail the recovery discards.
+    pub corrupt_tail: bool,
+}
+
+/// Decode a WAL byte image into its longest valid prefix. Never errors on
+/// damage past the magic: truncated length fields, short payloads, CRC
+/// mismatches and JSON garbage all just end the prefix.
+pub fn decode_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::Mismatch("bad or missing WAL magic".into()));
+    }
+    let mut records = Vec::new();
+    let mut off = WAL_MAGIC.len();
+    let mut corrupt_tail = false;
+    while off < bytes.len() {
+        if off + 8 > bytes.len() {
+            corrupt_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+            as usize;
+        let crc = u32::from_le_bytes([
+            bytes[off + 4],
+            bytes[off + 5],
+            bytes[off + 6],
+            bytes[off + 7],
+        ]);
+        let start = off + 8;
+        let end = match start.checked_add(len) {
+            Some(e) if e <= bytes.len() => e,
+            _ => {
+                corrupt_tail = true;
+                break;
+            }
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            corrupt_tail = true;
+            break;
+        }
+        let rec: WalRecord = match serde_json::from_slice(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                corrupt_tail = true;
+                break;
+            }
+        };
+        off = end;
+        records.push((off as u64, rec));
+    }
+    Ok(WalScan {
+        records,
+        valid_len: off as u64,
+        corrupt_tail,
+    })
+}
+
+/// Read and scan a WAL file.
+pub fn read_wal(path: &Path) -> Result<WalScan, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    decode_wal(&bytes)
+}
+
+/// Append-only WAL writer.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    sync: bool,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a WAL and write the magic.
+    pub fn create(path: &Path, sync: bool) -> Result<Self, WalError> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        if sync {
+            file.sync_all()?;
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    rock_crystal::fsync_dir(parent)?;
+                }
+            }
+        }
+        Ok(WalWriter { file, sync })
+    }
+
+    /// Open an existing WAL for appending after `offset`, discarding any
+    /// crashed/uncommitted suffix — rounds re-run after a resume then
+    /// regenerate their records in place (replay is idempotent).
+    pub fn open_at(path: &Path, offset: u64, sync: bool) -> Result<Self, WalError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(offset)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(WalWriter { file, sync })
+    }
+
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
+        let frame = encode_frame(rec)?;
+        self.file.write_all(&frame)?;
+        Ok(())
+    }
+
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.sync {
+            self.file.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// Totals reported back on [`crate::ChaseResult`] when durability is on.
+#[derive(Debug, Clone, Serialize)]
+pub struct WalSummary {
+    /// Records appended this run (excluding replayed history).
+    pub records: u64,
+    /// Checkpoints written this run.
+    pub checkpoints: u64,
+    /// Round the run resumed from (None for a fresh run).
+    pub resumed_from: Option<u64>,
+    /// First durability failure, if any. Fixes stay correct — the run
+    /// merely degraded to non-durable from that point on.
+    pub error: Option<String>,
+}
+
+/// A committed fix captured by the chase's commit phases before it is
+/// assigned an id: `(kind, rule, valuation tuples)`.
+pub(crate) type RoundFix = (FixKind, u32, Vec<GlobalTid>);
+
+/// Live durability state carried through `run_loop`. Infallible from the
+/// caller's view: the first error poisons the context (later calls
+/// no-op) and surfaces in [`WalSummary::error`] — a failing disk must
+/// degrade durability, never the fixes.
+pub(crate) struct DurabilityCtx {
+    pub(crate) cfg: DurabilityConfig,
+    writer: Option<WalWriter>,
+    next_fix_id: u64,
+    /// Last fix id that touched each tuple (provenance parent lookup).
+    last_fix: FxHashMap<GlobalTid, u64>,
+    pub(crate) resumed_from: Option<u64>,
+    records: u64,
+    checkpoints: u64,
+    pub(crate) error: Option<String>,
+}
+
+impl DurabilityCtx {
+    /// Start a fresh log for a new run.
+    pub(crate) fn begin(cfg: DurabilityConfig, fingerprint: u64) -> Self {
+        let mut ctx = DurabilityCtx {
+            cfg,
+            writer: None,
+            next_fix_id: 0,
+            last_fix: FxHashMap::default(),
+            resumed_from: None,
+            records: 0,
+            checkpoints: 0,
+            error: None,
+        };
+        let res = (|| -> Result<WalWriter, WalError> {
+            std::fs::create_dir_all(&ctx.cfg.dir)?;
+            let mut w = WalWriter::create(&ctx.cfg.dir.join(WAL_FILE), ctx.cfg.sync)?;
+            w.append(&WalRecord::Begin { fingerprint })?;
+            w.sync()?;
+            Ok(w)
+        })();
+        match res {
+            Ok(w) => {
+                ctx.writer = Some(w);
+                ctx.records = 1;
+            }
+            Err(e) => ctx.error = Some(e.to_string()),
+        }
+        ctx
+    }
+
+    /// Attach to a recovered log (see `crate::checkpoint::locate`): the
+    /// writer is positioned at the resumed round's commit boundary, and
+    /// the provenance id state is replayed from the surviving records.
+    pub(crate) fn attach(
+        cfg: DurabilityConfig,
+        writer: WalWriter,
+        next_fix_id: u64,
+        last_fix: FxHashMap<GlobalTid, u64>,
+        resumed_from: u64,
+    ) -> Self {
+        DurabilityCtx {
+            cfg,
+            writer: Some(writer),
+            next_fix_id,
+            last_fix,
+            resumed_from: Some(resumed_from),
+            records: 0,
+            checkpoints: 0,
+            error: None,
+        }
+    }
+
+    /// Log one committed round: `RoundBegin`, each fix (with provenance
+    /// parents), the checkpoint file (when given), and the `RoundCommit`
+    /// marker — then one fsync covering the whole boundary.
+    pub(crate) fn commit_round(
+        &mut self,
+        round: u64,
+        fixes: &[RoundFix],
+        checkpoint: Option<(String, Vec<u8>)>,
+    ) {
+        if self.error.is_some() {
+            return;
+        }
+        let res = self.commit_round_inner(round, fixes, checkpoint);
+        if let Err(e) = res {
+            self.error = Some(e.to_string());
+            self.writer = None;
+        }
+    }
+
+    fn commit_round_inner(
+        &mut self,
+        round: u64,
+        fixes: &[RoundFix],
+        checkpoint: Option<(String, Vec<u8>)>,
+    ) -> Result<(), WalError> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Ok(());
+        };
+        writer.append(&WalRecord::RoundBegin { round })?;
+        self.records += 1;
+        for (kind, rule, valuation) in fixes {
+            let id = self.next_fix_id;
+            self.next_fix_id += 1;
+            let mut val = valuation.clone();
+            val.sort_unstable();
+            val.dedup();
+            let mut parents: Vec<u64> = val
+                .iter()
+                .chain(kind.touched().iter())
+                .filter_map(|t| self.last_fix.get(t).copied())
+                .collect();
+            parents.sort_unstable();
+            parents.dedup();
+            let rec = FixRecord {
+                id,
+                round,
+                rule: *rule,
+                kind: kind.clone(),
+                valuation: val,
+                parents,
+            };
+            // within-round chaining: a merge's materialized cell writes
+            // list the merge itself as a parent
+            for t in rec.kind.touched() {
+                self.last_fix.insert(t, id);
+            }
+            writer.append(&WalRecord::Fix(rec))?;
+            self.records += 1;
+        }
+        let (name, state_crc) = match checkpoint {
+            Some((name, bytes)) => {
+                let crc = crc32(&bytes);
+                let path = self.cfg.dir.join(&name);
+                if self.cfg.sync {
+                    rock_crystal::write_atomic_durable(&path, &bytes)?;
+                } else {
+                    std::fs::write(&path, &bytes)?;
+                }
+                self.checkpoints += 1;
+                (Some(name), crc)
+            }
+            None => (None, 0),
+        };
+        writer.append(&WalRecord::RoundCommit {
+            round,
+            checkpoint: name,
+            state_crc,
+        })?;
+        self.records += 1;
+        writer.sync()?;
+        Ok(())
+    }
+
+    pub(crate) fn into_summary(self) -> WalSummary {
+        WalSummary {
+            records: self.records,
+            checkpoints: self.checkpoints,
+            resumed_from: self.resumed_from,
+            error: self.error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rock-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::Fix(FixRecord {
+            id: i,
+            round: 1,
+            rule: 7,
+            kind: FixKind::Order {
+                rel: RelId(0),
+                attr: AttrId(1),
+                t1: TupleId(i as u32),
+                t2: TupleId(i as u32 + 1),
+                strict: false,
+            },
+            valuation: vec![GlobalTid::new(RelId(0), TupleId(i as u32))],
+            parents: vec![],
+        })
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let d = dir("roundtrip");
+        let path = d.join(WAL_FILE);
+        let mut w = WalWriter::create(&path, false).unwrap();
+        let recs = vec![WalRecord::Begin { fingerprint: 42 }, rec(0), rec(1)];
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        assert!(!scan.corrupt_tail);
+        let got: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(got, recs);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_ignored() {
+        let d = dir("trunc");
+        let path = d.join(WAL_FILE);
+        let mut w = WalWriter::create(&path, false).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // chop mid-way through the second frame
+        let first_end = read_wal(&path).unwrap().records[0].0 as usize;
+        std::fs::write(&path, &full[..first_end + 5]).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.corrupt_tail);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len as usize, first_end);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_crc() {
+        let d = dir("flip");
+        let path = d.join(WAL_FILE);
+        let mut w = WalWriter::create(&path, false).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_end = read_wal(&path).unwrap().records[0].0 as usize;
+        // flip one payload bit in the second frame
+        let i = first_end + 12;
+        bytes[i] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.corrupt_tail);
+        assert_eq!(scan.records.len(), 1);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let d = dir("magic");
+        let path = d.join(WAL_FILE);
+        std::fs::write(&path, b"NOTAWAL0rest").unwrap();
+        assert!(matches!(read_wal(&path), Err(WalError::Mismatch(_))));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn open_at_truncates_the_tail() {
+        let d = dir("openat");
+        let path = d.join(WAL_FILE);
+        let mut w = WalWriter::create(&path, false).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        drop(w);
+        let first_end = read_wal(&path).unwrap().records[0].0;
+        let mut w = WalWriter::open_at(&path, first_end, false).unwrap();
+        w.append(&rec(9)).unwrap();
+        drop(w);
+        let got: Vec<WalRecord> = read_wal(&path)
+            .unwrap()
+            .records
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(got, vec![rec(0), rec(9)]);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

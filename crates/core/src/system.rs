@@ -53,6 +53,10 @@ pub struct RockConfig {
     /// backoff, speculation threshold), threaded into every discovery /
     /// detection / chase cluster this system builds.
     pub cluster: ClusterConfig,
+    /// Durable chase: WAL + round-boundary checkpoints in this directory,
+    /// so a killed correction resumes byte-identically (`rock_chase::wal`).
+    /// `None` (default) keeps the zero-IO in-memory chase.
+    pub durability: Option<rock_chase::wal::DurabilityConfig>,
 }
 
 impl Default for RockConfig {
@@ -69,6 +73,7 @@ impl Default for RockConfig {
             semi_naive: true,
             use_rule_graph: false,
             cluster: ClusterConfig::default(),
+            durability: None,
         }
     }
 }
@@ -268,6 +273,7 @@ impl RockSystem {
                 semi_naive: self.config.semi_naive,
                 use_rule_graph: self.config.use_rule_graph,
                 cluster: self.config.cluster.clone(),
+                durability: self.config.durability.clone(),
                 ..ChaseConfig::default()
             };
             let engine = ChaseEngine::new(rules, &w.registry, cfg);
@@ -361,6 +367,7 @@ impl RockSystem {
             semi_naive: self.config.semi_naive,
             use_rule_graph: self.config.use_rule_graph,
             cluster: self.config.cluster.clone(),
+            durability: self.config.durability.clone(),
             ..ChaseConfig::default()
         };
         let engine = ChaseEngine::new(&rules, &w.registry, cfg);

@@ -24,6 +24,8 @@
 //!   errors, stragglers, node crashes) plus the retry/quarantine/
 //!   speculation knobs in [`fault::ClusterConfig`]; see DESIGN.md
 //!   §Crystal fault model.
+//! * [`storage`] — durable file primitives (fsync-hardened atomic
+//!   writes) used by the chase WAL/checkpoints and the bench harness.
 
 // The substrate must never kill a run: recoverable conditions are typed
 // errors, and panics are isolated per unit. Test code is exempt.
@@ -35,6 +37,7 @@ pub mod fault;
 pub mod kvstore;
 pub mod ring;
 pub mod scheduler;
+pub mod storage;
 pub mod work;
 
 pub use blocks::{BlockId, BlockStore};
@@ -45,4 +48,5 @@ pub use fault::{
 pub use kvstore::{KvStore, PrefixWatch, WatchEvent};
 pub use ring::{ConsistentHashRing, NodeId};
 pub use scheduler::{Cluster, ExecuteOutcome, SchedulerStats};
+pub use storage::{fsync_dir, write_atomic_durable};
 pub use work::{CostEstimator, WorkUnit};

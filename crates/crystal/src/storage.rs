@@ -1,0 +1,70 @@
+//! Durable file primitives shared by the chase WAL/checkpoints and the
+//! bench results writers.
+//!
+//! `rename(2)` within a directory is atomic on POSIX, but atomicity alone
+//! is not durability: after a power cut, the rename may be visible while
+//! the file's *contents* are not (the data blocks were still in the page
+//! cache), or the rename itself may be lost (the directory entry was
+//! never flushed). [`write_atomic_durable`] therefore fsyncs the temp
+//! file before the rename and the parent directory after it, so a
+//! completed call survives power loss with either the old or the new
+//! complete contents — never a torn file.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Flush a directory's entry table to stable storage. On non-Unix
+/// platforms directories cannot be opened for syncing; the rename is
+/// still atomic there, just not power-loss durable.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Write `contents` to `path` atomically *and* durably: write a sibling
+/// `<name>.tmp`, fsync it, rename it over the target, then fsync the
+/// parent directory so the rename itself is on stable storage.
+pub fn write_atomic_durable(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fsync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("rock-storage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic_durable(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic_durable(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // no temp file left behind
+        assert!(!dir.join("out.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

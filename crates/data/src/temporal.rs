@@ -26,9 +26,34 @@ impl Timestamp {
 }
 
 /// Partial per-cell timestamp function `T` for one relation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Serialized as a *sorted* `[(tid, attr, ts), ...]` entry list rather
+/// than a map: JSON cannot key objects by tuples, and the sort makes the
+/// encoding deterministic — the chase checkpoints whole databases and
+/// compares serialized repairs byte-for-byte across runs.
+#[derive(Debug, Clone, Default)]
 pub struct CellTimestamps {
     map: FxHashMap<(TupleId, AttrId), Timestamp>,
+}
+
+impl Serialize for CellTimestamps {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(TupleId, AttrId, Timestamp)> =
+            self.map.iter().map(|(&(t, a), &ts)| (t, a, ts)).collect();
+        entries.sort_unstable_by_key(|&(t, a, _)| (t, a));
+        entries.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for CellTimestamps {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = Vec::<(TupleId, AttrId, Timestamp)>::deserialize(d)?;
+        let mut map = FxHashMap::default();
+        for (t, a, ts) in entries {
+            map.insert((t, a), ts);
+        }
+        Ok(CellTimestamps { map })
+    }
 }
 
 impl CellTimestamps {
@@ -115,5 +140,20 @@ mod tests {
     #[test]
     fn from_days() {
         assert_eq!(Timestamp::from_days(1), Timestamp(86_400));
+    }
+
+    #[test]
+    fn json_round_trip_is_sorted_and_lossless() {
+        let mut t = CellTimestamps::new();
+        t.set(TupleId(5), AttrId(1), Timestamp(50));
+        t.set(TupleId(0), AttrId(2), Timestamp(10));
+        t.set(TupleId(0), AttrId(1), Timestamp(99));
+        let js = serde_json::to_string(&t).unwrap();
+        // deterministic: entries sorted by (tid, attr)
+        assert_eq!(js, "[[0,1,99],[0,2,10],[5,1,50]]");
+        let back: CellTimestamps = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get(TupleId(5), AttrId(1)), Some(Timestamp(50)));
+        assert_eq!(back.get(TupleId(0), AttrId(2)), Some(Timestamp(10)));
     }
 }
