@@ -245,7 +245,7 @@ mod tests {
             } else {
                 ("Shanghai", "021")
             };
-            r.insert_row(vec![Value::str(c), Value::str(a)]);
+            r.insert_row(vec![Value::str(c), Value::str(a)]).unwrap();
         }
         db
     }

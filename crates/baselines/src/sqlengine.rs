@@ -354,10 +354,14 @@ mod tests {
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
-        r.insert_row(vec![Value::str("a"), Value::str("1")]);
-        r.insert_row(vec![Value::str("a"), Value::str("1")]);
-        r.insert_row(vec![Value::str("a"), Value::str("2")]);
-        r.insert_row(vec![Value::str("b"), Value::str("9")]);
+        r.insert_row(vec![Value::str("a"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("a"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("a"), Value::str("2")])
+            .unwrap();
+        r.insert_row(vec![Value::str("b"), Value::str("9")])
+            .unwrap();
         db
     }
 

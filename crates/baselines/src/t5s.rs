@@ -238,7 +238,8 @@ mod tests {
             r.insert_row(vec![
                 Value::str(c),
                 Value::Float(100.0 + ((i % 7) * 10) as f64),
-            ]);
+            ])
+            .unwrap();
         }
         db
     }

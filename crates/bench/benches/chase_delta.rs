@@ -59,7 +59,11 @@ fn bench_chase_delta(c: &mut Criterion) {
     for semi in [true, false] {
         let label = if semi { "pinned" } else { "scan-filter" };
         group.bench_function(format!("incremental/{label}"), |b| {
-            b.iter(|| mk(semi).run_incremental(&w.dirty, &w.trusted, &delta))
+            b.iter(|| {
+                mk(semi)
+                    .run_incremental(&w.dirty, &w.trusted, &delta)
+                    .unwrap()
+            })
         });
     }
     group.finish();

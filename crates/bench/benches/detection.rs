@@ -41,7 +41,7 @@ fn bench_detection(c: &mut Criterion) {
             attr: AttrId(4),
             value: Value::str("East"),
         }]);
-        let inserted = db.apply(&delta);
+        let inserted = db.apply(&delta).unwrap();
         b.iter(|| Detector::new(&noml, &w.registry).detect_incremental(&db, &delta, &inserted))
     });
     group.bench_function("baseline/sparksql-udf", |b| {

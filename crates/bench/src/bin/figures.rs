@@ -14,7 +14,9 @@
 //! chaos (fault injection: byte-identical repairs under panics, transient
 //! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`),
 //! durability (WAL + checkpoint chase: byte-identical durable repairs,
-//! resume-from-every-round, provenance query per repaired cell).
+//! resume-from-every-round, provenance query per repaired cell),
+//! columnar (typed-column data plane vs row store: byte-identical
+//! detections and repairs on all workloads, >=2x vectorized scan speedup).
 //! Output is printed and written to `results/` (atomically: temp+rename).
 //! Every run also emits `results/BENCH_trajectory.json` — per-panel wall
 //! seconds plus the semantic ratio metrics the CI trajectory gate
@@ -101,6 +103,7 @@ fn main() {
             "analyze",
             "chaos",
             "durability",
+            "columnar",
             "summary",
         ]
         .iter()
@@ -134,10 +137,11 @@ fn main() {
             "analyze" => panels::analyze(),
             "chaos" => panels::chaos(),
             "durability" => panels::durability(),
+            "columnar" => panels::columnar(),
             "summary" => summary(),
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, durability, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, durability, columnar, summary, or all"
                 );
                 std::process::exit(2);
             }
@@ -173,6 +177,11 @@ fn main() {
                             serde_json::json!(full / semi),
                         );
                     }
+                }
+            }
+            "columnar" => {
+                if let Some(v) = json.get("scan_speedup") {
+                    trajectory_metrics.insert("columnar_scan_speedup_ratio".into(), v.clone());
                 }
             }
             _ => {}

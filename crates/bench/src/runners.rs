@@ -166,14 +166,17 @@ fn project(db: &Database, rel: RelId) -> Database {
     for tid in 0..db.relation(rel).capacity() as u32 {
         match db.relation(rel).get(TupleId(tid)) {
             Some(t) => {
-                sub.insert(t.eid, t.values.clone());
+                sub.insert(t.eid, t.values.clone())
+                    .expect("projected row keeps its source arity");
             }
             None => {
                 let arity = sub.schema.arity();
-                let placeholder = sub.insert(
-                    rock_data::Eid(u32::MAX),
-                    vec![rock_data::Value::Null; arity],
-                );
+                let placeholder = sub
+                    .insert(
+                        rock_data::Eid(u32::MAX),
+                        vec![rock_data::Value::Null; arity],
+                    )
+                    .expect("placeholder row matches schema arity");
                 sub.delete(placeholder);
             }
         }

@@ -149,6 +149,11 @@ pub struct ChaseConfig {
     /// `crate::wal` / `crate::checkpoint`). `None` (default) keeps the
     /// zero-IO in-memory chase.
     pub durability: Option<DurabilityConfig>,
+    /// Route valuation enumeration's unary prefilters through the columnar
+    /// kernels (`rock_data::ColumnSet`). Off = the scalar row path, kept as
+    /// the byte-identical equivalence oracle
+    /// (`tests/columnar_equivalence.rs`).
+    pub columnar: bool,
 }
 
 impl Default for ChaseConfig {
@@ -164,6 +169,7 @@ impl Default for ChaseConfig {
             cluster: ClusterConfig::default(),
             use_rule_graph: false,
             durability: None,
+            columnar: rock_data::DataConfig::default().columnar,
         }
     }
 }
@@ -383,14 +389,18 @@ impl<'a> ChaseEngine<'a> {
     /// tuple fire — the tuple-level analogue of incremental detection.
     /// Both `semi_naive` settings run these delta semantics; the flag only
     /// selects the mechanism (pinned enumeration vs. scan-and-filter).
+    ///
+    /// A malformed ΔD (wrong-arity insert) is rejected as
+    /// [`rock_data::DataError`] before anything runs — `Database::apply`
+    /// validates the whole batch up front.
     pub fn run_incremental(
         &self,
         db: &Database,
         trusted: &[GlobalTid],
         delta: &Delta,
-    ) -> ChaseResult {
+    ) -> Result<ChaseResult, rock_data::DataError> {
         let mut work = db.clone();
-        let inserted = work.apply(delta);
+        let inserted = work.apply(delta)?;
         let mut seed = DeltaSet::empty(&work);
         let mut ins = inserted.into_iter();
         for u in &delta.updates {
@@ -406,7 +416,7 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
         }
-        self.run_inner(work, trusted, Some(seed), FixStore::new())
+        Ok(self.run_inner(work, trusted, Some(seed), FixStore::new()))
     }
 
     fn rule_reads(&self, rule: &Rule) -> FxHashSet<(RelId, AttrId)> {
@@ -681,7 +691,8 @@ impl<'a> ChaseEngine<'a> {
                 let entity_oracle = FixEntityOracle { fixes: &st.fixes };
                 let mut ctx = EvalContext::new(&st.work_db, self.registry)
                     .with_temporal(&oracle)
-                    .with_entities(&entity_oracle);
+                    .with_entities(&entity_oracle)
+                    .with_columnar(self.config.columnar);
                 if let Some(g) = self.graph {
                     ctx = ctx.with_graph(g);
                 }
@@ -1903,7 +1914,8 @@ mod tests {
                 Value::str("Apple"),
                 Value::Float(6500.0),
             ],
-        );
+        )
+        .unwrap();
         r.insert(
             Eid(1),
             vec![
@@ -1912,7 +1924,8 @@ mod tests {
                 Value::str("Appel"),
                 Value::Float(6500.0),
             ],
-        );
+        )
+        .unwrap();
         r.insert(
             Eid(2),
             vec![
@@ -1921,7 +1934,8 @@ mod tests {
                 Value::str("Apple"),
                 Value::Null,
             ],
-        );
+        )
+        .unwrap();
         db
     }
 
@@ -2042,8 +2056,10 @@ mod tests {
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
-        r.insert(Eid(0), vec![Value::str("p1"), Value::str("single")]);
-        r.insert(Eid(1), vec![Value::str("p1"), Value::str("married")]);
+        r.insert(Eid(0), vec![Value::str("p1"), Value::str("single")])
+            .unwrap();
+        r.insert(Eid(1), vec![Value::str("p1"), Value::str("married")])
+            .unwrap();
         let rules = RuleSet::new(
             parse_rules(
                 "rule phi4: Person(t) && Person(s) && t.status = 'single' && s.status = 'married' -> t <=[status] s",
@@ -2085,7 +2101,7 @@ mod tests {
                 Value::Null,
             ],
         }]);
-        let res = engine.run_incremental(&db, &[], &delta);
+        let res = engine.run_incremental(&db, &[], &delta).unwrap();
         // the inserted tuple's null gets filled...
         assert_eq!(
             res.db.cell(RelId(0), TupleId(3), AttrId(3)),
@@ -2194,7 +2210,8 @@ mod tests {
                 Value::str("AppleInc"),
                 Value::Float(1.0),
             ],
-        );
+        )
+        .unwrap();
         r.insert(
             Eid(0),
             vec![
@@ -2203,7 +2220,8 @@ mod tests {
                 Value::str("junk"),
                 Value::Null,
             ],
-        );
+        )
+        .unwrap();
         let rules = RuleSet::new(
             parse_rules(
                 "rule r1: Trans(t) && t.com = 'IPhone 14' -> t.mfg = 'AppleInc'\nrule r2: Trans(t) && t.mfg = 'AppleInc' && null(t.price) -> t.price = 6500",

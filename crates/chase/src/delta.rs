@@ -137,10 +137,12 @@ mod tests {
         let mut db = Database::new(&schema);
         for i in 0..4 {
             db.relation_mut(RelId(0))
-                .insert(Eid(i), vec![Value::str(format!("a{i}"))]);
+                .insert(Eid(i), vec![Value::str(format!("a{i}"))])
+                .unwrap();
         }
         db.relation_mut(RelId(1))
-            .insert(Eid(0), vec![Value::str("b0")]);
+            .insert(Eid(0), vec![Value::str("b0")])
+            .unwrap();
         db
     }
 

@@ -118,9 +118,11 @@ mod tests {
         )]);
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
-        r.insert_row(vec![Value::str("a"), Value::str("1")]);
-        r.insert_row(vec![Value::str("a"), Value::str("2")]); // dup key + conflict
-        r.insert_row(vec![Value::str("b"), Value::Null]); // null
+        r.insert_row(vec![Value::str("a"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("a"), Value::str("2")])
+            .unwrap(); // dup key + conflict
+        r.insert_row(vec![Value::str("b"), Value::Null]).unwrap(); // null
         db
     }
 
@@ -149,7 +151,8 @@ mod tests {
         )]);
         let mut d = Database::new(&schema);
         d.relation_mut(RelId(0))
-            .insert_row(vec![Value::str("a"), Value::str("1")]);
+            .insert_row(vec![Value::str("a"), Value::str("1")])
+            .unwrap();
         let rules = RuleSet::default();
         let reg = ModelRegistry::new();
         let q = QualityReport::assess(&d, &[(RelId(0), AttrId(0))], &rules, &reg);

@@ -174,7 +174,8 @@ mod tests {
                 Value::Float(amount),
                 Value::Float(fee),
                 Value::Float(amount + fee),
-            ]);
+            ])
+            .unwrap();
         }
         db
     }

@@ -57,6 +57,11 @@ pub struct RockConfig {
     /// so a killed correction resumes byte-identically (`rock_chase::wal`).
     /// `None` (default) keeps the zero-IO in-memory chase.
     pub durability: Option<rock_chase::wal::DurabilityConfig>,
+    /// Columnar data plane: route detection and chase prefilters through
+    /// the vectorized kernels (`rock_data::ColumnSet`). Off = the scalar
+    /// row path, the byte-identical equivalence oracle
+    /// (`tests/columnar_equivalence.rs`, `figures -- columnar`).
+    pub columnar: bool,
 }
 
 impl Default for RockConfig {
@@ -74,6 +79,7 @@ impl Default for RockConfig {
             use_rule_graph: false,
             cluster: ClusterConfig::default(),
             durability: None,
+            columnar: rock_data::DataConfig::default().columnar,
         }
     }
 }
@@ -218,7 +224,8 @@ impl RockSystem {
         };
         let mut detector = Detector::new(&rules, &w.registry)
             .with_workers(self.config.workers)
-            .with_cluster(self.config.cluster.clone());
+            .with_cluster(self.config.cluster.clone())
+            .with_columnar(self.config.columnar);
         detector.partitions_per_rule = self.config.partitions_per_rule;
         if let Some(g) = &w.graph {
             detector = detector.with_graph(g);
@@ -274,6 +281,7 @@ impl RockSystem {
                 use_rule_graph: self.config.use_rule_graph,
                 cluster: self.config.cluster.clone(),
                 durability: self.config.durability.clone(),
+                columnar: self.config.columnar,
                 ..ChaseConfig::default()
             };
             let engine = ChaseEngine::new(rules, &w.registry, cfg);
@@ -368,6 +376,7 @@ impl RockSystem {
             use_rule_graph: self.config.use_rule_graph,
             cluster: self.config.cluster.clone(),
             durability: self.config.durability.clone(),
+            columnar: self.config.columnar,
             ..ChaseConfig::default()
         };
         let engine = ChaseEngine::new(&rules, &w.registry, cfg);
@@ -375,7 +384,9 @@ impl RockSystem {
             Some(g) => engine.with_graph(g),
             None => engine,
         };
-        let res = engine.run_incremental(&w.dirty, &w.trusted, delta);
+        let res = engine
+            .run_incremental(&w.dirty, &w.trusted, delta)
+            .expect("workload deltas are well-formed");
         let metrics =
             correction_metrics(&w.dirty, &res.db, &w.clean, &w.truth, task.scope.as_ref());
         CorrectionOutcome {
@@ -498,6 +509,7 @@ impl RockSystem {
                     semi_naive: self.config.semi_naive,
                     use_rule_graph: self.config.use_rule_graph,
                     cluster: self.config.cluster.clone(),
+                    columnar: self.config.columnar,
                     ..ChaseConfig::default()
                 };
                 let engine = ChaseEngine::new(group, &w.registry, cfg);

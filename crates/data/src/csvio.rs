@@ -104,7 +104,8 @@ pub fn read_relation<R: BufRead>(
             .zip(rel.schema.attrs.clone())
             .map(|(f, a)| interner.intern_value(Value::parse_as(f, a.ty)))
             .collect();
-        rel.insert_row(values);
+        rel.insert_row(values)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     }
     Ok(rel)
 }

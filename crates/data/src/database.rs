@@ -1,5 +1,6 @@
 //! Database instances `D = (D1, …, Dm)` and string interning.
 
+use crate::error::DataError;
 use crate::ids::{AttrId, RelId, TupleId};
 use crate::relation::Relation;
 use crate::schema::{DatabaseSchema, RelationSchema};
@@ -90,12 +91,18 @@ impl Database {
     }
 
     /// Apply a batch of updates ΔD in order; returns ids of inserted tuples.
-    pub fn apply(&mut self, delta: &Delta) -> Vec<TupleId> {
+    ///
+    /// Atomic with respect to malformed input: every `Insert` is
+    /// arity-checked against its target schema *before* any update is
+    /// applied ([`crate::update::check_arities`]), so a rejected delta
+    /// leaves the instance untouched.
+    pub fn apply(&mut self, delta: &Delta) -> Result<Vec<TupleId>, DataError> {
+        crate::update::check_arities(delta, |rel| &self.relation(rel).schema)?;
         let mut inserted = Vec::new();
         for u in &delta.updates {
             match u {
                 Update::Insert { rel, eid, values } => {
-                    inserted.push(self.relation_mut(*rel).insert(*eid, values.clone()));
+                    inserted.push(self.relation_mut(*rel).insert(*eid, values.clone())?);
                 }
                 Update::Delete { rel, tid } => {
                     self.relation_mut(*rel).delete(*tid);
@@ -110,7 +117,7 @@ impl Database {
                 }
             }
         }
-        inserted
+        Ok(inserted)
     }
 
     /// Fraction of null cells over all live tuples (completeness metric,
@@ -188,8 +195,12 @@ impl RelationBuilder {
     }
 
     pub fn row(mut self, values: Vec<Value>) -> Self {
-        self.rel.insert_row(values);
-        self
+        // The builder keeps its chaining signature; a wrong-arity row in a
+        // hand-written fixture is a programming error, so surface it loudly.
+        match self.rel.insert_row(values) {
+            Ok(_) => self,
+            Err(e) => panic!("RelationBuilder::row: {e}"),
+        }
     }
 
     pub fn build(self) -> Relation {
@@ -214,7 +225,10 @@ mod tests {
     #[test]
     fn relations_addressable_by_name_and_id() {
         let mut d = db();
-        d.by_name_mut("A").unwrap().insert_row(vec![Value::Int(1)]);
+        d.by_name_mut("A")
+            .unwrap()
+            .insert_row(vec![Value::Int(1)])
+            .unwrap();
         assert_eq!(d.total_tuples(), 1);
         assert_eq!(d.rel_id("B"), Some(RelId(1)));
         assert!(d.by_name("C").is_none());
@@ -224,7 +238,10 @@ mod tests {
     fn apply_delta() {
         let mut d = db();
         let rel_a = d.rel_id("A").unwrap();
-        let t = d.relation_mut(rel_a).insert_row(vec![Value::Int(1)]);
+        let t = d
+            .relation_mut(rel_a)
+            .insert_row(vec![Value::Int(1)])
+            .unwrap();
         let delta = Delta::new(vec![
             Update::Insert {
                 rel: rel_a,
@@ -238,7 +255,7 @@ mod tests {
                 value: Value::Int(7),
             },
         ]);
-        let ins = d.apply(&delta);
+        let ins = d.apply(&delta).unwrap();
         assert_eq!(ins.len(), 1);
         assert_eq!(d.cell(rel_a, t, AttrId(0)), Some(&Value::Int(7)));
         assert_eq!(d.relation(rel_a).len(), 2);
@@ -248,9 +265,30 @@ mod tests {
     fn null_fraction() {
         let mut d = db();
         let a = d.rel_id("A").unwrap();
-        d.relation_mut(a).insert_row(vec![Value::Null]);
-        d.relation_mut(a).insert_row(vec![Value::Int(1)]);
+        d.relation_mut(a).insert_row(vec![Value::Null]).unwrap();
+        d.relation_mut(a).insert_row(vec![Value::Int(1)]).unwrap();
         assert!((d.null_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_rejects_malformed_delta_atomically() {
+        let mut d = db();
+        let rel_a = d.rel_id("A").unwrap();
+        let delta = Delta::new(vec![
+            Update::Insert {
+                rel: rel_a,
+                eid: Eid(0),
+                values: vec![Value::Int(1)],
+            },
+            Update::Insert {
+                rel: rel_a,
+                eid: Eid(1),
+                values: vec![Value::Int(2), Value::Int(3)], // wrong arity
+            },
+        ]);
+        let err = d.apply(&delta).unwrap_err();
+        assert!(err.to_string().contains("arity mismatch"), "{err}");
+        assert_eq!(d.total_tuples(), 0, "rejected delta must not apply at all");
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Typed storage-layer errors.
+//!
+//! The data plane used to `assert!` its invariants (an arity mismatch in
+//! [`crate::Relation::insert`] aborted the process); under the repo-wide
+//! unwrap/expect discipline malformed input must surface as a value the
+//! caller can route — the chase turns it into a failed incremental run,
+//! csvio into an `io::Error`, and the workload generators into a labelled
+//! `expect` at the one place the arity is statically known.
+
+use std::fmt;
+
+/// An error raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row was inserted with the wrong number of values for its schema.
+    ArityMismatch {
+        /// Relation name (schemas are addressed by name at the API edge).
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch inserting into {relation}: got {got} values, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_relation_and_counts() {
+        let e = DataError::ArityMismatch {
+            relation: "Store".into(),
+            expected: 2,
+            got: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("arity mismatch"), "{msg}");
+        assert!(msg.contains("Store"), "{msg}");
+        assert!(msg.contains("got 1"), "{msg}");
+        assert!(msg.contains("expected 2"), "{msg}");
+    }
+}

@@ -16,9 +16,17 @@
 //! * Every tuple has a stable [`TupleId`] and an [`Eid`]; the fix store in
 //!   `rock-chase` keys its `[EID]=` / `[EID.A]=` structures by these ids.
 
+// Every evaluation hot path sits on this crate; a panic here takes down a
+// whole chase round (or a Crystal worker), so non-test code must surface
+// errors as values — same gate as rock-crystal, rock-rees, and rock-chase.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bitset;
+pub mod column;
 pub mod csvio;
 pub mod database;
+pub mod dict;
+pub mod error;
 pub mod ids;
 pub mod relation;
 pub mod schema;
@@ -29,12 +37,15 @@ pub mod update;
 pub mod value;
 
 pub use bitset::Bitset;
+pub use column::{row_heap_bytes, Column, ColumnData, ColumnSet, DataConfig, PredOp};
 pub use database::Database;
+pub use dict::Dictionary;
+pub use error::DataError;
 pub use ids::{AttrId, CellRef, Eid, GlobalTid, RelId, TupleId};
 pub use relation::Relation;
 pub use schema::{AttrType, Attribute, DatabaseSchema, RelationSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use temporal::Timestamp;
 pub use tuple::Tuple;
-pub use update::{Delta, Update};
-pub use value::Value;
+pub use update::{check_arities, Delta, Update};
+pub use value::{cmp_int_float, Value};

@@ -1,6 +1,8 @@
 //! Relations: a schema, a set of tuples, and (optionally) per-cell
 //! timestamps making the relation *temporal* (paper §2.2).
 
+use crate::column::{ColumnCache, ColumnSet};
+use crate::error::DataError;
 use crate::ids::{AttrId, Eid, TupleId};
 use crate::schema::RelationSchema;
 use crate::temporal::{CellTimestamps, Timestamp};
@@ -8,11 +10,18 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One relation instance `D` of schema `R`, optionally temporal `(D, T)`.
 ///
 /// Tuples are stored densely in insertion order; deletion marks a slot as a
 /// tombstone so [`TupleId`]s stay stable for the incremental algorithms.
+///
+/// Rows are the source of truth; the columnar image ([`Relation::columns`])
+/// is a versioned cache that evaluation hot paths use for vectorized
+/// predicate kernels. The cache is serde-skipped (persisted bytes are
+/// identical with or without it) and cloned relations start with a cold
+/// cache.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Relation {
     pub schema: RelationSchema,
@@ -20,6 +29,8 @@ pub struct Relation {
     live: usize,
     /// Partial timestamp function `T`.
     pub timestamps: CellTimestamps,
+    #[serde(skip, default)]
+    columns: ColumnCache,
 }
 
 impl Relation {
@@ -29,6 +40,7 @@ impl Relation {
             tuples: Vec::new(),
             live: 0,
             timestamps: CellTimestamps::new(),
+            columns: ColumnCache::default(),
         }
     }
 
@@ -47,23 +59,26 @@ impl Relation {
     }
 
     /// Insert a tuple with a fresh id and the given entity id; returns the
-    /// assigned [`TupleId`].
-    pub fn insert(&mut self, eid: Eid, values: Vec<Value>) -> TupleId {
-        assert_eq!(
-            values.len(),
-            self.schema.arity(),
-            "arity mismatch inserting into {}",
-            self.schema.name
-        );
+    /// assigned [`TupleId`], or [`DataError::ArityMismatch`] when the row
+    /// does not match the schema.
+    pub fn insert(&mut self, eid: Eid, values: Vec<Value>) -> Result<TupleId, DataError> {
+        if values.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
         let tid = TupleId(self.tuples.len() as u32);
         self.tuples.push(Some(Tuple::new(tid, eid, values)));
         self.live += 1;
-        tid
+        self.columns.invalidate();
+        Ok(tid)
     }
 
     /// Insert and auto-assign an entity id equal to the tuple id (common for
     /// workloads where each row initially claims to be its own entity).
-    pub fn insert_row(&mut self, values: Vec<Value>) -> TupleId {
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<TupleId, DataError> {
         let eid = Eid(self.tuples.len() as u32);
         self.insert(eid, values)
     }
@@ -74,6 +89,7 @@ impl Relation {
             if slot.is_some() {
                 *slot = None;
                 self.live -= 1;
+                self.columns.invalidate();
                 return true;
             }
         }
@@ -86,9 +102,12 @@ impl Relation {
         self.tuples.get(tid.index()).and_then(|t| t.as_ref())
     }
 
-    /// Mutable access to a live tuple.
+    /// Mutable access to a live tuple. Invalidates the columnar cache
+    /// pessimistically (the caller may rewrite any cell); prefer
+    /// [`Relation::set_cell`], which writes through instead.
     #[inline]
     pub fn get_mut(&mut self, tid: TupleId) -> Option<&mut Tuple> {
+        self.columns.invalidate();
         self.tuples.get_mut(tid.index()).and_then(|t| t.as_mut())
     }
 
@@ -98,14 +117,23 @@ impl Relation {
     }
 
     /// Overwrite a cell (used when materializing fixes back into data).
+    /// Writes through to the cached columnar image when possible, so the
+    /// chase's commit path does not force a rebuild per fix.
     pub fn set_cell(&mut self, tid: TupleId, attr: AttrId, v: Value) -> bool {
-        match self.get_mut(tid) {
+        match self.tuples.get_mut(tid.index()).and_then(|t| t.as_mut()) {
             Some(t) => {
-                *t.get_mut(attr) = v;
+                *t.get_mut(attr) = v.clone();
+                self.columns.write_cell(tid.index(), attr, &v);
                 true
             }
             None => false,
         }
+    }
+
+    /// The columnar image of this relation, rebuilding it from the rows if
+    /// stale. Cheap when cached: an `Arc` clone.
+    pub fn columns(&self) -> Arc<ColumnSet> {
+        self.columns.get_or_build(self)
     }
 
     /// Record a cell timestamp `T(t[A])`.
@@ -164,8 +192,12 @@ mod tests {
     #[test]
     fn insert_get_delete() {
         let mut r = rel();
-        let t0 = r.insert_row(vec![Value::str("Apple"), Value::Int(15)]);
-        let t1 = r.insert_row(vec![Value::str("Huawei"), Value::Int(11)]);
+        let t0 = r
+            .insert_row(vec![Value::str("Apple"), Value::Int(15)])
+            .unwrap();
+        let t1 = r
+            .insert_row(vec![Value::str("Huawei"), Value::Int(11)])
+            .unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.cell(t0, AttrId(0)), Some(&Value::str("Apple")));
         assert!(r.delete(t0));
@@ -177,17 +209,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arity mismatch")]
     fn arity_checked() {
-        rel().insert_row(vec![Value::Int(1)]);
+        let err = rel().insert_row(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::DataError::ArityMismatch {
+                relation: "Store".into(),
+                expected: 2,
+                got: 1,
+            }
+        );
+        assert!(err.to_string().contains("arity mismatch"));
     }
 
     #[test]
     fn index_skips_nulls() {
         let mut r = rel();
-        r.insert_row(vec![Value::str("A"), Value::Null]);
-        r.insert_row(vec![Value::str("A"), Value::Int(5)]);
-        r.insert_row(vec![Value::str("B"), Value::Int(5)]);
+        r.insert_row(vec![Value::str("A"), Value::Null]).unwrap();
+        r.insert_row(vec![Value::str("A"), Value::Int(5)]).unwrap();
+        r.insert_row(vec![Value::str("B"), Value::Int(5)]).unwrap();
         let by_name = r.index_on(AttrId(0));
         assert_eq!(by_name[&Value::str("A")].len(), 2);
         let by_sales = r.index_on(AttrId(1));
@@ -198,9 +238,9 @@ mod tests {
     #[test]
     fn active_domain_sorted_distinct() {
         let mut r = rel();
-        r.insert_row(vec![Value::str("B"), Value::Int(2)]);
-        r.insert_row(vec![Value::str("A"), Value::Int(1)]);
-        r.insert_row(vec![Value::str("B"), Value::Null]);
+        r.insert_row(vec![Value::str("B"), Value::Int(2)]).unwrap();
+        r.insert_row(vec![Value::str("A"), Value::Int(1)]).unwrap();
+        r.insert_row(vec![Value::str("B"), Value::Null]).unwrap();
         assert_eq!(
             r.active_domain(AttrId(0)),
             vec![Value::str("A"), Value::str("B")]
@@ -210,7 +250,7 @@ mod tests {
     #[test]
     fn set_cell_and_timestamp() {
         let mut r = rel();
-        let t = r.insert_row(vec![Value::str("A"), Value::Int(1)]);
+        let t = r.insert_row(vec![Value::str("A"), Value::Int(1)]).unwrap();
         assert!(r.set_cell(t, AttrId(1), Value::Int(9)));
         assert_eq!(r.cell(t, AttrId(1)), Some(&Value::Int(9)));
         r.set_timestamp(t, AttrId(1), Timestamp(42));

@@ -45,8 +45,17 @@ pub struct NumericStats {
 impl ColumnStats {
     /// Compute stats for one column of a relation. `top_k` limits the
     /// frequent-value list.
+    ///
+    /// Scans the columnar image rather than the rows: a stats pass touches
+    /// one attribute of every tuple, which is exactly the access pattern
+    /// the typed columns are laid out for, and [`Column::value_at`]
+    /// materializes the same [`Value`]s the row path would yield.
+    ///
+    /// [`Column::value_at`]: crate::column::Column::value_at
     pub fn compute(rel: &Relation, attr: AttrId, top_k: usize) -> Self {
         let ty = rel.schema.attr(attr).ty;
+        let cols = rel.columns();
+        let col = cols.column(attr);
         let mut freq: FxHashMap<Value, usize> = FxHashMap::default();
         let mut count = 0usize;
         let mut null_count = 0usize;
@@ -54,9 +63,9 @@ impl ColumnStats {
         let mut n = 0usize;
         let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-        for t in rel.iter() {
+        for slot in cols.live().ones() {
             count += 1;
-            let v = t.get(attr);
+            let v = col.value_at(slot);
             if v.is_null() {
                 null_count += 1;
                 continue;
@@ -71,7 +80,7 @@ impl ColumnStats {
                 min = min.min(x);
                 max = max.max(x);
             }
-            *freq.entry(v.clone()).or_insert(0) += 1;
+            *freq.entry(v).or_insert(0) += 1;
         }
         let distinct = freq.len();
         let mut top_values: Vec<(Value, usize)> = freq.into_iter().collect();
@@ -166,10 +175,12 @@ mod tests {
             "T",
             &[("cat", AttrType::Str), ("num", AttrType::Float)],
         ));
-        r.insert_row(vec![Value::str("a"), Value::Float(1.0)]);
-        r.insert_row(vec![Value::str("a"), Value::Float(3.0)]);
-        r.insert_row(vec![Value::str("b"), Value::Null]);
-        r.insert_row(vec![Value::Null, Value::Float(2.0)]);
+        r.insert_row(vec![Value::str("a"), Value::Float(1.0)])
+            .unwrap();
+        r.insert_row(vec![Value::str("a"), Value::Float(3.0)])
+            .unwrap();
+        r.insert_row(vec![Value::str("b"), Value::Null]).unwrap();
+        r.insert_row(vec![Value::Null, Value::Float(2.0)]).unwrap();
         r
     }
 

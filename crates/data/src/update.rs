@@ -1,7 +1,9 @@
 //! Update batches ΔD for the incremental modes (paper §3: "Rock also
 //! incrementally detects errors in response to updates ΔD to D").
 
+use crate::error::DataError;
 use crate::ids::{AttrId, Eid, RelId, TupleId};
+use crate::schema::RelationSchema;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +85,29 @@ impl Delta {
     }
 }
 
+/// Validate every `Insert` in a batch against its target schema, before
+/// anything is applied. [`crate::Database::apply`] calls this so that a
+/// malformed ΔD is rejected atomically — the instance is left untouched
+/// rather than half-applied.
+pub fn check_arities<'a>(
+    delta: &Delta,
+    schema_of: impl Fn(RelId) -> &'a RelationSchema,
+) -> Result<(), DataError> {
+    for u in &delta.updates {
+        if let Update::Insert { rel, values, .. } = u {
+            let schema = schema_of(*rel);
+            if values.len() != schema.arity() {
+                return Err(DataError::ArityMismatch {
+                    relation: schema.name.clone(),
+                    expected: schema.arity(),
+                    got: values.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +147,31 @@ mod tests {
             },
         ]);
         assert_eq!(d.touched_cells(), vec![(RelId(1), TupleId(4), AttrId(2))]);
+    }
+
+    #[test]
+    fn check_arities_flags_bad_insert() {
+        use crate::schema::AttrType;
+        let schema = RelationSchema::of("R", &[("x", AttrType::Int)]);
+        let ok = Delta::new(vec![Update::Insert {
+            rel: RelId(0),
+            eid: Eid(0),
+            values: vec![Value::Int(1)],
+        }]);
+        assert!(check_arities(&ok, |_| &schema).is_ok());
+        let bad = Delta::new(vec![Update::Insert {
+            rel: RelId(0),
+            eid: Eid(0),
+            values: vec![],
+        }]);
+        assert_eq!(
+            check_arities(&bad, |_| &schema),
+            Err(DataError::ArityMismatch {
+                relation: "R".into(),
+                expected: 1,
+                got: 0,
+            })
+        );
     }
 
     #[test]

@@ -181,6 +181,18 @@ impl PartialOrd for Value {
     }
 }
 
+/// The one Int↔Float normalization used everywhere a mixed-type numeric
+/// comparison happens: the row path ([`Value`]'s `Ord`, and through it
+/// `sql_eq`/`sql_cmp`) and the columnar kernels
+/// (`rock_data::ColumnSet::eval_const_op` / `eval_col_op_col`). Keeping it
+/// in one place is what makes `Int(3) == Float(3.0)` hold identically in
+/// both planes, so the row-store equivalence oracle can't silently diverge
+/// on mixed-type columns.
+#[inline]
+pub fn cmp_int_float(a: i64, b: f64) -> Ordering {
+    (a as f64).total_cmp(&b)
+}
+
 impl Ord for Value {
     /// Total order: Null < Bool < Int/Float (numeric, merged) < Date < Str.
     fn cmp(&self, other: &Self) -> Ordering {
@@ -199,8 +211,8 @@ impl Ord for Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.total_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
-            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Date(a), Date(b)) => a.cmp(b),
             (Str(a), Str(b)) => a.cmp(b),
             (a, b) => rank(a).cmp(&rank(b)),

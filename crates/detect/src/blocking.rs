@@ -178,13 +178,15 @@ mod tests {
             r.insert_row(vec![
                 Value::str(format!("p{i}")),
                 Value::str(format!("IPhone 14 Discount Code {i} apple store bundle")),
-            ]);
+            ])
+            .unwrap();
         }
         for i in 0..6 {
             r.insert_row(vec![
                 Value::str(format!("q{i}")),
                 Value::str(format!("fresh organic juice bottle crate {i}")),
-            ]);
+            ])
+            .unwrap();
         }
         db
     }

@@ -223,6 +223,9 @@ pub struct Detector<'a> {
     pub workers: usize,
     pub partitions_per_rule: u32,
     pub cluster: ClusterConfig,
+    /// Route scan prefilters through the columnar kernels; off = the
+    /// scalar row path (the byte-identical equivalence oracle).
+    pub columnar: bool,
 }
 
 impl<'a> Detector<'a> {
@@ -234,6 +237,7 @@ impl<'a> Detector<'a> {
             workers: 1,
             partitions_per_rule: 4,
             cluster: ClusterConfig::default(),
+            columnar: rock_data::DataConfig::default().columnar,
         }
     }
 
@@ -250,6 +254,11 @@ impl<'a> Detector<'a> {
     /// Fault-injection / retry / speculation knobs for the batch path.
     pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
         self.cluster = cluster;
+        self
+    }
+
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
         self
     }
 
@@ -300,7 +309,9 @@ impl<'a> Detector<'a> {
         oracle: &dyn TemporalOracle,
         touched: Option<&FxHashMap<rock_data::RelId, FxHashSet<TupleId>>>,
     ) -> DetectReport {
-        let mut ctx = EvalContext::new(db, self.registry).with_temporal(oracle);
+        let mut ctx = EvalContext::new(db, self.registry)
+            .with_temporal(oracle)
+            .with_columnar(self.columnar);
         if let Some(g) = self.graph {
             ctx = ctx.with_graph(g);
         }
@@ -436,19 +447,22 @@ mod tests {
             Value::str("IPhone"),
             Value::str("Apple"),
             Value::Float(1.0),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("p2"),
             Value::str("IPhone"),
             Value::str("Huawei"),
             Value::Float(2.0),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("p3"),
             Value::str("Mate"),
             Value::str("Huawei"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         db
     }
 
@@ -508,12 +522,14 @@ mod tests {
     #[test]
     fn duplicate_pairs_from_er_rules() {
         let mut db = db();
-        db.relation_mut(RelId(0)).insert_row(vec![
-            Value::str("p1"),
-            Value::str("Mate"),
-            Value::str("Huawei"),
-            Value::Float(5.0),
-        ]);
+        db.relation_mut(RelId(0))
+            .insert_row(vec![
+                Value::str("p1"),
+                Value::str("Mate"),
+                Value::str("Huawei"),
+                Value::Float(5.0),
+            ])
+            .unwrap();
         let rules = RuleSet::new(
             parse_rules(
                 "rule er: Trans(t) && Trans(s) && t.pid = s.pid -> t.eid = s.eid",
@@ -558,7 +574,7 @@ mod tests {
                 value: Value::Null,
             },
         ]);
-        let inserted = db.apply(&delta);
+        let inserted = db.apply(&delta).unwrap();
         let reg = ModelRegistry::new();
         let rules = ruleset();
         let det = Detector::new(&rules, &reg);

@@ -349,7 +349,7 @@ mod tests {
         let r = db.relation_mut(RelId(0));
         for i in 0..6 {
             let a = if i % 2 == 0 { "x" } else { "y" };
-            r.insert_row(vec![Value::str(a), Value::str("1")]);
+            r.insert_row(vec![Value::str(a), Value::str("1")]).unwrap();
         }
         db
     }

@@ -515,7 +515,8 @@ mod tests {
             } else {
                 ("Shanghai", "021")
             };
-            r.insert_row(vec![Value::str(city), Value::str(code)]);
+            r.insert_row(vec![Value::str(city), Value::str(code)])
+                .unwrap();
         }
         db
     }

@@ -379,7 +379,8 @@ mod tests {
             } else {
                 ("Shanghai", "021")
             };
-            r.insert_row(vec![Value::Int(i), Value::str(c), Value::str(a)]);
+            r.insert_row(vec![Value::Int(i), Value::str(c), Value::str(a)])
+                .unwrap();
         }
         db
     }
@@ -418,7 +419,8 @@ mod tests {
                 Value::Float(qty),
                 Value::Float(noise),
                 Value::Float(price * qty),
-            ]);
+            ])
+            .unwrap();
         }
         db
     }
@@ -498,7 +500,8 @@ mod debug_tests {
                 Value::Float(amount),
                 Value::Float(fee),
                 Value::Float(amount + fee),
-            ]);
+            ])
+            .unwrap();
         }
         let e = discover_polynomial(&db, RelId(0), AttrId(2), 0.05).unwrap();
         eprintln!(

@@ -51,7 +51,9 @@ pub fn sample_database(db: &Database, ratio: f64, seed: u64) -> Database {
         chosen.sort_unstable();
         for idx in chosen {
             let t = rel.get(tids[idx]).expect("live tuple");
-            let new_tid = out.insert(t.eid, t.values.clone());
+            let new_tid = out
+                .insert(t.eid, t.values.clone())
+                .expect("sampled row keeps its source arity");
             for (a, _) in rel.schema.iter_attrs() {
                 if let Some(ts) = rel.timestamps.get(t.tid, a) {
                     out.set_timestamp(new_tid, a, ts);
@@ -125,7 +127,7 @@ mod tests {
                 1 => ("Shanghai", "021"),
                 _ => ("Shenzhen", "0755"),
             };
-            r.insert_row(vec![Value::str(c), Value::str(a)]);
+            r.insert_row(vec![Value::str(c), Value::str(a)]).unwrap();
         }
         db
     }

@@ -210,7 +210,8 @@ mod tests {
                 } else {
                     Value::Float(i as f64)
                 },
-            ]);
+            ])
+            .unwrap();
         }
         db
     }

@@ -46,6 +46,10 @@ pub struct EvalContext<'a> {
     /// Entity-identity oracle backing `t.eid = s.eid` (the chase's
     /// `[EID]=` classes). Raw eid comparison when absent.
     pub entities: Option<&'a dyn EntityOracle>,
+    /// Route unary constant/two-attribute prefilters through the columnar
+    /// kernels ([`rock_data::ColumnSet::eval_const_op`]). Off = the scalar
+    /// row path, kept as the byte-identical equivalence oracle.
+    pub columnar: bool,
 }
 
 /// Oracle for validated temporal orders (implemented by the chase's fix
@@ -112,6 +116,7 @@ impl<'a> EvalContext<'a> {
             models,
             temporal: None,
             entities: None,
+            columnar: rock_data::DataConfig::default().columnar,
         }
     }
 
@@ -127,6 +132,11 @@ impl<'a> EvalContext<'a> {
 
     pub fn with_entities(mut self, e: &'a dyn EntityOracle) -> Self {
         self.entities = Some(e);
+        self
+    }
+
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
         self
     }
 
@@ -421,15 +431,60 @@ pub fn enumerate_valuations_with_candidates<F>(
 /// Cheap single-variable predicate prefilter shared by all enumeration
 /// entry points — ML predicates wait for memo/blocking, and
 /// vertex-dependent predicates (match/val) wait for vertex binding.
+///
+/// With `ctx.columnar` set, constant / two-attribute / null predicates are
+/// answered by the vectorized kernels: one satisfaction [`rock_data::Bitset`]
+/// per predicate, ANDed together, then one retain pass over the candidate
+/// list (a `TupleId` indexes the columnar slots directly — ids are stable
+/// across deletions on both sides). Predicates the kernels cannot answer
+/// fall back to the per-tuple scalar path; the two paths agree exactly
+/// because they share [`rock_data::PredOp::eval`].
 fn apply_unary_prefilters(rule: &Rule, ctx: &EvalContext<'_>, v: usize, tids: &mut Vec<TupleId>) {
     let nvars = rule.tuple_vars.len();
+    let cols = if ctx.columnar {
+        Some(ctx.db.relation(rule.rel_of(v)).columns())
+    } else {
+        None
+    };
+    let mut mask: Option<rock_data::Bitset> = None;
     for p in &rule.precondition {
         if p.tuple_vars() == [v] && !p.is_ml() && p.vertex_vars().is_empty() {
+            if let Some(cols) = &cols {
+                if let Some(m) = columnar_prefilter_mask(cols, p) {
+                    match &mut mask {
+                        Some(acc) => acc.intersect_with(&m),
+                        None => mask = Some(m),
+                    }
+                    continue;
+                }
+            }
             tids.retain(|tid| {
                 let h = single_var_valuation(rule, v, GlobalTid::new(rule.rel_of(v), *tid), nvars);
                 ctx.eval_predicate(rule, &h, p) == Some(true)
             });
         }
+    }
+    if let Some(mask) = mask {
+        tids.retain(|tid| mask.get(tid.index()));
+    }
+}
+
+/// Kernel-answerable unary predicates: `t.A ⊕ c`, `t.A ⊕ t.B`, `null(t.A)`.
+/// Returns `None` for anything else (the caller falls back to scalar eval).
+fn columnar_prefilter_mask(
+    cols: &rock_data::ColumnSet,
+    p: &Predicate,
+) -> Option<rock_data::Bitset> {
+    match p {
+        Predicate::Const {
+            attr, op, value, ..
+        } => Some(cols.eval_const_op(*attr, op.kernel(), value)),
+        // tuple_vars() == [v] already implies lvar == rvar here
+        Predicate::Attr {
+            lattr, op, rattr, ..
+        } => Some(cols.eval_col_op_col(*lattr, op.kernel(), *rattr)),
+        Predicate::IsNull { attr, .. } => Some(cols.null_mask(*attr)),
+        _ => None,
     }
 }
 
@@ -707,23 +762,27 @@ mod tests {
             Value::str("p1"),
             Value::str("IPhone 14"),
             Value::str("Apple"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("p2"),
             Value::str("IPhone 14"),
             Value::str("Apple"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("p3"),
             Value::str("Mate X2"),
             Value::str("Huawei"),
-        ]);
+        ])
+        .unwrap();
         // violation of φ2: same commodity, different manufactory
         r.insert_row(vec![
             Value::str("p4"),
             Value::str("Mate X2"),
             Value::str("Apple"),
-        ]);
+        ])
+        .unwrap();
         db
     }
 
@@ -897,14 +956,19 @@ mod tests {
         let mut db = Database::new(&schema);
         {
             let tr = db.relation_mut(RelId(0));
-            tr.insert_row(vec![Value::str("s1"), Value::str("Mate X2 (Limited Sold)")]);
-            tr.insert_row(vec![Value::str("s2"), Value::str("Mate X2 (Limited Sold)")]);
-            tr.insert_row(vec![Value::str("s1"), Value::str("ordinary socks")]);
+            tr.insert_row(vec![Value::str("s1"), Value::str("Mate X2 (Limited Sold)")])
+                .unwrap();
+            tr.insert_row(vec![Value::str("s2"), Value::str("Mate X2 (Limited Sold)")])
+                .unwrap();
+            tr.insert_row(vec![Value::str("s1"), Value::str("ordinary socks")])
+                .unwrap();
         }
         {
             let st = db.relation_mut(RelId(1));
-            st.insert_row(vec![Value::str("s1"), Value::str("Electron.")]);
-            st.insert_row(vec![Value::str("s2"), Value::str("Sports")]); // type conflict
+            st.insert_row(vec![Value::str("s1"), Value::str("Electron.")])
+                .unwrap();
+            st.insert_row(vec![Value::str("s2"), Value::str("Sports")])
+                .unwrap(); // type conflict
         }
         let reg = ModelRegistry::new();
         reg.register_pair("Mlimited", Arc::new(NgramPairModel::with_threshold(0.9)));
@@ -936,9 +1000,12 @@ mod tests {
         let mut db = Database::new(&schema);
         {
             let r = db.relation_mut(RelId(0));
-            r.insert_row(vec![Value::str("Beijing"), Value::str("010")]);
-            r.insert_row(vec![Value::str("Beijing"), Value::str("999")]); // wrong
-            r.insert_row(vec![Value::str("Beijing"), Value::Null]); // missing
+            r.insert_row(vec![Value::str("Beijing"), Value::str("010")])
+                .unwrap();
+            r.insert_row(vec![Value::str("Beijing"), Value::str("999")])
+                .unwrap(); // wrong
+            r.insert_row(vec![Value::str("Beijing"), Value::Null])
+                .unwrap(); // missing
         }
         let rows = vec![
             (vec![Value::str("Beijing")], Value::str("010")),

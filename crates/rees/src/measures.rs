@@ -245,10 +245,14 @@ mod tests {
         let mut db = Database::new(&schema);
         let r = db.relation_mut(RelId(0));
         // 3 tuples with a=x sharing b=1; 1 tuple with a=x but b=2
-        r.insert_row(vec![Value::str("x"), Value::str("1")]);
-        r.insert_row(vec![Value::str("x"), Value::str("1")]);
-        r.insert_row(vec![Value::str("x"), Value::str("1")]);
-        r.insert_row(vec![Value::str("x"), Value::str("2")]);
+        r.insert_row(vec![Value::str("x"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("x"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("x"), Value::str("1")])
+            .unwrap();
+        r.insert_row(vec![Value::str("x"), Value::str("2")])
+            .unwrap();
         db
     }
 

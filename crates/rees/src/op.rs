@@ -1,6 +1,6 @@
 //! Comparison operators ⊕ ∈ {=, ≠, <, ≤, >, ≥} (paper §2.1).
 
-use rock_data::Value;
+use rock_data::{PredOp, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,23 +19,24 @@ impl CmpOp {
     /// Evaluate under SQL null semantics: any comparison involving `Null`
     /// is false (even `Null != x`), matching how violations must not fire
     /// on missing data — MI rules handle nulls explicitly via `null(·)`.
+    ///
+    /// Delegates to the storage layer's [`PredOp::eval`]: the scalar row
+    /// path and the vectorized columnar kernels must share one comparison
+    /// implementation, or the row-store equivalence oracle could silently
+    /// diverge.
     pub fn eval(self, a: &Value, b: &Value) -> bool {
-        use std::cmp::Ordering::*;
+        self.kernel().eval(a, b)
+    }
+
+    /// The storage-layer kernel operator this maps to.
+    pub fn kernel(self) -> PredOp {
         match self {
-            CmpOp::Eq => a.sql_eq(b),
-            CmpOp::Neq => !a.is_null() && !b.is_null() && !a.sql_eq(b),
-            _ => match a.sql_cmp(b) {
-                None => false,
-                Some(ord) => matches!(
-                    (self, ord),
-                    (CmpOp::Lt, Less)
-                        | (CmpOp::Le, Less)
-                        | (CmpOp::Le, Equal)
-                        | (CmpOp::Gt, Greater)
-                        | (CmpOp::Ge, Greater)
-                        | (CmpOp::Ge, Equal)
-                ),
-            },
+            CmpOp::Eq => PredOp::Eq,
+            CmpOp::Neq => PredOp::Neq,
+            CmpOp::Lt => PredOp::Lt,
+            CmpOp::Le => PredOp::Le,
+            CmpOp::Gt => PredOp::Gt,
+            CmpOp::Ge => PredOp::Ge,
         }
     }
 

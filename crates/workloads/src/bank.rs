@@ -151,7 +151,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     Value::str(*city),
                     Value::str(*code),
                 ],
-            );
+            )
+            .expect("generated row matches schema arity");
         }
     }
 
@@ -175,7 +176,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         Value::str(&phone),
                         Value::str(city),
                     ],
-                );
+                )
+                .expect("generated row matches schema arity");
             }
         }
     }
@@ -199,7 +201,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         Value::str(city),
                         Value::str(code),
                     ],
-                );
+                )
+                .expect("generated row matches schema arity");
             }
         }
     }
@@ -217,7 +220,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     Value::str(format!("C{:05}", a % n_customers)),
                     Value::Float((rng.gen_range(10..100_000) as f64) / 10.0),
                 ],
-            );
+            )
+            .expect("generated row matches schema arity");
         }
     }
     {
@@ -237,7 +241,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         Value::Float(fee),
                         Value::Float(amount + fee),
                     ],
-                );
+                )
+                .expect("generated row matches schema arity");
                 pid += 1;
             }
         }

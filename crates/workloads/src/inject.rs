@@ -275,7 +275,10 @@ impl Injector {
                         .map(|ts| (attr, ts))
                 })
                 .collect();
-            let dup = db.relation_mut(rel).insert(new_eid, values);
+            let dup = db
+                .relation_mut(rel)
+                .insert(new_eid, values)
+                .expect("duplicated row keeps its source arity");
             for (attr, ts) in stamps {
                 db.relation_mut(rel).set_timestamp(dup, attr, ts);
             }
@@ -311,7 +314,8 @@ mod tests {
             r.insert_row(vec![
                 Value::str(format!("item number {i}")),
                 Value::Float(100.0 + i as f64),
-            ]);
+            ])
+            .unwrap();
         }
         db
     }

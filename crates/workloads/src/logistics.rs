@@ -112,19 +112,21 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let events = rng.gen_range(2..=4usize);
             for ev in 0..events {
                 let status = STATUSES[ev.min(STATUSES.len() - 1)];
-                let tid = r.insert(
-                    Eid(ship as u32),
-                    vec![
-                        Value::str(&order_no),
-                        Value::str(&recipient),
-                        Value::str(&street),
-                        Value::str(city),
-                        Value::str(region),
-                        Value::str(&sid),
-                        Value::str(&seller),
-                        Value::str(status),
-                    ],
-                );
+                let tid = r
+                    .insert(
+                        Eid(ship as u32),
+                        vec![
+                            Value::str(&order_no),
+                            Value::str(&recipient),
+                            Value::str(&street),
+                            Value::str(city),
+                            Value::str(region),
+                            Value::str(&sid),
+                            Value::str(&seller),
+                            Value::str(status),
+                        ],
+                    )
+                    .expect("generated row matches schema arity");
                 // status cells carry event timestamps (TD ground truth Γ⪯)
                 r.set_timestamp(
                     tid,

@@ -197,7 +197,7 @@ mod tests {
         let mut clean = Database::new(&schema);
         let r = clean.relation_mut(RelId(0));
         for s in ["a", "b", "c", "d"] {
-            r.insert_row(vec![Value::str(s)]);
+            r.insert_row(vec![Value::str(s)]).unwrap();
         }
         // dirty: t0 corrupted, t1 corrupted, t2 fine, t3 corrupted
         let mut dirty = clean.clone();

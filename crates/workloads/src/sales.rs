@@ -155,15 +155,17 @@ pub fn generate(cfg: &GenConfig) -> Workload {
             let (city, _) = *pick(&mut rng, namegen::CITIES);
             let top_tier = rng.gen_range(0..TIERS.len());
             for (i, tier) in TIERS.iter().enumerate().take(top_tier + 1) {
-                let tid = r.insert(
-                    Eid(c as u32),
-                    vec![
-                        Value::str(&cid),
-                        Value::str(&name),
-                        Value::str(city),
-                        Value::str(*tier),
-                    ],
-                );
+                let tid = r
+                    .insert(
+                        Eid(c as u32),
+                        vec![
+                            Value::str(&cid),
+                            Value::str(&name),
+                            Value::str(city),
+                            Value::str(*tier),
+                        ],
+                    )
+                    .expect("generated row matches schema arity");
                 r.set_timestamp(
                     tid,
                     AttrId(client::TIER),
@@ -185,7 +187,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                 r.insert(
                     Eid(f as u32),
                     vec![Value::str(&fid), Value::str(&name), Value::str(sector)],
-                );
+                )
+                .expect("generated row matches schema arity");
             }
         }
     }
@@ -207,7 +210,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         Value::Float(tax),
                         Value::Float(((price - tax) * 100.0).round() / 100.0),
                     ],
-                );
+                )
+                .expect("generated row matches schema arity");
             }
         }
     }
@@ -235,7 +239,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         Value::str(cat),
                         Value::str(mfg),
                     ],
-                );
+                )
+                .expect("generated row matches schema arity");
                 ext_rows.push((
                     format!("X{i:03}"),
                     format!("{name} (official)"),
@@ -255,7 +260,8 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     Value::str(cat),
                     Value::str(mfg),
                 ],
-            );
+            )
+            .expect("generated row matches schema arity");
         }
     }
 

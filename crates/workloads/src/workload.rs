@@ -150,10 +150,12 @@ mod tests {
         )]);
         let mut db = Database::new(&schema);
         for i in 0..5 {
-            db.relation_mut(RelId(0)).insert_row(vec![
-                Value::str(format!("x{i}")),
-                Value::str(format!("y{i}")),
-            ]);
+            db.relation_mut(RelId(0))
+                .insert_row(vec![
+                    Value::str(format!("x{i}")),
+                    Value::str(format!("y{i}")),
+                ])
+                .unwrap();
         }
         let scope = Workload::scope_of(&db, &[(RelId(0), AttrId(1))]);
         assert_eq!(scope.len(), 5);
@@ -167,7 +169,8 @@ mod tests {
         let mut db = Database::new(&schema);
         for i in 0..10 {
             db.relation_mut(RelId(0))
-                .insert_row(vec![Value::str(format!("v{i}"))]);
+                .insert_row(vec![Value::str(format!("v{i}"))])
+                .unwrap();
         }
         let mut truth = ErrorTruth::default();
         truth.corrupted.insert(

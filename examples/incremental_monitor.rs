@@ -34,11 +34,13 @@ fn main() {
             1 => ("Shanghai", "East"),
             _ => ("Shenzhen", "South"),
         };
-        db.relation_mut(rel).insert_row(vec![
-            Value::str(format!("O{i:04}")),
-            Value::str(city),
-            Value::str(region),
-        ]);
+        db.relation_mut(rel)
+            .insert_row(vec![
+                Value::str(format!("O{i:04}")),
+                Value::str(city),
+                Value::str(region),
+            ])
+            .unwrap();
     }
 
     let rules = RuleSet::new(
@@ -80,7 +82,7 @@ fn main() {
     ];
 
     for (i, delta) in batches.iter().enumerate() {
-        let inserted = db.apply(delta);
+        let inserted = db.apply(delta).unwrap();
         let report = detector.detect_incremental(&db, delta, &inserted);
         println!(
             "batch {i}: {} updates -> {} incremental violations",

@@ -123,7 +123,7 @@ fn main() {
             ],
         ];
         for (i, row) in rows.into_iter().enumerate() {
-            r.insert(Eid(i as u32), row);
+            r.insert(Eid(i as u32), row).unwrap();
         }
     }
 
@@ -137,7 +137,8 @@ fn main() {
             "Beijing".into(),
             Value::Float(15e6),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             "s3".into(),
             "Huawei Flagship".into(),
@@ -145,7 +146,8 @@ fn main() {
             "Beijing".into(),
             Value::Float(11e6),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
     }
 
     // Table 3 (Transaction): t12/t13 share discount code 41 — the same
@@ -159,7 +161,8 @@ fn main() {
             "Apple".into(),
             Value::Float(9000.0),
             date("2020-12-18"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             "p1".into(),
             "s1".into(),
@@ -167,7 +170,8 @@ fn main() {
             "Apple".into(),
             Value::Float(6500.0),
             date("2021-11-11"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             "p2".into(),
             "s1".into(),
@@ -175,7 +179,8 @@ fn main() {
             "Apple".into(),
             Value::Null,
             date("2021-11-11"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             "p3".into(),
             "s3".into(),
@@ -183,7 +188,8 @@ fn main() {
             "Huawei".into(),
             Value::Float(5200.0),
             date("2023-08-12"),
-        ]);
+        ])
+        .unwrap();
         // t15's manufactory "Apple" for a Mate X2 is the CR error φ2 fixes
         r.insert_row(vec![
             "p4".into(),
@@ -192,7 +198,8 @@ fn main() {
             "Apple".into(),
             Value::Null,
             date("2023-08-12"),
-        ]);
+        ])
+        .unwrap();
     }
 
     // The rules (paper Examples 1, 2, 6, 7). MER is the discount-code ER

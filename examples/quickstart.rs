@@ -31,27 +31,32 @@ fn main() {
             Value::str("Apple Jingdong"),
             Value::str("Beijing"),
             Value::str("010"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("Huawei Flagship"),
             Value::str("Beijing"),
             Value::str("021"),
-        ]); // wrong
+        ])
+        .unwrap(); // wrong
         r.insert_row(vec![
             Value::str("Nike China"),
             Value::str("Shanghai"),
             Value::str("021"),
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("Adidas Outlet"),
             Value::str("Shanghai"),
             Value::Null,
-        ]); // missing
+        ])
+        .unwrap(); // missing
         r.insert_row(vec![
             Value::str("Lenovo Hub"),
             Value::str("Beijing"),
             Value::str("010"),
-        ]);
+        ])
+        .unwrap();
     }
 
     // 3. Two REE++s in the rule DSL: a CFD-style functional dependency and

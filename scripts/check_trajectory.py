@@ -31,7 +31,13 @@ import json
 import sys
 
 SLACK = 0.20  # 20% relative tolerance (the ISSUE's regression budget)
-ABS_SLACK = 0.02  # 2-point absolute share slack: shields tiny panels
+# 10-point absolute share slack.  Shares are gated against an *armed*
+# baseline now: with only four gated panels in the trajectory run a small
+# absolute cushion turns runner jitter on 1-4s panels into spurious
+# failures, so the share gate catches panels whose slice of the run grows
+# by double digits (a real algorithmic regression) while the semantic
+# metrics below stay tight at SLACK.
+ABS_SLACK = 0.10
 
 
 def load(path):

@@ -73,7 +73,8 @@ fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
                 None => Value::Null,
                 Some(v) => Value::str(format!("c{}", v % 2)),
             },
-        ]);
+        ])
+        .unwrap();
     }
     db
 }
@@ -167,7 +168,7 @@ proptest! {
         let reg = ModelRegistry::new();
         let run = |use_rule_graph: bool| {
             let cfg = ChaseConfig { use_rule_graph, ..ChaseConfig::default() };
-            ChaseEngine::new(&rs, &reg, cfg).run_incremental(&db, &[], &delta)
+            ChaseEngine::new(&rs, &reg, cfg).run_incremental(&db, &[], &delta).unwrap()
         };
         let classic = run(false);
         let graph = run(true);

@@ -67,7 +67,8 @@ fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
                 None => Value::Null,
                 Some(v) => Value::str(format!("c{}", v % 2)),
             },
-        ]);
+        ])
+        .unwrap();
     }
     db
 }
@@ -185,7 +186,7 @@ proptest! {
         let reg = ModelRegistry::new();
         let run = |semi_naive: bool| {
             ChaseEngine::new(&rs, &reg, ChaseConfig { semi_naive, ..ChaseConfig::default() })
-                .run_incremental(&db, &[], &delta)
+                .run_incremental(&db, &[], &delta).unwrap()
         };
         let full = run(false);
         let semi = run(true);
@@ -212,7 +213,8 @@ fn merge_heavy_cascade_fewer_valuations_same_result() {
                 Value::str("a1"),
                 Value::str("b1"),
                 Value::str("c0"),
-            ]);
+            ])
+            .unwrap();
         }
         // one conflicting pair on a shared key: r4 merges them, r1
         // propagates `x` by majority-with-tiebreak, r3 then fills c
@@ -221,13 +223,15 @@ fn merge_heavy_cascade_fewer_valuations_same_result() {
             Value::str("x"),
             Value::str("bz"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("k0"),
             Value::str("x"),
             Value::str("b1"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
     }
     let (full, semi) = run_pair(&db, &rs, &[], ChaseConfig::default());
     assert_equiv(&full, &semi);

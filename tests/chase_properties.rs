@@ -57,7 +57,8 @@ fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
                 None => Value::Null,
                 Some(v) => Value::str(format!("c{}", v % 2)),
             },
-        ]);
+        ])
+        .unwrap();
     }
     db
 }
@@ -210,19 +211,22 @@ fn cascading_rules_propagate() {
             Value::str("x"),
             Value::str("bz"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("k0"),
             Value::str("x"),
             Value::str("bz"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         r.insert_row(vec![
             Value::str("k0"),
             Value::str("a1"),
             Value::str("b1"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
     }
     let reg = ModelRegistry::new();
     let engine = ChaseEngine::new(&rs, &reg, ChaseConfig::default());

@@ -54,7 +54,8 @@ fn cleaning_after_csv_roundtrip_is_identical() {
             r.insert_row(vec![
                 rock::data::Value::str(format!("k{}", i % 3)),
                 rock::data::Value::str(v),
-            ]);
+            ])
+            .unwrap();
         }
     }
     let rules = RuleSet::new(

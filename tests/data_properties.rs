@@ -82,7 +82,7 @@ proptest! {
             rel.insert_row(vec![
                 Value::str(s),
                 n.map(Value::Int).unwrap_or(Value::Null),
-            ]);
+            ]).unwrap();
         }
         let mut buf = Vec::new();
         write_relation(&rel, &mut buf).unwrap();

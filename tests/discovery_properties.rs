@@ -25,7 +25,8 @@ fn db_from(rows: &[(u8, u8)]) -> Database {
         r.insert_row(vec![
             Value::str(format!("a{}", a % 3)),
             Value::str(format!("b{}", b % 3)),
-        ]);
+        ])
+        .unwrap();
     }
     db
 }

@@ -46,7 +46,8 @@ fn build_db(rows: &[(u8, u8, Option<u8>)]) -> Database {
                 None => Value::Null,
                 Some(x) => Value::str(format!("w{}", x % 2)),
             },
-        ]);
+        ])
+        .unwrap();
     }
     db
 }
@@ -96,7 +97,7 @@ proptest! {
         let reg = ModelRegistry::new();
         let mut db = build_db(&rows);
         let delta = build_delta(&db, &ops);
-        let inserted = db.apply(&delta);
+        let inserted = db.apply(&delta).unwrap();
 
         let detector = Detector::new(&rules, &reg);
         let incremental = detector.detect_incremental(&db, &delta, &inserted);
@@ -153,7 +154,7 @@ fn insert_conflicts_counted_exactly() {
         eid: Eid(99),
         values: vec![Value::str("k0"), Value::str("v9"), Value::str("w0")],
     }]);
-    let inserted = db.apply(&delta);
+    let inserted = db.apply(&delta).unwrap();
     let rep = Detector::new(&rules, &reg).detect_incremental(&db, &delta, &inserted);
     // fd1: new row (k0, v9) conflicts with both (k0, v0) rows, both
     // directions = 4 violations

@@ -30,19 +30,22 @@ fn setup() -> (Database, Graph, ModelRegistry, RuleSet) {
             Value::str("s1"),
             Value::str("Apple Jingdong"),
             Value::str("Beijing"),
-        ]);
+        ])
+        .unwrap();
         // missing location — the extraction target
         r.insert_row(vec![
             Value::str("s2"),
             Value::str("Huawei Flagship"),
             Value::Null,
-        ]);
+        ])
+        .unwrap();
         // wrong location — the extraction check flags it
         r.insert_row(vec![
             Value::str("s3"),
             Value::str("Nike China"),
             Value::str("Beijing"),
-        ]);
+        ])
+        .unwrap();
     }
 
     // the Wikipedia stand-in

@@ -70,7 +70,8 @@ fn build_db(rows: &[(u8, u8, u8, Option<u8>)]) -> Database {
                 None => Value::Null,
                 Some(v) => Value::str(format!("c{}", v % 2)),
             },
-        ]);
+        ])
+        .unwrap();
     }
     db
 }
