@@ -10,7 +10,7 @@
 //! before repair, ERBlox restricts matching dependencies to a provably
 //! confluent class — and this crate gives REE++ the same treatment.
 //!
-//! Three passes, all purely syntactic (no data, no ML models):
+//! Four passes, all purely syntactic (no data, no ML models):
 //!
 //! 1. **Well-formedness** ([`wellformed`]) — typed version of the classic
 //!    `Rule::validate` checks plus constant-domain and ML-predicate sanity
@@ -21,23 +21,41 @@
 //!    (`W104`).
 //! 3. **Inter-rule analysis** ([`graph`]) — builds the [`RuleGraph`] of
 //!    (consequence action) → (precondition read) edges and reports dead
-//!    rules, subsumed rules and confluence hazards (`W201`–`W203`).
+//!    and subsumed rules (`W201`/`W202`).
+//! 4. **Chase certification** ([`certify`]) — classifies the ruleset's
+//!    chase termination (static round bound / stratified lattice bound /
+//!    unbounded), upgrades the confluence check to critical-pair
+//!    co-satisfiability, and exports the stratified
+//!    [`ChaseSchedule`](rock_rees::ChaseSchedule) (`W203`,
+//!    `E301`/`W301`/`W302`).
 //!
-//! The [`RuleGraph`] is also the scheduling artifact the chase consumes:
-//! `ChaseConfig { use_rule_graph: true }` re-activates only rules the
-//! graph says the round's delta can reach (see `rock-chase`), keeping the
-//! classic full activation as the equivalence oracle.
+//! The graph and sat passes themselves live in `rock-rees`
+//! ([`rock_rees::graph`], [`rock_rees::sat`], [`rock_rees::schedule`]) so
+//! the chase can rebuild the same artifacts without depending on this
+//! crate; this crate re-exports them path-compatibly and adds the
+//! diagnostics, the certification pass and the CLI. The [`RuleGraph`] is
+//! the scheduling artifact behind `ChaseConfig { use_rule_graph: true }`,
+//! and the schedule is the certified variant behind
+//! `ChaseConfig { use_schedule: true }` (see `rock-chase`).
+
+// Same gate as rock-rees/rock-chase: the analyzer runs inside discovery's
+// mining loop and the CI gate; a panic must not take those down.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use rock_data::DatabaseSchema;
+use rock_rees::schedule::ChaseSchedule;
 use rock_rees::{Diagnostic, RuleSet, Severity};
 use rustc_hash::FxHashSet;
 use std::collections::BTreeMap;
 
-pub mod graph;
-pub mod sat;
+pub mod certify;
 pub mod wellformed;
 
-pub use graph::RuleGraph;
+// Path-compatible façade over the passes that moved into rock-rees: the
+// analyzer's consumers keep importing `rock_analyze::{graph, sat}`.
+pub use rock_rees::{graph, sat};
+
+pub use rock_rees::graph::RuleGraph;
 
 /// The analyzer: schema-bound, stateless across rulesets.
 pub struct Analyzer<'a> {
@@ -73,15 +91,24 @@ impl<'a> Analyzer<'a> {
         // Pass 3: inter-rule analysis over the structurally sound rules.
         let graph = RuleGraph::build_masked(rules, self.schema, &malformed, &unsat);
         diagnostics.extend(graph.diagnose(rules, self.schema));
-        AnalysisReport { diagnostics, graph }
+        // Pass 4: chase certification over the same graph.
+        let schedule = ChaseSchedule::from_graph(graph.clone(), rules);
+        diagnostics.extend(certify::diagnose(rules, &schedule, self.schema));
+        AnalysisReport {
+            diagnostics,
+            graph,
+            schedule,
+        }
     }
 }
 
-/// Everything the analyzer found, plus the scheduling graph.
+/// Everything the analyzer found, plus the scheduling graph and the
+/// termination certificate / stratified schedule.
 #[derive(Debug)]
 pub struct AnalysisReport {
     pub diagnostics: Vec<Diagnostic>,
     pub graph: RuleGraph,
+    pub schedule: ChaseSchedule,
 }
 
 impl AnalysisReport {
@@ -169,6 +196,14 @@ impl AnalysisReport {
                 "edges": self.graph.edges,
                 "dead": self.graph.dead,
                 "follows_writes": self.graph.follows_writes,
+            },
+            "certificate": {
+                "class": self.schedule.class.as_str(),
+                "bound": self.schedule.bound,
+                "strata": self.schedule.strata.len(),
+                "cyclic_strata": self.schedule.stratum_cyclic.iter().filter(|c| **c).count(),
+                "oscillations": self.schedule.oscillations,
+                "cascades": self.schedule.cascades,
             },
             "diagnostics": self.diagnostics.iter().map(|d| serde_json::json!({
                 "code": d.code.as_str(),

@@ -11,6 +11,8 @@
 //! chase-delta (semi-naive delta chase vs full re-scan valuation counts),
 //! analyze (ruleset static analysis: defect recall + graph-scheduled chase
 //! vs classic activation),
+//! certify (chase certifier: termination class, certified vs observed
+//! round bounds, byte-identical `use_schedule` repairs per workload),
 //! chaos (fault injection: byte-identical repairs under panics, transient
 //! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`),
 //! durability (WAL + checkpoint chase: byte-identical durable repairs,
@@ -101,6 +103,7 @@ fn main() {
             "rdcache",
             "chase-delta",
             "analyze",
+            "certify",
             "chaos",
             "durability",
             "columnar",
@@ -135,13 +138,14 @@ fn main() {
             "rdcache" => panels::rd_cache(),
             "chase-delta" => panels::chase_delta(),
             "analyze" => panels::analyze(),
+            "certify" => panels::certify(),
             "chaos" => panels::chaos(),
             "durability" => panels::durability(),
             "columnar" => panels::columnar(),
             "summary" => summary(),
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, chaos, durability, columnar, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, certify, chaos, durability, columnar, summary, or all"
                 );
                 std::process::exit(2);
             }
@@ -182,6 +186,16 @@ fn main() {
             "columnar" => {
                 if let Some(v) = json.get("scan_speedup") {
                     trajectory_metrics.insert("columnar_scan_speedup_ratio".into(), v.clone());
+                }
+            }
+            "analyze" => {
+                if let Some(v) = json.get("rule_rounds_ratio") {
+                    trajectory_metrics.insert("analyze_rule_rounds_ratio".into(), v.clone());
+                }
+            }
+            "certify" => {
+                if let Some(v) = json.get("bound_margin_ratio") {
+                    trajectory_metrics.insert("certify_bound_margin_ratio".into(), v.clone());
                 }
             }
             _ => {}

@@ -442,6 +442,142 @@ pub fn analyze() -> (Table, serde_json::Value) {
                 "rounds_classic": classic.rounds,
                 "rounds_graph": graph.rounds,
             },
+            // runner-speed-invariant gate metric: classic/graph rule-round
+            // pairs; >= 1.0 by the inline assertion above
+            "rule_rounds_ratio": off as f64 / on.max(1) as f64,
+        }),
+    )
+}
+
+/// Certify panel: the chase certifier's bound-tightness table. For every
+/// workload the certified stratified schedule (`use_schedule: true`) must
+/// (1) repair byte-identically to the classic activation oracle, (2) earn
+/// a finite-bound termination certificate, and (3) finish within its
+/// resolved bound — all asserted inline, so a violated certificate fails
+/// the panel rather than degrading silently. The rows report certified vs
+/// observed rounds per workload; `bound_margin_ratio` (certified bound /
+/// observed rounds, minimum over workloads) feeds the trajectory gate.
+pub fn certify() -> (Table, serde_json::Value) {
+    use rock_chase::{ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy};
+    use rock_rees::RoundBound;
+
+    let mut table = Table::new(
+        "Certify — termination certificates and bound tightness",
+        &[
+            "workload",
+            "class",
+            "strata",
+            "certified bound",
+            "rounds",
+            "margin",
+            "rule-rounds (classic|sched)",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut min_ratio = f64::INFINITY;
+    for (name, w) in [
+        ("Bank", bank()),
+        ("Logistics", logistics()),
+        ("Sales", sales()),
+    ] {
+        let policy = ConflictPolicy {
+            mc: w.registry.id("Mc"),
+            mrank: ["Mstatus", "Mtier", "Mrank"]
+                .iter()
+                .find_map(|n| w.registry.id(n)),
+        };
+        let run = |use_schedule: bool| {
+            let cfg = ChaseConfig {
+                max_rounds: 32,
+                policy: policy.clone(),
+                use_schedule,
+                ..ChaseConfig::default()
+            };
+            let engine = ChaseEngine::new(&w.rules, &w.registry, cfg);
+            let engine = match &w.graph {
+                Some(g) => engine.with_graph(g),
+                None => engine,
+            };
+            engine.run(&w.dirty, &w.trusted)
+        };
+        let classic = run(false);
+        let sched = run(true);
+        assert_eq!(
+            serde_json::to_string(&classic.db).unwrap(),
+            serde_json::to_string(&sched.db).unwrap(),
+            "{name}: certified schedule must repair byte-identically to classic"
+        );
+        assert_eq!(
+            (
+                classic.changes.len(),
+                classic.merged_pairs.len(),
+                classic.conflicts
+            ),
+            (
+                sched.changes.len(),
+                sched.merged_pairs.len(),
+                sched.conflicts
+            ),
+            "{name}: certified schedule must not change chase semantics"
+        );
+        assert!(
+            sched.rounds <= classic.rounds,
+            "{name}: certified schedule added rounds"
+        );
+        let cert = sched
+            .certification
+            .clone()
+            .expect("schedule runs carry a certificate");
+        assert!(
+            cert.violation.is_none(),
+            "{name}: certified bound violated: {:?}",
+            cert.violation
+        );
+        let resolved = cert
+            .resolved_bound
+            .expect("curated rulesets certify a finite bound");
+        assert!(
+            sched.rounds as u64 <= resolved,
+            "{name}: {} rounds exceed certified bound {resolved}",
+            sched.rounds
+        );
+        let ratio = resolved as f64 / sched.rounds.max(1) as f64;
+        min_ratio = min_ratio.min(ratio);
+        let rr = |r: &ChaseResult| r.round_stats.iter().map(|s| s.active_rules).sum::<usize>();
+        let (off, on) = (rr(&classic), rr(&sched));
+        assert!(on <= off, "{name}: certified schedule grew rule-rounds");
+        let bound_str = match cert.bound {
+            Some(RoundBound::Rounds(n)) => format!("{n} (static)"),
+            Some(RoundBound::LatticeHeight { .. }) => format!("{resolved} (lattice)"),
+            None => unreachable!("resolved bound implies a symbolic bound"),
+        };
+        table.row(vec![
+            name.into(),
+            cert.class.as_str().into(),
+            cert.strata.to_string(),
+            bound_str,
+            sched.rounds.to_string(),
+            format!("{}", resolved - sched.rounds as u64),
+            format!("{off} | {on}"),
+        ]);
+        rows_json.push(json!({
+            "workload": name,
+            "class": cert.class.as_str(),
+            "strata": cert.strata,
+            "certified_bound": resolved,
+            "observed_rounds": sched.rounds,
+            "bound_margin": resolved - sched.rounds as u64,
+            "rule_rounds_classic": off,
+            "rule_rounds_schedule": on,
+            "byte_identical": true,
+        }));
+    }
+    (
+        table,
+        json!({
+            "panel": "certify",
+            "rows": rows_json,
+            "bound_margin_ratio": min_ratio,
         }),
     )
 }

@@ -32,7 +32,7 @@ use rock_rees::eval::{
     distinct_ok, enumerate_valuations_restricted, enumerate_valuations_with_candidates,
     EntityOracle, EvalContext, Valuation,
 };
-use rock_rees::{Predicate, Rule, RuleSet};
+use rock_rees::{ChaseSchedule, Predicate, RoundBound, Rule, RuleSet, TerminationClass};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Work-unit payload tags (see [`WorkUnit::payload`]): how a unit's
@@ -143,6 +143,16 @@ pub struct ChaseConfig {
     /// flag off (property-tested in `tests/analyze_properties.rs`); the
     /// default stays `false` so the classic activation remains the oracle.
     pub use_rule_graph: bool,
+    /// Schedule rounds with the *certified* [`ChaseSchedule`]: the same
+    /// activation filter as `use_rule_graph` (the schedule embeds the same
+    /// scheduling graph, so committed fixes stay byte-identical — property
+    /// tested in `tests/analyze_properties.rs`), plus runtime enforcement
+    /// of the certifier's termination bound. The schedule's round bound is
+    /// resolved against the instance before the loop; per-round margins
+    /// land in [`RoundStats`], and a run that exceeds its certified bound
+    /// reports a [`CertViolation`] in [`ChaseResult::certification`] — a
+    /// certifier bug surfaced as a typed error, never silently.
+    pub use_schedule: bool,
     /// Durable chase: append every committed fix to a CRC-framed WAL and
     /// checkpoint the loop state at round boundaries, so a crashed run
     /// resumes from its last durable round byte-identically (see
@@ -168,6 +178,7 @@ impl Default for ChaseConfig {
             semi_naive: true,
             cluster: ClusterConfig::default(),
             use_rule_graph: false,
+            use_schedule: false,
             durability: None,
             columnar: rock_data::DataConfig::default().columnar,
         }
@@ -278,7 +289,49 @@ pub struct ChaseResult {
     /// Durability totals (records/checkpoints written, resumed round,
     /// degradation error). `None` when durability was not configured.
     pub wal: Option<WalSummary>,
+    /// The termination certificate the run executed under, with the bound
+    /// resolved against this instance and checked against the observed
+    /// round count. `None` unless `use_schedule` was set.
+    pub certification: Option<ChaseCertification>,
 }
+
+/// Runtime view of the certifier's termination certificate (see
+/// `rock_rees::schedule`): what was certified, what it resolved to on this
+/// instance, and whether the run respected it.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChaseCertification {
+    pub class: TerminationClass,
+    /// The certified bound (`None` exactly when `class` is `Unbounded`).
+    pub bound: Option<RoundBound>,
+    /// The bound resolved against this instance's tuple/cell counts.
+    pub resolved_bound: Option<u64>,
+    /// Strata in the certified schedule.
+    pub strata: usize,
+    /// `Some` when the run exceeded its certified bound — a certifier bug
+    /// surfaced as a typed error, never silently.
+    pub violation: Option<CertViolation>,
+}
+
+/// The chase ran more rounds than its certificate allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CertViolation {
+    /// Rounds the certificate permits on this instance.
+    pub certified: u64,
+    /// Rounds the chase actually ran.
+    pub observed: u64,
+}
+
+impl std::fmt::Display for CertViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chase ran {} rounds but the termination certificate allows only {}",
+            self.observed, self.certified
+        )
+    }
+}
+
+impl std::error::Error for CertViolation {}
 
 impl ChaseResult {
     /// Modeled parallel runtime over `workers` nodes (sum over rounds of
@@ -466,7 +519,7 @@ impl<'a> ChaseEngine<'a> {
             }
         }
 
-        let rule_graph = self.build_rule_graph(&work_db);
+        let schedule = self.build_schedule(&work_db);
 
         // initial activation: every rule in batch mode, rules reading a
         // seeded relation in incremental mode
@@ -483,9 +536,9 @@ impl<'a> ChaseEngine<'a> {
         };
         // rules the graph pruned from the upcoming round's activation
         let mut pruned_carry = 0usize;
-        if let Some(g) = &rule_graph {
+        if let Some(s) = &schedule {
             let before = active.len();
-            active.retain(|&ri| !g.dead[ri]);
+            active.retain(|&ri| !s.graph.dead[ri]);
             pruned_carry = before - active.len();
         }
 
@@ -534,21 +587,22 @@ impl<'a> ChaseEngine<'a> {
             .durability
             .clone()
             .map(|cfg| DurabilityCtx::begin(cfg, self.fingerprint()));
-        self.run_loop(st, rule_graph, dur)
+        self.run_loop(st, schedule, dur)
     }
 
-    /// Rule-dependency-graph scheduling (rock-analyze): statically dead
-    /// rules never activate, and each round's re-activation is filtered
-    /// to rules the committed delta can actually reach. Every filter is a
-    /// retain() over the classic activation set, so the graph-driven
-    /// schedule evaluates a subset of the oracle's rule × round pairs and
-    /// commits identical fixes.
-    fn build_rule_graph(&self, db: &Database) -> Option<rock_analyze::RuleGraph> {
-        self.config.use_rule_graph.then(|| {
+    /// Rule-dependency-graph scheduling: statically dead rules never
+    /// activate, and each round's re-activation is filtered to rules the
+    /// committed delta can actually reach. Every filter is a retain() over
+    /// the classic activation set, so the graph-driven schedule evaluates
+    /// a subset of the oracle's rule × round pairs and commits identical
+    /// fixes. [`ChaseSchedule::derive`] mirrors the `rock-analyze` pass
+    /// masks exactly, so the self-built schedule and the analyzer's report
+    /// can never disagree about which rules are live; `use_schedule`
+    /// additionally enforces the schedule's termination certificate.
+    fn build_schedule(&self, db: &Database) -> Option<ChaseSchedule> {
+        (self.config.use_rule_graph || self.config.use_schedule).then(|| {
             let schema = db.schema();
-            rock_analyze::Analyzer::new(&schema)
-                .analyze(self.rules)
-                .graph
+            ChaseSchedule::derive(self.rules, &schema)
         })
     }
 
@@ -565,6 +619,7 @@ impl<'a> ChaseEngine<'a> {
         bytes.push(self.config.lazy_activation as u8);
         bytes.push(self.config.semi_naive as u8);
         bytes.push(self.config.use_rule_graph as u8);
+        bytes.push(self.config.use_schedule as u8);
         bytes.extend_from_slice(&(self.rules.len() as u32).to_le_bytes());
         let lo = rock_crystal::crc32(&bytes) as u64;
         (lo << 32) | rock_crystal::crc32(&lo.to_le_bytes()) as u64
@@ -616,9 +671,9 @@ impl<'a> ChaseEngine<'a> {
             round_stats: ck.round_stats,
             done: ck.done,
         };
-        let rule_graph = self.build_rule_graph(&st.work_db);
+        let schedule = self.build_schedule(&st.work_db);
         let dur = DurabilityCtx::attach(cfg, writer, rp.next_fix_id, rp.last_fix, ck.round);
-        Ok(self.run_loop(st, rule_graph, Some(dur)))
+        Ok(self.run_loop(st, schedule, Some(dur)))
     }
 
     /// The round loop, entered with a fresh [`LoopState`] (`run_inner`) or
@@ -628,9 +683,29 @@ impl<'a> ChaseEngine<'a> {
     fn run_loop(
         &self,
         mut st: LoopState,
-        rule_graph: Option<rock_analyze::RuleGraph>,
+        schedule: Option<ChaseSchedule>,
         mut dur: Option<DurabilityCtx>,
     ) -> ChaseResult {
+        let rule_graph = schedule.as_ref().map(|s| &s.graph);
+        // Certified-bound enforcement (`use_schedule`): resolve the
+        // schedule's round bound against this instance once, up front. A
+        // resume re-resolves against the recovered database — recovered
+        // state never relaxes the certificate.
+        let resolved_bound: Option<u64> = match (&schedule, self.config.use_schedule) {
+            (Some(s), true) => s.bound.map(|b| {
+                let schema = st.work_db.schema();
+                let tuples: u64 = (0..schema.relations.len())
+                    .map(|r| st.work_db.relation(RelId(r as u16)).len() as u64)
+                    .sum();
+                let cells: u64 = s
+                    .writable_cells()
+                    .iter()
+                    .map(|(rel, _)| st.work_db.relation(*rel).len() as u64)
+                    .sum();
+                b.resolve(tuples, cells)
+            }),
+            _ => None,
+        };
         let entity_idx = EntityIdx::build(&st.work_db);
         let reads: Vec<FxHashSet<(RelId, AttrId)>> = self
             .rules
@@ -668,6 +743,19 @@ impl<'a> ChaseEngine<'a> {
             sorted_active.sort_unstable();
             stat.active_rules = sorted_active.len();
             stat.rules_pruned = st.pruned_carry;
+            if let (Some(s), true) = (&schedule, self.config.use_schedule) {
+                let mut strata: Vec<usize> = sorted_active
+                    .iter()
+                    .filter_map(|&ri| s.stratum_of.get(ri).copied().flatten())
+                    .collect();
+                strata.sort_unstable();
+                strata.dedup();
+                stat.strata = strata.len();
+                // margin left under the certified bound after this round;
+                // monotonically decreasing, and never negative on a run
+                // whose certificate holds
+                stat.bound_margin = resolved_bound.map_or(0, |b| b as i64 - st.rounds as i64);
+            }
             // Full scan when: batch round 1, the full-rescan ablation, or a
             // rule first activated mid-run (it has no carry to complete a
             // delta round with). Seeded runs are delta rounds throughout.
@@ -1341,6 +1429,22 @@ impl<'a> ChaseEngine<'a> {
             }
         }
 
+        let certification = match (&schedule, self.config.use_schedule) {
+            (Some(s), true) => Some(ChaseCertification {
+                class: s.class,
+                bound: s.bound,
+                resolved_bound,
+                strata: s.strata.len(),
+                violation: resolved_bound.and_then(|b| {
+                    (st.rounds as u64 > b).then_some(CertViolation {
+                        certified: b,
+                        observed: st.rounds as u64,
+                    })
+                }),
+            }),
+            _ => None,
+        };
+
         ChaseResult {
             db: st.work_db,
             fixes: st.fixes,
@@ -1354,6 +1458,7 @@ impl<'a> ChaseEngine<'a> {
             fault_stats,
             unit_failures,
             wal: dur.map(DurabilityCtx::into_summary),
+            certification,
         }
     }
 
@@ -2162,6 +2267,40 @@ mod tests {
                 par.db.cell(RelId(0), TupleId(tid), AttrId(2))
             );
         }
+    }
+
+    #[test]
+    fn schedule_run_matches_classic_and_certifies() {
+        let schema = trans_schema();
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule phi2: Trans(t) && Trans(s) && t.com = s.com -> t.mfg = s.mfg",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = registry();
+        let classic = ChaseEngine::new(&rules, &reg, ChaseConfig::default()).run(&trans_db(), &[]);
+        let cfg = ChaseConfig {
+            use_schedule: true,
+            ..ChaseConfig::default()
+        };
+        let sched = ChaseEngine::new(&rules, &reg, cfg).run(&trans_db(), &[]);
+        // byte-identical repairs: the schedule only *filters* activation
+        assert_eq!(classic.changes, sched.changes);
+        assert_eq!(classic.merged_pairs, sched.merged_pairs);
+        assert_eq!(classic.conflicts, sched.conflicts);
+        // the run carries its certificate and respected the bound
+        assert!(classic.certification.is_none());
+        let cert = sched.certification.expect("use_schedule must certify");
+        assert_eq!(cert.class, TerminationClass::AcyclicStrata);
+        let resolved = cert.resolved_bound.expect("bounded class resolves");
+        assert!(cert.violation.is_none(), "{:?}", cert.violation);
+        assert!(sched.rounds as u64 <= resolved);
+        assert!(sched
+            .round_stats
+            .iter()
+            .all(|s| s.strata >= 1 && s.bound_margin >= 0));
     }
 
     #[test]

@@ -122,6 +122,16 @@ pub struct RoundStats {
     /// Rules the rule-dependency graph removed from this round's
     /// activation (0 unless `ChaseConfig::use_rule_graph`).
     pub rules_pruned: usize,
+    /// Distinct certified strata the round's active rules belong to
+    /// (0 unless `ChaseConfig::use_schedule`). `serde(default)` keeps old
+    /// checkpoints readable.
+    #[serde(default)]
+    pub strata: usize,
+    /// Rounds left under the instance-resolved certified bound after this
+    /// round (0 unless `use_schedule` with a bounded certificate; negative
+    /// would mean the certificate was violated).
+    #[serde(default)]
+    pub bound_margin: i64,
 }
 
 #[cfg(test)]

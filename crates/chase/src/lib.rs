@@ -47,13 +47,17 @@ pub mod provenance;
 pub mod quality;
 pub mod wal;
 
-pub use chase::{ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal};
+pub use chase::{
+    CertViolation, ChaseCertification, ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal,
+};
 pub use checkpoint::{ChaseCheckpoint, CHECKPOINT_VERSION};
 pub use conflict::ConflictPolicy;
 pub use delta::{DeltaSet, RoundStats};
 pub use fixes::{EntityKey, FixSnapshot, FixStore};
 pub use order::PartialOrderStore;
-pub use provenance::{ProvenanceChain, ProvenanceGraph};
+pub use provenance::{
+    replay_witness, ProvenanceChain, ProvenanceGraph, ReplayError, WitnessReplay,
+};
 pub use quality::QualityReport;
 pub use wal::{
     read_wal, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord, WalSummary, WAL_FILE,

@@ -8,11 +8,16 @@
 //! `RoundCommit` are a crashed tail and excluded — durable provenance
 //! only) into an id-indexed graph with a per-cell index.
 
-use crate::wal::{self, FixKind, FixRecord, WalError, WalRecord, WAL_FILE};
-use rock_data::CellRef;
+use crate::chase::{ChaseConfig, ChaseEngine};
+use crate::wal::{self, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord, WAL_FILE};
+use rock_data::{AttrId, CellRef, DataError, Database, DatabaseSchema, RelId, Value};
+use rock_ml::ModelRegistry;
+use rock_rees::RuleSet;
 use rustc_hash::FxHashMap;
 use serde::Serialize;
+use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The provenance graph of one chase run.
 #[derive(Debug, Default)]
@@ -98,11 +103,10 @@ impl ProvenanceGraph {
         cells
     }
 
-    /// Why does this cell hold its value? Returns the last fix that wrote
-    /// it plus the transitive closure of its provenance parents.
-    pub fn why(&self, cell: CellRef) -> Option<ProvenanceChain> {
-        let &last = self.by_cell.get(&cell)?.last()?;
-        let fix = self.node(last)?.clone();
+    /// The derivation of one fix: the record plus the transitive closure
+    /// of its provenance parents, ascending id.
+    fn chain_of(&self, id: u64) -> Option<ProvenanceChain> {
+        let fix = self.node(id)?.clone();
         let mut seen: Vec<u64> = Vec::new();
         let mut stack: Vec<u64> = fix.parents.clone();
         while let Some(id) = stack.pop() {
@@ -121,6 +125,114 @@ impl ProvenanceGraph {
             .collect();
         Some(ProvenanceChain { fix, ancestors })
     }
+
+    /// Why does this cell hold its value? Returns the last fix that wrote
+    /// it plus the transitive closure of its provenance parents.
+    pub fn why(&self, cell: CellRef) -> Option<ProvenanceChain> {
+        let &last = self.by_cell.get(&cell)?.last()?;
+        self.chain_of(last)
+    }
+
+    /// Every fix chain that rewrote `cell`, in commit order — the
+    /// competing-writers view: where [`Self::why`] answers with the write
+    /// that won, this keeps each earlier write's derivation too, so
+    /// `rock-analyze --why` can print both sides of a W301 hazard.
+    pub fn why_all(&self, cell: CellRef) -> Vec<ProvenanceChain> {
+        self.fixes_for_cell(cell)
+            .iter()
+            .filter_map(|&id| self.chain_of(id))
+            .collect()
+    }
+}
+
+/// Error surface of [`replay_witness`]. Every failure is a value — this
+/// crate denies `unwrap`/`expect` outside tests, and the replay path runs
+/// inside the `rock-analyze` CLI where a panic would mask the diagnostics
+/// the user asked for.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Creating the scratch durability directory failed.
+    Io(std::io::Error),
+    /// The witness tuple did not fit the relation (arity or type).
+    Witness(DataError),
+    /// The scratch WAL could not be read back.
+    Wal(WalError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "replay scratch dir: {e}"),
+            ReplayError::Witness(e) => write!(f, "witness tuple rejected: {e}"),
+            ReplayError::Wal(e) => write!(f, "replay WAL unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// What replaying a witness tuple produced.
+#[derive(Debug)]
+pub struct WitnessReplay {
+    /// One provenance chain per committed fix on the contested cell, in
+    /// commit order. Competing writers yield one chain per write that the
+    /// conflict policy let through; a rejected write shows up in
+    /// `conflicts` instead.
+    pub chains: Vec<ProvenanceChain>,
+    /// Chase conflicts observed on the replay instance.
+    pub conflicts: usize,
+    /// Rounds the replay chase ran.
+    pub rounds: usize,
+}
+
+/// Replay a minimal synthetic instance — a single `rel` tuple — through a
+/// durable chase in a process-private scratch directory and return the
+/// provenance chains of the contested `attr` cell.
+///
+/// This is the counterexample generator behind `rock-analyze --why`: the
+/// W301 witness tuple satisfies both competing preconditions, so the
+/// replay makes the predicted race actually happen, and the WAL-backed
+/// [`ProvenanceGraph`] shows each fix chain that fought over the cell.
+/// The scratch directory is removed afterwards (best-effort).
+pub fn replay_witness(
+    rules: &RuleSet,
+    registry: &ModelRegistry,
+    schema: &DatabaseSchema,
+    rel: RelId,
+    tuple: Vec<Value>,
+    attr: AttrId,
+) -> Result<WitnessReplay, ReplayError> {
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rock-why-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(ReplayError::Io)?;
+    let replay = || {
+        let mut db = Database::new(schema);
+        let tid = db
+            .relation_mut(rel)
+            .insert_row(tuple)
+            .map_err(ReplayError::Witness)?;
+        let config = ChaseConfig {
+            durability: Some(DurabilityConfig {
+                sync: false,
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..ChaseConfig::default()
+        };
+        let result = ChaseEngine::new(rules, registry, config).run(&db, &[]);
+        let graph = ProvenanceGraph::load(&dir).map_err(ReplayError::Wal)?;
+        Ok(WitnessReplay {
+            chains: graph.why_all(CellRef::new(rel, tid, attr)),
+            conflicts: result.conflicts,
+            rounds: result.rounds,
+        })
+    };
+    let out = replay();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
 }
 
 #[cfg(test)]
@@ -178,5 +290,81 @@ mod tests {
         assert!(g
             .why(CellRef::new(RelId(0), TupleId(9), AttrId(1)))
             .is_none());
+    }
+
+    #[test]
+    fn why_all_keeps_every_competing_write() {
+        let records = vec![
+            WalRecord::Begin { fingerprint: 1 },
+            WalRecord::RoundBegin { round: 1 },
+            fix(0, 1, 0, vec![]),
+            fix(1, 1, 0, vec![0]),
+            WalRecord::RoundCommit {
+                round: 1,
+                checkpoint: None,
+                state_crc: 0,
+            },
+        ];
+        let g = ProvenanceGraph::from_records(&records);
+        let cell = CellRef::new(RelId(0), TupleId(0), AttrId(1));
+        let all = g.why_all(cell);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].fix.id, 0);
+        assert!(all[0].ancestors.is_empty());
+        assert_eq!(all[1].fix.id, 1);
+        let ids: Vec<u64> = all[1].ancestors.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![0]);
+        // `why` stays the last-writer view
+        assert_eq!(g.why(cell).map(|c| c.fix.id), Some(1));
+        assert!(g
+            .why_all(CellRef::new(RelId(0), TupleId(9), AttrId(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn replay_witness_realizes_a_competing_write() {
+        use rock_data::{AttrType, DatabaseSchema, RelationSchema};
+        use rock_rees::parse_rules;
+        let schema = DatabaseSchema::new(vec![RelationSchema::of(
+            "T",
+            &[
+                ("city", AttrType::Str),
+                ("code", AttrType::Str),
+                ("pop", AttrType::Int),
+            ],
+        )]);
+        let rules = RuleSet::new(
+            parse_rules(
+                "rule lo: T(t) && t.pop > 10 -> t.code = 'a'\n\
+                 rule hi: T(t) && t.pop < 90 -> t.code = 'b'\n",
+                &schema,
+            )
+            .unwrap(),
+        );
+        let reg = rock_ml::ModelRegistry::new();
+        // pop = 11 satisfies both preconditions — the W301 witness shape.
+        let rep = replay_witness(
+            &rules,
+            &reg,
+            &schema,
+            RelId(0),
+            vec![Value::Null, Value::Null, Value::Int(11)],
+            AttrId(1),
+        )
+        .unwrap();
+        assert!(rep.rounds >= 1);
+        assert!(
+            !rep.chains.is_empty(),
+            "one write must commit and leave a chain: {rep:?}"
+        );
+        assert!(
+            rep.chains.len() + rep.conflicts >= 2,
+            "the losing writer must surface as a chain or a conflict: {rep:?}"
+        );
+        // arity mismatch is a typed error, not a panic
+        assert!(matches!(
+            replay_witness(&rules, &reg, &schema, RelId(0), vec![], AttrId(1)),
+            Err(ReplayError::Witness(_))
+        ));
     }
 }

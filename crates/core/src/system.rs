@@ -49,6 +49,12 @@ pub struct RockConfig {
     /// narrowed to rules the committed delta can reach. Off by default —
     /// the classic activation set is the equivalence oracle.
     pub use_rule_graph: bool,
+    /// Schedule chase rounds with the *certified* stratified schedule
+    /// (`rock_rees::ChaseSchedule`): the same activation subset as
+    /// `use_rule_graph` (repairs stay byte-identical), plus runtime
+    /// enforcement of the certifier's termination bound
+    /// (`ChaseResult::certification`). Off by default.
+    pub use_schedule: bool,
     /// Crystal fault-tolerance knobs (fault injection plan, retry budget,
     /// backoff, speculation threshold), threaded into every discovery /
     /// detection / chase cluster this system builds.
@@ -77,6 +83,7 @@ impl Default for RockConfig {
             gate: rock_chase::chase::GateMode::Resolved,
             semi_naive: true,
             use_rule_graph: false,
+            use_schedule: false,
             cluster: ClusterConfig::default(),
             durability: None,
             columnar: rock_data::DataConfig::default().columnar,
@@ -279,6 +286,7 @@ impl RockSystem {
                 gate: self.config.gate,
                 semi_naive: self.config.semi_naive,
                 use_rule_graph: self.config.use_rule_graph,
+                use_schedule: self.config.use_schedule,
                 cluster: self.config.cluster.clone(),
                 durability: self.config.durability.clone(),
                 columnar: self.config.columnar,
@@ -374,6 +382,7 @@ impl RockSystem {
             gate: self.config.gate,
             semi_naive: self.config.semi_naive,
             use_rule_graph: self.config.use_rule_graph,
+            use_schedule: self.config.use_schedule,
             cluster: self.config.cluster.clone(),
             durability: self.config.durability.clone(),
             columnar: self.config.columnar,
@@ -508,6 +517,7 @@ impl RockSystem {
                     policy: policy.clone(),
                     semi_naive: self.config.semi_naive,
                     use_rule_graph: self.config.use_rule_graph,
+                    use_schedule: self.config.use_schedule,
                     cluster: self.config.cluster.clone(),
                     columnar: self.config.columnar,
                     ..ChaseConfig::default()

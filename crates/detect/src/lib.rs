@@ -18,6 +18,11 @@
 //! pre-computes model results, so rule evaluation hits the memo instead of
 //! running inference per pair.
 
+// Detection runs inside chase rounds and CI verdict jobs: a panic there
+// drops a whole batch of flagged cells, so non-test code surfaces errors
+// as values (same gate as rock-crystal, rock-rees and rock-chase).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod blocking;
 pub mod detect;
 

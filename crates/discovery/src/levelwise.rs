@@ -267,7 +267,7 @@ impl<'a> Discoverer<'a> {
                 // workers hit the cache instead of racing to materialize
                 let mut fresh: Vec<usize> = candidates
                     .iter()
-                    .map(|idxs| *idxs.last().unwrap())
+                    .filter_map(|idxs| idxs.last().copied())
                     .collect();
                 fresh.sort_unstable();
                 fresh.dedup();
@@ -287,7 +287,7 @@ impl<'a> Discoverer<'a> {
                     let i = u.rule as usize;
                     let evaluate = || {
                         rules[i].as_ref()?;
-                        let pi = *candidates[i].last().expect("level ≥ 1 candidate");
+                        let pi = *candidates[i].last()?;
                         let parent = &frontier_ref[u.payload as usize].1;
                         let child = parent.and(&bits.precondition(pi)?, n);
                         let m = bits.measure(ci, &child)?;

@@ -23,6 +23,12 @@
 //!   the polynomial-expression learner (XGBoost-style feature ranking +
 //!   LASSO) of §5.4.
 
+// Mining runs on the Crystal cluster's worker threads: a panic in a
+// candidate evaluation quarantines the unit and silently shrinks the
+// mined ruleset, so non-test code surfaces errors as values (same gate
+// as the engine crates).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod levelwise;
 pub mod prune;

@@ -49,13 +49,13 @@ fn ols(xs: &[Vec<f64>], ys: &[f64], support: &[usize]) -> (Vec<f64>, f64) {
     let mut m = ata;
     let mut b = aty;
     for col in 0..k {
-        let (pivot, _) = m
+        let pivot = m
             .iter()
             .enumerate()
             .skip(col)
             .map(|(i, r)| (i, r[col].abs()))
             .max_by(|a, c| a.1.total_cmp(&c.1))
-            .expect("non-empty system");
+            .map_or(col, |(i, _)| i);
         m.swap(col, pivot);
         b.swap(col, pivot);
         let diag = m[col][col];
@@ -145,7 +145,9 @@ pub fn correlated_attributes(
         if i == j {
             continue;
         }
-        let (ti, tj) = (r.get(i).unwrap(), r.get(j).unwrap());
+        let (Some(ti), Some(tj)) = (r.get(i), r.get(j)) else {
+            continue;
+        };
         agree_target.push(ti.get(target).sql_eq(tj.get(target)));
         for a in 0..arity {
             let attr = AttrId(a as u16);

@@ -50,10 +50,12 @@ pub fn sample_database(db: &Database, ratio: f64, seed: u64) -> Database {
         };
         chosen.sort_unstable();
         for idx in chosen {
-            let t = rel.get(tids[idx]).expect("live tuple");
-            let new_tid = out
-                .insert(t.eid, t.values.clone())
-                .expect("sampled row keeps its source arity");
+            let Some(t) = rel.get(tids[idx]) else {
+                continue;
+            };
+            let Ok(new_tid) = out.insert(t.eid, t.values.clone()) else {
+                continue;
+            };
             for (a, _) in rel.schema.iter_attrs() {
                 if let Some(ts) = rel.timestamps.get(t.tid, a) {
                     out.set_timestamp(new_tid, a, ts);

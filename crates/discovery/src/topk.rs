@@ -148,15 +148,13 @@ pub fn diversified_top_k(
     let mut covered: FxHashSet<u32> = FxHashSet::default();
     let mut remaining: Vec<usize> = (0..scores.len()).collect();
     while chosen.len() < k && !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
-                let ga = gain(&covered, &coverage[a], scores[a].total);
-                let gb = gain(&covered, &coverage[b], scores[b].total);
-                ga.total_cmp(&gb).then_with(|| b.cmp(&a))
-            })
-            .expect("non-empty");
+        let Some((pos, &best)) = remaining.iter().enumerate().max_by(|(_, &a), (_, &b)| {
+            let ga = gain(&covered, &coverage[a], scores[a].total);
+            let gb = gain(&covered, &coverage[b], scores[b].total);
+            ga.total_cmp(&gb).then_with(|| b.cmp(&a))
+        }) else {
+            break;
+        };
         chosen.push(best);
         covered.extend(coverage[best].iter().copied());
         remaining.remove(pos);

@@ -31,6 +31,11 @@
 //! * [`registry`] — the model registry REE++ predicates reference by name,
 //!   with memoized inference and cost accounting.
 
+// Model inference runs inside rule evaluation on worker threads: a panic
+// there voids a chase round or a discovery sweep, so non-test code
+// surfaces errors as values (same gate as the engine crates).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod block_index;
 pub mod correlation;
 pub mod features;

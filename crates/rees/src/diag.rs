@@ -115,8 +115,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `E0xx` well-formedness, `E1xx`/`W1xx` local
-/// satisfiability, `W2xx` inter-rule analysis. The numeric bands match the
-/// analyzer's pass structure (see DESIGN.md for the full table).
+/// satisfiability, `W2xx` inter-rule analysis, `E3xx`/`W3xx` chase
+/// certification. The numeric bands match the analyzer's pass structure
+/// (see DESIGN.md for the full table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DiagCode {
     /// E001 — predicate uses a tuple variable not bound by a relation atom.
@@ -151,6 +152,16 @@ pub enum DiagCode {
     /// W203 — confluence hazard: two rules can co-fire on overlapping
     /// valuations but assign conflicting constants to the same cell.
     ConfluenceHazard,
+    /// E301 — unbounded chase: a constant-flow cycle keeps contesting one
+    /// cell with different constants, so no termination bound exists.
+    UnboundedChase,
+    /// W301 — competing writers proven co-satisfiable: a concrete witness
+    /// tuple fires both rules, turning the W203 hazard into a certainty.
+    CompetingWriters,
+    /// W302 — self-sustaining constant cascade: a constant-flow cycle
+    /// whose writes are mutually consistent; terminating, but the round
+    /// bound degrades from the dependency depth to the lattice height.
+    ConstantCascade,
 }
 
 impl DiagCode {
@@ -171,6 +182,9 @@ impl DiagCode {
             DeadRule => "W201",
             SubsumedRule => "W202",
             ConfluenceHazard => "W203",
+            UnboundedChase => "E301",
+            CompetingWriters => "W301",
+            ConstantCascade => "W302",
         }
     }
 
@@ -181,8 +195,9 @@ impl DiagCode {
         match self {
             UnboundTupleVar | UnboundVertexVar | AttrOutOfRange | CrossRelTemporal
             | ConstTypeMismatch | EmptyMlAttrs | BadThreshold | UnsatConstEq | UnsatCompare
-            | ReflexiveNeverTrue => Severity::Error,
-            TriviallyTrue | DeadRule | SubsumedRule | ConfluenceHazard => Severity::Warning,
+            | ReflexiveNeverTrue | UnboundedChase => Severity::Error,
+            TriviallyTrue | DeadRule | SubsumedRule | ConfluenceHazard | CompetingWriters
+            | ConstantCascade => Severity::Warning,
         }
     }
 }

@@ -26,8 +26,8 @@
 //! * [`RuleGraph::rels`] — relations each rule binds, intersected with
 //!   the round's tuple-level delta.
 
+use crate::{CmpOp, DiagCode, Diagnostic, Predicate, Rule, RuleSet};
 use rock_data::{AttrId, DatabaseSchema, RelId};
-use rock_rees::{CmpOp, DiagCode, Diagnostic, Predicate, Rule, RuleSet};
 use serde::Serialize;
 
 /// The rule-dependency graph over a ruleset (see module docs).
@@ -173,8 +173,10 @@ impl RuleGraph {
         }
     }
 
-    /// The inter-rule diagnostics (`W201`–`W203`).
-    pub fn diagnose(&self, rules: &RuleSet, schema: &DatabaseSchema) -> Vec<Diagnostic> {
+    /// The inter-rule diagnostics (`W201`/`W202`). Confluence hazards
+    /// (`W203`) moved to the certify pass, which upgrades the pairwise
+    /// overlap check to critical-pair co-satisfiability.
+    pub fn diagnose(&self, rules: &RuleSet, _schema: &DatabaseSchema) -> Vec<Diagnostic> {
         let rs: Vec<&Rule> = rules.iter().collect();
         let mut out = Vec::new();
         // W201 — dead weight: the consequence cannot add information.
@@ -219,54 +221,13 @@ impl RuleGraph {
                 );
             }
         }
-        // W203 — confluence hazards: two live rules pinning the same cell
-        // to different constants without provably exclusive preconditions.
-        for i in 0..rs.len() {
-            if self.dead[i] {
-                continue;
-            }
-            let Some((vi, ci)) = const_eq_consequence(rs[i]) else {
-                continue;
-            };
-            for j in (i + 1)..rs.len() {
-                if self.dead[j] {
-                    continue;
-                }
-                let Some((vj, cj)) = const_eq_consequence(rs[j]) else {
-                    continue;
-                };
-                let (reli, attri) = (rs[i].rel_of(vi.0), vi.1);
-                let (relj, attrj) = (rs[j].rel_of(vj.0), vj.1);
-                if reli != relj || attri != attrj || ci.sql_eq(cj) {
-                    continue;
-                }
-                if mutually_exclusive(rs[i], vi.0, rs[j], vj.0) {
-                    continue;
-                }
-                out.push(
-                    Diagnostic::new(
-                        DiagCode::ConfluenceHazard,
-                        &rs[j].name,
-                        rs[j].spans.consequence,
-                        format!(
-                            "sets {}.{} to '{cj}' while rule '{}' sets it to '{ci}' — \
-                             a tuple matching both preconditions becomes a chase conflict",
-                            schema.relation(relj).name,
-                            schema.relation(relj).attr_name(attrj),
-                            rs[i].name,
-                        ),
-                    )
-                    .with_note(format!("conflicts with rule '{}'", rs[i].name)),
-                );
-            }
-        }
         out
     }
 }
 
 /// Cells a consequence writes when it fires (mirrors the chase's
 /// `propose()`: only these consequence shapes produce cell proposals).
-fn consequence_cell_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
+pub fn consequence_cell_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
     let mut out = match &r.consequence {
         Predicate::Const {
             var,
@@ -291,7 +252,7 @@ fn consequence_cell_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
 }
 
 /// `(relation, attribute)` cells the precondition reads as values.
-fn value_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
+pub fn value_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
     let mut out = Vec::new();
     for p in &r.precondition {
         for v in p.tuple_vars() {
@@ -307,7 +268,7 @@ fn value_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
 }
 
 /// Attributes whose validated *order* the precondition consults.
-fn order_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
+pub fn order_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
     let mut out = Vec::new();
     for p in &r.precondition {
         if let Predicate::Temporal { lvar, attr, .. } | Predicate::MlRank { lvar, attr, .. } = p {
@@ -320,11 +281,36 @@ fn order_reads(r: &Rule) -> Vec<(RelId, AttrId)> {
 }
 
 /// Attributes whose validated order the consequence extends.
-fn order_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
+pub fn order_writes(r: &Rule) -> Vec<(RelId, AttrId)> {
     match &r.consequence {
         Predicate::Temporal { lvar, attr, .. } => vec![(r.rel_of(*lvar), *attr)],
         _ => Vec::new(),
     }
+}
+
+/// Cells whose *current values* the consequence reads to produce its
+/// write — the data-flow sources of a fix. An `Attr`-equality consequence
+/// copies between its two cells (either side can be the repair source
+/// under §3.2's accuracy ordering), a `Predict` consequence reads the
+/// evidence attributes it conditions on; constant and KG-extraction
+/// consequences synthesize their value from outside the database.
+pub fn consequence_value_sources(r: &Rule) -> Vec<(RelId, AttrId)> {
+    let mut out = match &r.consequence {
+        Predicate::Attr {
+            lvar,
+            lattr,
+            op: CmpOp::Eq,
+            rvar,
+            rattr,
+        } => vec![(r.rel_of(*lvar), *lattr), (r.rel_of(*rvar), *rattr)],
+        Predicate::Predict { var, evidence, .. } => {
+            evidence.iter().map(|a| (r.rel_of(*var), *a)).collect()
+        }
+        _ => Vec::new(),
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// `t.eid = t.eid` — a union–find no-op, always skip-safe.
@@ -382,7 +368,7 @@ fn covers(weak: &Rule, strong: &Rule) -> bool {
 }
 
 /// The consequence `t.A = 'c'`, as `((var, attr), value)`.
-fn const_eq_consequence(r: &Rule) -> Option<((usize, AttrId), &rock_data::Value)> {
+pub fn const_eq_consequence(r: &Rule) -> Option<((usize, AttrId), &rock_data::Value)> {
     match &r.consequence {
         Predicate::Const {
             var,
@@ -394,36 +380,11 @@ fn const_eq_consequence(r: &Rule) -> Option<((usize, AttrId), &rock_data::Value)
     }
 }
 
-/// Are the two preconditions provably exclusive *on the written tuple*?
-/// True when each rule pins some attribute of its consequence variable to
-/// a constant and the constants differ — no single tuple satisfies both,
-/// so the rules can never race on the same cell.
-fn mutually_exclusive(a: &Rule, avar: usize, b: &Rule, bvar: usize) -> bool {
-    let binds = |r: &Rule, var: usize| -> Vec<(AttrId, &rock_data::Value)> {
-        r.precondition
-            .iter()
-            .filter_map(|p| match p {
-                Predicate::Const {
-                    var: v,
-                    attr,
-                    op: CmpOp::Eq,
-                    value,
-                } if *v == var => Some((*attr, value)),
-                _ => None,
-            })
-            .collect()
-    };
-    let ba = binds(a, avar);
-    binds(b, bvar)
-        .iter()
-        .any(|(attr, vb)| ba.iter().any(|(aa, va)| aa == attr && !va.sql_eq(vb)))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse_rules;
     use rock_data::{AttrType, RelationSchema};
-    use rock_rees::parse_rules;
 
     fn schema() -> DatabaseSchema {
         DatabaseSchema::new(vec![
@@ -489,20 +450,16 @@ mod tests {
     }
 
     #[test]
-    fn confluence_hazard_unless_exclusive() {
-        let (g, rules, s) = graph(
-            "rule a: T(t) && t.city = 'beijing' -> t.code = '010'\n\
-             rule b: T(t) && t.city = 'shanghai' -> t.code = '021'\n\
-             rule c: T(t) && t.pop > 100 -> t.code = '999'\n",
+    fn consequence_sources_cover_copies_and_predictions() {
+        let (_, rules, _) = graph(
+            "rule fd: T(t) && T(u) && t.city = u.city -> t.code = u.code\n\
+             rule cfd: T(t) && t.city = 'beijing' -> t.code = '010'\n",
         );
-        let ds = g.diagnose(&rules, &s);
-        let w203: Vec<_> = ds
-            .iter()
-            .filter(|d| d.code == DiagCode::ConfluenceHazard)
-            .collect();
-        // a/b are exclusive on city; c clashes with both a and b
-        assert_eq!(w203.len(), 2);
-        assert!(w203.iter().all(|d| d.rule == "c"));
+        let fd = rules.iter().next().expect("two rules");
+        let srcs = consequence_value_sources(fd);
+        assert_eq!(srcs.len(), 1, "both sides are the same (rel, attr) cell");
+        let cfd = rules.iter().nth(1).expect("two rules");
+        assert!(consequence_value_sources(cfd).is_empty());
     }
 
     #[test]

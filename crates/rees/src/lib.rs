@@ -40,15 +40,21 @@
 
 pub mod diag;
 pub mod eval;
+pub mod graph;
 pub mod measures;
 pub mod op;
 pub mod parser;
 pub mod predicate;
 pub mod rule;
+pub mod sat;
+pub mod schedule;
 
 pub use diag::{max_severity, DiagCode, Diagnostic, RuleSpans, Severity, Span};
 pub use eval::{EvalContext, Valuation};
+pub use graph::RuleGraph;
 pub use op::CmpOp;
 pub use parser::{parse_rule, parse_rules, ParseError};
 pub use predicate::{ModelRef, Predicate};
 pub use rule::{Rule, RuleSet};
+pub use sat::{co_satisfiable, CoSat};
+pub use schedule::{ChaseSchedule, Oscillation, RoundBound, TerminationClass};

@@ -14,8 +14,8 @@
 //! whose preconditions are conjunctions of at most a handful of mined
 //! predicates).
 
+use crate::{CmpOp, DiagCode, Diagnostic, Predicate, Rule};
 use rock_data::Value;
-use rock_rees::{CmpOp, DiagCode, Diagnostic, Predicate, Rule};
 use std::cmp::Ordering;
 
 /// Orderings a comparison admits, as a bitmask over {Less, Equal, Greater}.
@@ -300,11 +300,214 @@ fn check_null_overlap(rule: &Rule, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Outcome of the critical-pair co-satisfiability check (the certify
+/// pass's upgrade of `W203`): can a *single tuple* satisfy the constant
+/// constraints both rules place on their written variable?
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoSat {
+    /// Proven exclusive: the merged constant constraints contradict, so
+    /// no tuple fires both rules and the competing writes cannot race.
+    Exclusive,
+    /// Proven co-satisfiable, with a concrete witness tuple (one value
+    /// per attribute of the shared relation) on which both preconditions
+    /// hold — the seed instance for a provenance-backed counterexample.
+    Witness(Vec<Value>),
+    /// Neither provable: the preconditions involve predicates outside
+    /// the constant/interval fragment (joins, ML, temporal), so the pair
+    /// stays a hazard but no counterexample can be synthesized.
+    Unknown,
+}
+
+/// One constant constraint on an attribute of the written tuple.
+#[derive(Debug, Clone, Copy)]
+enum Constraint<'a> {
+    Cmp(CmpOp, &'a Value),
+    Null,
+}
+
+/// Do two constant constraints on the same cell contradict? The same
+/// interval/equality reasoning `check_consts` applies within one rule,
+/// here applied across the merged pair.
+fn constraints_conflict(a: Constraint<'_>, b: Constraint<'_>) -> bool {
+    match (a, b) {
+        // SQL semantics: every comparison with a null cell is false.
+        (Constraint::Null, Constraint::Cmp(..)) | (Constraint::Cmp(..), Constraint::Null) => true,
+        (Constraint::Null, Constraint::Null) => false,
+        (Constraint::Cmp(opa, ca), Constraint::Cmp(opb, cb)) => match (opa, opb) {
+            (CmpOp::Eq, CmpOp::Eq) => !ca.sql_eq(cb),
+            (CmpOp::Eq, op) => !op.eval(ca, cb),
+            (op, CmpOp::Eq) => !op.eval(cb, ca),
+            (CmpOp::Gt | CmpOp::Ge, CmpOp::Lt | CmpOp::Le)
+            | (CmpOp::Lt | CmpOp::Le, CmpOp::Gt | CmpOp::Ge) => {
+                let (lo, lo_op, hi, hi_op) = if matches!(opa, CmpOp::Gt | CmpOp::Ge) {
+                    (ca, opa, cb, opb)
+                } else {
+                    (cb, opb, ca, opa)
+                };
+                let strict = lo_op == CmpOp::Gt || hi_op == CmpOp::Lt;
+                match lo.sql_cmp(hi) {
+                    Some(Ordering::Greater) => true,
+                    Some(Ordering::Equal) => strict,
+                    _ => false,
+                }
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Does `v` satisfy every constraint in `cs`?
+fn satisfies_all(v: &Value, cs: &[Constraint<'_>]) -> bool {
+    cs.iter().all(|c| match *c {
+        Constraint::Null => v.is_null(),
+        Constraint::Cmp(op, cv) => op.eval(v, cv),
+    })
+}
+
+/// Collect the constant constraints rule `r` places on tuple variable
+/// `var`, keyed by attribute. Returns `None` when the rule's precondition
+/// reaches outside the constant fragment for this variable (any
+/// non-`Const`/`IsNull` predicate touching `var`) — exclusivity reasoning
+/// over the collected subset is still sound, but no witness can be built.
+fn const_constraints(r: &Rule, var: usize) -> (Vec<(rock_data::AttrId, Constraint<'_>)>, bool) {
+    let mut out = Vec::new();
+    let mut closed = true;
+    for p in &r.precondition {
+        match p {
+            Predicate::Const {
+                var: v,
+                attr,
+                op,
+                value,
+            } if *v == var => out.push((*attr, Constraint::Cmp(*op, value))),
+            Predicate::IsNull { var: v, attr } if *v == var => out.push((*attr, Constraint::Null)),
+            other => {
+                if other.tuple_vars().contains(&var) {
+                    closed = false;
+                }
+            }
+        }
+    }
+    (out, closed)
+}
+
+/// Critical-pair co-satisfiability: rules `a` and `b` both write a cell of
+/// the relation bound by `a`'s variable `avar` / `b`'s variable `bvar`.
+/// Merge the constant constraints both place on that tuple and decide
+/// whether one tuple can fire both preconditions.
+///
+/// Soundness of `Exclusive` needs only the collected constant subset (a
+/// contradiction in a subset of a conjunction kills the whole
+/// conjunction). `Witness` is only returned when both rules bind a single
+/// tuple variable and their preconditions stay inside the constant
+/// fragment, so instantiating the witness tuple provably fires both.
+pub fn co_satisfiable(
+    a: &Rule,
+    avar: usize,
+    b: &Rule,
+    bvar: usize,
+    schema: &rock_data::DatabaseSchema,
+) -> CoSat {
+    let (ca, a_closed) = const_constraints(a, avar);
+    let (cb, b_closed) = const_constraints(b, bvar);
+    let mut merged: Vec<(rock_data::AttrId, Constraint<'_>)> = ca;
+    merged.extend(cb);
+
+    // Pairwise contradiction scan over the merged set.
+    for (i, &(ai, ci)) in merged.iter().enumerate() {
+        for &(aj, cj) in &merged[i + 1..] {
+            if ai == aj && constraints_conflict(ci, cj) {
+                return CoSat::Exclusive;
+            }
+        }
+    }
+
+    let witnessable = a_closed
+        && b_closed
+        && a.tuple_vars.len() == 1
+        && b.tuple_vars.len() == 1
+        && a.rel_of(avar) == b.rel_of(bvar);
+    if !witnessable {
+        return CoSat::Unknown;
+    }
+
+    let rel = schema.relation(a.rel_of(avar));
+    let mut tuple = Vec::with_capacity(rel.arity());
+    for aid in 0..rel.arity() {
+        let aid = rock_data::AttrId(aid as u16);
+        let cs: Vec<Constraint<'_>> = merged
+            .iter()
+            .filter(|(x, _)| *x == aid)
+            .map(|(_, c)| *c)
+            .collect();
+        match solve_attr(&cs, rel.attr(aid).ty) {
+            Some(v) => tuple.push(v),
+            None => return CoSat::Unknown,
+        }
+    }
+    CoSat::Witness(tuple)
+}
+
+/// One value satisfying every constraint in `cs`, if the fragment can
+/// construct one. Unconstrained attributes stay `Null` (nothing reads
+/// them); a returned `None` means "not provable", never "unsatisfiable".
+fn solve_attr(cs: &[Constraint<'_>], ty: rock_data::AttrType) -> Option<Value> {
+    if cs.is_empty() || cs.iter().any(|c| matches!(c, Constraint::Null)) {
+        // The pairwise scan already rejected Null ∧ comparison.
+        return satisfies_all(&Value::Null, cs).then_some(Value::Null);
+    }
+    if let Some(Constraint::Cmp(CmpOp::Eq, v)) = cs
+        .iter()
+        .find(|c| matches!(c, Constraint::Cmp(CmpOp::Eq, _)))
+    {
+        return satisfies_all(v, cs).then(|| (*v).clone());
+    }
+    match ty {
+        rock_data::AttrType::Int => {
+            // Interval sweep: start at the tightest lower bound (or below
+            // the upper bound, or 0) and step past any != exclusions.
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            for c in cs {
+                if let Constraint::Cmp(op, Value::Int(k)) = c {
+                    match op {
+                        CmpOp::Gt => lo = Some(lo.map_or(k + 1, |l: i64| l.max(k + 1))),
+                        CmpOp::Ge => lo = Some(lo.map_or(*k, |l: i64| l.max(*k))),
+                        CmpOp::Lt => hi = Some(hi.map_or(k - 1, |h: i64| h.min(k - 1))),
+                        CmpOp::Le => hi = Some(hi.map_or(*k, |h: i64| h.min(*k))),
+                        _ => {}
+                    }
+                } else if !matches!(c, Constraint::Cmp(CmpOp::Neq, Value::Int(_))) {
+                    return None; // mixed-type comparison: out of fragment
+                }
+            }
+            let start = lo.or(hi).unwrap_or(0);
+            (0..64)
+                .map(|d| Value::Int(start.saturating_add(d)))
+                .find(|v| satisfies_all(v, cs))
+        }
+        rock_data::AttrType::Str => {
+            // Only != constraints are solvable here: synthesize a fresh
+            // marker string outside the excluded set.
+            if !cs
+                .iter()
+                .all(|c| matches!(c, Constraint::Cmp(CmpOp::Neq, _)))
+            {
+                return None;
+            }
+            (0..cs.len() + 1)
+                .map(|i| Value::str(format!("__witness_{i}__")))
+                .find(|v| satisfies_all(v, cs))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse_rule;
     use rock_data::{AttrType, DatabaseSchema, RelationSchema};
-    use rock_rees::parse_rule;
 
     fn schema() -> DatabaseSchema {
         DatabaseSchema::new(vec![RelationSchema::of(
@@ -382,5 +585,92 @@ mod tests {
         assert_eq!(ds[0].code, DiagCode::UnsatCompare);
         // null on a different attribute is fine (the MI idiom)
         assert!(check("rule r: T(t) && null(t.a) && t.b = 1 -> t.c = 2").is_empty());
+    }
+
+    fn cosat(ta: &str, tb: &str) -> CoSat {
+        let s = schema();
+        let a = parse_rule(ta, &s).expect("rule a parses");
+        let b = parse_rule(tb, &s).expect("rule b parses");
+        co_satisfiable(&a, 0, &b, 0, &s)
+    }
+
+    #[test]
+    fn exclusive_guards_are_proven() {
+        // disjoint Eq constants on the same cell
+        assert_eq!(
+            cosat(
+                "rule a: T(t) && t.a = 'x' -> t.b = 1",
+                "rule b: T(t) && t.a = 'y' -> t.b = 2",
+            ),
+            CoSat::Exclusive
+        );
+        // empty interval across the pair
+        assert_eq!(
+            cosat(
+                "rule a: T(t) && t.b > 10 -> t.a = 'x'",
+                "rule b: T(t) && t.b < 5 -> t.a = 'y'",
+            ),
+            CoSat::Exclusive
+        );
+        // null vs. comparison on the same cell
+        assert_eq!(
+            cosat(
+                "rule a: T(t) && null(t.a) -> t.b = 1",
+                "rule b: T(t) && t.a = 'x' -> t.b = 2",
+            ),
+            CoSat::Exclusive
+        );
+    }
+
+    #[test]
+    fn overlapping_intervals_yield_a_witness() {
+        let w = cosat(
+            "rule a: T(t) && t.b > 10 -> t.a = 'x'",
+            "rule b: T(t) && t.b < 100 -> t.a = 'y'",
+        );
+        match w {
+            CoSat::Witness(tuple) => {
+                assert_eq!(tuple.len(), 3);
+                // attr b = index 1 in the test schema
+                assert!(matches!(tuple[1], Value::Int(v) if v > 10 && v < 100));
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_neq_witness_avoids_exclusions() {
+        let w = cosat(
+            "rule a: T(t) && t.a != 'x' -> t.b = 1",
+            "rule b: T(t) && t.a != '__witness_0__' -> t.b = 2",
+        );
+        match w {
+            CoSat::Witness(tuple) => {
+                assert!(matches!(&tuple[0], Value::Str(s) if s.as_ref() != "x"
+                    && s.as_ref() != "__witness_0__"));
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joins_and_eq_constants_behave() {
+        // two-variable rule: exclusivity is still sound, witness is not
+        assert_eq!(
+            cosat(
+                "rule a: T(t) && T(s) && t.b < s.b -> t.a = 'x'",
+                "rule b: T(t) && t.b > 0 -> t.a = 'y'",
+            ),
+            CoSat::Unknown
+        );
+        // shared Eq constant instantiates directly
+        let w = cosat(
+            "rule a: T(t) && t.b = 7 -> t.a = 'x'",
+            "rule b: T(t) && t.b >= 7 -> t.a = 'y'",
+        );
+        assert_eq!(
+            w,
+            CoSat::Witness(vec![Value::Null, Value::Int(7), Value::Null])
+        );
     }
 }

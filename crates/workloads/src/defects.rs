@@ -34,10 +34,22 @@ pub enum DefectKind {
     SubsumedRule,
     /// Two rules pinning one cell to different constants (`W203`).
     ConfluenceHazard,
+    /// A constant-flow cycle contesting one cell with two different
+    /// constants — each write re-arms the other rule, so the chase has no
+    /// termination bound (`E301`).
+    WriteCycle,
+    /// Two rules whose shared guard is provably co-satisfiable while
+    /// their consequences pin the same cell to different constants
+    /// (`W301` with a concrete witness tuple).
+    CompetingWriters,
+    /// A consistent constant cascade: each rule's write satisfies the
+    /// other's guard without contesting a cell, degrading the certified
+    /// round bound to the lattice height (`W302`).
+    BoundCascade,
 }
 
 impl DefectKind {
-    pub const ALL: [DefectKind; 8] = [
+    pub const ALL: [DefectKind; 11] = [
         DefectKind::UnsatConstEq,
         DefectKind::UnsatCompare,
         DefectKind::ReflexiveTrap,
@@ -46,6 +58,9 @@ impl DefectKind {
         DefectKind::DeadRule,
         DefectKind::SubsumedRule,
         DefectKind::ConfluenceHazard,
+        DefectKind::WriteCycle,
+        DefectKind::CompetingWriters,
+        DefectKind::BoundCascade,
     ];
 
     /// The diagnostic code the analyzer must emit for this defect.
@@ -59,6 +74,9 @@ impl DefectKind {
             DefectKind::DeadRule => DiagCode::DeadRule,
             DefectKind::SubsumedRule => DiagCode::SubsumedRule,
             DefectKind::ConfluenceHazard => DiagCode::ConfluenceHazard,
+            DefectKind::WriteCycle => DiagCode::UnboundedChase,
+            DefectKind::CompetingWriters => DiagCode::CompetingWriters,
+            DefectKind::BoundCascade => DiagCode::ConstantCascade,
         }
     }
 
@@ -72,6 +90,9 @@ impl DefectKind {
             DefectKind::DeadRule => "dead",
             DefectKind::SubsumedRule => "spec",
             DefectKind::ConfluenceHazard => "hazard",
+            DefectKind::WriteCycle => "cycle",
+            DefectKind::CompetingWriters => "racer",
+            DefectKind::BoundCascade => "cascade",
         }
     }
 }
@@ -94,6 +115,34 @@ fn marker(ty: AttrType, alt: bool) -> Value {
         AttrType::Bool => Value::Bool(alt),
         AttrType::Date => Value::Date(if alt { -876543 } else { -123456 }),
     }
+}
+
+/// A marker value private to one defect pair. Each cyclic defect kind uses
+/// its own salts so the constant-flow cycle it plants stays an isolated SCC
+/// in the rule graph instead of merging with another kind's cycle (which
+/// would smear one kind's diagnostic onto another kind's rules).
+fn private_marker(ty: AttrType, salt: u64) -> Value {
+    match ty {
+        AttrType::Str => Value::str(format!("__defect_p{salt}__")),
+        AttrType::Int => Value::Int(-(1_000_000_007 + salt as i64)),
+        AttrType::Float => Value::Float(-(1e15 + salt as f64 * 1e9)),
+        AttrType::Bool => Value::Bool(salt % 2 == 0),
+        AttrType::Date => Value::Date(-(1_000_000 + salt as i64)),
+    }
+}
+
+/// The first two non-`Bool` attributes of the base rule's first relation
+/// (`Bool` markers are not private — only two values exist). Every curated
+/// workload relation has at least two such attributes; the fallback only
+/// guards against degenerate synthetic schemas.
+fn private_attrs(base: &Rule, schema: &DatabaseSchema) -> (AttrId, AttrId) {
+    let rel = schema.relation(base.rel_of(0));
+    let mut it = (0..rel.arity())
+        .map(|a| AttrId(a as u16))
+        .filter(|a| rel.attr(*a).ty != AttrType::Bool);
+    let first = it.next().unwrap_or(AttrId(0));
+    let second = it.next().unwrap_or(first);
+    (first, second)
 }
 
 /// A value whose type is incompatible with the attribute (`E005` bait).
@@ -252,6 +301,103 @@ pub fn inject_defects(
                 out.push(mk(format!("{}_a", defective.name), false));
                 defective = mk(format!("{}_b", defective.name), true);
             }
+            DefectKind::WriteCycle => {
+                // Two fresh rules contesting one cell inside a constant-flow
+                // cycle: each write re-arms the other rule's guard, so the
+                // certifier must refuse a termination bound (E301). The Eq
+                // guards on distinct constants are mutually exclusive, so the
+                // pair stays out of the W203 critical-pair report.
+                let (a, _) = private_attrs(base, schema);
+                let ty = schema.relation(base.rel_of(0)).attr(a).ty;
+                let mk = |name: String, read: u64, write: u64| {
+                    Rule::new(
+                        name,
+                        vec![("t".into(), base.rel_of(0))],
+                        vec![],
+                        vec![Predicate::Const {
+                            var: 0,
+                            attr: a,
+                            op: CmpOp::Eq,
+                            value: private_marker(ty, read),
+                        }],
+                        Predicate::Const {
+                            var: 0,
+                            attr: a,
+                            op: CmpOp::Eq,
+                            value: private_marker(ty, write),
+                        },
+                    )
+                };
+                out.push(mk(format!("{}_a", defective.name), 10, 11));
+                defective = mk(format!("{}_b", defective.name), 11, 10);
+            }
+            DefectKind::CompetingWriters => {
+                // Two fresh rules sharing one satisfiable Eq guard while
+                // pinning the same cell to different constants: the critical
+                // pair is provably co-satisfiable, so the certifier must
+                // produce a concrete witness tuple (W301). Neither written
+                // constant feeds any guard, so no flow cycle forms.
+                let (g, w) = private_attrs(base, schema);
+                let rel = schema.relation(base.rel_of(0));
+                let (gty, wty) = (rel.attr(g).ty, rel.attr(w).ty);
+                let mk = |name: String, write: u64| {
+                    Rule::new(
+                        name,
+                        vec![("t".into(), base.rel_of(0))],
+                        vec![],
+                        vec![Predicate::Const {
+                            var: 0,
+                            attr: g,
+                            op: CmpOp::Eq,
+                            value: private_marker(gty, 20),
+                        }],
+                        Predicate::Const {
+                            var: 0,
+                            attr: w,
+                            op: CmpOp::Eq,
+                            value: private_marker(wty, write),
+                        },
+                    )
+                };
+                out.push(mk(format!("{}_a", defective.name), 21));
+                defective = mk(format!("{}_b", defective.name), 22);
+            }
+            DefectKind::BoundCascade => {
+                // Two fresh rules forming a consistent constant cascade
+                // across two attributes: each rule's write satisfies the
+                // other's guard but no cell is contested, so the certifier
+                // downgrades the round bound to the lattice height (W302).
+                let (x, y) = private_attrs(base, schema);
+                let rel = schema.relation(base.rel_of(0));
+                let (xty, yty) = (rel.attr(x).ty, rel.attr(y).ty);
+                let mk = |name: String,
+                          read: (AttrId, AttrType, u64),
+                          write: (AttrId, AttrType, u64)| {
+                    Rule::new(
+                        name,
+                        vec![("t".into(), base.rel_of(0))],
+                        vec![],
+                        vec![Predicate::Const {
+                            var: 0,
+                            attr: read.0,
+                            op: CmpOp::Eq,
+                            value: private_marker(read.1, read.2),
+                        }],
+                        Predicate::Const {
+                            var: 0,
+                            attr: write.0,
+                            op: CmpOp::Eq,
+                            value: private_marker(write.1, write.2),
+                        },
+                    )
+                };
+                out.push(mk(
+                    format!("{}_a", defective.name),
+                    (x, xty, 30),
+                    (y, yty, 31),
+                ));
+                defective = mk(format!("{}_b", defective.name), (y, yty, 31), (x, xty, 30));
+            }
         }
         injected.push(InjectedDefect {
             rule_name: defective.name.clone(),
@@ -278,8 +424,10 @@ mod tests {
         let (d1, i1) = inject_defects(&w.rules, &schema, 7, &DefectKind::ALL);
         let (d2, i2) = inject_defects(&w.rules, &schema, 7, &DefectKind::ALL);
         assert_eq!(d1.len(), d2.len());
-        // ConfluenceHazard adds a pair, everything else one rule
-        assert_eq!(d1.len(), w.rules.len() + DefectKind::ALL.len() + 1);
+        // The four pair kinds (ConfluenceHazard, WriteCycle,
+        // CompetingWriters, BoundCascade) add two rules each, everything
+        // else one rule
+        assert_eq!(d1.len(), w.rules.len() + DefectKind::ALL.len() + 4);
         assert_eq!(
             i1.iter().map(|d| &d.rule_name).collect::<Vec<_>>(),
             i2.iter().map(|d| &d.rule_name).collect::<Vec<_>>()

@@ -1,7 +1,7 @@
 //! Property suite for `rock-analyze` (static ruleset analysis) and the
 //! rule-dependency-graph chase scheduling it exports.
 //!
-//! Three guarantees are pinned down here:
+//! Four guarantees are pinned down here:
 //!
 //! 1. **Schedule equivalence** — `ChaseConfig { use_rule_graph: true }`
 //!    commits byte-identical repairs to the classic activation oracle
@@ -9,10 +9,15 @@
 //!    filter is a `retain()` over the oracle's activation set).
 //! 2. **Defect recall** — every defect class seeded by
 //!    `rock_workloads::defects` is reported with its expected diagnostic
-//!    code on the expected rule, across workloads and seeds (100% recall).
+//!    code on the expected rule, across workloads and seeds (100% recall)
+//!    — including the certifier band (`E301`/`W301`/`W302`).
 //! 3. **No false positives** — the curated rulesets of all three standard
 //!    workloads analyze clean, and injected-defect runs never flag an
 //!    original (non-injected) rule.
+//! 4. **Certified scheduling** — `ChaseConfig { use_schedule: true }` is
+//!    repair-equivalent to the classic oracle, carries a termination
+//!    certificate, and the observed rounds never exceed the certified
+//!    bound (the runtime check never fires on curated rulesets).
 
 use proptest::prelude::*;
 use rock::analyze::Analyzer;
@@ -100,6 +105,46 @@ fn rule_rounds(r: &ChaseResult) -> usize {
     r.round_stats.iter().map(|s| s.active_rules).sum()
 }
 
+/// A `use_schedule` run must carry a certificate the chase respected: no
+/// violation, observed rounds within the resolved bound, and non-negative
+/// per-round bound margins.
+fn assert_certified(run: &ChaseResult, name: &str) {
+    let cert = run
+        .certification
+        .as_ref()
+        .unwrap_or_else(|| panic!("{name}: schedule run must carry a certificate"));
+    assert!(
+        cert.violation.is_none(),
+        "{name}: certified bound violated: {:?}",
+        cert.violation
+    );
+    match cert.resolved_bound {
+        Some(bound) => {
+            assert!(
+                run.rounds as u64 <= bound,
+                "{name}: {} rounds exceed certified bound {bound}",
+                run.rounds
+            );
+            for s in &run.round_stats {
+                assert!(
+                    s.bound_margin >= 0,
+                    "{name}: negative bound margin {}",
+                    s.bound_margin
+                );
+                assert!(
+                    s.strata >= 1 || s.active_rules == 0,
+                    "{name}: active round reports no strata"
+                );
+            }
+        }
+        None => assert_eq!(
+            cert.class,
+            rock::rees::TerminationClass::Unbounded,
+            "{name}: only unbounded rulesets may lack a resolved bound"
+        ),
+    }
+}
+
 fn pruned_total(r: &ChaseResult) -> usize {
     r.round_stats.iter().map(|s| s.rules_pruned).sum()
 }
@@ -174,6 +219,84 @@ proptest! {
         let graph = run(true);
         assert_same_repairs(&classic, &graph);
         prop_assert!(rule_rounds(&graph) <= rule_rounds(&classic));
+    }
+
+    /// Certified stratified scheduling ≡ classic activation on the
+    /// synthetic cascade, across gate modes and evaluation mechanisms —
+    /// and the run always stays inside its certificate.
+    #[test]
+    fn certified_schedule_equals_classic(
+        rows in prop::collection::vec((0u8..4, 0u8..3, 0u8..3, prop::option::of(0u8..2)), 2..12),
+        strict in any::<bool>(),
+        semi_naive in any::<bool>(),
+    ) {
+        let schema = schema();
+        let rs = rock::rees::RuleSet::new(parse_rules(rules_text(), &schema).unwrap());
+        let db = build_db(&rows);
+        let reg = ModelRegistry::new();
+        let run = |use_schedule: bool| {
+            let cfg = ChaseConfig {
+                gate: if strict { GateMode::Strict } else { GateMode::Resolved },
+                semi_naive,
+                use_schedule,
+                ..ChaseConfig::default()
+            };
+            ChaseEngine::new(&rs, &reg, cfg).run(&db, &[])
+        };
+        let classic = run(false);
+        let sched = run(true);
+        assert_same_repairs(&classic, &sched);
+        prop_assert!(classic.certification.is_none(), "classic runs are uncertified");
+        assert_certified(&sched, "synthetic");
+        prop_assert!(rule_rounds(&sched) <= rule_rounds(&classic));
+    }
+
+    /// The ISSUE acceptance property on real workloads: `use_schedule`
+    /// repairs byte-identically to the classic oracle on all three
+    /// standard workloads with no more rule × round pairs, and every
+    /// curated ruleset earns a finite-bound termination certificate.
+    #[test]
+    fn certified_schedule_equals_classic_on_workloads(
+        which in 0usize..3,
+        rows in 8usize..32,
+    ) {
+        let cfg = GenConfig { rows, ..GenConfig::default() };
+        let w = match which {
+            0 => rock::workloads::bank::generate(&cfg),
+            1 => rock::workloads::logistics::generate(&cfg),
+            _ => rock::workloads::sales::generate(&cfg),
+        };
+        let policy = ConflictPolicy {
+            mc: w.registry.id("Mc"),
+            mrank: ["Mstatus", "Mtier", "Mrank"]
+                .iter()
+                .find_map(|n| w.registry.id(n)),
+        };
+        let run = |use_schedule: bool| {
+            let cfg = ChaseConfig {
+                max_rounds: 32,
+                policy: policy.clone(),
+                use_schedule,
+                ..ChaseConfig::default()
+            };
+            let engine = ChaseEngine::new(&w.rules, &w.registry, cfg);
+            let engine = match &w.graph {
+                Some(g) => engine.with_graph(g),
+                None => engine,
+            };
+            engine.run(&w.dirty, &w.trusted)
+        };
+        let classic = run(false);
+        let sched = run(true);
+        assert_same_repairs(&classic, &sched);
+        prop_assert!(rule_rounds(&sched) <= rule_rounds(&classic));
+        assert_certified(&sched, "workload");
+        let cert = sched.certification.as_ref().unwrap();
+        prop_assert!(
+            cert.bound.is_some() && cert.resolved_bound.is_some(),
+            "curated ruleset must earn a finite-bound certificate, got {:?}",
+            cert.class
+        );
     }
 
     /// Defect recall is seed-independent: every injected defect is
@@ -256,6 +379,17 @@ fn curated_rulesets_analyze_clean() {
             report.diagnostics
         );
         assert_eq!(report.exit_code(), 0);
+        // every curated ruleset earns a finite-bound termination
+        // certificate — the certifier never refuses a bound on them
+        assert_ne!(
+            report.schedule.class,
+            rock::rees::TerminationClass::Unbounded,
+            "{name} curated rules must certify as terminating"
+        );
+        assert!(
+            report.schedule.bound.is_some(),
+            "{name} curated rules must earn a finite round bound"
+        );
     }
 }
 
