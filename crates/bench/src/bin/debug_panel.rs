@@ -70,6 +70,123 @@ fn main() {
         }
         return;
     }
+    if args.first().map(|s| s.as_str()) == Some("wal") {
+        // `debug_panel wal <dir>` — inspect a durability directory: the
+        // segment map, live vs compactable bytes, the checkpoint chain
+        // (full vs delta links), and the health a resume would infer.
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: debug_panel wal <durability-dir>");
+            std::process::exit(2);
+        };
+        let dir = std::path::Path::new(dir);
+        let scan = match rock_chase::read_wal_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("unreadable WAL dir {}: {e}", dir.display());
+                std::process::exit(3);
+            }
+        };
+        println!(
+            "WAL: {} segment(s), {} committed-prefix records, fingerprint {:#018x}",
+            scan.segments.len(),
+            scan.records.len(),
+            scan.fingerprint.unwrap_or(0)
+        );
+        for s in &scan.segments {
+            println!(
+                "  {}  bytes={}  valid={}  records={}{}",
+                rock_chase::segment_file_name(s.seq),
+                s.bytes,
+                s.valid_len,
+                s.records,
+                if s.corrupt_tail { "  CORRUPT TAIL" } else { "" }
+            );
+        }
+        let mut batches = 0u64;
+        let mut last_batch = 1u64;
+        let mut newest: Option<(rock_chase::WalPos, u64, String, u32)> = None;
+        for (pos, rec) in &scan.records {
+            match rec {
+                rock_chase::WalRecord::BatchBegin { batch, .. } => {
+                    batches += 1;
+                    last_batch = *batch;
+                }
+                rock_chase::WalRecord::RoundCommit {
+                    round,
+                    checkpoint: Some(name),
+                    state_crc,
+                } => newest = Some((*pos, *round, name.clone(), *state_crc)),
+                _ => {}
+            }
+        }
+        if batches > 0 {
+            println!("session: {batches} incremental batch(es), latest batch {last_batch}");
+        }
+        let vfs = rock_crystal::FaultVfs::clean();
+        match newest {
+            None => println!(
+                "health: no durable round — resume would fall back to a fresh run{}",
+                if scan.corrupt_tail {
+                    " (corrupt tail)"
+                } else {
+                    ""
+                }
+            ),
+            Some((pos, round, name, crc)) => {
+                let chain = rock_chase::checkpoint_chain(&vfs, dir, &name, crc);
+                println!("checkpoint chain (newest first, ends at round {round}):");
+                let mut chain_names = Vec::new();
+                for e in &chain {
+                    println!(
+                        "  {}  {}  round={}  bytes={}  crc={}",
+                        e.name,
+                        if e.full { "FULL " } else { "delta" },
+                        e.round,
+                        e.bytes,
+                        if e.crc_ok { "ok" } else { "MISMATCH" }
+                    );
+                    chain_names.push(e.name.clone());
+                }
+                let (mut live, mut compactable) = (0u64, 0u64);
+                for s in &scan.segments {
+                    let path = dir.join(rock_chase::segment_file_name(s.seq));
+                    let bytes = vfs.file_size(&path).unwrap_or(s.bytes);
+                    if s.seq < pos.seg {
+                        compactable += bytes;
+                    } else {
+                        live += bytes;
+                    }
+                }
+                let mut stale_ckpts = 0u64;
+                if let Ok(entries) = vfs.list_dir(dir) {
+                    for p in entries {
+                        let n = p
+                            .file_name()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or_default()
+                            .to_string();
+                        if n.starts_with("checkpoint-") && !chain_names.contains(&n) {
+                            stale_ckpts += vfs.file_size(&p).unwrap_or(0);
+                        }
+                    }
+                }
+                println!(
+                    "segments: {live} live bytes (seq >= {}), {compactable} compactable bytes \
+                     (covered by {name}); stale checkpoint bytes: {stale_ckpts}",
+                    pos.seg
+                );
+                println!(
+                    "health: {} — resume would recover round {round} from {name}",
+                    if scan.corrupt_tail {
+                        "corrupt tail (crashed append; resume truncates past it)"
+                    } else {
+                        "clean"
+                    }
+                );
+            }
+        }
+        return;
+    }
     if args.first().map(|s| s.as_str()) == Some("crystal") {
         // Seeded chaos run over the Logistics correction task; prints the
         // scheduler's fault-handling counters. Seed from argv[1] or

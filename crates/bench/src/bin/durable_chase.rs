@@ -161,12 +161,18 @@ fn main() {
             std::process::exit(3);
         }
         eprintln!(
-            "chase done: rounds={} changes={} wal_records={} checkpoints={} resumed_from={:?}",
+            "chase done: rounds={} changes={} wal_records={} checkpoints={} (full={} delta={}) \
+             segments_rotated={} compacted={} resumed_from={:?} health={:?}",
             res.rounds,
             res.changes.len(),
             s.records,
             s.checkpoints,
-            s.resumed_from
+            s.full_checkpoints,
+            s.delta_checkpoints,
+            s.segments_rotated,
+            s.segments_compacted,
+            s.resumed_from,
+            s.health
         );
     }
 

@@ -17,6 +17,9 @@
 //! errors, stragglers and a node crash; seed via `ROCK_CHAOS_SEED`),
 //! durability (WAL + checkpoint chase: byte-identical durable repairs,
 //! resume-from-every-round, provenance query per repaired cell),
+//! crashsim (storage fault injection: crash sweep over the recorded I/O
+//! trace, WAL disk bound after compaction, degradation ladder; seed via
+//! `ROCK_CRASHSIM_SEED`),
 //! columnar (typed-column data plane vs row store: byte-identical
 //! detections and repairs on all workloads, >=2x vectorized scan speedup).
 //! Output is printed and written to `results/` (atomically: temp+rename).
@@ -106,6 +109,7 @@ fn main() {
             "certify",
             "chaos",
             "durability",
+            "crashsim",
             "columnar",
             "summary",
         ]
@@ -141,11 +145,12 @@ fn main() {
             "certify" => panels::certify(),
             "chaos" => panels::chaos(),
             "durability" => panels::durability(),
+            "crashsim" => panels::crashsim(),
             "columnar" => panels::columnar(),
             "summary" => summary(),
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, certify, chaos, durability, columnar, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, certify, chaos, durability, crashsim, columnar, summary, or all"
                 );
                 std::process::exit(2);
             }
@@ -158,6 +163,13 @@ fn main() {
                 for k in ["overhead_ratio", "resume_points", "checkpoints"] {
                     if let Some(v) = json.get(k) {
                         trajectory_metrics.insert(format!("durability_{k}"), v.clone());
+                    }
+                }
+            }
+            "crashsim" => {
+                for k in ["wal_disk_bound_ratio", "recovery_wall_ratio"] {
+                    if let Some(v) = json.get(k) {
+                        trajectory_metrics.insert(k.to_string(), v.clone());
                     }
                 }
             }

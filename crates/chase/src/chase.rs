@@ -22,7 +22,9 @@ use crate::conflict::ConflictPolicy;
 use crate::delta::{DeltaSet, RoundStats};
 use crate::fixes::{ChaseOrderOracle, EntityKey, FixStore, MergeOutcome};
 use crate::order::OrderInsert;
-use crate::wal::{DurabilityConfig, DurabilityCtx, FixKind, RoundFix, WalError, WalSummary};
+use crate::wal::{
+    DurabilityConfig, DurabilityCtx, FixKind, RoundFix, WalError, WalHealth, WalSummary,
+};
 use rock_crystal::work::{partition_range, Partition};
 use rock_crystal::{Cluster, ClusterConfig, FaultStats, UnitFailure, WorkUnit};
 use rock_data::{AttrId, CellRef, Database, Delta, GlobalTid, RelId, TupleId, Update, Value};
@@ -71,6 +73,13 @@ struct LoopState {
     steps: usize,
     rounds: usize,
     round_stats: Vec<RoundStats>,
+    /// ΔD batch this loop belongs to (1 for plain runs; durable sessions
+    /// increment it per [`ChaseEngine::run_incremental_durable`] step).
+    batch: u64,
+    /// Global rounds committed by earlier batches of a durable session:
+    /// `rounds - round_base` is this batch's own round count, and all
+    /// budget/bound accounting is relative to it.
+    round_base: usize,
     /// Loop decided to stop after the last completed round; resume skips
     /// straight to the final ER materialization.
     done: bool,
@@ -342,6 +351,13 @@ impl ChaseResult {
             .map(|durs| rock_crystal::scheduler::makespan_lpt(durs, workers))
             .sum()
     }
+
+    /// Typed durability health of the run (`None` when durability was not
+    /// configured). `Degraded` means the log is incomplete — the repairs
+    /// themselves are still byte-identical to the in-memory oracle.
+    pub fn wal_health(&self) -> Option<&WalHealth> {
+        self.wal.as_ref().map(|w| &w.health)
+    }
 }
 
 struct EntityIdx {
@@ -454,14 +470,21 @@ impl<'a> ChaseEngine<'a> {
     ) -> Result<ChaseResult, rock_data::DataError> {
         let mut work = db.clone();
         let inserted = work.apply(delta)?;
-        let mut seed = DeltaSet::empty(&work);
-        let mut ins = inserted.into_iter();
+        let seed = Self::seed_from_delta(&work, delta, &inserted);
+        Ok(self.run_inner(work, trusted, Some(seed), FixStore::new()))
+    }
+
+    /// The round-1 delta of an incremental run: the tuples ΔD touched,
+    /// sized to the post-apply database. `inserted` is `Database::apply`'s
+    /// return (inserted ids in update order).
+    fn seed_from_delta(work: &Database, delta: &Delta, inserted: &[TupleId]) -> DeltaSet {
+        let mut seed = DeltaSet::empty(work);
+        let mut ins = inserted.iter();
         for u in &delta.updates {
             match u {
                 Update::Insert { rel, .. } => {
-                    // `apply` returns inserted ids in update order
                     if let Some(tid) = ins.next() {
-                        seed.mark(*rel, tid);
+                        seed.mark(*rel, *tid);
                     }
                 }
                 Update::Delete { rel, tid } | Update::SetCell { rel, tid, .. } => {
@@ -469,7 +492,127 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
         }
-        Ok(self.run_inner(work, trusted, Some(seed), FixStore::new()))
+        seed
+    }
+
+    /// One ΔD batch of a **durable incremental session**: semantically the
+    /// fold `run_incremental(run_incremental(db, Δ1).db, Δ2)…`, but with
+    /// the session state persisted in `config.durability.dir` so a crashed
+    /// batch resumes mid-stream via [`ChaseEngine::resume`] and the next
+    /// batch continues from the durable state.
+    ///
+    /// Behaviour per call:
+    /// 1. **Empty durability dir** — runs a plain durable incremental
+    ///    batch 1 over `db`.
+    /// 2. **Existing session** — first brings the log current (finishing a
+    ///    crashed batch durably; a no-op when the last batch completed),
+    ///    then starts batch N+1 from the previous batch's materialized
+    ///    database: applies ΔD, logs a `BatchBegin` record, and chases
+    ///    with a fresh fix store (matching the in-memory fold). `db` is
+    ///    ignored in this case — the durable state is authoritative.
+    ///
+    /// `trusted` must be the same set across all batches of a session (it
+    /// is re-applied idempotently on resume). Fix ids and provenance
+    /// parents continue across batches, so `ProvenanceGraph::load` answers
+    /// "why" across the whole session.
+    pub fn run_incremental_durable(
+        &self,
+        db: &Database,
+        trusted: &[GlobalTid],
+        delta: &Delta,
+    ) -> Result<ChaseResult, WalError> {
+        let cfg = self
+            .config
+            .durability
+            .clone()
+            .ok_or(WalError::NotConfigured)?;
+        if crate::wal::list_segments(&cfg.vfs, &cfg.dir)?.is_empty() {
+            return self
+                .run_incremental(db, trusted, delta)
+                .map_err(|e| WalError::Codec(e.to_string()));
+        }
+        // Bring the existing log current: a crashed batch finishes its
+        // remaining rounds durably; a completed one just re-materializes.
+        let finished = self.resume(trusted)?;
+        let mut work = finished.db;
+        // Re-locate for the durable position/state the new batch chains to.
+        let rp = checkpoint::locate(&cfg, self.fingerprint(), None)?;
+        let batch = rp.checkpoint.batch.max(1) + 1;
+        let round_base = rp.checkpoint.round;
+        let inserted = work
+            .apply(delta)
+            .map_err(|e| WalError::Codec(e.to_string()))?;
+        let seed = Self::seed_from_delta(&work, delta, &inserted);
+        // Fresh fix store per batch, like the in-memory fold; Strict mode
+        // re-seeds Γ= from the trusted tuples of the *current* database.
+        let mut fixes = FixStore::new();
+        for t in trusted {
+            fixes.trust_tuple(*t);
+        }
+        if self.config.gate == GateMode::Strict {
+            for t in trusted {
+                let rel = work.relation(t.rel);
+                if let Some(tu) = rel.get(t.tid) {
+                    for (i, v) in tu.values.iter().enumerate() {
+                        if !v.is_null() {
+                            fixes.set_value(
+                                EntityKey::new(t.rel, tu.eid),
+                                t.rel,
+                                AttrId(i as u16),
+                                v.clone(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let schedule = self.build_schedule(&work);
+        let mut active: FxHashSet<usize> = (0..self.rules.len())
+            .filter(|&i| {
+                self.rules.rules[i]
+                    .tuple_vars
+                    .iter()
+                    .any(|(_, r)| seed.rel_count(*r) > 0)
+            })
+            .collect();
+        let mut pruned_carry = 0usize;
+        if let Some(s) = &schedule {
+            let before = active.len();
+            active.retain(|&ri| !s.graph.dead[ri]);
+            pruned_carry = before - active.len();
+        }
+        let nrules = self.rules.len();
+        let st = LoopState {
+            work_db: work,
+            fixes,
+            active,
+            pruned_carry,
+            seeded: true,
+            pending: vec![seed.clone(); nrules],
+            carry: vec![None; nrules],
+            cumulative: seed,
+            changes: Vec::new(),
+            merged_pairs: Vec::new(),
+            conflicts: 0,
+            steps: 0,
+            rounds: round_base as usize,
+            round_stats: Vec::new(),
+            batch,
+            round_base: round_base as usize,
+            done: false,
+        };
+        let writer = checkpoint::reopen_writer(&cfg, rp.pos, self.fingerprint())?;
+        let prev = rp.prev();
+        let mut dur = DurabilityCtx::attach(cfg, writer, prev, round_base);
+        dur.begin_batch(batch, round_base);
+        // Batch-opening checkpoint: the post-ΔD state becomes durable
+        // *before* the first round runs, so a crash anywhere in this batch
+        // (even before its first commit) resumes with the delta applied —
+        // and a batch that activates nothing still advances the session.
+        // It re-uses the previous batch's final round number; being a
+        // batch boundary it is always encoded as a full document.
+        dur.commit_round(round_base, &[], Some(self.make_checkpoint(&st)));
+        Ok(self.run_loop(st, schedule, Some(dur)))
     }
 
     fn rule_reads(&self, rule: &Rule) -> FxHashSet<(RelId, AttrId)> {
@@ -580,6 +723,8 @@ impl<'a> ChaseEngine<'a> {
             steps: 0,
             rounds: 0,
             round_stats: Vec::new(),
+            batch: 1,
+            round_base: 0,
             done: false,
         };
         let dur = self
@@ -648,7 +793,8 @@ impl<'a> ChaseEngine<'a> {
             .clone()
             .ok_or(WalError::NotConfigured)?;
         let rp = checkpoint::locate(&cfg, self.fingerprint(), at)?;
-        let writer = checkpoint::reopen_writer(&cfg, rp.wal_offset)?;
+        let writer = checkpoint::reopen_writer(&cfg, rp.pos, self.fingerprint())?;
+        let prev = rp.prev();
         let ck = rp.checkpoint;
         let mut fixes = FixStore::from_snapshot(&ck.fixes);
         for t in trusted {
@@ -669,10 +815,12 @@ impl<'a> ChaseEngine<'a> {
             steps: ck.steps,
             rounds: ck.round as usize,
             round_stats: ck.round_stats,
+            batch: ck.batch.max(1),
+            round_base: ck.round_base as usize,
             done: ck.done,
         };
         let schedule = self.build_schedule(&st.work_db);
-        let dur = DurabilityCtx::attach(cfg, writer, rp.next_fix_id, rp.last_fix, ck.round);
+        let dur = DurabilityCtx::attach(cfg, writer, prev, ck.round);
         Ok(self.run_loop(st, schedule, Some(dur)))
     }
 
@@ -732,7 +880,10 @@ impl<'a> ChaseEngine<'a> {
         let mut fault_stats = FaultStats::default();
         let mut unit_failures: Vec<UnitFailure> = Vec::new();
 
-        while !st.done && st.rounds < self.config.max_rounds && !st.active.is_empty() {
+        while !st.done
+            && st.rounds - st.round_base < self.config.max_rounds
+            && !st.active.is_empty()
+        {
             st.rounds += 1;
             // Rules with a quarantined unit this round: their round is
             // voided (partial emissions discarded, carry dropped, pending
@@ -754,7 +905,8 @@ impl<'a> ChaseEngine<'a> {
                 // margin left under the certified bound after this round;
                 // monotonically decreasing, and never negative on a run
                 // whose certificate holds
-                stat.bound_margin = resolved_bound.map_or(0, |b| b as i64 - st.rounds as i64);
+                stat.bound_margin =
+                    resolved_bound.map_or(0, |b| b as i64 - (st.rounds - st.round_base) as i64);
             }
             // Full scan when: batch round 1, the full-rescan ablation, or a
             // rule first activated mid-run (it has no carry to complete a
@@ -762,7 +914,9 @@ impl<'a> ChaseEngine<'a> {
             let full_mode: Vec<bool> = (0..nrules)
                 .map(|ri| {
                     !st.seeded
-                        && (st.rounds == 1 || !self.config.semi_naive || st.carry[ri].is_none())
+                        && (st.rounds - st.round_base == 1
+                            || !self.config.semi_naive
+                            || st.carry[ri].is_none())
                 })
                 .collect();
             // valuation tuples supporting each deduped proposal, and the
@@ -1436,9 +1590,9 @@ impl<'a> ChaseEngine<'a> {
                 resolved_bound,
                 strata: s.strata.len(),
                 violation: resolved_bound.and_then(|b| {
-                    (st.rounds as u64 > b).then_some(CertViolation {
+                    ((st.rounds - st.round_base) as u64 > b).then_some(CertViolation {
                         certified: b,
-                        observed: st.rounds as u64,
+                        observed: (st.rounds - st.round_base) as u64,
                     })
                 }),
             }),
@@ -1448,7 +1602,7 @@ impl<'a> ChaseEngine<'a> {
         ChaseResult {
             db: st.work_db,
             fixes: st.fixes,
-            rounds: st.rounds,
+            rounds: st.rounds - st.round_base,
             changes: st.changes,
             merged_pairs: st.merged_pairs,
             conflicts: st.conflicts,
@@ -1470,6 +1624,8 @@ impl<'a> ChaseEngine<'a> {
             version: CHECKPOINT_VERSION,
             fingerprint: self.fingerprint(),
             round: st.rounds as u64,
+            batch: st.batch,
+            round_base: st.round_base as u64,
             done: st.done,
             db: st.work_db.clone(),
             fixes: st.fixes.to_snapshot(),
@@ -1484,6 +1640,10 @@ impl<'a> ChaseEngine<'a> {
             conflicts: st.conflicts,
             steps: st.steps,
             round_stats: st.round_stats.clone(),
+            // provenance id state is stamped by the durability context at
+            // write time (it owns the fix-id counter)
+            next_fix_id: 0,
+            last_fix: Vec::new(),
         }
     }
 
@@ -1502,20 +1662,10 @@ impl<'a> ChaseEngine<'a> {
         let round = st.rounds as u64;
         let due = st.done
             || st.active.is_empty()
-            || st.rounds >= self.config.max_rounds
+            || st.rounds - st.round_base >= self.config.max_rounds
             || d.cfg.snapshot_every <= 1
             || st.rounds % d.cfg.snapshot_every == 0;
-        let checkpoint = if due {
-            match self.make_checkpoint(st).to_bytes() {
-                Ok(bytes) => Some((ChaseCheckpoint::file_name(round), bytes)),
-                Err(e) => {
-                    d.error = Some(e.to_string());
-                    None
-                }
-            }
-        } else {
-            None
-        };
+        let checkpoint = due.then(|| self.make_checkpoint(st));
         d.commit_round(round, round_fixes, checkpoint);
         if d.cfg.crash_at_round == Some(st.rounds) {
             // planned crash drill (the CI kill-and-resume job): die hard

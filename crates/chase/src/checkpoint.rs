@@ -1,10 +1,24 @@
-//! Round-boundary checkpoints and the crash-recovery locator.
+//! Round-boundary checkpoints (full + incremental) and the crash-recovery
+//! locator.
 //!
 //! A [`ChaseCheckpoint`] is the complete loop state of `run_inner` at a
 //! round boundary: every round is a deterministic function of this state,
 //! so `checkpoint(round k)` + re-running rounds `k+1..` reproduces an
 //! uninterrupted run *byte-identically* (enforced by the CI kill-and-
-//! resume job and `tests/wal_durability.rs`).
+//! resume job, the crashsim sweep, and `tests/wal_durability.rs`).
+//!
+//! On disk a checkpoint is a [`CheckpointDoc`]: either a **full** snapshot
+//! or a **delta** against the previous snapshot. A delta stores only the
+//! cells/eids of the working database that changed, the per-rule
+//! pending/carry slots that changed, and the suffixes of the append-only
+//! accumulators (changes, merged pairs, round stats); the fix store,
+//! activation set, and cumulative delta ride along verbatim (they are
+//! small next to the database). Deltas chain back to their full through
+//! `(base_name, base_crc)` pairs — `base_crc` is the CRC-32 of the base
+//! *file*, the same value the base's own `RoundCommit` marker carries, so
+//! one flipped bit anywhere in the chain invalidates every checkpoint
+//! built on it. [`DurabilityConfig::full_every`] inserts periodic fulls to
+//! bound chain length and re-anchor compaction.
 //!
 //! Recovery invariants:
 //!
@@ -12,26 +26,39 @@
 //!    `RoundCommit` marker is appended — a marker in the WAL's valid
 //!    prefix implies its checkpoint is complete on disk.
 //! 2. Resume picks the **last** commit marker in the valid prefix whose
-//!    checkpoint file exists, parses, and matches the marker's CRC-32,
-//!    falling back to earlier markers if a file was lost.
+//!    checkpoint *chain* exists, parses, and matches every CRC link,
+//!    falling back to earlier markers if any file in the chain was lost
+//!    or damaged.
 //! 3. The WAL is truncated to the chosen marker before appending — the
 //!    re-run rounds regenerate their records in place, so replay after
 //!    any number of crashes is idempotent.
-//! 4. Timing observability (`round_makespans`, fault counters) is *not*
+//! 4. Whether round k's checkpoint is full or delta is a pure function of
+//!    `(round, round_base, full_every, previous checkpoint)` — a resumed
+//!    run makes the same choices as the uninterrupted one, keeping the
+//!    on-disk chain byte-identical across crashes.
+//! 5. Timing observability (`round_makespans`, fault counters) is *not*
 //!    checkpointed: it restarts empty on resume. Repair state — database,
-//!    fixes, deltas, carries, changes — is complete.
+//!    fixes, deltas, carries, changes — is complete, and since v2 the
+//!    provenance id state (`next_fix_id`, `last_fix`) is stored in the
+//!    document itself, so resume needs no WAL replay and compaction may
+//!    drop segments older than the latest full.
 
 use crate::chase::Proposal;
 use crate::delta::{DeltaSet, RoundStats};
 use crate::fixes::FixSnapshot;
-use crate::wal::{self, DurabilityConfig, WalError, WalRecord, WalWriter, WAL_FILE};
-use rock_crystal::crc32;
-use rock_data::{CellRef, Database, GlobalTid, Value};
-use rustc_hash::FxHashMap;
+use crate::wal::{self, DurabilityConfig, WalError, WalPos, WalRecord, WalWriter};
+use rock_crystal::{crc32, FaultVfs};
+use rock_data::{AttrId, CellRef, Database, Eid, GlobalTid, RelId, TupleId, Value};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Bumped when the checkpoint encoding changes incompatibly.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2: self-contained provenance id state, session batches, delta docs.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Hard cap on delta-chain length: a longer chain means a corrupt or
+/// cyclic `base_name` graph, not a real configuration.
+const MAX_CHAIN: usize = 1024;
 
 /// Complete chase loop state at a round boundary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,8 +66,13 @@ pub struct ChaseCheckpoint {
     pub version: u32,
     /// Engine fingerprint (rules + config) the state belongs to.
     pub fingerprint: u64,
-    /// Rounds completed when this checkpoint was taken.
+    /// Rounds completed when this checkpoint was taken (global across the
+    /// batches of a durable session).
     pub round: u64,
+    /// ΔD batch this state belongs to (1 for plain runs).
+    pub batch: u64,
+    /// Global rounds committed by earlier batches of the session.
+    pub round_base: u64,
     /// True when the loop decided to stop after this round — resume then
     /// skips straight to the final materialization.
     pub done: bool,
@@ -55,19 +87,29 @@ pub struct ChaseCheckpoint {
     pub pending: Vec<DeltaSet>,
     /// Per-rule carried emissions (valuation tuples + proposal).
     pub carry: Vec<Option<Vec<(Vec<GlobalTid>, Proposal)>>>,
-    /// Union of every committed delta since chase start.
+    /// Union of every committed delta since the batch started.
     pub cumulative: DeltaSet,
     pub changes: Vec<(CellRef, Value, Value)>,
     pub merged_pairs: Vec<(GlobalTid, GlobalTid)>,
     pub conflicts: usize,
     pub steps: usize,
     pub round_stats: Vec<RoundStats>,
+    /// Provenance id state as of this round's commit marker: the next fix
+    /// id and the last fix that touched each tuple (sorted). Filled by the
+    /// durability context at write time.
+    pub next_fix_id: u64,
+    pub last_fix: Vec<(GlobalTid, u64)>,
 }
 
 impl ChaseCheckpoint {
-    /// Canonical checkpoint file name for a round.
+    /// Canonical file name of a **full** checkpoint for a round.
     pub fn file_name(round: u64) -> String {
         format!("checkpoint-{round:06}.json")
+    }
+
+    /// Canonical file name of a **delta** checkpoint for a round.
+    pub fn delta_file_name(round: u64) -> String {
+        format!("checkpoint-{round:06}.delta.json")
     }
 
     pub fn to_bytes(&self) -> Result<Vec<u8>, WalError> {
@@ -79,25 +121,432 @@ impl ChaseCheckpoint {
     }
 }
 
-/// Everything `ChaseEngine::resume` needs: the recovered state, where to
-/// truncate the WAL, and the replayed provenance-id state.
+/// Incremental checkpoint: the difference between this round's state and
+/// `base_name`'s (the previously written checkpoint). Everything not
+/// listed is inherited from the base.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointDelta {
+    pub version: u32,
+    pub fingerprint: u64,
+    pub round: u64,
+    pub batch: u64,
+    pub round_base: u64,
+    pub done: bool,
+    /// Round of the checkpoint this delta builds on.
+    pub base_round: u64,
+    /// File name of the base document.
+    pub base_name: String,
+    /// CRC-32 of the base document's bytes (= the base marker's
+    /// `state_crc`) — the chain link.
+    pub base_crc: u32,
+    /// Working-database cells whose value changed since the base.
+    pub cells: Vec<(CellRef, Value)>,
+    /// Tuples whose entity id changed since the base (defensive: the loop
+    /// only materializes eids after it finishes).
+    pub eids: Vec<(RelId, TupleId, Eid)>,
+    /// Fix store, verbatim (small next to the database).
+    pub fixes: FixSnapshot,
+    pub active: Vec<usize>,
+    pub pruned_carry: usize,
+    pub seeded: bool,
+    /// Per-rule pending slots that differ from the base.
+    pub pending: Vec<(usize, DeltaSet)>,
+    /// Per-rule carry slots that differ from the base.
+    pub carry: Vec<(usize, Option<Vec<(Vec<GlobalTid>, Proposal)>>)>,
+    pub cumulative: DeltaSet,
+    /// `changes` is append-only within a batch: the base's length plus the
+    /// new suffix reconstructs it.
+    pub changes_base: usize,
+    pub changes_suffix: Vec<(CellRef, Value, Value)>,
+    pub merged_base: usize,
+    pub merged_suffix: Vec<(GlobalTid, GlobalTid)>,
+    pub conflicts: usize,
+    pub steps: usize,
+    pub stats_base: usize,
+    pub stats_suffix: Vec<RoundStats>,
+    pub next_fix_id: u64,
+    pub last_fix: Vec<(GlobalTid, u64)>,
+}
+
+/// What actually sits in a `checkpoint-*.json` file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CheckpointDoc {
+    Full(ChaseCheckpoint),
+    Delta(CheckpointDelta),
+}
+
+impl CheckpointDoc {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WalError> {
+        serde_json::from_slice(bytes).map_err(|e| WalError::Codec(e.to_string()))
+    }
+}
+
+/// Borrowing serializer for [`CheckpointDoc`] (avoids cloning a full
+/// database image just to write it). Variant names must match.
+#[derive(Serialize)]
+enum CheckpointDocSer<'a> {
+    Full(&'a ChaseCheckpoint),
+    Delta(&'a CheckpointDelta),
+}
+
+/// The last checkpoint the durability context wrote: the delta base, its
+/// file identity, and the live chain (full first) that compaction must
+/// keep.
+pub(crate) struct PrevCheckpoint {
+    pub(crate) state: ChaseCheckpoint,
+    pub(crate) name: String,
+    pub(crate) crc: u32,
+    pub(crate) chain: Vec<String>,
+}
+
+/// A checkpoint encoded for writing.
+pub(crate) struct EncodedCheckpoint {
+    pub(crate) name: String,
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) is_full: bool,
+    /// The full materialized state (delta or not) — the next delta base.
+    pub(crate) state: ChaseCheckpoint,
+}
+
+/// True when round `round` of a batch rooted at `round_base` is scheduled
+/// to be a full checkpoint. Pure in its inputs (invariant 4).
+fn periodic_full(round: u64, round_base: u64, full_every: usize) -> bool {
+    if full_every <= 1 {
+        return true;
+    }
+    let k = round.saturating_sub(round_base).saturating_sub(1);
+    k % full_every as u64 == 0
+}
+
+/// Encode `ck` as a full or delta document per the schedule and the
+/// available base. Falls back to a full whenever a delta is unsafe (no
+/// base, batch boundary, shape change).
+pub(crate) fn encode_doc(
+    prev: Option<&PrevCheckpoint>,
+    ck: ChaseCheckpoint,
+    full_every: usize,
+) -> Result<EncodedCheckpoint, WalError> {
+    let delta = if periodic_full(ck.round, ck.round_base, full_every) {
+        None
+    } else {
+        prev.and_then(|p| diff_checkpoint(p, &ck))
+    };
+    match delta {
+        Some(d) => {
+            let bytes = serde_json::to_vec(&CheckpointDocSer::Delta(&d))
+                .map_err(|e| WalError::Codec(e.to_string()))?;
+            Ok(EncodedCheckpoint {
+                name: ChaseCheckpoint::delta_file_name(ck.round),
+                bytes,
+                is_full: false,
+                state: ck,
+            })
+        }
+        None => {
+            let bytes = serde_json::to_vec(&CheckpointDocSer::Full(&ck))
+                .map_err(|e| WalError::Codec(e.to_string()))?;
+            Ok(EncodedCheckpoint {
+                name: ChaseCheckpoint::file_name(ck.round),
+                bytes,
+                is_full: true,
+                state: ck,
+            })
+        }
+    }
+}
+
+/// Cell/eid difference between two working databases. `None` when the
+/// shapes diverge (different relations, capacities, or liveness) — then
+/// only a full checkpoint is safe.
+#[allow(clippy::type_complexity)]
+fn diff_db(
+    base: &Database,
+    new: &Database,
+) -> Option<(Vec<(CellRef, Value)>, Vec<(RelId, TupleId, Eid)>)> {
+    let base_rels: Vec<(RelId, &rock_data::Relation)> = base.iter().collect();
+    let new_rels: Vec<(RelId, &rock_data::Relation)> = new.iter().collect();
+    if base_rels.len() != new_rels.len() {
+        return None;
+    }
+    let mut cells = Vec::new();
+    let mut eids = Vec::new();
+    for ((rid, rb), (_, rn)) in base_rels.iter().zip(&new_rels) {
+        if rb.capacity() != rn.capacity() || rb.len() != rn.len() {
+            return None;
+        }
+        for tid in rn.tids() {
+            let tn = rn.get(tid)?;
+            let tb = rb.get(tid)?; // same liveness or bail to a full
+            if tb.values.len() != tn.values.len() {
+                return None;
+            }
+            if tb.eid != tn.eid {
+                eids.push((*rid, tid, tn.eid));
+            }
+            for (ai, (vb, vn)) in tb.values.iter().zip(&tn.values).enumerate() {
+                if vb != vn {
+                    cells.push((CellRef::new(*rid, tid, AttrId(ai as u16)), vn.clone()));
+                }
+            }
+        }
+    }
+    Some((cells, eids))
+}
+
+/// Compute the delta of `ck` against `p`. `None` forces a full checkpoint
+/// (batch boundary, engine change, non-monotonic accumulators, shape
+/// change).
+fn diff_checkpoint(p: &PrevCheckpoint, ck: &ChaseCheckpoint) -> Option<CheckpointDelta> {
+    let b = &p.state;
+    if b.fingerprint != ck.fingerprint
+        || b.batch != ck.batch
+        || ck.round <= b.round
+        || b.pending.len() != ck.pending.len()
+        || b.carry.len() != ck.carry.len()
+        || ck.changes.len() < b.changes.len()
+        || ck.changes[..b.changes.len()] != b.changes[..]
+        || ck.merged_pairs.len() < b.merged_pairs.len()
+        || ck.merged_pairs[..b.merged_pairs.len()] != b.merged_pairs[..]
+        || ck.round_stats.len() < b.round_stats.len()
+        || ck.round_stats[..b.round_stats.len()] != b.round_stats[..]
+    {
+        return None;
+    }
+    let (cells, eids) = diff_db(&b.db, &ck.db)?;
+    let pending = ck
+        .pending
+        .iter()
+        .enumerate()
+        .filter(|(i, d)| b.pending[*i] != **d)
+        .map(|(i, d)| (i, d.clone()))
+        .collect();
+    let carry = ck
+        .carry
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| b.carry[*i] != **c)
+        .map(|(i, c)| (i, c.clone()))
+        .collect();
+    Some(CheckpointDelta {
+        version: ck.version,
+        fingerprint: ck.fingerprint,
+        round: ck.round,
+        batch: ck.batch,
+        round_base: ck.round_base,
+        done: ck.done,
+        base_round: b.round,
+        base_name: p.name.clone(),
+        base_crc: p.crc,
+        cells,
+        eids,
+        fixes: ck.fixes.clone(),
+        active: ck.active.clone(),
+        pruned_carry: ck.pruned_carry,
+        seeded: ck.seeded,
+        pending,
+        carry,
+        cumulative: ck.cumulative.clone(),
+        changes_base: b.changes.len(),
+        changes_suffix: ck.changes[b.changes.len()..].to_vec(),
+        merged_base: b.merged_pairs.len(),
+        merged_suffix: ck.merged_pairs[b.merged_pairs.len()..].to_vec(),
+        conflicts: ck.conflicts,
+        steps: ck.steps,
+        stats_base: b.round_stats.len(),
+        stats_suffix: ck.round_stats[b.round_stats.len()..].to_vec(),
+        next_fix_id: ck.next_fix_id,
+        last_fix: ck.last_fix.clone(),
+    })
+}
+
+/// Materialize `base + delta` back into a full state. Inverse of
+/// [`diff_checkpoint`] — `apply_delta(b, diff(b, ck)) == ck` (checked by
+/// the round-trip unit test and, transitively, by every byte-identity
+/// assertion over resumed runs).
+pub(crate) fn apply_delta(
+    base: &ChaseCheckpoint,
+    d: &CheckpointDelta,
+) -> Result<ChaseCheckpoint, WalError> {
+    if d.base_round != base.round || d.fingerprint != base.fingerprint {
+        return Err(WalError::Mismatch(format!(
+            "delta for round {} bases on round {} but chained to round {}",
+            d.round, d.base_round, base.round
+        )));
+    }
+    let mut st = base.clone();
+    st.version = d.version;
+    st.round = d.round;
+    st.batch = d.batch;
+    st.round_base = d.round_base;
+    st.done = d.done;
+    let rels = st.db.iter().count();
+    for (cell, v) in &d.cells {
+        if cell.rel.index() >= rels
+            || !st
+                .db
+                .relation_mut(cell.rel)
+                .set_cell(cell.tid, cell.attr, v.clone())
+        {
+            return Err(WalError::Codec(format!(
+                "delta cell {cell} targets a dead tuple"
+            )));
+        }
+    }
+    for (rel, tid, eid) in &d.eids {
+        let tuple = if rel.index() < rels {
+            st.db.relation_mut(*rel).get_mut(*tid)
+        } else {
+            None
+        };
+        match tuple {
+            Some(t) => t.eid = *eid,
+            None => {
+                return Err(WalError::Codec(format!(
+                    "delta eid update targets a dead tuple {rel}.{tid}"
+                )))
+            }
+        }
+    }
+    st.fixes = d.fixes.clone();
+    st.active = d.active.clone();
+    st.pruned_carry = d.pruned_carry;
+    st.seeded = d.seeded;
+    for (i, p) in &d.pending {
+        match st.pending.get_mut(*i) {
+            Some(slot) => *slot = p.clone(),
+            None => {
+                return Err(WalError::Codec(format!(
+                    "delta pending rule {i} out of range"
+                )))
+            }
+        }
+    }
+    for (i, c) in &d.carry {
+        match st.carry.get_mut(*i) {
+            Some(slot) => *slot = c.clone(),
+            None => {
+                return Err(WalError::Codec(format!(
+                    "delta carry rule {i} out of range"
+                )))
+            }
+        }
+    }
+    st.cumulative = d.cumulative.clone();
+    if d.changes_base > st.changes.len()
+        || d.merged_base > st.merged_pairs.len()
+        || d.stats_base > st.round_stats.len()
+    {
+        return Err(WalError::Codec(
+            "delta suffix bases exceed base state".into(),
+        ));
+    }
+    st.changes.truncate(d.changes_base);
+    st.changes.extend(d.changes_suffix.iter().cloned());
+    st.merged_pairs.truncate(d.merged_base);
+    st.merged_pairs.extend(d.merged_suffix.iter().cloned());
+    st.round_stats.truncate(d.stats_base);
+    st.round_stats.extend(d.stats_suffix.iter().cloned());
+    st.conflicts = d.conflicts;
+    st.steps = d.steps;
+    st.next_fix_id = d.next_fix_id;
+    st.last_fix = d.last_fix.clone();
+    Ok(st)
+}
+
+/// Everything `ChaseEngine::resume` needs: the recovered (materialized)
+/// state, where to truncate the WAL, the chosen checkpoint's file
+/// identity, and the chain of files it depends on.
 pub struct ResumePoint {
     pub checkpoint: ChaseCheckpoint,
-    /// Byte offset one past the chosen `RoundCommit` frame.
-    pub wal_offset: u64,
-    pub next_fix_id: u64,
-    pub last_fix: FxHashMap<GlobalTid, u64>,
+    /// Position one past the chosen `RoundCommit` frame.
+    pub pos: WalPos,
+    /// File name of the chosen checkpoint document.
+    pub name: String,
+    /// CRC-32 of that document (= the marker's `state_crc`).
+    pub crc: u32,
+    /// Files the recovered state depends on, full first.
+    pub chain: Vec<String>,
+}
+
+impl ResumePoint {
+    pub(crate) fn prev(&self) -> PrevCheckpoint {
+        PrevCheckpoint {
+            state: self.checkpoint.clone(),
+            name: self.name.clone(),
+            crc: self.crc,
+            chain: self.chain.clone(),
+        }
+    }
+}
+
+/// Load and verify a checkpoint chain ending at `name`/`crc`, walking
+/// `base_name` links back to a full and re-applying the deltas oldest
+/// first. Any read error, CRC mismatch, parse failure, or fingerprint /
+/// version divergence anywhere in the chain fails the whole chain.
+fn load_chain(
+    vfs: &FaultVfs,
+    dir: &Path,
+    name: &str,
+    crc: u32,
+    fingerprint: u64,
+) -> Result<(ChaseCheckpoint, Vec<String>), WalError> {
+    let mut deltas: Vec<CheckpointDelta> = Vec::new();
+    let mut chain_rev: Vec<String> = Vec::new();
+    let mut cur_name = name.to_string();
+    let mut cur_crc = crc;
+    let full = loop {
+        if chain_rev.len() > MAX_CHAIN {
+            return Err(WalError::Codec("checkpoint chain too long".into()));
+        }
+        let bytes = vfs.read(&dir.join(&cur_name))?;
+        if crc32(&bytes) != cur_crc {
+            return Err(WalError::Mismatch(format!(
+                "checkpoint {cur_name} fails its CRC"
+            )));
+        }
+        chain_rev.push(cur_name.clone());
+        match CheckpointDoc::from_bytes(&bytes)? {
+            CheckpointDoc::Full(ck) => {
+                if ck.version != CHECKPOINT_VERSION || ck.fingerprint != fingerprint {
+                    return Err(WalError::Mismatch(format!(
+                        "checkpoint {cur_name} has version {} / fingerprint {:#x}",
+                        ck.version, ck.fingerprint
+                    )));
+                }
+                break ck;
+            }
+            CheckpointDoc::Delta(d) => {
+                if d.version != CHECKPOINT_VERSION || d.fingerprint != fingerprint {
+                    return Err(WalError::Mismatch(format!(
+                        "checkpoint {cur_name} has version {} / fingerprint {:#x}",
+                        d.version, d.fingerprint
+                    )));
+                }
+                cur_name = d.base_name.clone();
+                cur_crc = d.base_crc;
+                deltas.push(d);
+            }
+        }
+    };
+    let mut state = full;
+    for d in deltas.iter().rev() {
+        state = apply_delta(&state, d)?;
+    }
+    chain_rev.reverse();
+    Ok((state, chain_rev))
 }
 
 /// Locate the last durable round in `cfg.dir` (or the specific round
 /// `at`, for the resume-at-every-round oracle tests) and load its
-/// checkpoint. See the module docs for the recovery invariants.
+/// checkpoint chain. See the module docs for the recovery invariants.
+/// Reads go through `cfg.vfs`, so injected read faults exercise the
+/// fallback path.
 pub fn locate(
     cfg: &DurabilityConfig,
     fingerprint: u64,
     at: Option<u64>,
 ) -> Result<ResumePoint, WalError> {
-    let scan = wal::read_wal(&cfg.dir.join(WAL_FILE))?;
+    let scan = wal::read_wal_dir_vfs(&cfg.vfs, &cfg.dir)?;
     match scan.records.first() {
         Some((_, WalRecord::Begin { fingerprint: f })) if *f == fingerprint => {}
         Some((_, WalRecord::Begin { fingerprint: f })) => {
@@ -108,8 +557,8 @@ pub fn locate(
         _ => return Err(WalError::Mismatch("WAL has no Begin header".into())),
     }
     // candidate commit markers, newest last
-    let mut commits: Vec<(u64, u64, String, u32)> = Vec::new();
-    for (end, rec) in &scan.records {
+    let mut commits: Vec<(u64, WalPos, String, u32)> = Vec::new();
+    for (pos, rec) in &scan.records {
         if let WalRecord::RoundCommit {
             round,
             checkpoint: Some(name),
@@ -117,51 +566,198 @@ pub fn locate(
         } = rec
         {
             if at.is_none() || at == Some(*round) {
-                commits.push((*round, *end, name.clone(), *state_crc));
+                commits.push((*round, *pos, name.clone(), *state_crc));
             }
         }
     }
-    while let Some((round, end, name, state_crc)) = commits.pop() {
-        let Ok(bytes) = std::fs::read(cfg.dir.join(&name)) else {
+    while let Some((round, pos, name, state_crc)) = commits.pop() {
+        let Ok((state, chain)) = load_chain(&cfg.vfs, &cfg.dir, &name, state_crc, fingerprint)
+        else {
             continue;
         };
-        if crc32(&bytes) != state_crc {
+        if state.round != round {
             continue;
-        }
-        let ckpt = match ChaseCheckpoint::from_bytes(&bytes) {
-            Ok(c) => c,
-            Err(_) => continue,
-        };
-        if ckpt.version != CHECKPOINT_VERSION || ckpt.fingerprint != fingerprint {
-            continue;
-        }
-        debug_assert_eq!(ckpt.round, round);
-        // replay the surviving prefix to restore the provenance id state
-        let mut next_fix_id = 0u64;
-        let mut last_fix: FxHashMap<GlobalTid, u64> = FxHashMap::default();
-        for (rend, rec) in &scan.records {
-            if *rend > end {
-                break;
-            }
-            if let WalRecord::Fix(f) = rec {
-                next_fix_id = next_fix_id.max(f.id + 1);
-                for t in f.kind.touched() {
-                    last_fix.insert(t, f.id);
-                }
-            }
         }
         return Ok(ResumePoint {
-            checkpoint: ckpt,
-            wal_offset: end,
-            next_fix_id,
-            last_fix,
+            checkpoint: state,
+            pos,
+            name,
+            crc: state_crc,
+            chain,
         });
     }
     Err(WalError::NoDurableRound)
 }
 
+/// One link of a checkpoint chain, for the `debug_panel wal` inspector.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChainEntry {
+    pub name: String,
+    pub round: u64,
+    pub full: bool,
+    pub bytes: u64,
+    pub crc_ok: bool,
+}
+
+/// Walk the chain ending at `name`/`crc` tolerantly (for display): stops
+/// at the first unreadable or unparsable link instead of failing. Entries
+/// come back newest first.
+pub fn checkpoint_chain(vfs: &FaultVfs, dir: &Path, name: &str, crc: u32) -> Vec<ChainEntry> {
+    let mut out = Vec::new();
+    let mut cur_name = name.to_string();
+    let mut cur_crc = crc;
+    while out.len() <= MAX_CHAIN {
+        let Ok(bytes) = vfs.read(&dir.join(&cur_name)) else {
+            break;
+        };
+        let crc_ok = crc32(&bytes) == cur_crc;
+        let Ok(doc) = CheckpointDoc::from_bytes(&bytes) else {
+            out.push(ChainEntry {
+                name: cur_name,
+                round: 0,
+                full: false,
+                bytes: bytes.len() as u64,
+                crc_ok,
+            });
+            break;
+        };
+        match doc {
+            CheckpointDoc::Full(ck) => {
+                out.push(ChainEntry {
+                    name: cur_name,
+                    round: ck.round,
+                    full: true,
+                    bytes: bytes.len() as u64,
+                    crc_ok,
+                });
+                break;
+            }
+            CheckpointDoc::Delta(d) => {
+                out.push(ChainEntry {
+                    name: cur_name,
+                    round: d.round,
+                    full: false,
+                    bytes: bytes.len() as u64,
+                    crc_ok,
+                });
+                cur_name = d.base_name;
+                cur_crc = d.base_crc;
+            }
+        }
+    }
+    out
+}
+
 /// Open the WAL for appending at a resume point (truncating the crashed
-/// suffix).
-pub(crate) fn reopen_writer(cfg: &DurabilityConfig, offset: u64) -> Result<WalWriter, WalError> {
-    WalWriter::open_at(&cfg.dir.join(WAL_FILE), offset, cfg.sync)
+/// suffix and deleting younger segments).
+pub(crate) fn reopen_writer(
+    cfg: &DurabilityConfig,
+    pos: WalPos,
+    fingerprint: u64,
+) -> Result<WalWriter, WalError> {
+    WalWriter::open_at(cfg, pos, fingerprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_data::{AttrType, Attribute, DatabaseSchema, RelationSchema};
+
+    fn tiny_db(vals: &[i64]) -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "T",
+            vec![Attribute::new("a", AttrType::Int)],
+        )]);
+        let mut db = Database::new(&schema);
+        for v in vals {
+            db.relation_mut(RelId(0))
+                .insert_row(vec![Value::Int(*v)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn ck_at(round: u64, vals: &[i64]) -> ChaseCheckpoint {
+        let db = tiny_db(vals);
+        let cumulative = DeltaSet::empty(&db);
+        ChaseCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: 0xfeed,
+            round,
+            batch: 1,
+            round_base: 0,
+            done: false,
+            db,
+            fixes: FixSnapshot::default(),
+            active: vec![0],
+            pruned_carry: 0,
+            seeded: false,
+            pending: vec![cumulative.clone()],
+            carry: vec![None],
+            cumulative,
+            changes: Vec::new(),
+            merged_pairs: Vec::new(),
+            conflicts: 0,
+            steps: round as usize,
+            round_stats: Vec::new(),
+            next_fix_id: round,
+            last_fix: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn full_schedule_is_periodic_within_a_batch() {
+        // full_every = 3, batch rounds 1.. → full at 1, 4, 7, …
+        assert!(periodic_full(1, 0, 3));
+        assert!(!periodic_full(2, 0, 3));
+        assert!(!periodic_full(3, 0, 3));
+        assert!(periodic_full(4, 0, 3));
+        // batch 2 rooted at round_base 4 restarts the cycle
+        assert!(periodic_full(5, 4, 3));
+        assert!(!periodic_full(6, 4, 3));
+        // full_every = 1 → always full
+        assert!(periodic_full(9, 0, 1));
+    }
+
+    #[test]
+    fn diff_apply_round_trips() {
+        let base = ck_at(1, &[1, 2, 3]);
+        let mut next = ck_at(2, &[1, 2, 3]);
+        next.db
+            .relation_mut(RelId(0))
+            .set_cell(TupleId(1), AttrId(0), Value::Int(99));
+        next.changes.push((
+            CellRef::new(RelId(0), TupleId(1), AttrId(0)),
+            Value::Int(2),
+            Value::Int(99),
+        ));
+        let prev = PrevCheckpoint {
+            state: base.clone(),
+            name: ChaseCheckpoint::file_name(1),
+            crc: 7,
+            chain: vec![ChaseCheckpoint::file_name(1)],
+        };
+        let d = diff_checkpoint(&prev, &next).expect("delta must apply");
+        assert_eq!(d.cells.len(), 1);
+        assert!(d.eids.is_empty());
+        let rebuilt = apply_delta(&base, &d).unwrap();
+        assert_eq!(rebuilt.to_bytes().unwrap(), next.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn shape_changes_force_a_full() {
+        let base = ck_at(1, &[1, 2, 3]);
+        let next = ck_at(2, &[1, 2, 3, 4]); // extra tuple: capacity changed
+        let prev = PrevCheckpoint {
+            state: base,
+            name: ChaseCheckpoint::file_name(1),
+            crc: 7,
+            chain: vec![],
+        };
+        assert!(diff_checkpoint(&prev, &next).is_none());
+        // encode_doc then falls back to a full document
+        let enc = encode_doc(Some(&prev), next, 100).unwrap();
+        assert!(enc.is_full);
+        assert_eq!(enc.name, ChaseCheckpoint::file_name(2));
+    }
 }

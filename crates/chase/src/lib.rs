@@ -27,10 +27,15 @@
 //!
 //! Durability (`wal` / `checkpoint` / `provenance`): with
 //! [`DurabilityConfig`] set, every committed fix is appended to a
-//! CRC-framed write-ahead log at round boundaries alongside periodic
-//! checkpoints of the loop state, so a crashed chase resumes from its last
-//! durable round byte-identically ([`ChaseEngine::resume`]) and every
-//! repaired cell can answer "why?" ([`ProvenanceGraph::why`]).
+//! CRC-framed, *segmented* write-ahead log at round boundaries alongside
+//! periodic checkpoints of the loop state (full snapshots plus CRC-chained
+//! incremental deltas), so a crashed chase resumes from its last durable
+//! round byte-identically ([`ChaseEngine::resume`]) and every repaired
+//! cell can answer "why?" ([`ProvenanceGraph::why`]). Segments fully
+//! covered by the latest full checkpoint are compacted away when
+//! [`DurabilityConfig::with_compaction`] is on; transient I/O errors are
+//! retried with capped backoff and the outcome is surfaced as a typed
+//! [`WalHealth`] in [`ChaseResult`].
 
 // The chase commits fixes round-atomically; a panic mid-commit would leave
 // a torn fix store, so non-test code must surface errors as values (same
@@ -50,7 +55,10 @@ pub mod wal;
 pub use chase::{
     CertViolation, ChaseCertification, ChaseConfig, ChaseEngine, ChaseResult, GateMode, Proposal,
 };
-pub use checkpoint::{ChaseCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    checkpoint_chain, locate, ChainEntry, ChaseCheckpoint, CheckpointDelta, CheckpointDoc,
+    ResumePoint, CHECKPOINT_VERSION,
+};
 pub use conflict::ConflictPolicy;
 pub use delta::{DeltaSet, RoundStats};
 pub use fixes::{EntityKey, FixSnapshot, FixStore};
@@ -60,5 +68,6 @@ pub use provenance::{
 };
 pub use quality::QualityReport;
 pub use wal::{
-    read_wal, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord, WalSummary, WAL_FILE,
+    list_segments, read_wal, read_wal_dir, segment_file_name, wal_bytes, DurabilityConfig, FixKind,
+    FixRecord, SegmentInfo, WalDirScan, WalError, WalHealth, WalPos, WalRecord, WalSummary,
 };

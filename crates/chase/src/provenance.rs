@@ -9,7 +9,7 @@
 //! only) into an id-indexed graph with a per-cell index.
 
 use crate::chase::{ChaseConfig, ChaseEngine};
-use crate::wal::{self, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord, WAL_FILE};
+use crate::wal::{self, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord};
 use rock_data::{AttrId, CellRef, DataError, Database, DatabaseSchema, RelId, Value};
 use rock_ml::ModelRegistry;
 use rock_rees::RuleSet;
@@ -39,9 +39,9 @@ pub struct ProvenanceChain {
 }
 
 impl ProvenanceGraph {
-    /// Load from a durability directory's WAL.
+    /// Load from a durability directory's WAL (all segments, in order).
     pub fn load(dir: &Path) -> Result<Self, WalError> {
-        let scan = wal::read_wal(&dir.join(WAL_FILE))?;
+        let scan = wal::read_wal_dir(dir)?;
         // keep only the committed prefix
         let mut committed = 0usize;
         for (i, (_, rec)) in scan.records.iter().enumerate() {

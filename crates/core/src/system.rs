@@ -3,7 +3,9 @@
 
 use crate::poly::PolyPipeline;
 use crate::variant::{effective_rules, sorted_rules, split_by_task, Variant};
-use rock_chase::{ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy, RoundStats};
+use rock_chase::{
+    ChaseConfig, ChaseEngine, ChaseResult, ConflictPolicy, RoundStats, WalError, WalSummary,
+};
 use rock_crystal::{ClusterConfig, FaultStats, UnitFailure};
 use rock_data::Database;
 use rock_detect::blocking::{precompute_ml, precompute_ml_indexed, BlockingStats};
@@ -135,6 +137,10 @@ pub struct CorrectionOutcome {
     /// Quarantined work units (their rules' rounds were voided and
     /// re-attempted; a non-empty list after convergence means best-effort).
     pub unit_failures: Vec<UnitFailure>,
+    /// Durability counters and [`rock_chase::WalHealth`] when the chase ran
+    /// with a WAL (`RockConfig::durability`); `None` for in-memory runs and
+    /// the sequential variants (which chase per group, un-logged).
+    pub wal: Option<WalSummary>,
 }
 
 /// The Rock system facade.
@@ -313,6 +319,7 @@ impl RockSystem {
             round_stats,
             fault_stats,
             unit_failures,
+            wal,
         ) = match self.config.variant {
             Variant::Rock | Variant::RockNoMl => {
                 let res = mk_engine(&rules, 32);
@@ -326,10 +333,17 @@ impl RockSystem {
                     res.round_stats,
                     res.fault_stats,
                     res.unit_failures,
+                    res.wal,
                 )
             }
-            Variant::RockSeq => self.run_sequential(w, &rules, &policy, true),
-            Variant::RockNoC => self.run_sequential(w, &rules, &policy, false),
+            Variant::RockSeq => {
+                let (a, b, c, d, e, f, g, h) = self.run_sequential(w, &rules, &policy, true);
+                (a, b, c, d, e, f, g, h, None)
+            }
+            Variant::RockNoC => {
+                let (a, b, c, d, e, f, g, h) = self.run_sequential(w, &rules, &policy, false);
+                (a, b, c, d, e, f, g, h, None)
+            }
         };
 
         if self.config.variant.uses_ml() {
@@ -355,6 +369,7 @@ impl RockSystem {
             round_stats,
             fault_stats,
             unit_failures,
+            wal,
         }
     }
 
@@ -408,8 +423,65 @@ impl RockSystem {
             round_stats: res.round_stats,
             fault_stats: res.fault_stats,
             unit_failures: res.unit_failures,
+            wal: res.wal,
             repaired: res.db,
         }
+    }
+
+    /// Durable incremental correction: like [`Self::correct_incremental`],
+    /// but each ΔD batch is logged to `config.durability`'s WAL as a new
+    /// session batch before its rounds run, so a correction stream killed
+    /// mid-batch resumes mid-stream with the delta already durable
+    /// ([`ChaseEngine::run_incremental_durable`]). Returns the chase's
+    /// typed error surface; requires `config.durability` to be set.
+    pub fn correct_incremental_durable(
+        &self,
+        w: &Workload,
+        task: &Task,
+        delta: &rock_data::Delta,
+    ) -> Result<CorrectionOutcome, WalError> {
+        let start = Instant::now();
+        let rules = sorted_rules(&effective_rules(self.config.variant, &w.rules_for(task)));
+        let policy = ConflictPolicy {
+            mc: w.registry.id("Mc"),
+            mrank: ["Mstatus", "Mtier", "Mrank"]
+                .iter()
+                .find_map(|n| w.registry.id(n)),
+        };
+        let cfg = ChaseConfig {
+            workers: self.config.workers,
+            policy,
+            partitions_per_rule: self.config.partitions_per_rule,
+            gate: self.config.gate,
+            semi_naive: self.config.semi_naive,
+            use_rule_graph: self.config.use_rule_graph,
+            use_schedule: self.config.use_schedule,
+            cluster: self.config.cluster.clone(),
+            durability: self.config.durability.clone(),
+            columnar: self.config.columnar,
+            ..ChaseConfig::default()
+        };
+        let engine = ChaseEngine::new(&rules, &w.registry, cfg);
+        let engine = match &w.graph {
+            Some(g) => engine.with_graph(g),
+            None => engine,
+        };
+        let res = engine.run_incremental_durable(&w.dirty, &w.trusted, delta)?;
+        let metrics =
+            correction_metrics(&w.dirty, &res.db, &w.clean, &w.truth, task.scope.as_ref());
+        Ok(CorrectionOutcome {
+            metrics,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            rounds: res.rounds,
+            conflicts: res.conflicts,
+            changes: res.changes.len(),
+            unit_seconds: res.round_makespans.concat(),
+            round_stats: res.round_stats,
+            fault_stats: res.fault_stats,
+            unit_failures: res.unit_failures,
+            wal: res.wal,
+            repaired: res.db,
+        })
     }
 
     /// Data-quality assessment (§4.1): completeness / uniqueness /

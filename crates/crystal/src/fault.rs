@@ -30,8 +30,11 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Derive a fault-decision hash from `(seed, unit, attempt, salt)`. Public so
+/// sibling fault layers (e.g. [`crate::storage::FaultVfs`]) share the exact
+/// same derivation and stay deterministic relative to each other.
 #[inline]
-fn mix(seed: u64, unit: usize, attempt: u32, salt: u64) -> u64 {
+pub fn mix(seed: u64, unit: usize, attempt: u32, salt: u64) -> u64 {
     let lane = (unit as u64)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03))
@@ -41,7 +44,7 @@ fn mix(seed: u64, unit: usize, attempt: u32, salt: u64) -> u64 {
 
 /// Map a mixed hash to a uniform fraction in `[0, 1)`.
 #[inline]
-fn unit_fraction(h: u64) -> f64 {
+pub fn unit_fraction(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 

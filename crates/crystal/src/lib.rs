@@ -25,7 +25,10 @@
 //!   speculation knobs in [`fault::ClusterConfig`]; see DESIGN.md
 //!   §Crystal fault model.
 //! * [`storage`] — durable file primitives (fsync-hardened atomic
-//!   writes) used by the chase WAL/checkpoints and the bench harness.
+//!   writes) used by the chase WAL/checkpoints and the bench harness,
+//!   plus [`storage::FaultVfs`], the seeded storage fault layer (torn
+//!   writes, fsync EIO/ENOSPC, rename failures, read bit-flips,
+//!   crash-at-op) behind the crash-consistency harness.
 
 // The substrate must never kill a run: recoverable conditions are typed
 // errors, and panics are isolated per unit. Test code is exempt.
@@ -48,5 +51,8 @@ pub use fault::{
 pub use kvstore::{KvStore, PrefixWatch, WatchEvent};
 pub use ring::{ConsistentHashRing, NodeId};
 pub use scheduler::{Cluster, ExecuteOutcome, SchedulerStats};
-pub use storage::{fsync_dir, write_atomic_durable};
+pub use storage::{
+    fsync_dir, tmp_path, write_atomic_durable, FaultVfs, IoOpKind, StorageFaultPlan,
+    StorageFaultStats, TraceOp, VfsFile,
+};
 pub use work::{CostEstimator, WorkUnit};

@@ -58,7 +58,12 @@ def shares(panels):
 # Overhead-style metrics where a RISE is a regression; everything else
 # ending in _ratio is treated as bigger-is-better, bare counts as
 # must-not-shrink.
-RISE_IS_BAD = {"durability_overhead_ratio", "chaos_wall_ratio"}
+RISE_IS_BAD = {
+    "durability_overhead_ratio",
+    "chaos_wall_ratio",
+    "wal_disk_bound_ratio",
+    "recovery_wall_ratio",
+}
 
 
 def check_metric(name, base, cur):

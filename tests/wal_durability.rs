@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use rock::chase::{
-    read_wal, ChaseConfig, ChaseEngine, ChaseResult, DurabilityConfig, ProvenanceGraph, WalRecord,
-    WAL_FILE,
+    read_wal, read_wal_dir, segment_file_name, wal_bytes, ChaseConfig, ChaseEngine, ChaseResult,
+    DurabilityConfig, ProvenanceGraph, WalRecord,
 };
 use rock::data::{
     AttrType, Database, DatabaseSchema, GlobalTid, RelId, RelationSchema, TupleId, Value,
@@ -152,7 +152,7 @@ fn durable_run_matches_oracle_and_resumes_at_every_round() {
     assert_eq!(canon(&first), want, "durable run diverged from oracle");
     assert!(first.rounds >= 2, "workload too shallow to exercise resume");
 
-    let wal_before = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    let wal_before = wal_bytes(&dir).unwrap();
     for r in 1..=first.rounds as u64 {
         let resumed = durable.resume_at(&trusted, r).unwrap_or_else(|e| {
             panic!("resume at round {r} failed: {e}");
@@ -170,7 +170,7 @@ fn durable_run_matches_oracle_and_resumes_at_every_round() {
         );
         // Replay idempotence: the resumed rounds must regenerate the
         // exact bytes they truncated away.
-        let wal_after = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let wal_after = wal_bytes(&dir).unwrap();
         assert_eq!(
             wal_before, wal_after,
             "WAL bytes changed after resume at round {r}"
@@ -199,7 +199,9 @@ fn corrupted_tail_falls_back_to_last_intact_round() {
     let first = durable.run(&db, &trusted);
     assert_no_wal_error(&first);
 
-    let path = dir.join(WAL_FILE);
+    // The default 8 MiB segment budget keeps this tiny workload in one
+    // segment, so the tail-damage surgery targets that first segment file.
+    let path = dir.join(segment_file_name(1));
     let intact = std::fs::read(&path).unwrap();
     let scan = read_wal(&path).unwrap();
     assert!(!scan.corrupt_tail);
@@ -274,7 +276,7 @@ fn provenance_answers_why_for_every_repaired_cell() {
 
     // Every WAL fix id is unique and parents always reference earlier ids
     // — the invariants the `why` traversal relies on.
-    let scan = read_wal(&dir.join(WAL_FILE)).unwrap();
+    let scan = read_wal_dir(&dir).unwrap();
     let mut seen = std::collections::BTreeSet::new();
     for (_, rec) in &scan.records {
         if let WalRecord::Fix(f) = rec {
@@ -339,11 +341,11 @@ proptest! {
         assert_no_wal_error(&first);
         prop_assert_eq!(&canon(&first), &want);
 
-        let wal_before = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let wal_before = wal_bytes(&dir).unwrap();
         let resumed = durable.resume(&trusted).unwrap();
         assert_no_wal_error(&resumed);
         prop_assert_eq!(&canon(&resumed), &want);
-        let wal_after = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let wal_after = wal_bytes(&dir).unwrap();
         prop_assert_eq!(wal_before, wal_after, "WAL not replay-idempotent");
         let _ = std::fs::remove_dir_all(&dir);
     }
