@@ -111,6 +111,7 @@ fn main() {
             "durability",
             "crashsim",
             "columnar",
+            "lint",
             "summary",
         ]
         .iter()
@@ -147,10 +148,11 @@ fn main() {
             "durability" => panels::durability(),
             "crashsim" => panels::crashsim(),
             "columnar" => panels::columnar(),
+            "lint" => panels::lint(),
             "summary" => summary(),
             other => {
                 eprintln!(
-                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, certify, chaos, durability, crashsim, columnar, summary, or all"
+                    "unknown panel '{other}' — expected f4a..f4l, rdcache, chase-delta, analyze, certify, chaos, durability, crashsim, columnar, lint, summary, or all"
                 );
                 std::process::exit(2);
             }
@@ -208,6 +210,16 @@ fn main() {
             "certify" => {
                 if let Some(v) = json.get("bound_margin_ratio") {
                     trajectory_metrics.insert("certify_bound_margin_ratio".into(), v.clone());
+                }
+            }
+            "lint" => {
+                // lint_violations is a must-stay-zero metric: the gate
+                // fails on any nonzero value regardless of slack
+                if let Some(v) = json.get("lint_violations") {
+                    trajectory_metrics.insert("lint_violations".into(), v.clone());
+                }
+                if let Some(v) = json.get("fixture_recall") {
+                    trajectory_metrics.insert("lint_fixture_recall_ratio".into(), v.clone());
                 }
             }
             _ => {}

@@ -582,6 +582,88 @@ pub fn certify() -> (Table, serde_json::Value) {
     )
 }
 
+/// Concurrency-lint panel: `rock-lint` over the workspace sources (must be
+/// clean — the headline trajectory metric `lint_violations` is gated to
+/// stay exactly zero) plus the seeded-defect self-check under
+/// `fixtures/lint_defects/` (every `//~ LXXX` marker hit, nothing else
+/// fired: 100% recall, zero false positives).
+pub fn lint() -> (Table, serde_json::Value) {
+    use rock_lint::Severity;
+    use std::path::Path;
+
+    // Anchor on the manifest, not the cwd: the bench crate sits two levels
+    // below the workspace root.
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let diags = rock_lint::lint_tree(root).expect("lint workspace sources");
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean, found {}:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let fixtures = rock_lint::check_fixtures(&root.join("fixtures/lint_defects"))
+        .expect("lint seeded-defect fixtures");
+    let markers = fixtures.matched.len() + fixtures.missed.len();
+    let recall = fixtures.matched.len() as f64 / markers.max(1) as f64;
+    assert!(
+        fixtures.ok(),
+        "fixture self-check failed: {} missed, {} unexpected",
+        fixtures.missed.len(),
+        fixtures.unexpected.len()
+    );
+
+    let mut table = Table::new(
+        "Concurrency lint — workspace cleanliness and seeded-defect recall",
+        &[
+            "target",
+            "violations",
+            "errors",
+            "warnings",
+            "recall",
+            "false positives",
+        ],
+    );
+    table.row(vec![
+        "workspace".into(),
+        diags.len().to_string(),
+        errors.to_string(),
+        warnings.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "fixtures/lint_defects".into(),
+        format!("{markers} seeded"),
+        "-".into(),
+        "-".into(),
+        format!("{recall:.2}"),
+        fixtures.unexpected.len().to_string(),
+    ]);
+    (
+        table,
+        json!({
+            "panel": "lint",
+            "lint_violations": diags.len(),
+            "lint_errors": errors,
+            "lint_warnings": warnings,
+            "fixture_markers": markers,
+            "fixture_matched": fixtures.matched.len(),
+            "fixture_recall": recall,
+            "fixture_false_positives": fixtures.unexpected.len(),
+        }),
+    )
+}
+
 /// Chaos panel: the Logistics correction task under seeded deterministic
 /// fault injection (per-unit panics, transient errors, latency spikes, and
 /// one whole-node crash) versus an undisturbed run. The headline assertion

@@ -10,6 +10,7 @@
 
 use crate::chase::{ChaseConfig, ChaseEngine};
 use crate::wal::{self, DurabilityConfig, FixKind, FixRecord, WalError, WalRecord};
+use rock_crystal::sync::{AtomicU64, Ordering};
 use rock_data::{AttrId, CellRef, DataError, Database, DatabaseSchema, RelId, Value};
 use rock_ml::ModelRegistry;
 use rock_rees::RuleSet;
@@ -17,7 +18,6 @@ use rustc_hash::FxHashMap;
 use serde::Serialize;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The provenance graph of one chase run.
 #[derive(Debug, Default)]
@@ -206,6 +206,8 @@ pub fn replay_witness(
     let dir = std::env::temp_dir().join(format!(
         "rock-why-{}-{}",
         std::process::id(),
+        // Relaxed: a unique-id counter — only atomicity matters, no
+        // other memory is published under it.
         SCRATCH.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).map_err(ReplayError::Io)?;

@@ -13,10 +13,9 @@
 //! mirroring the linked-list layout.
 
 use crate::ring::{ConsistentHashRing, NodeId};
+use crate::sync::{AtomicU64, LockRank, Ordering, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,15 +37,31 @@ struct ObjectMeta {
 
 /// The block store (a single shared directory — exactly what "first-level
 /// metadata always resides in memory of the cluster" gives every node).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BlockStore {
-    blocks: RwLock<FxHashMap<BlockId, Block>>,
-    objects: RwLock<FxHashMap<String, ObjectMeta>>,
+    // Rank order: BlockObjects < BlockData — a reader resolves the
+    // directory before the data map (`get_object`); `put_object` takes
+    // them one at a time in the other direction, which is legal because
+    // it never holds both.
+    blocks: RankedRwLock<FxHashMap<BlockId, Block>>,
+    objects: RankedRwLock<FxHashMap<String, ObjectMeta>>,
     next_id: AtomicU64,
     /// Simulated bytes transferred across nodes.
     remote_bytes: AtomicU64,
     /// Simulated remote fetches.
     remote_fetches: AtomicU64,
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        BlockStore {
+            blocks: RankedRwLock::new(LockRank::BlockData, FxHashMap::default()),
+            objects: RankedRwLock::new(LockRank::BlockObjects, FxHashMap::default()),
+            next_id: AtomicU64::new(0),
+            remote_bytes: AtomicU64::new(0),
+            remote_fetches: AtomicU64::new(0),
+        }
+    }
 }
 
 impl BlockStore {

@@ -244,7 +244,7 @@ pub struct InjectedFault {
 /// everything else to the previously installed hook. Chaos runs inject
 /// hundreds of panics; without this the test output is unreadable noise.
 pub fn silence_injected_panics() {
-    use std::sync::Once;
+    use crate::sync::Once;
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let previous = std::panic::take_hook();

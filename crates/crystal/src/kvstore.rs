@@ -11,10 +11,9 @@
 //! [`crate::scheduler::Cluster::sync_membership`] uses to rebuild the
 //! ring without the dead node).
 
+use crate::sync::{AtomicU64, LockRank, Ordering, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One stored entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,13 +66,29 @@ struct LeaseState {
 }
 
 /// Versioned key-value store with prefix scan, leases and watches.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KvStore {
-    inner: RwLock<BTreeMap<String, Entry>>,
-    leases: RwLock<BTreeMap<u64, LeaseState>>,
-    events: RwLock<Vec<WatchEvent>>,
+    // Rank order within the store: KvLeases < KvMap < KvEvents. Guards
+    // are dropped before cross-field calls (`put_with_lease` releases the
+    // lease table before `put_inner` takes the map), so the ranks pin the
+    // one legal nesting direction for future edits.
+    inner: RankedRwLock<BTreeMap<String, Entry>>,
+    leases: RankedRwLock<BTreeMap<u64, LeaseState>>,
+    events: RankedRwLock<Vec<WatchEvent>>,
     clock: AtomicU64,
     next_lease: AtomicU64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            inner: RankedRwLock::new(LockRank::KvMap, BTreeMap::new()),
+            leases: RankedRwLock::new(LockRank::KvLeases, BTreeMap::new()),
+            events: RankedRwLock::new(LockRank::KvEvents, Vec::new()),
+            clock: AtomicU64::new(0),
+            next_lease: AtomicU64::new(0),
+        }
+    }
 }
 
 impl KvStore {

@@ -29,6 +29,15 @@
 //!   plus [`storage::FaultVfs`], the seeded storage fault layer (torn
 //!   writes, fsync EIO/ENOSPC, rename failures, read bit-flips,
 //!   crash-at-op) behind the crash-consistency harness.
+//! * [`sync`] — the workspace-wide concurrency shim: swappable
+//!   lock/atomic backends (`cfg(loom)`-ready), [`sync::RankedMutex`]/
+//!   [`sync::RankedRwLock`] enforcing the static [`sync::LockRank`]
+//!   order in debug builds, and poison-free guards. `rock-lint` (L001)
+//!   rejects concurrency primitives used anywhere else.
+//! * [`model`] — bounded CHESS-style interleaving explorer certifying
+//!   the runtime's five core protocols (work stealing + quarantine,
+//!   lease keep-alive vs expiry, speculative first-writer-wins commit,
+//!   `ColumnCache` versioning, sharded memo) in the `models` CI job.
 
 // The substrate must never kill a run: recoverable conditions are typed
 // errors, and panics are isolated per unit. Test code is exempt.
@@ -38,9 +47,11 @@ pub mod blocks;
 pub mod crc32;
 pub mod fault;
 pub mod kvstore;
+pub mod model;
 pub mod ring;
 pub mod scheduler;
 pub mod storage;
+pub mod sync;
 pub mod work;
 
 pub use blocks::{BlockId, BlockStore};
@@ -49,10 +60,12 @@ pub use fault::{
     ClusterConfig, FaultInjector, FaultPlan, FaultStats, NodeCrash, UnitError, UnitFailure,
 };
 pub use kvstore::{KvStore, PrefixWatch, WatchEvent};
+pub use model::{Exploration, Explorer, ModelInstance, ModelViolation, Step, ViolationKind};
 pub use ring::{ConsistentHashRing, NodeId};
 pub use scheduler::{Cluster, ExecuteOutcome, SchedulerStats};
 pub use storage::{
     fsync_dir, tmp_path, write_atomic_durable, FaultVfs, IoOpKind, StorageFaultPlan,
     StorageFaultStats, TraceOp, VfsFile,
 };
+pub use sync::{LockRank, RankedMutex, RankedRwLock};
 pub use work::{CostEstimator, WorkUnit};

@@ -30,14 +30,14 @@ use crate::fault::{
 };
 use crate::kvstore::KvStore;
 use crate::ring::{ConsistentHashRing, NodeId};
+use crate::sync::{
+    Arc, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Backoff, LockRank, Ordering, RankedMutex,
+    RankedRwLock,
+};
 use crate::work::WorkUnit;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
-use crossbeam::utils::Backoff;
-use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-run scheduler statistics.
@@ -147,9 +147,11 @@ impl<R> ExecuteOutcome<R> {
 /// in round *r+1* and placement re-hashes onto survivors.
 #[derive(Debug)]
 struct Membership {
-    ring: RwLock<ConsistentHashRing>,
+    // Rank order: MembershipRing < MembershipLeases < every Kv* rank —
+    // `register_leased` holds `leases` across KV lease calls.
+    ring: RankedRwLock<ConsistentHashRing>,
     alive: Vec<AtomicBool>,
-    leases: RwLock<FxHashMap<usize, u64>>,
+    leases: RankedRwLock<FxHashMap<usize, u64>>,
     crash_fired: AtomicBool,
 }
 
@@ -234,9 +236,9 @@ impl Cluster {
             workers,
             config,
             membership: Arc::new(Membership {
-                ring: RwLock::new(ring),
+                ring: RankedRwLock::new(LockRank::MembershipRing, ring),
                 alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
-                leases: RwLock::new(FxHashMap::default()),
+                leases: RankedRwLock::new(LockRank::MembershipLeases, FxHashMap::default()),
                 crash_fired: AtomicBool::new(false),
             }),
             kv: None,
@@ -449,8 +451,11 @@ impl Cluster {
         let done_cost_milli = AtomicU64::new(0);
         let done_count = AtomicU64::new(0);
         let remaining = AtomicUsize::new(total);
-        let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        let failures: Mutex<Vec<UnitFailure>> = Mutex::new(Vec::new());
+        let results: Vec<RankedMutex<Option<R>>> = (0..total)
+            .map(|_| RankedMutex::new(LockRank::SchedResultSlot, None))
+            .collect();
+        let failures: RankedMutex<Vec<UnitFailure>> =
+            RankedMutex::new(LockRank::SchedFailures, Vec::new());
         let counters = FaultCounters::default();
         let membership = &*self.membership;
         let config = &self.config;

@@ -41,12 +41,11 @@
 //! uninterrupted oracle.
 
 use crate::fault::{mix, unit_fraction};
+use crate::sync::{Arc, AtomicBool, AtomicU64, LockRank, Ordering, RankedMutex};
 use serde::Serialize;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Flush a directory's entry table to stable storage. On non-Unix
 /// platforms directories cannot be opened for syncing; the rename is
@@ -222,8 +221,12 @@ struct VfsInner {
     plan: StorageFaultPlan,
     record: bool,
     ops: AtomicU64,
+    // Release/Acquire pair: the Release store in `set_crashed` publishes
+    // the partially-flushed file contents that precede the simulated
+    // crash; every Acquire load that observes `true` therefore also sees
+    // the frozen on-disk state the harness asserts against.
     crashed: AtomicBool,
-    trace: Mutex<Vec<TraceOp>>,
+    trace: RankedMutex<Vec<TraceOp>>,
     torn_writes: AtomicU64,
     sync_errors: AtomicU64,
     rename_failures: AtomicU64,
@@ -261,7 +264,7 @@ impl FaultVfs {
             record,
             ops: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
-            trace: Mutex::new(Vec::new()),
+            trace: RankedMutex::new(LockRank::StorageTrace, Vec::new()),
             torn_writes: AtomicU64::new(0),
             sync_errors: AtomicU64::new(0),
             rename_failures: AtomicU64::new(0),
@@ -292,51 +295,50 @@ impl FaultVfs {
 
     /// Operations issued so far.
     pub fn ops_done(&self) -> u64 {
-        self.0.ops.load(Ordering::SeqCst)
+        // Relaxed: monotone counter observation; no other memory depends on it.
+        self.0.ops.load(Ordering::Relaxed)
     }
 
     /// Whether the simulated crash has fired.
     pub fn crashed(&self) -> bool {
-        self.0.crashed.load(Ordering::SeqCst)
+        // Acquire: pairs with the Release in `set_crashed` so a `true`
+        // observation also sees the frozen pre-crash file contents.
+        self.0.crashed.load(Ordering::Acquire)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> StorageFaultStats {
+        // Relaxed: pure statistics; each counter is independent and the
+        // snapshot makes no cross-counter consistency promise.
         StorageFaultStats {
-            ops: self.0.ops.load(Ordering::SeqCst),
-            torn_writes: self.0.torn_writes.load(Ordering::SeqCst),
-            sync_errors: self.0.sync_errors.load(Ordering::SeqCst),
-            rename_failures: self.0.rename_failures.load(Ordering::SeqCst),
-            read_flips: self.0.read_flips.load(Ordering::SeqCst),
-            transient_errors: self.0.transient_errors.load(Ordering::SeqCst),
+            ops: self.0.ops.load(Ordering::Relaxed),
+            torn_writes: self.0.torn_writes.load(Ordering::Relaxed),
+            sync_errors: self.0.sync_errors.load(Ordering::Relaxed),
+            rename_failures: self.0.rename_failures.load(Ordering::Relaxed),
+            read_flips: self.0.read_flips.load(Ordering::Relaxed),
+            transient_errors: self.0.transient_errors.load(Ordering::Relaxed),
             crashed: self.crashed(),
         }
     }
 
     /// Copy of the recorded trace (empty unless built via [`FaultVfs::recording`]).
     pub fn trace(&self) -> Vec<TraceOp> {
-        self.0
-            .trace
-            .lock()
-            .map(|t| t.clone())
-            .unwrap_or_else(|p| p.into_inner().clone())
+        self.0.trace.lock().clone()
     }
 
     fn begin_op(&self, op: IoOpKind, path: &Path) -> io::Result<u64> {
         if self.crashed() {
             return Err(crash_error());
         }
-        let idx = self.0.ops.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: allocates a unique trace index; ordering against the
+        // traced file operation is irrelevant (single-writer per handle).
+        let idx = self.0.ops.fetch_add(1, Ordering::Relaxed);
         if self.0.record {
-            let entry = TraceOp {
+            self.0.trace.lock().push(TraceOp {
                 index: idx,
                 op,
                 path: path.display().to_string(),
-            };
-            match self.0.trace.lock() {
-                Ok(mut t) => t.push(entry),
-                Err(p) => p.into_inner().push(entry),
-            }
+            });
         }
         Ok(idx)
     }
@@ -346,7 +348,9 @@ impl FaultVfs {
     }
 
     fn set_crashed(&self) {
-        self.0.crashed.store(true, Ordering::SeqCst);
+        // Release: publishes the partial write that precedes the crash;
+        // see the field comment on `VfsInner::crashed`.
+        self.0.crashed.store(true, Ordering::Release);
     }
 
     /// Does the `salt` fault lane fire at op `idx`?
@@ -360,7 +364,8 @@ impl FaultVfs {
         let p = &self.0.plan;
         let t = unit_fraction(mix(p.seed, idx as usize, 0, SALT_TRANSIENT));
         if t < p.transient_fraction {
-            self.0.transient_errors.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.0.transient_errors.fetch_add(1, Ordering::Relaxed);
             io::Error::new(
                 io::ErrorKind::Interrupted,
                 format!("transient io fault: {what} (op {idx})"),
@@ -420,7 +425,8 @@ impl FaultVfs {
             let bit =
                 mix(self.0.plan.seed, idx as usize, 0, SALT_FLIPBIT) % (bytes.len() as u64 * 8);
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
-            self.0.read_flips.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.0.read_flips.fetch_add(1, Ordering::Relaxed);
         }
         Ok(bytes)
     }
@@ -433,7 +439,8 @@ impl FaultVfs {
             return Err(crash_error());
         }
         if self.fires(idx, SALT_RENAME, self.0.plan.rename_fail) {
-            self.0.rename_failures.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.0.rename_failures.fetch_add(1, Ordering::Relaxed);
             return Err(self.fault_error(idx, "rename"));
         }
         std::fs::rename(from, to)
@@ -457,7 +464,8 @@ impl FaultVfs {
             return Err(crash_error());
         }
         if self.fires(idx, SALT_SYNC, self.0.plan.sync_error) {
-            self.0.sync_errors.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.0.sync_errors.fetch_add(1, Ordering::Relaxed);
             return Err(self.fault_error(idx, "fsync dir"));
         }
         fsync_dir(dir)
@@ -559,7 +567,8 @@ impl VfsFile {
         if self.vfs.fires(idx, SALT_TORN, self.vfs.0.plan.torn_write) {
             let n = self.vfs.prefix_len(idx, buf.len());
             self.file.write_all(&buf[..n])?;
-            self.vfs.0.torn_writes.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.vfs.0.torn_writes.fetch_add(1, Ordering::Relaxed);
             return Err(self.vfs.fault_error(idx, "torn write"));
         }
         self.file.write_all(buf)
@@ -573,7 +582,8 @@ impl VfsFile {
             return Err(crash_error());
         }
         if self.vfs.fires(idx, SALT_SYNC, self.vfs.0.plan.sync_error) {
-            self.vfs.0.sync_errors.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistics counter, read only via `stats()`.
+            self.vfs.0.sync_errors.fetch_add(1, Ordering::Relaxed);
             return Err(self.vfs.fault_error(idx, "fsync"));
         }
         self.file.sync_all()

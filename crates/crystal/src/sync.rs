@@ -1,0 +1,609 @@
+//! Concurrency shim: every lock and atomic in the workspace goes through
+//! this module.
+//!
+//! Three jobs, one choke point:
+//!
+//! 1. **Swappable backends.** Re-exports of the atomic types, [`Arc`],
+//!    [`Once`]/[`OnceLock`] and the [`Backoff`] spin helper resolve to the
+//!    `std`/`crossbeam` implementations in normal builds and to `loom`'s
+//!    model-checked types under `--cfg loom` (the branches are kept
+//!    loom-shaped so vendoring loom is a one-line change; the from-scratch
+//!    explorer in [`crate::model`] covers the bounded-interleaving job in
+//!    the meantime, since this container cannot add dependencies).
+//! 2. **Static lock ranks.** [`RankedMutex`]/[`RankedRwLock`] carry a
+//!    [`LockRank`] from a single workspace-wide total order. Debug builds
+//!    keep a thread-local stack of held ranks and panic the moment any
+//!    thread acquires a lock whose rank is not strictly above everything
+//!    it already holds — turning a potential deadlock into a deterministic
+//!    unit-test failure. Release builds compile the check away.
+//! 3. **No poisoning.** The lock backend is `parking_lot`, which does not
+//!    poison on panic: a quarantined worker that dies mid-critical-section
+//!    (see `fault::ClusterConfig`) leaves the lock usable for survivors,
+//!    so none of the old `.lock().unwrap()` / `unwrap_or_else(|e|
+//!    e.into_inner())` poison plumbing survives the refactor.
+//!
+//! The lint companion (`rock-lint`, L001) rejects direct `std::sync` /
+//! `parking_lot` / `crossbeam` primitive use anywhere outside this file,
+//! and L002 re-derives the rank order statically from the
+//! `RankedMutex::new(LockRank::…)` declarations.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(not(loom))]
+pub use std::sync::{Once, OnceLock};
+
+/// Spin-then-yield helper for lock-free retry loops (work stealing,
+/// speculative commit). Under loom the real `Backoff` would spin forever
+/// inside the model, so it degrades to an explicit yield point.
+#[cfg(not(loom))]
+pub use crossbeam::utils::Backoff;
+
+#[cfg(loom)]
+#[derive(Debug, Default)]
+pub struct Backoff;
+
+#[cfg(loom)]
+impl Backoff {
+    pub fn new() -> Self {
+        Backoff
+    }
+    pub fn snooze(&self) {
+        loom::thread::yield_now();
+    }
+    pub fn spin(&self) {
+        loom::thread::yield_now();
+    }
+    pub fn is_completed(&self) -> bool {
+        true
+    }
+}
+
+/// The workspace-wide lock order. A thread may only acquire a lock whose
+/// rank is **strictly greater** than every rank it already holds; debug
+/// builds enforce this per-thread and panic on violation. Gaps of 10
+/// leave room to splice new locks without renumbering.
+///
+/// The order is derived from the real nesting paths in the code (the
+/// table in DESIGN.md §Concurrency model walks each edge):
+///
+/// * `scheduler::Membership` holds its lease table across KV-store calls
+///   (`register_leased`), so every `Membership*` rank precedes every
+///   `Kv*` rank.
+/// * `ModelRegistry::register` takes the model table then the name index,
+///   so `RegistryModels < RegistryNames`.
+/// * Everything else is verified leaf-only (guards are statement
+///   temporaries or dropped before the next lock), and the rank values
+///   pin that status: an accidental future nesting in the wrong
+///   direction fails tests immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum LockRank {
+    /// `scheduler::Membership.ring` — consistent-hash ring under churn.
+    MembershipRing = 10,
+    /// `scheduler::Membership.leases` — worker → lease-id table; held
+    /// across KV lease calls, hence below every `Kv*` rank.
+    MembershipLeases = 20,
+    /// `kvstore::KvStore.leases` — lease table (grant/keepalive/expiry).
+    KvLeases = 30,
+    /// `kvstore::KvStore.inner` — the key → value map itself.
+    KvMap = 40,
+    /// `kvstore::KvStore.events` — prefix-watch event log.
+    KvEvents = 50,
+    /// `blocks::BlockStore.objects` — object → block-list directory.
+    BlockObjects = 60,
+    /// `blocks::BlockStore.blocks` — block-id → bytes map.
+    BlockData = 70,
+    /// `ml::registry` model table; held while the name index is taken.
+    RegistryModels = 80,
+    /// `ml::registry` name → id index.
+    RegistryNames = 90,
+    /// `ml::registry` per-relation block filters.
+    RegistryFilters = 100,
+    /// `ml::registry` 16-way sharded inference memo (one rank for all
+    /// shards: a thread never holds two shards at once).
+    RegistryMemo = 110,
+    /// `discovery::BitsetCache.inner` — LRU state; the build closure runs
+    /// *outside* this lock by construction.
+    DiscoveryCache = 120,
+    /// `data::ColumnCache.snapshot` — versioned columnar snapshot slot.
+    ColumnSnapshot = 130,
+    /// `scheduler` per-unit result slot (first-writer-wins commit).
+    SchedResultSlot = 140,
+    /// `scheduler` failure log.
+    SchedFailures = 150,
+    /// `storage::FaultVfs` I/O trace buffer.
+    StorageTrace = 160,
+}
+
+impl LockRank {
+    #[inline]
+    pub fn value(self) -> u16 {
+        self as u16
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LockRank::MembershipRing => "MembershipRing",
+            LockRank::MembershipLeases => "MembershipLeases",
+            LockRank::KvLeases => "KvLeases",
+            LockRank::KvMap => "KvMap",
+            LockRank::KvEvents => "KvEvents",
+            LockRank::BlockObjects => "BlockObjects",
+            LockRank::BlockData => "BlockData",
+            LockRank::RegistryModels => "RegistryModels",
+            LockRank::RegistryNames => "RegistryNames",
+            LockRank::RegistryFilters => "RegistryFilters",
+            LockRank::RegistryMemo => "RegistryMemo",
+            LockRank::DiscoveryCache => "DiscoveryCache",
+            LockRank::ColumnSnapshot => "ColumnSnapshot",
+            LockRank::SchedResultSlot => "SchedResultSlot",
+            LockRank::SchedFailures => "SchedFailures",
+            LockRank::StorageTrace => "StorageTrace",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debug-build held-rank tracking
+// ---------------------------------------------------------------------------
+
+#[cfg(all(debug_assertions, not(loom)))]
+mod rank_check {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks currently held by this thread, in acquisition order.
+        /// Strict monotonicity means each value appears at most once.
+        static HELD: RefCell<Vec<LockRank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Record an acquisition, panicking if `rank` is not strictly above
+    /// everything already held by this thread.
+    pub fn acquire(rank: LockRank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&worst) = held.iter().max() {
+                assert!(
+                    rank > worst,
+                    "lock rank violation: acquiring {} (rank {}) while holding {} (rank {}); \
+                     the static order in rock_crystal::sync::LockRank forbids this nesting",
+                    rank.name(),
+                    rank.value(),
+                    worst.name(),
+                    worst.value(),
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Record a release. Guards may drop out of acquisition order, so we
+    /// remove by value (each rank is held at most once per thread).
+    pub fn release(rank: LockRank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Snapshot of this thread's held ranks, for tests.
+    pub fn held() -> Vec<LockRank> {
+        HELD.with(|held| held.borrow().clone())
+    }
+}
+
+#[cfg(all(debug_assertions, not(loom)))]
+pub use rank_check::held as held_ranks;
+
+#[cfg(not(all(debug_assertions, not(loom))))]
+#[inline(always)]
+fn rank_acquire(_rank: LockRank) {}
+#[cfg(not(all(debug_assertions, not(loom))))]
+#[inline(always)]
+fn rank_release(_rank: LockRank) {}
+
+#[cfg(all(debug_assertions, not(loom)))]
+#[inline]
+fn rank_acquire(rank: LockRank) {
+    rank_check::acquire(rank);
+}
+#[cfg(all(debug_assertions, not(loom)))]
+#[inline]
+fn rank_release(rank: LockRank) {
+    rank_check::release(rank);
+}
+
+// ---------------------------------------------------------------------------
+// Ranked mutex
+// ---------------------------------------------------------------------------
+
+/// A mutex that participates in the workspace lock order. Backed by
+/// `parking_lot` (no poisoning: a panicking critical section leaves the
+/// lock usable — required by the scheduler's quarantine model).
+#[derive(Debug)]
+pub struct RankedMutex<T: ?Sized> {
+    rank: LockRank,
+    #[cfg(not(loom))]
+    inner: parking_lot::Mutex<T>,
+    #[cfg(loom)]
+    inner: loom::sync::Mutex<T>,
+}
+
+/// RAII guard for [`RankedMutex`]; releases the rank slot on drop.
+pub struct RankedMutexGuard<'a, T: ?Sized> {
+    rank: LockRank,
+    #[cfg(not(loom))]
+    guard: parking_lot::MutexGuard<'a, T>,
+    #[cfg(loom)]
+    guard: loom::sync::MutexGuard<'a, T>,
+}
+
+impl<T> RankedMutex<T> {
+    pub fn new(rank: LockRank, value: T) -> Self {
+        RankedMutex {
+            rank,
+            #[cfg(not(loom))]
+            inner: parking_lot::Mutex::new(value),
+            #[cfg(loom)]
+            inner: loom::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        #[cfg(not(loom))]
+        {
+            self.inner.into_inner()
+        }
+        #[cfg(loom)]
+        {
+            match self.inner.into_inner() {
+                Ok(v) => v,
+                Err(e) => e.into_inner(),
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> RankedMutex<T> {
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Blocking acquire. Debug builds panic if the rank order is violated
+    /// *before* blocking, so the misordering is reported even when the
+    /// schedule happens not to deadlock.
+    pub fn lock(&self) -> RankedMutexGuard<'_, T> {
+        rank_acquire(self.rank);
+        #[cfg(not(loom))]
+        let guard = self.inner.lock();
+        #[cfg(loom)]
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        RankedMutexGuard {
+            rank: self.rank,
+            guard,
+        }
+    }
+
+    /// Non-blocking acquire; still rank-checked on success path entry so a
+    /// misordered `try_lock` is caught in tests even though it cannot
+    /// deadlock by itself (it can still invert the order for a later
+    /// blocking acquire).
+    pub fn try_lock(&self) -> Option<RankedMutexGuard<'_, T>> {
+        #[cfg(not(loom))]
+        let guard = self.inner.try_lock()?;
+        #[cfg(loom)]
+        let guard = self.inner.try_lock().ok()?;
+        rank_acquire(self.rank);
+        Some(RankedMutexGuard {
+            rank: self.rank,
+            guard,
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        #[cfg(not(loom))]
+        {
+            self.inner.get_mut()
+        }
+        #[cfg(loom)]
+        {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(e) => e.into_inner(),
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> Drop for RankedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rank_release(self.rank);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranked rwlock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock in the workspace lock order. Read and write
+/// acquisitions check the same rank: the order protects against
+/// lock-graph cycles, where reader/writer distinction does not help.
+#[derive(Debug)]
+pub struct RankedRwLock<T: ?Sized> {
+    rank: LockRank,
+    #[cfg(not(loom))]
+    inner: parking_lot::RwLock<T>,
+    #[cfg(loom)]
+    inner: loom::sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard for [`RankedRwLock`].
+pub struct RankedReadGuard<'a, T: ?Sized> {
+    rank: LockRank,
+    #[cfg(not(loom))]
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(loom)]
+    guard: loom::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write RAII guard for [`RankedRwLock`].
+pub struct RankedWriteGuard<'a, T: ?Sized> {
+    rank: LockRank,
+    #[cfg(not(loom))]
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(loom)]
+    guard: loom::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RankedRwLock<T> {
+    pub fn new(rank: LockRank, value: T) -> Self {
+        RankedRwLock {
+            rank,
+            #[cfg(not(loom))]
+            inner: parking_lot::RwLock::new(value),
+            #[cfg(loom)]
+            inner: loom::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        #[cfg(not(loom))]
+        {
+            self.inner.into_inner()
+        }
+        #[cfg(loom)]
+        {
+            match self.inner.into_inner() {
+                Ok(v) => v,
+                Err(e) => e.into_inner(),
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> RankedRwLock<T> {
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    pub fn read(&self) -> RankedReadGuard<'_, T> {
+        rank_acquire(self.rank);
+        #[cfg(not(loom))]
+        let guard = self.inner.read();
+        #[cfg(loom)]
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        RankedReadGuard {
+            rank: self.rank,
+            guard,
+        }
+    }
+
+    pub fn write(&self) -> RankedWriteGuard<'_, T> {
+        rank_acquire(self.rank);
+        #[cfg(not(loom))]
+        let guard = self.inner.write();
+        #[cfg(loom)]
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        RankedWriteGuard {
+            rank: self.rank,
+            guard,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        #[cfg(not(loom))]
+        {
+            self.inner.get_mut()
+        }
+        #[cfg(loom)]
+        {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(e) => e.into_inner(),
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RankedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> Drop for RankedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rank_release(self.rank);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RankedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RankedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> Drop for RankedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rank_release(self.rank);
+    }
+}
+
+impl<T: Default> Default for RankedMutex<T>
+where
+    T: Sized,
+{
+    /// Defaults are only used in tests/fixtures; real call sites name
+    /// their rank explicitly. Uses the highest rank so a defaulted lock
+    /// can never sit below a real one.
+    fn default() -> Self {
+        RankedMutex::new(LockRank::StorageTrace, T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_strictly_ordered() {
+        let all = [
+            LockRank::MembershipRing,
+            LockRank::MembershipLeases,
+            LockRank::KvLeases,
+            LockRank::KvMap,
+            LockRank::KvEvents,
+            LockRank::BlockObjects,
+            LockRank::BlockData,
+            LockRank::RegistryModels,
+            LockRank::RegistryNames,
+            LockRank::RegistryFilters,
+            LockRank::RegistryMemo,
+            LockRank::DiscoveryCache,
+            LockRank::ColumnSnapshot,
+            LockRank::SchedResultSlot,
+            LockRank::SchedFailures,
+            LockRank::StorageTrace,
+        ];
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0].name(), w[1].name());
+        }
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn in_order_nesting_is_allowed() {
+        let a = RankedMutex::new(LockRank::KvLeases, 1u32);
+        let b = RankedMutex::new(LockRank::KvMap, 2u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+        drop(gb);
+        drop(ga);
+        #[cfg(debug_assertions)]
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn guards_may_drop_out_of_order() {
+        let a = RankedRwLock::new(LockRank::BlockObjects, ());
+        let b = RankedRwLock::new(LockRank::BlockData, ());
+        let ga = a.read();
+        let gb = b.read();
+        drop(ga); // release the lower rank first
+        drop(gb);
+        let gb2 = b.write();
+        drop(gb2);
+        #[cfg(debug_assertions)]
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank violation"))]
+    fn out_of_order_nesting_panics_in_debug() {
+        let a = RankedMutex::new(LockRank::KvMap, ());
+        let b = RankedMutex::new(LockRank::KvLeases, ());
+        let _ga = a.lock();
+        #[cfg(debug_assertions)]
+        let _gb = b.lock(); // rank 30 under rank 40: must panic
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank violation"))]
+    fn equal_rank_reacquisition_panics_in_debug() {
+        let a = RankedMutex::new(LockRank::SchedFailures, ());
+        let b = RankedMutex::new(LockRank::SchedFailures, ());
+        let _ga = a.lock();
+        #[cfg(debug_assertions)]
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none_without_rank_leak() {
+        let a = Arc::new(RankedMutex::new(LockRank::RegistryMemo, 7u32));
+        let g = a.lock();
+        let a2 = Arc::clone(&a);
+        let handle = std::thread::spawn(move || a2.try_lock().is_none());
+        assert!(handle.join().unwrap_or(false));
+        drop(g);
+        assert_eq!(*a.lock(), 7);
+    }
+
+    #[test]
+    fn rank_state_survives_critical_section_panic() {
+        let a = Arc::new(RankedMutex::new(LockRank::KvMap, 0u32));
+        let a2 = Arc::clone(&a);
+        let res = std::thread::spawn(move || {
+            let mut g = a2.lock();
+            *g = 9;
+            panic!("die holding the lock");
+        })
+        .join();
+        assert!(res.is_err());
+        // parking_lot does not poison: survivors keep going.
+        assert_eq!(*a.lock(), 9);
+        let b = RankedMutex::new(LockRank::KvLeases, ());
+        drop(b.lock()); // this thread's rank stack is unaffected
+    }
+}

@@ -1,0 +1,557 @@
+//! Bounded model-checking certificates for the five concurrency protocols
+//! the Crystal runtime (and its dependents) stake correctness on. Each
+//! test builds a small step-machine model of the protocol — one step per
+//! atomic action, exactly as implemented — and lets
+//! [`rock_crystal::model`] explore **every** interleaving within the
+//! configured preemption bound, checking the protocol's invariant after
+//! every step and its final-state contract on every completed schedule.
+//!
+//! These run in the regular test suite with the narrow default bounds and
+//! in the dedicated `models` CI job with `--cfg rock_model` widening
+//! (plus `ROCK_MODEL_PREEMPTIONS` / `ROCK_MODEL_ITERS` overrides).
+//!
+//! | model | protocol under certificate |
+//! |-------|----------------------------|
+//! | `steal-quarantine-alive`  | scheduler work-stealing + crash quarantine + alive-bitmap handshake: first `settled` swap wins, unit commits exactly once |
+//! | `lease-keepalive-expiry`  | kvstore lease renewal vs. expiry sweep: lock-atomic check+renew never resurrects a revoked lease |
+//! | `speculative-first-writer`| speculative chase commit: two executors, one cell — first writer wins, no torn or double commit |
+//! | `column-cache-version`    | `ColumnCache` version keying: a version-matched snapshot never serves stale data (uniqueness check load-bearing) |
+//! | `sharded-memo`            | 16-shard (modeled: 2) registry memo: hit and miss paths agree with the oracle under shard races |
+
+use rock_crystal::model::{check, ModelInstance, Step};
+
+/// Scheduler handshake (scheduler.rs): a worker publishes liveness via the
+/// alive bitmap; the failure detector quarantines units of workers it
+/// suspects dead and resubmits them. Both the original execution and the
+/// resubmission race to commit through one `settled` swap (AcqRel in the
+/// implementation). Certificate: the unit commits exactly once in every
+/// interleaving — no double execution, no lost unit.
+#[test]
+fn steal_quarantine_alive_handshake() {
+    #[derive(Default)]
+    struct S {
+        alive: bool,
+        settled: bool,
+        commits: u32,
+        result: Option<u64>,
+    }
+    let ex = check("steal-quarantine-alive", || {
+        ModelInstance::new(S::default())
+            .thread({
+                // worker: heartbeat, execute, then settle-or-lose
+                let mut pc = 0;
+                let mut computed = 0u64;
+                move |s: &mut S| match pc {
+                    0 => {
+                        s.alive = true; // Release store in the implementation
+                        pc = 1;
+                        Step::Ready
+                    }
+                    1 => {
+                        computed = 42; // run the unit (no shared state)
+                        pc = 2;
+                        Step::Ready
+                    }
+                    _ => {
+                        // settled.swap(true, AcqRel): first swapper commits
+                        if !s.settled {
+                            s.settled = true;
+                            s.commits += 1;
+                            s.result = Some(computed);
+                        }
+                        Step::Done
+                    }
+                }
+            })
+            .thread({
+                // failure detector: suspect, quarantine, resubmit elsewhere
+                let mut pc = 0;
+                let mut suspected = false;
+                move |s: &mut S| match pc {
+                    0 => {
+                        // Acquire load of the alive bit: a worker observed
+                        // alive is left alone
+                        suspected = !s.alive;
+                        pc = 1;
+                        Step::Ready
+                    }
+                    _ => {
+                        if suspected && !s.settled {
+                            // resubmitted unit executed on another node,
+                            // committing through the same settled swap
+                            s.settled = true;
+                            s.commits += 1;
+                            s.result = Some(42);
+                        }
+                        Step::Done
+                    }
+                }
+            })
+            .invariant(|s| {
+                if s.commits <= 1 {
+                    Ok(())
+                } else {
+                    Err(format!("unit committed {} times", s.commits))
+                }
+            })
+            .finally(|s| match (s.commits, s.result) {
+                (1, Some(42)) => Ok(()),
+                (c, r) => Err(format!("unit lost or torn: commits={c} result={r:?}")),
+            })
+    });
+    assert!(ex.exhausted, "exploration must be exhaustive within bounds");
+}
+
+/// Lease protocol (kvstore.rs): the holder renews under the lease-table
+/// lock; the expiry sweep revokes under the same lock, and only once
+/// `now` passes the recorded expiry. Check+renew and check+revoke are
+/// each one critical section (one model step — exactly the atomicity the
+/// lock buys). Certificate: a revoked lease is never resurrected — the
+/// holder's renewal either lands while the lease is live (and then the
+/// sweep can no longer expire it) or fails visibly after revocation.
+#[test]
+fn lease_keepalive_vs_expiry() {
+    #[derive(Default)]
+    struct S {
+        locked: bool,
+        now: u64,
+        expiry: u64,
+        renewed: bool,
+        revoked: bool,
+    }
+    let build = || {
+        ModelInstance::new(S {
+            expiry: 1,
+            ..S::default()
+        })
+        .thread({
+            // holder: keep-alive renewal
+            let mut pc = 0;
+            move |s: &mut S| match pc {
+                0 => {
+                    if s.locked {
+                        return Step::Blocked;
+                    }
+                    s.locked = true;
+                    pc = 1;
+                    Step::Ready
+                }
+                1 => {
+                    // one critical section: check + renew; a lease gone
+                    // from the table fails the renewal, it never extends
+                    if !s.revoked {
+                        s.expiry = s.now + 2;
+                        s.renewed = true;
+                    }
+                    pc = 2;
+                    Step::Ready
+                }
+                _ => {
+                    s.locked = false;
+                    Step::Done
+                }
+            }
+        })
+        .thread({
+            // expiry sweep: tick the clock, then revoke if expired
+            let mut pc = 0;
+            move |s: &mut S| match pc {
+                0 => {
+                    s.now += 2;
+                    pc = 1;
+                    Step::Ready
+                }
+                1 => {
+                    if s.locked {
+                        return Step::Blocked;
+                    }
+                    s.locked = true;
+                    pc = 2;
+                    Step::Ready
+                }
+                2 => {
+                    // one critical section: check + revoke
+                    if s.now > s.expiry {
+                        s.revoked = true;
+                    }
+                    pc = 3;
+                    Step::Ready
+                }
+                _ => {
+                    s.locked = false;
+                    Step::Done
+                }
+            }
+        })
+        .invariant(|s| {
+            if s.renewed && s.revoked {
+                return Err("lease both renewed and revoked (zombie)".to_owned());
+            }
+            if s.revoked && s.expiry >= s.now {
+                return Err(format!(
+                    "revoked a live lease: expiry {} >= now {}",
+                    s.expiry, s.now
+                ));
+            }
+            Ok(())
+        })
+        .finally(|s| {
+            if s.locked {
+                return Err("lease-table lock leaked".to_owned());
+            }
+            if s.renewed == s.revoked {
+                return Err(format!(
+                    "exactly one outcome expected: renewed={} revoked={}",
+                    s.renewed, s.revoked
+                ));
+            }
+            Ok(())
+        })
+    };
+    let ex = check("lease-keepalive-expiry", build);
+    assert!(ex.exhausted);
+    assert!(ex.schedules >= 2, "both lock orders must be explored");
+}
+
+/// Speculative chase commit: two speculative executors compute a repair
+/// for the same cell and race to commit. The commit is a single swap on a
+/// claim word (first-writer-wins); the loser discards its result.
+/// Certificate: exactly one commit, and the committed value is the
+/// winner's own — never a torn mix.
+#[test]
+fn speculative_first_writer_wins() {
+    #[derive(Default)]
+    struct S {
+        claimed_by: Option<usize>,
+        cell: Option<(usize, u64)>,
+        commits: u32,
+    }
+    let speculator = |id: usize| {
+        let mut pc = 0;
+        let mut value = 0u64;
+        move |s: &mut S| match pc {
+            0 => {
+                value = 10 + id as u64; // speculative evaluation, private
+                pc = 1;
+                Step::Ready
+            }
+            _ => {
+                // claim.swap: first writer installs value and id together
+                if s.claimed_by.is_none() {
+                    s.claimed_by = Some(id);
+                    s.cell = Some((id, value));
+                    s.commits += 1;
+                }
+                Step::Done
+            }
+        }
+    };
+    let ex = check("speculative-first-writer", || {
+        ModelInstance::new(S::default())
+            .thread(speculator(0))
+            .thread(speculator(1))
+            .invariant(|s| {
+                if s.commits > 1 {
+                    return Err("double commit".to_owned());
+                }
+                match (s.claimed_by, s.cell) {
+                    (Some(w), Some((id, v))) if id != w || v != 10 + w as u64 => {
+                        Err(format!("torn commit: winner {w}, cell ({id}, {v})"))
+                    }
+                    (None, Some(_)) => Err("cell written without a claim".to_owned()),
+                    _ => Ok(()),
+                }
+            })
+            .finally(|s| {
+                if s.commits == 1 {
+                    Ok(())
+                } else {
+                    Err(format!("{} commits", s.commits))
+                }
+            })
+    });
+    assert!(ex.exhausted);
+}
+
+/// Shared scaffolding for the two `ColumnCache` models: an explicit heap
+/// of `Arc<ColumnSet>` allocations so in-place mutation of a snapshot a
+/// caller still holds is observable.
+#[derive(Default)]
+struct CacheState {
+    /// Outstanding `&Relation` shared borrows — `write_cell` runs under
+    /// `&mut Relation`, so it blocks while any reader is inside.
+    borrows: u32,
+    version: u64,
+    truth: u64,
+    /// Arc allocations (ColumnSet payloads), addressed by index.
+    heap: Vec<u64>,
+    /// The cache slot: (keyed version, heap index).
+    snapshot: Option<(u64, usize)>,
+    /// Caller-held clones: (heap index, value observed at serve time).
+    /// Entries outlive the borrow — callers keep the Arc after returning.
+    holds: Vec<(usize, u64)>,
+}
+
+impl CacheState {
+    fn arc_is_unique(&self, idx: usize) -> bool {
+        !self.holds.iter().any(|(i, _)| *i == idx)
+    }
+}
+
+fn cache_reader() -> impl FnMut(&mut CacheState) -> Step {
+    let mut pc = 0;
+    let mut v = 0u64;
+    let mut held: Option<(usize, u64)> = None;
+    move |s: &mut CacheState| match pc {
+        0 => {
+            // enter get_or_build: take the shared borrow, Acquire-load
+            // the version (nothing bumps it while the borrow is out)
+            s.borrows += 1;
+            v = s.version;
+            pc = 1;
+            Step::Ready
+        }
+        1 => {
+            // read lock: serve on version match, cloning the Arc out
+            if let Some((ver, idx)) = s.snapshot {
+                if ver == v {
+                    held = Some((idx, s.heap[idx]));
+                    s.holds.push((idx, s.heap[idx]));
+                    pc = 3;
+                    return Step::Ready;
+                }
+            }
+            pc = 2;
+            Step::Ready
+        }
+        2 => {
+            // miss: build a private allocation from the rows, then take
+            // the write lock and install last-write-wins, keyed by v;
+            // the caller keeps its own clone of the installed Arc
+            let idx = s.heap.len();
+            s.heap.push(s.truth);
+            s.snapshot = Some((v, idx));
+            held = Some((idx, s.heap[idx]));
+            s.holds.push((idx, s.heap[idx]));
+            pc = 3;
+            Step::Ready
+        }
+        3 => {
+            // return: release the borrow, Arc clone still held
+            s.borrows -= 1;
+            pc = 4;
+            Step::Ready
+        }
+        _ => {
+            // caller eventually drops its clone
+            if let Some(entry) = held.take() {
+                if let Some(pos) = s.holds.iter().position(|e| *e == entry) {
+                    s.holds.remove(pos);
+                }
+            }
+            Step::Done
+        }
+    }
+}
+
+/// `ColumnCache` (rock-data column.rs): readers race to rebuild a
+/// version-keyed snapshot under a shared borrow; `write_cell` runs under
+/// `&mut Relation` (modeled: blocks until no borrows are out) and writes
+/// through only when the snapshot is version-fresh AND uniquely owned
+/// (`Arc::get_mut`), invalidating otherwise. Certificate: a snapshot
+/// matching the current version always equals the current data, and an
+/// Arc a caller was served never mutates under it. The companion test
+/// below shows the uniqueness check is load-bearing.
+#[test]
+fn column_cache_version_protocol() {
+    let write_cell = || {
+        let mut pc = 0;
+        move |s: &mut CacheState| match pc {
+            0 => {
+                if s.borrows > 0 {
+                    return Step::Blocked; // &mut Relation excludes readers
+                }
+                // exclusive section: mutate the row, then update the cache
+                s.truth += 1;
+                match s.snapshot {
+                    Some((ver, idx)) if ver == s.version && s.arc_is_unique(idx) => {
+                        s.heap[idx] = s.truth; // Arc::get_mut: write through
+                    }
+                    _ => s.version += 1, // shared or stale: invalidate
+                }
+                pc = 1;
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    };
+    let ex = check("column-cache-version", || {
+        ModelInstance::new(CacheState::default())
+            .thread(cache_reader())
+            .thread(cache_reader())
+            .thread(write_cell())
+            .invariant(|s| {
+                if let Some((ver, idx)) = s.snapshot {
+                    if ver == s.version && s.heap[idx] != s.truth {
+                        return Err(format!(
+                            "version-matched snapshot is stale: holds {}, truth {}",
+                            s.heap[idx], s.truth
+                        ));
+                    }
+                }
+                for (idx, seen) in &s.holds {
+                    if s.heap[*idx] != *seen {
+                        return Err(format!(
+                            "served snapshot mutated under the caller: saw {seen}, now {}",
+                            s.heap[*idx]
+                        ));
+                    }
+                }
+                Ok(())
+            })
+            .finally(|s| {
+                if s.borrows != 0 || !s.holds.is_empty() {
+                    return Err("borrow or Arc clone leaked".to_owned());
+                }
+                Ok(())
+            })
+    });
+    assert!(ex.exhausted);
+    assert!(
+        ex.schedules >= 3,
+        "reader/reader/writer races must interleave"
+    );
+}
+
+/// Registry memo (rock-ml registry.rs): predictions are memoized in
+/// sharded maps. Two threads race the same key (same shard) while a third
+/// works an independent shard. Certificate: whether a thread takes the hit
+/// path or the miss path, it returns the oracle value, and shards only
+/// ever hold oracle entries (adopt-on-race, never overwrite).
+#[test]
+fn sharded_memo_hit_and_miss_agree() {
+    const fn oracle(k: u64) -> u64 {
+        k * 10 + 7
+    }
+    #[derive(Default)]
+    struct S {
+        shards: [Option<(u64, u64)>; 2],
+        results: Vec<(u64, u64)>,
+    }
+    let prober = |key: u64| {
+        let mut pc = 0;
+        let mut computed = 0u64;
+        move |s: &mut S| {
+            let shard = (key % 2) as usize;
+            match pc {
+                0 => {
+                    // locked shard probe
+                    if let Some((k, v)) = s.shards[shard] {
+                        if k == key {
+                            s.results.push((key, v)); // hit path
+                            return Step::Done;
+                        }
+                    }
+                    pc = 1;
+                    Step::Ready
+                }
+                1 => {
+                    computed = oracle(key); // model evaluation, off-lock
+                    pc = 2;
+                    Step::Ready
+                }
+                _ => {
+                    // locked insert: adopt a racing winner's entry
+                    match s.shards[shard] {
+                        Some((k, v)) if k == key => s.results.push((key, v)),
+                        _ => {
+                            s.shards[shard] = Some((key, computed));
+                            s.results.push((key, computed));
+                        }
+                    }
+                    Step::Done
+                }
+            }
+        }
+    };
+    let ex = check("sharded-memo", || {
+        ModelInstance::new(S::default())
+            .thread(prober(0))
+            .thread(prober(0)) // same key: races the same shard
+            .thread(prober(1)) // independent shard
+            .invariant(|s| {
+                for entry in s.shards.iter().flatten() {
+                    let (k, v) = *entry;
+                    if v != oracle(k) {
+                        return Err(format!("shard holds ({k}, {v}), oracle {}", oracle(k)));
+                    }
+                }
+                Ok(())
+            })
+            .finally(|s| {
+                if s.results.len() != 3 {
+                    return Err(format!("{} results, expected 3", s.results.len()));
+                }
+                for (k, v) in &s.results {
+                    if *v != oracle(*k) {
+                        return Err(format!("probe({k}) returned {v}, oracle {}", oracle(*k)));
+                    }
+                }
+                Ok(())
+            })
+    });
+    assert!(ex.exhausted);
+}
+
+/// Negative control: break the column-cache protocol by removing the
+/// `Arc::get_mut` uniqueness check — write through into a version-fresh
+/// snapshot even while a caller still holds a clone of it. The explorer
+/// must find the interleaving where the caller's supposedly-immutable
+/// snapshot mutates under it. This pins the explorer's power — if this
+/// test ever passes silently, the models above prove nothing.
+#[test]
+fn column_cache_without_uniqueness_check_fails() {
+    let broken_write_cell = || {
+        let mut pc = 0;
+        move |s: &mut CacheState| match pc {
+            0 => {
+                if s.borrows > 0 {
+                    return Step::Blocked;
+                }
+                s.truth += 1;
+                match s.snapshot {
+                    // BUG under model: no arc_is_unique(idx) guard
+                    Some((ver, idx)) if ver == s.version => {
+                        s.heap[idx] = s.truth;
+                    }
+                    _ => s.version += 1,
+                }
+                pc = 1;
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    };
+    let result = rock_crystal::model::Explorer::from_env().check("column-cache-broken", || {
+        ModelInstance::new(CacheState::default())
+            .thread(cache_reader())
+            .thread(broken_write_cell())
+            .invariant(|s| {
+                for (idx, seen) in &s.holds {
+                    if s.heap[*idx] != *seen {
+                        return Err(format!(
+                            "served snapshot mutated under the caller: saw {seen}, now {}",
+                            s.heap[*idx]
+                        ));
+                    }
+                }
+                Ok(())
+            })
+    });
+    let violation = result.expect_err("the broken protocol must be caught");
+    assert_eq!(
+        violation.kind,
+        rock_crystal::model::ViolationKind::Invariant,
+        "expected the mutated-under-caller invariant to fire: {violation}"
+    );
+}

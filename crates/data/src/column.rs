@@ -44,11 +44,10 @@ use crate::relation::Relation;
 use crate::schema::AttrType;
 use crate::value::{cmp_int_float, Value};
 use crate::Dictionary;
+use rock_crystal::sync::{Arc, AtomicU64, LockRank, Ordering as AtomicOrdering, RankedRwLock};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Arc, RwLock};
 
 /// Storage-layer configuration. `columnar` routes the evaluation hot
 /// paths (rees prefilters, detection scans, chase enumeration) through
@@ -499,10 +498,22 @@ pub fn row_heap_bytes(rel: &Relation) -> usize {
 ///   version is stale;
 /// * `write_cell` patches the snapshot in place when it is current and
 ///   exclusively held, keeping the chase's commit path rebuild-free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ColumnCache {
+    // Release bump / Acquire read: a reader that observes version v also
+    // observes every row mutation that preceded the bump to v, so a
+    // version-matched snapshot is never stale.
     version: AtomicU64,
-    snapshot: RwLock<Option<(u64, Arc<ColumnSet>)>>,
+    snapshot: RankedRwLock<Option<(u64, Arc<ColumnSet>)>>,
+}
+
+impl Default for ColumnCache {
+    fn default() -> Self {
+        ColumnCache {
+            version: AtomicU64::new(0),
+            snapshot: RankedRwLock::new(LockRank::ColumnSnapshot, None),
+        }
+    }
 }
 
 impl Clone for ColumnCache {
@@ -521,7 +532,7 @@ impl ColumnCache {
     /// Write one cell through to the cached snapshot, or invalidate when
     /// the snapshot is stale or shared.
     pub(crate) fn write_cell(&self, slot: usize, attr: AttrId, v: &Value) {
-        let mut guard = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.snapshot.write();
         let current = self.version.load(AtomicOrdering::Acquire);
         match guard.as_mut() {
             Some((ver, set)) if *ver == current => match Arc::get_mut(set) {
@@ -536,7 +547,7 @@ impl ColumnCache {
     pub(crate) fn get_or_build(&self, rel: &Relation) -> Arc<ColumnSet> {
         let current = self.version.load(AtomicOrdering::Acquire);
         {
-            let guard = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
+            let guard = self.snapshot.read();
             if let Some((ver, set)) = guard.as_ref() {
                 if *ver == current {
                     return Arc::clone(set);
@@ -544,7 +555,7 @@ impl ColumnCache {
             }
         }
         let built = Arc::new(ColumnSet::from_relation(rel));
-        let mut guard = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.snapshot.write();
         // Concurrent readers may race to rebuild the same version; both
         // build identical data, so last-write-wins is fine. Mutation
         // cannot race (it needs `&mut Relation`).

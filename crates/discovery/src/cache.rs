@@ -18,14 +18,13 @@
 //! memory, never correctness. Hit/miss/eviction/byte counters are exposed
 //! via [`CacheStats`] and surfaced in the miner's `DiscoveryReport`.
 
-use parking_lot::Mutex;
+use rock_crystal::sync::{Arc, LockRank, OnceLock, RankedMutex};
 use rock_data::{Bitset, Database, RelId, TupleId};
 use rock_ml::ModelRegistry;
 use rock_rees::measures::{measure_bits, pair_offdiag, predicate_sat_bits, Measures, SatBits};
 use rock_rees::{EvalContext, Predicate, Rule};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, OnceLock};
 
 /// Which materialized form of a predicate a cache entry holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -104,23 +103,28 @@ struct Inner {
 /// A `Sync` LRU cache of satisfaction bitsets under a byte budget.
 pub struct BitsetCache {
     budget: usize,
-    inner: Mutex<Inner>,
+    // DiscoveryCache is a leaf rank: builds run outside the lock, so no
+    // other lock is ever acquired while this one is held.
+    inner: RankedMutex<Inner>,
 }
 
 impl BitsetCache {
     pub fn new(budget_bytes: usize) -> BitsetCache {
         BitsetCache {
             budget: budget_bytes,
-            inner: Mutex::new(Inner {
-                entries: FxHashMap::default(),
-                tick: 0,
-                bytes: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                spills: 0,
-                bytes_peak: 0,
-            }),
+            inner: RankedMutex::new(
+                LockRank::DiscoveryCache,
+                Inner {
+                    entries: FxHashMap::default(),
+                    tick: 0,
+                    bytes: 0,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                    spills: 0,
+                    bytes_peak: 0,
+                },
+            ),
         }
     }
 

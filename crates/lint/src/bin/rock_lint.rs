@@ -1,0 +1,134 @@
+//! `rock-lint` — the workspace concurrency linter from the CLI.
+//!
+//! ```text
+//! rock-lint [--workspace | --path DIR] [--root DIR] \
+//!           [--format human|json] [--fixtures]
+//! ```
+//!
+//! `--workspace` (the default) lints every crate source under the
+//! workspace root; `--path` lints an arbitrary tree. `--fixtures` runs the
+//! seeded-defect self-check instead: every `//~ LXXX` marker in
+//! `fixtures/lint_defects/` must be hit on its exact line and nothing else
+//! may fire. Exit code is the maximum severity seen: 0 clean, 1 warnings,
+//! 2 errors (and 2 on any fixture recall/precision failure).
+
+use rock_lint::{check_fixtures, lint_tree, max_severity, to_json, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    path: Option<PathBuf>,
+    root: PathBuf,
+    format: String,
+    fixtures: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        path: None,
+        root: PathBuf::from("."),
+        format: "human".to_owned(),
+        fixtures: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workspace" | "-w" => opts.path = None,
+            "--path" | "-p" => opts.path = Some(PathBuf::from(take("--path")?)),
+            "--root" => opts.root = PathBuf::from(take("--root")?),
+            "--format" | "-f" => opts.format = take("--format")?,
+            "--fixtures" => opts.fixtures = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: rock-lint [--workspace | --path DIR] [--root DIR] \
+                     [--format human|json] [--fixtures]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !matches!(opts.format.as_str(), "human" | "json") {
+        return Err(format!("unknown format '{}'", opts.format));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rock-lint: {e}");
+            return ExitCode::from(64); // EX_USAGE
+        }
+    };
+    if opts.fixtures {
+        return run_fixtures(&opts);
+    }
+    let target = opts.path.clone().unwrap_or_else(|| opts.root.clone());
+    let label = if opts.path.is_some() {
+        target.to_string_lossy().into_owned()
+    } else {
+        "workspace".to_owned()
+    };
+    let diags = match lint_tree(&target) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rock-lint: scanning {}: {e}", target.display());
+            return ExitCode::from(70); // EX_SOFTWARE
+        }
+    };
+    if opts.format == "json" {
+        println!("{}", to_json(&label, &diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        println!(
+            "rock-lint: {label}: {} violation(s) ({errors} error(s), {} warning(s))",
+            diags.len(),
+            diags.len() - errors
+        );
+    }
+    ExitCode::from(max_severity(&diags).map_or(0, |s| s.exit_code() as u8))
+}
+
+fn run_fixtures(opts: &Opts) -> ExitCode {
+    let dir = opts.root.join("fixtures/lint_defects");
+    let report = match check_fixtures(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rock-lint: scanning {}: {e}", dir.display());
+            return ExitCode::from(70);
+        }
+    };
+    println!(
+        "rock-lint fixtures: {} matched, {} missed, {} unexpected",
+        report.matched.len(),
+        report.missed.len(),
+        report.unexpected.len()
+    );
+    for (code, file, line) in &report.matched {
+        println!("   hit {} {file}:{line}", code.as_str());
+    }
+    for (code, file, line) in &report.missed {
+        println!("   MISSED (recall) {} {file}:{line}", code.as_str());
+    }
+    for d in &report.unexpected {
+        println!("   UNEXPECTED (precision) {d}");
+    }
+    if report.ok() {
+        println!("rock-lint fixtures: 100% recall, zero false positives");
+        ExitCode::from(0)
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,288 @@
+//! Lint diagnostics in the `rock-analyze` style: typed codes, severities
+//! that map onto process exit codes, spans, and notes — plus a hand-rolled
+//! JSON rendering (this crate is dependency-free by design).
+
+use std::fmt;
+
+/// Where in a file a diagnostic points. Lines and columns are 1-based;
+/// `end` is exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub fn at(line: u32, start: u32, end: u32) -> Span {
+        Span { line, start, end }
+    }
+}
+
+/// Severity, ordered so `max()` yields the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The concurrency lint codes, 1:1 with a severity and a rule name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// Direct use of a raw synchronization primitive outside the
+    /// `rock_crystal::sync` shim.
+    L001,
+    /// Nested lock acquisition that violates the static `LockRank` order.
+    L002,
+    /// `Ordering::SeqCst` without a `lint:allow(L003)` justification.
+    L003,
+    /// Atomic store/load ordering mismatch on the same field.
+    L004,
+    /// Blocking file I/O inside a scheduler work closure.
+    L005,
+    /// `.lock().unwrap()` poison propagation outside test code.
+    L006,
+}
+
+impl LintCode {
+    pub const ALL: [LintCode; 6] = [
+        LintCode::L001,
+        LintCode::L002,
+        LintCode::L003,
+        LintCode::L004,
+        LintCode::L005,
+        LintCode::L006,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::L001 => "L001",
+            LintCode::L002 => "L002",
+            LintCode::L003 => "L003",
+            LintCode::L004 => "L004",
+            LintCode::L005 => "L005",
+            LintCode::L006 => "L006",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::L001 | LintCode::L002 => Severity::Error,
+            LintCode::L003 | LintCode::L004 | LintCode::L005 | LintCode::L006 => Severity::Warning,
+        }
+    }
+
+    pub fn rule(self) -> &'static str {
+        match self {
+            LintCode::L001 => "raw-sync-primitive",
+            LintCode::L002 => "lock-rank-violation",
+            LintCode::L003 => "unjustified-seqcst",
+            LintCode::L004 => "ordering-mismatch",
+            LintCode::L005 => "blocking-io-in-work-closure",
+            LintCode::L006 => "lock-poison-unwrap",
+        }
+    }
+}
+
+/// One finding: a code, where it is, what it says, and why it matters.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub code: LintCode,
+    /// Path as scanned (workspace-relative when walking a workspace).
+    pub file: String,
+    pub span: Span,
+    pub message: String,
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: LintCode, file: &str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            file: file.to_owned(),
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{}] {}:{}:{}: {}",
+            self.severity().as_str(),
+            self.code.as_str(),
+            self.code.rule(),
+            self.file,
+            self.span.line,
+            self.span.start,
+            self.message
+        )?;
+        for n in &self.notes {
+            write!(f, "\n   note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Highest severity across a batch (None when empty): the exit code.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity()).max()
+}
+
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a batch of diagnostics as one JSON document (the CI artifact).
+pub fn to_json(label: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"rock-lint\",\n");
+    out.push_str(&format!("  \"target\": \"{}\",\n", json_escape(label)));
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str(&format!(
+        "  \"errors\": {},\n",
+        diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    ));
+    out.push_str(&format!(
+        "  \"warnings\": {},\n",
+        diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    ));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"code\": \"{}\", ", d.code.as_str()));
+        out.push_str(&format!("\"severity\": \"{}\", ", d.severity().as_str()));
+        out.push_str(&format!("\"rule\": \"{}\", ", d.code.rule()));
+        out.push_str(&format!("\"file\": \"{}\", ", json_escape(&d.file)));
+        out.push_str(&format!(
+            "\"line\": {}, \"col\": {}, ",
+            d.span.line, d.span.start
+        ));
+        out.push_str(&format!("\"message\": \"{}\", ", json_escape(&d.message)));
+        out.push_str("\"notes\": [");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        out.push_str("]}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_exit_codes() {
+        assert!(Severity::Error > Severity::Warning);
+        assert_eq!(Severity::Error.exit_code(), 2);
+        assert_eq!(Severity::Warning.exit_code(), 1);
+        assert_eq!(Severity::Info.exit_code(), 0);
+    }
+
+    #[test]
+    fn codes_roundtrip_and_have_rules() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.as_str()), Some(c));
+            assert!(!c.rule().is_empty());
+        }
+        assert_eq!(LintCode::parse("L999"), None);
+    }
+
+    #[test]
+    fn display_carries_span_and_notes() {
+        let d = Diagnostic::new(
+            LintCode::L001,
+            "crates/x/src/a.rs",
+            Span::at(12, 5, 10),
+            "direct use of std::sync::Mutex",
+        )
+        .with_note("route it through rock_crystal::sync::RankedMutex");
+        let s = d.to_string();
+        assert!(s.contains("error[L001/raw-sync-primitive]"));
+        assert!(s.contains("crates/x/src/a.rs:12:5"));
+        assert!(s.contains("note: route it"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic::new(LintCode::L003, "a\\b.rs", Span::at(1, 1, 2), "say \"why\"");
+        let j = to_json("ws", &[d]);
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"warnings\": 1"));
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"why\\\""));
+    }
+
+    #[test]
+    fn empty_batch_has_no_severity() {
+        assert_eq!(max_severity(&[]), None);
+    }
+}

@@ -20,11 +20,11 @@ use crate::features::fnv1a;
 use crate::her::HerModel;
 use crate::pair::PairClassifier;
 use crate::rank::RankModel;
-use parking_lot::{Mutex, RwLock};
+use rock_crystal::sync::{
+    Arc, AtomicU64, LockRank, Ordering, RankedMutex, RankedMutexGuard, RankedRwLock,
+};
 use rock_data::Value;
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Identifier of a registered model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -106,15 +106,19 @@ fn memo_shard(h1: u64, h2: u64) -> usize {
 
 /// Thread-safe registry of named models with memoized inference.
 pub struct ModelRegistry {
-    models: RwLock<Vec<(String, Model)>>,
-    by_name: RwLock<FxHashMap<String, ModelId>>,
-    memo_bool: Vec<Mutex<FxHashMap<(ModelId, u64, u64), bool>>>,
-    memo_score: Vec<Mutex<FxHashMap<(ModelId, u64, u64), f64>>>,
+    // Rank order: RegistryModels < RegistryNames (`register` holds the
+    // model table while inserting into the name index) < RegistryFilters
+    // < RegistryMemo. All 16 memo shards share one rank — a thread never
+    // holds two shards at once.
+    models: RankedRwLock<Vec<(String, Model)>>,
+    by_name: RankedRwLock<FxHashMap<String, ModelId>>,
+    memo_bool: Vec<RankedMutex<FxHashMap<(ModelId, u64, u64), bool>>>,
+    memo_score: Vec<RankedMutex<FxHashMap<(ModelId, u64, u64), f64>>>,
     /// Blocking filters (§5.3 filter-and-verify): when a model has a
     /// filter, pairs outside it short-circuit to `false` without inference
     /// — LSH guarantees matches are in the filter with high probability.
     /// Read-mostly after precomputation, hence the `RwLock`.
-    block_filters: RwLock<FxHashMap<ModelId, rustc_hash::FxHashSet<(u64, u64)>>>,
+    block_filters: RankedRwLock<FxHashMap<ModelId, rustc_hash::FxHashSet<(u64, u64)>>>,
     pub meter: CostMeter,
 }
 
@@ -144,15 +148,15 @@ fn hash_values(vs: &[Value]) -> u64 {
 impl ModelRegistry {
     pub fn new() -> Self {
         ModelRegistry {
-            models: RwLock::new(Vec::new()),
-            by_name: RwLock::new(FxHashMap::default()),
+            models: RankedRwLock::new(LockRank::RegistryModels, Vec::new()),
+            by_name: RankedRwLock::new(LockRank::RegistryNames, FxHashMap::default()),
             memo_bool: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(FxHashMap::default()))
+                .map(|_| RankedMutex::new(LockRank::RegistryMemo, FxHashMap::default()))
                 .collect(),
             memo_score: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(FxHashMap::default()))
+                .map(|_| RankedMutex::new(LockRank::RegistryMemo, FxHashMap::default()))
                 .collect(),
-            block_filters: RwLock::new(FxHashMap::default()),
+            block_filters: RankedRwLock::new(LockRank::RegistryFilters, FxHashMap::default()),
             meter: CostMeter::default(),
         }
     }
@@ -160,9 +164,9 @@ impl ModelRegistry {
     /// Lock one memo shard, counting contended acquisitions.
     fn lock_shard<'a, T>(
         &self,
-        shards: &'a [Mutex<T>],
+        shards: &'a [RankedMutex<T>],
         idx: usize,
-    ) -> parking_lot::MutexGuard<'a, T> {
+    ) -> RankedMutexGuard<'a, T> {
         match shards[idx].try_lock() {
             Some(g) => g,
             None => {

@@ -1,0 +1,54 @@
+//! L002: nested acquisitions that violate the static `LockRank` order.
+//! The rank table is harvested from the `RankedMutex::new(LockRank::…)`
+//! constructor sites below, exactly as in the real workspace.
+
+use crate::shim::{LockRank, RankedMutex};
+
+struct Pipeline {
+    queue: RankedMutex<Vec<u64>>,
+    index: RankedMutex<u64>,
+    journal: RankedMutex<Vec<String>>,
+}
+
+impl Pipeline {
+    fn new() -> Pipeline {
+        Pipeline {
+            queue: RankedMutex::new(LockRank::Low, Vec::new()),
+            index: RankedMutex::new(LockRank::Mid, 0),
+            journal: RankedMutex::new(LockRank::High, Vec::new()),
+        }
+    }
+
+    /// Correct: ranks strictly increase inward.
+    fn drain(&self) {
+        let q = self.queue.lock();
+        let mut idx = self.index.lock();
+        *idx += q.len() as u64;
+    }
+
+    /// Defect: takes the High journal, then reaches back down for Low.
+    fn log_then_drain(&self) {
+        let mut j = self.journal.lock();
+        let q = self.queue.lock(); //~ L002
+        j.push(format!("{} queued", q.len()));
+    }
+
+    /// Defect: re-acquires the same rank while still holding it.
+    fn double_index(&self) {
+        let a = self.index.lock();
+        let b = self.index.lock(); //~ L002
+        let _ = (*a, *b);
+    }
+
+    /// Correct: the first guard is dropped before descending.
+    fn log_after_release(&self) {
+        {
+            let mut j = self.journal.lock();
+            j.push("checkpoint".to_owned());
+        }
+        let q = self.queue.lock();
+        drop(q);
+        let j = self.journal.lock();
+        let _ = j.len();
+    }
+}

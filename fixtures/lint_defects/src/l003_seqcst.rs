@@ -1,0 +1,21 @@
+//! L003: `SeqCst` is quarantined behind a justified `lint:allow(L003)`
+//! comment; bare uses (and suppressions with no reason) are flagged.
+
+// lint:allow(L001) fixture: atomics are needed to seed the L003 defects
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static READY: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn publish() {
+    READY.store(true, Ordering::SeqCst); //~ L003
+}
+
+fn observe() -> u64 {
+    EPOCH.load(Ordering::SeqCst) //~ L003
+}
+
+fn justified() -> u64 {
+    // lint:allow(L003) the Dekker-style handshake needs a total store order with READY
+    EPOCH.fetch_add(1, Ordering::SeqCst)
+}

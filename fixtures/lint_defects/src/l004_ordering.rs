@@ -1,0 +1,42 @@
+//! L004: store/load ordering mismatches on the same atomic field. The
+//! `done` flag is published correctly and stays unflagged.
+
+// lint:allow(L001) fixture: atomics are needed to seed the L004 defects
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct Channel {
+    ready: AtomicBool,
+    seq: AtomicUsize,
+    done: AtomicBool,
+}
+
+impl Channel {
+    /// Publishes with Release…
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// …but the consumer reads Relaxed: the payload may not be visible.
+    fn consume(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) //~ L004
+    }
+
+    /// The reader pairs Acquire…
+    fn wait(&self) -> usize {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// …with a Relaxed store that publishes nothing.
+    fn bump(&self) {
+        self.seq.store(1, Ordering::Relaxed); //~ L004
+    }
+
+    /// Consistent Release/Acquire pair: clean.
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn finished(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,35 @@
+//! L005: blocking file I/O inside scheduler work closures. The closure
+//! passed to `execute` runs on a worker thread; a blocked worker stalls
+//! every unit queued behind it.
+
+struct Cluster;
+
+struct Unit {
+    id: u64,
+}
+
+impl Cluster {
+    fn execute<R>(&self, units: Vec<Unit>, work: impl Fn(&Unit) -> R) -> Vec<R> {
+        units.iter().map(work).collect()
+    }
+}
+
+fn spill_inside_worker(cluster: &Cluster, units: Vec<Unit>) -> Vec<u64> {
+    cluster.execute(units, |u| {
+        std::fs::write("/tmp/spill", u.id.to_le_bytes()).ok(); //~ L005
+        u.id
+    })
+}
+
+fn open_inside_worker(cluster: &Cluster, units: Vec<Unit>) -> Vec<u64> {
+    cluster.execute(units, |u| {
+        let _f = std::fs::File::open("/etc/hosts"); //~ L005
+        u.id
+    })
+}
+
+/// Clean: the I/O happens before dispatch, workers stay compute-only.
+fn io_outside_worker(cluster: &Cluster, units: Vec<Unit>) -> Vec<u64> {
+    std::fs::write("/tmp/manifest", b"units").ok();
+    cluster.execute(units, |u| u.id * 2)
+}

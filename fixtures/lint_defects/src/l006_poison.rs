@@ -1,0 +1,38 @@
+//! L006: `.lock().unwrap()` propagates lock poisoning — one panicking
+//! critical section cascades panics into every later user. Test code is
+//! exempt (a poisoned lock in a failing test is already a failing test).
+
+// lint:allow(L001) fixture: raw locks are needed to seed the L006 defects
+use std::sync::{Mutex, RwLock};
+
+struct Shared {
+    items: Mutex<Vec<u64>>,
+    table: RwLock<Vec<u64>>,
+}
+
+fn push(s: &Shared, v: u64) {
+    s.items.lock().unwrap().push(v); //~ L006
+}
+
+fn total(s: &Shared) -> u64 {
+    s.table.read().unwrap().iter().sum() //~ L006
+}
+
+fn replace(s: &Shared, rows: Vec<u64>) {
+    *s.table.write().expect("table poisoned") = rows; //~ L006
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let s = Shared {
+            items: Mutex::new(Vec::new()),
+            table: RwLock::new(vec![1, 2]),
+        };
+        s.items.lock().unwrap().push(1);
+        assert_eq!(total(&s), 3);
+    }
+}

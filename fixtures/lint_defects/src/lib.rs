@@ -1,0 +1,18 @@
+//! Seeded concurrency defects, one module per lint code. Every `//~ LXXX`
+//! trailing marker names the diagnostic `rock-lint --fixtures` must emit
+//! on that exact line (100% recall), and any diagnostic without a marker
+//! is a false positive (zero-FP precision). The `shim` module is a
+//! miniature `rock_crystal::sync` stand-in so the L002 defects have real
+//! ranks to violate — its own raw-primitive use is suppressed with
+//! justified `lint:allow` comments, which doubles as coverage for the
+//! suppression mechanism itself.
+
+#![allow(dead_code, unused_imports, unused_variables)]
+
+mod l001_raw_primitives;
+mod l002_lock_rank;
+mod l003_seqcst;
+mod l004_ordering;
+mod l005_blocking_io;
+mod l006_poison;
+mod shim;

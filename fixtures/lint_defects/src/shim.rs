@@ -1,0 +1,39 @@
+//! Miniature `rock_crystal::sync` stand-in: just enough for the L002
+//! defects to declare ranked locks. Raw primitive use in here is the whole
+//! point, so it carries justified suppressions.
+
+// lint:allow(L001) the fixture shim mirrors rock_crystal::sync and must wrap a raw mutex
+use std::sync::Mutex;
+
+/// Rank order the L002 defects violate. Mirrors the real `LockRank`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockRank {
+    Low = 10,
+    Mid = 20,
+    High = 30,
+}
+
+pub struct RankedMutex<T> {
+    rank: LockRank,
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    pub fn new(rank: LockRank, value: T) -> RankedMutex<T> {
+        RankedMutex {
+            rank,
+            // lint:allow(L001) fixture shim: the wrapped primitive lives here by design
+            inner: Mutex::new(value),
+        }
+    }
+
+    // lint:allow(L001) fixture shim: exposing the raw guard keeps the fixture dependency-free
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        // lint:allow(L006) fixture shim: poison recovery is the shim's job
+        self.inner.lock().unwrap()
+    }
+
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+}

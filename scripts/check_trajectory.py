@@ -65,9 +65,20 @@ RISE_IS_BAD = {
     "recovery_wall_ratio",
 }
 
+# Metrics that must stay *exactly* zero: any nonzero current value is a
+# regression regardless of slack.  Checked before the base<=0 guard below,
+# which would otherwise silently skip a zero-valued baseline.
+ZERO_METRICS = {
+    "lint_violations",
+}
+
 
 def check_metric(name, base, cur):
     """Return a failure message or None."""
+    if name in ZERO_METRICS:
+        if cur != 0:
+            return f"metric {name} must stay 0, got {cur:g}"
+        return None
     if base <= 0:
         return None
     if name in RISE_IS_BAD:
